@@ -1,0 +1,64 @@
+//! Criterion benches for the VF2 monomorphism search — the paper's stated
+//! bottleneck ("the bottleneck of the entire implementation is the
+//! efficiency of computing a solution to the subgraph monomorphism
+//! problem", §5.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qcp_env::molecules;
+use qcp_graph::generate;
+use qcp_graph::vf2::MonomorphismFinder;
+
+fn bench_paths_into_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vf2/path-into-chain");
+    for n in [16usize, 64, 256, 1024] {
+        let pattern = generate::chain(n / 2);
+        let target = generate::chain(n);
+        group.bench_with_input(BenchmarkId::new("exists", n), &n, |b, _| {
+            b.iter(|| MonomorphismFinder::new(&pattern, &target).exists())
+        });
+    }
+    group.finish();
+}
+
+fn bench_interactions_into_molecules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vf2/molecules");
+    // The cat-state chain into the histidine bond graph (Table 2 row 3).
+    let histidine = molecules::histidine();
+    let pattern = generate::chain(10);
+    let target = histidine.bond_graph();
+    group.bench_function("cat10-into-histidine", |b| {
+        b.iter(|| MonomorphismFinder::new(&pattern, &target).limit(100).find_all())
+    });
+    // The qec5 caterpillar into the crotonic bond graph (Table 2 row 2).
+    let crotonic = molecules::trans_crotonic_acid();
+    let pattern = qcp_circuit::library::qec5_benchmark().interaction_graph();
+    let target2 = crotonic.bond_graph();
+    group.bench_function("qec5-into-crotonic", |b| {
+        b.iter(|| MonomorphismFinder::new(&pattern, &target2).limit(100).find_all())
+    });
+    group.finish();
+}
+
+fn bench_enumeration_caps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vf2/enumeration");
+    let mut rng = StdRng::seed_from_u64(3);
+    let pattern = generate::random_tree(6, &mut rng);
+    let target = generate::grid(5, 5);
+    for k in [1usize, 10, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| MonomorphismFinder::new(&pattern, &target).limit(k).find_all())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_paths_into_chains,
+    bench_interactions_into_molecules,
+    bench_enumeration_caps
+);
+criterion_main!(benches);

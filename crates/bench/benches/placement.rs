@@ -1,0 +1,98 @@
+//! Criterion benches for the placement pipeline — one group per paper
+//! table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qcp_circuit::library;
+use qcp_env::{molecules, Threshold};
+use qcp_place::baselines::exhaustive_placement;
+use qcp_place::cost::CostModel;
+use qcp_place::{Placer, PlacerConfig};
+
+/// Table 1/2 workloads: the experimentally executed circuits.
+fn bench_tables_1_2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables/1-2");
+
+    let acetyl = molecules::acetyl_chloride();
+    let qec3 = library::qec3_encoder();
+    group.bench_function("exhaustive/qec3-acetyl", |b| {
+        b.iter(|| exhaustive_placement(&qec3, &acetyl, &CostModel::overlapped(), 1e4).unwrap())
+    });
+    group.bench_function("placer/qec3-acetyl", |b| {
+        let placer =
+            Placer::new(&acetyl, PlacerConfig::with_threshold(Threshold::new(100.0)));
+        b.iter(|| placer.place(&qec3).unwrap())
+    });
+
+    let crotonic = molecules::trans_crotonic_acid();
+    let qec5 = library::qec5_benchmark();
+    group.bench_function("placer/qec5-crotonic", |b| {
+        let t = crotonic.connectivity_threshold().unwrap();
+        let placer = Placer::new(&crotonic, PlacerConfig::with_threshold(t));
+        b.iter(|| placer.place(&qec5).unwrap())
+    });
+
+    let histidine = molecules::histidine();
+    let cat = library::pseudo_cat(10);
+    group.bench_function("placer/cat10-histidine", |b| {
+        let t = histidine.connectivity_threshold().unwrap();
+        let placer = Placer::new(
+            &histidine,
+            PlacerConfig::with_threshold(t).candidates(50).lookahead(false),
+        );
+        b.iter(|| placer.place(&cat).unwrap())
+    });
+    group.finish();
+}
+
+/// Table 3 workloads: the threshold sweep (one representative cell per
+/// threshold for qft6 on trans-crotonic acid).
+fn bench_table_3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables/3");
+    let env = molecules::trans_crotonic_acid();
+    let qft6 = library::qft(6);
+    for t in [100.0, 500.0, 10000.0] {
+        group.bench_with_input(BenchmarkId::new("qft6-crotonic", t as u64), &t, |b, &t| {
+            let placer = Placer::new(
+                &env,
+                PlacerConfig::with_threshold(Threshold::new(t)).candidates(100),
+            );
+            b.iter(|| placer.place(&qft6).unwrap())
+        });
+    }
+    let histidine = molecules::histidine();
+    let phaseest = library::phase_estimation();
+    group.bench_function("phaseest-histidine-500", |b| {
+        let placer = Placer::new(
+            &histidine,
+            PlacerConfig::with_threshold(Threshold::new(500.0)).candidates(100),
+        );
+        b.iter(|| placer.place(&phaseest).unwrap())
+    });
+    group.finish();
+}
+
+/// Table 4 workloads: scalability over LNN chains (the paper's "software
+/// runtime" column measured properly).
+fn bench_table_4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables/4");
+    group.sample_size(10);
+    for n in [8usize, 16, 32, 64, 128] {
+        let staged = library::random::staged(n, 2007);
+        let env = molecules::lnn_chain_1khz(n);
+        group.bench_with_input(BenchmarkId::new("staged-chain", n), &n, |b, _| {
+            let placer = Placer::new(
+                &env,
+                PlacerConfig::with_threshold(Threshold::new(11.0))
+                    .candidates(4)
+                    .lookahead(false)
+                    .fine_tuning(0),
+            );
+            b.iter(|| placer.place(&staged.circuit).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables_1_2, bench_table_3, bench_table_4);
+criterion_main!(benches);

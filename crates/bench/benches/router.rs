@@ -1,0 +1,67 @@
+//! Criterion benches for the SWAP router (§5.2): depth/throughput of the
+//! recursive-bisection router vs the sequential baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qcp_env::molecules;
+use qcp_graph::generate;
+use qcp_place::router::{route_permutation, route_sequential, RouterConfig};
+
+fn targets_for(n: usize, seed: u64) -> Vec<Option<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate::random_permutation(n, &mut rng).into_iter().map(Some).collect()
+}
+
+fn bench_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router/chain");
+    for n in [8usize, 32, 128, 512] {
+        let g = generate::chain(n);
+        let t = targets_for(n, 42);
+        group.bench_with_input(BenchmarkId::new("bisection", n), &n, |b, _| {
+            b.iter(|| route_permutation(&g, &t, &RouterConfig::default()).unwrap())
+        });
+        if n <= 128 {
+            group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+                b.iter(|| route_sequential(&g, &t).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_molecule_graphs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router/molecules");
+    let cases = [
+        ("crotonic", molecules::trans_crotonic_acid().bond_graph()),
+        ("histidine", molecules::histidine().bond_graph()),
+    ];
+    for (name, g) in cases {
+        let t = targets_for(g.node_count(), 7);
+        group.bench_function(BenchmarkId::new("bisection", name), |b| {
+            b.iter(|| route_permutation(&g, &t, &RouterConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_grids_and_trees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router/topologies");
+    let mut rng = StdRng::seed_from_u64(11);
+    let cases = vec![
+        ("grid-6x6".to_string(), generate::grid(6, 6)),
+        ("tree-36".to_string(), generate::bounded_degree_tree(36, 3, &mut rng)),
+        ("ring-36".to_string(), generate::ring(36)),
+    ];
+    for (name, g) in cases {
+        let t = targets_for(g.node_count(), 13);
+        group.bench_function(BenchmarkId::new("bisection", name), |b| {
+            b.iter(|| route_permutation(&g, &t, &RouterConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chains, bench_molecule_graphs, bench_grids_and_trees);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Ablates the §5 design choices (lookahead, fine tuning, candidate cap,
+//! leaf override) and compares the two routers.
+
+fn main() {
+    print!("{}", qcp_bench::experiments::ablation_text());
+    println!();
+    print!("{}", qcp_bench::experiments::router_comparison_text(2007));
+}

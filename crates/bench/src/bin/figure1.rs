@@ -1,0 +1,5 @@
+//! Regenerates Figure 1: the acetyl chloride environment.
+
+fn main() {
+    print!("{}", qcp_bench::experiments::figure1_text());
+}

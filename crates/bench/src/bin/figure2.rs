@@ -1,0 +1,5 @@
+//! Regenerates Figure 2: the 3-qubit error-correction encoder.
+
+fn main() {
+    print!("{}", qcp_bench::experiments::figure2_text());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 / Example 4: routing the 7-spin permutation on
+//! trans-crotonic acid with the water/air narrative.
+
+fn main() {
+    print!("{}", qcp_bench::experiments::figure3_text());
+}

@@ -1,0 +1,5 @@
+//! Demonstrates the §4 NP-completeness reduction.
+
+fn main() {
+    print!("{}", qcp_bench::experiments::reduction_text());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 1 / Example 3: the runtime trace of the 3-qubit
+//! encoder on acetyl chloride and the optimal mapping.
+
+fn main() {
+    print!("{}", qcp_bench::experiments::table1_text());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 2: re-placing the experimentally executed circuits.
+
+fn main() {
+    print!("{}", qcp_bench::experiments::table2_text());
+}

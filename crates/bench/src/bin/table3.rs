@@ -1,0 +1,7 @@
+//! Regenerates Table 3: the threshold sweep over molecules × circuits.
+//!
+//! This is the heaviest table; run with `--release`.
+
+fn main() {
+    print!("{}", qcp_bench::experiments::table3_text());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 4: the scalability study over LNN chains.
+//!
+//! By default runs chain lengths 8..=256; pass `--full` for 512 and 1024
+//! (run with `--release`). An optional numeric argument sets the seed.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let seed = args
+        .iter()
+        .find_map(|a| a.parse::<u64>().ok())
+        .unwrap_or(2007);
+    let max_n = if full { 1024 } else { 256 };
+    print!("{}", qcp_bench::experiments::table4_text(max_n, seed));
+}

@@ -1,0 +1,694 @@
+//! The paper's experiments (§3 Example 3, §6 Tables 2–4, Figures 1–3, the
+//! §4 reduction, and the design-choice ablations).
+
+use std::time::Instant;
+
+use qcp_circuit::library::{self, SteaneVariant};
+use qcp_circuit::{Circuit, Time};
+use qcp_env::{molecules, Environment, Threshold};
+use qcp_graph::dot::{to_dot, DotOptions};
+use qcp_place::baselines::{place_whole, search_space_size};
+use qcp_place::cost::{CostEngine, CostModel, Schedule};
+use qcp_place::router::{route_permutation, route_sequential, RouterConfig};
+use qcp_place::{PlaceError, Placement, Placer, PlacerConfig};
+
+use crate::table::{fmt_seconds, Table};
+
+/// The threshold grid of Table 3.
+pub const THRESHOLDS: [f64; 6] = [50.0, 100.0, 200.0, 500.0, 1000.0, 10000.0];
+
+// ---------------------------------------------------------------------
+// Table 1 / Example 3
+// ---------------------------------------------------------------------
+
+/// One snapshot of the `time[]` array after a costed gate (a column of
+/// Table 1).
+#[derive(Clone, Debug)]
+pub struct Table1Column {
+    /// Display name of the costed gate.
+    pub gate: String,
+    /// Busy times of qubits (a, b, c) in delay units.
+    pub abc: (f64, f64, f64),
+}
+
+/// Result of the Table 1 experiment.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// The runtime trace of the paper's example mapping a→M, b→C2, c→C1.
+    pub trace: Vec<Table1Column>,
+    /// Runtime of the example mapping (770 units in the paper).
+    pub example_runtime: Time,
+    /// Optimal runtime over all 6 assignments (136 units).
+    pub optimal_runtime: Time,
+    /// The optimal assignment as nucleus names for (a, b, c).
+    pub optimal_assignment: [String; 3],
+}
+
+/// Reproduces Table 1: the runtime dynamic program trace of the Fig. 2
+/// encoder on acetyl chloride under the mapping `a→M, b→C2, c→C1`, plus
+/// the exhaustive optimum.
+pub fn table1() -> Table1 {
+    let env = molecules::acetyl_chloride();
+    let circuit = library::qec3_encoder();
+    let model = CostModel::overlapped();
+    // a→M(0), b→C2(2), c→C1(1).
+    let example = Placement::new(
+        vec![
+            qcp_env::PhysicalQubit::new(0),
+            qcp_env::PhysicalQubit::new(2),
+            qcp_env::PhysicalQubit::new(1),
+        ],
+        3,
+    )
+    .expect("valid mapping");
+
+    let mut engine = CostEngine::new(&env, model);
+    let mut trace = Vec::new();
+    let schedule = Schedule::from_placed_circuit(&circuit, &example);
+    let mut gate_names: Vec<String> = circuit
+        .gates()
+        .filter(|g| !g.is_free())
+        .map(ToString::to_string)
+        .collect();
+    gate_names.reverse();
+    for level in schedule.levels() {
+        engine.apply_level(level);
+        if level.iter().any(|g| g.weight > 0.0) {
+            let t = engine.times();
+            trace.push(Table1Column {
+                gate: gate_names.pop().unwrap_or_default(),
+                abc: (t[0], t[2], t[1]),
+            });
+        }
+    }
+    let example_runtime = engine.makespan();
+
+    let (best_placement, optimal_runtime) =
+        qcp_place::baselines::exhaustive_placement(&circuit, &env, &model, 1e4)
+            .expect("6 assignments");
+    let names = env.nucleus_names();
+    let optimal_assignment = [
+        names[best_placement.as_slice()[0].index()].clone(),
+        names[best_placement.as_slice()[1].index()].clone(),
+        names[best_placement.as_slice()[2].index()].clone(),
+    ];
+    Table1 { trace, example_runtime, optimal_runtime, optimal_assignment }
+}
+
+/// Renders [`table1`] in the paper's layout.
+pub fn table1_text() -> String {
+    let t1 = table1();
+    let mut t = Table::new(
+        ["time[]"].into_iter().chain(t1.trace.iter().map(|c| c.gate.as_str())),
+    );
+    let row = |label: &str, pick: fn(&(f64, f64, f64)) -> f64, t1: &Table1| -> Vec<String> {
+        [label.to_string()]
+            .into_iter()
+            .chain(t1.trace.iter().map(|c| format!("{}", pick(&c.abc))))
+            .collect::<Vec<_>>()
+    };
+    t.row(row("a", |x| x.0, &t1));
+    t.row(row("b", |x| x.1, &t1));
+    t.row(row("c", |x| x.2, &t1));
+    format!(
+        "Table 1: cost of {{a→M, b→C2, c→C1}} mapping\n{}\nruntime of example mapping: {} ({} units)\noptimal mapping a→{}, b→{}, c→{}: {} ({} units)\n",
+        t.render(),
+        fmt_seconds(t1.example_runtime),
+        t1.example_runtime.units(),
+        t1.optimal_assignment[0],
+        t1.optimal_assignment[1],
+        t1.optimal_assignment[2],
+        fmt_seconds(t1.optimal_runtime),
+        t1.optimal_runtime.units(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Table 2
+// ---------------------------------------------------------------------
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Circuit description.
+    pub circuit: String,
+    /// Gate count.
+    pub gates: usize,
+    /// Circuit width.
+    pub qubits: usize,
+    /// Environment name.
+    pub environment: String,
+    /// Environment size.
+    pub env_qubits: usize,
+    /// Estimated runtime of the placed circuit.
+    pub runtime: Time,
+    /// Number of subcircuits the tool chose (1 in every paper row).
+    pub subcircuits: usize,
+    /// `m!/(m-n)!`.
+    pub search_space: f64,
+}
+
+/// Reproduces Table 2: re-places the three experimentally executed
+/// circuits and reports runtime and search-space size.
+pub fn table2() -> Vec<Table2Row> {
+    let cases: [(&str, Circuit, Environment); 3] = [
+        ("error correction encoding", library::qec3_encoder(), molecules::acetyl_chloride()),
+        ("5 bit error correction", library::qec5_benchmark(), molecules::trans_crotonic_acid()),
+        ("pseudo-cat state preparation", library::pseudo_cat(10), molecules::histidine()),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, circuit, env)| {
+            let threshold = env
+                .connectivity_threshold()
+                .expect("library molecules are connected");
+            let placer = Placer::new(
+                &env,
+                PlacerConfig::with_threshold(threshold).candidates(100).fine_tuning(3),
+            );
+            let outcome = placer.place(&circuit).expect("library circuits place");
+            Table2Row {
+                circuit: name.to_string(),
+                gates: circuit.gate_count(),
+                qubits: circuit.qubit_count(),
+                environment: env.name().to_string(),
+                env_qubits: env.qubit_count(),
+                runtime: outcome.runtime,
+                subcircuits: outcome.subcircuit_count(),
+                search_space: search_space_size(circuit.qubit_count(), env.qubit_count()),
+            }
+        })
+        .collect()
+}
+
+/// Renders [`table2`] in the paper's layout.
+pub fn table2_text() -> String {
+    let mut t = Table::new([
+        "circuit",
+        "# gates",
+        "# qubits",
+        "environment",
+        "env qubits",
+        "est. runtime",
+        "workspaces",
+        "search space",
+    ]);
+    for r in table2() {
+        t.row([
+            r.circuit.clone(),
+            r.gates.to_string(),
+            r.qubits.to_string(),
+            r.environment.clone(),
+            r.env_qubits.to_string(),
+            fmt_seconds(r.runtime),
+            r.subcircuits.to_string(),
+            format!("{}", r.search_space),
+        ]);
+    }
+    format!("Table 2: mapping experimentally constructed circuits\n{}", t.render())
+}
+
+// ---------------------------------------------------------------------
+// Table 3
+// ---------------------------------------------------------------------
+
+/// One cell of Table 3: runtime and subcircuit count, or N/A.
+#[derive(Clone, Debug)]
+pub enum Table3Cell {
+    /// Successful placement.
+    Placed {
+        /// Total runtime.
+        runtime: Time,
+        /// Number of subcircuits.
+        subcircuits: usize,
+    },
+    /// The threshold disallows all interactions.
+    NotAvailable,
+}
+
+impl Table3Cell {
+    /// Paper-style rendering: `.2237 sec (5)` or `N/A`.
+    pub fn render(&self) -> String {
+        match self {
+            Table3Cell::Placed { runtime, subcircuits } => {
+                format!("{} ({subcircuits})", fmt_seconds(*runtime))
+            }
+            Table3Cell::NotAvailable => "N/A".to_string(),
+        }
+    }
+}
+
+/// One row of Table 3: a circuit on one molecule across the threshold grid.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Environment name.
+    pub environment: String,
+    /// Circuit name.
+    pub circuit: String,
+    /// One cell per threshold in [`THRESHOLDS`].
+    pub cells: Vec<Table3Cell>,
+    /// The whole-circuit (no SWAPs) optimum — the paper's last column.
+    pub whole: Option<Time>,
+}
+
+/// The (molecule, circuit) pairs of Table 3, in paper order.
+pub fn table3_cases() -> Vec<(Environment, &'static str)> {
+    vec![
+        (molecules::boc_glycine_fluoride(), "phaseest"),
+        (molecules::pentafluoro_iron(), "phaseest"),
+        (molecules::trans_crotonic_acid(), "phaseest"),
+        (molecules::trans_crotonic_acid(), "qft6"),
+        (molecules::histidine(), "phaseest"),
+        (molecules::histidine(), "qft6"),
+        (molecules::histidine(), "aqft9"),
+        (molecules::histidine(), "steane-x1"),
+        (molecules::histidine(), "steane-x2"),
+        (molecules::histidine(), "aqft12"),
+    ]
+}
+
+/// Places one circuit on one molecule at one threshold (one Table 3 cell).
+pub fn table3_cell(env: &Environment, circuit: &Circuit, threshold: f64) -> Table3Cell {
+    let config = PlacerConfig::with_threshold(Threshold::new(threshold))
+        .candidates(100)
+        .lookahead(true)
+        .fine_tuning(2);
+    let placer = Placer::new(env, config);
+    match placer.place(circuit) {
+        Ok(outcome) => Table3Cell::Placed {
+            runtime: outcome.runtime,
+            subcircuits: outcome.subcircuit_count(),
+        },
+        Err(PlaceError::NoFastInteractions) => Table3Cell::NotAvailable,
+        Err(e) => panic!("unexpected placement failure: {e}"),
+    }
+}
+
+/// Reproduces Table 3: the threshold sweep over molecules × circuits.
+pub fn table3() -> Vec<Table3Row> {
+    table3_cases()
+        .into_iter()
+        .map(|(env, name)| {
+            let circuit = library::named(name).expect("known circuit");
+            let cells = THRESHOLDS
+                .iter()
+                .map(|&t| table3_cell(&env, &circuit, t))
+                .collect();
+            let whole = place_whole(&circuit, &env, &CostModel::overlapped(), 50_000.0)
+                .ok()
+                .map(|(_, t)| t);
+            Table3Row {
+                environment: env.name().to_string(),
+                circuit: name.to_string(),
+                cells,
+                whole,
+            }
+        })
+        .collect()
+}
+
+/// Renders [`table3`] in the paper's layout.
+pub fn table3_text() -> String {
+    let mut t = Table::new(
+        ["environment", "circuit"]
+            .into_iter()
+            .map(String::from)
+            .chain(THRESHOLDS.iter().map(|t| format!("T={t}")))
+            .chain(["whole (no swaps)".to_string()]),
+    );
+    for r in table3() {
+        t.row(
+            [r.environment.clone(), r.circuit.clone()]
+                .into_iter()
+                .chain(r.cells.iter().map(Table3Cell::render))
+                .chain([r
+                    .whole
+                    .map(fmt_seconds)
+                    .unwrap_or_else(|| "N/A".to_string())]),
+        );
+    }
+    format!(
+        "Table 3: placement of potentially interesting circuits for different Threshold values\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------
+// Table 4
+// ---------------------------------------------------------------------
+
+/// One row of Table 4.
+#[derive(Clone, Debug)]
+pub struct Table4Row {
+    /// Number of qubits (chain length).
+    pub qubits: usize,
+    /// Number of gates (`N · log²N`).
+    pub gates: usize,
+    /// Hidden stages used to generate the circuit.
+    pub hidden_stages: usize,
+    /// Subcircuits the placer produced (should equal `hidden_stages`).
+    pub subcircuits: usize,
+    /// Placed circuit runtime.
+    pub circuit_runtime: Time,
+    /// Wall-clock software runtime of the placement call.
+    pub software_runtime: std::time::Duration,
+}
+
+/// Runs one Table 4 row: an `n`-qubit 1 kHz LNN chain with the standard
+/// hidden-stage circuit.
+pub fn table4_row(n: usize, seed: u64) -> Table4Row {
+    let staged = library::random::staged(n, seed);
+    let env = molecules::lnn_chain_1khz(n);
+    let config = PlacerConfig::with_threshold(Threshold::new(11.0))
+        .candidates(4)
+        .lookahead(false)
+        .fine_tuning(0);
+    let placer = Placer::new(&env, config);
+    let start = Instant::now();
+    let outcome = placer.place(&staged.circuit).expect("chain circuits place");
+    let software_runtime = start.elapsed();
+    Table4Row {
+        qubits: n,
+        gates: staged.circuit.gate_count(),
+        hidden_stages: staged.stage_count(),
+        subcircuits: outcome.subcircuit_count(),
+        circuit_runtime: outcome.runtime,
+        software_runtime,
+    }
+}
+
+/// Reproduces Table 4 for chain lengths up to `max_n` (powers of two from
+/// 8), using `seed`.
+pub fn table4(max_n: usize, seed: u64) -> Vec<Table4Row> {
+    let mut rows = Vec::new();
+    let mut n = 8usize;
+    while n <= max_n {
+        rows.push(table4_row(n, seed));
+        n *= 2;
+    }
+    rows
+}
+
+/// Renders [`table4`] in the paper's layout.
+pub fn table4_text(max_n: usize, seed: u64) -> String {
+    let mut t = Table::new([
+        "# of qubits",
+        "# of gates",
+        "hidden stages",
+        "# of subcircuits",
+        "circuit runtime",
+        "software runtime",
+    ]);
+    for r in table4(max_n, seed) {
+        t.row([
+            r.qubits.to_string(),
+            r.gates.to_string(),
+            r.hidden_stages.to_string(),
+            r.subcircuits.to_string(),
+            format!("{:.3} sec", r.circuit_runtime.seconds()),
+            format!("{:.2} sec", r.software_runtime.as_secs_f64()),
+        ]);
+    }
+    format!("Table 4: performance test for circuit placement over chains\n{}", t.render())
+}
+
+// ---------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------
+
+/// Figure 1: the acetyl chloride environment — weight table and DOT graph.
+pub fn figure1_text() -> String {
+    let env = molecules::acetyl_chloride();
+    let names = env.nucleus_names();
+    let mut t = Table::new(
+        [""].into_iter().map(String::from).chain(names.iter().cloned()),
+    );
+    for (i, row_name) in names.iter().enumerate() {
+        t.row(
+            [row_name.clone()].into_iter().chain((0..env.qubit_count()).map(|j| {
+                format!(
+                    "{}",
+                    env.weight_units(
+                        qcp_env::PhysicalQubit::new(i),
+                        qcp_env::PhysicalQubit::new(j)
+                    )
+                )
+            })),
+        );
+    }
+    let dot = to_dot(
+        &env.bond_graph(),
+        &DotOptions::named("acetyl_chloride").with_labels(names).with_weights(),
+    );
+    format!(
+        "Figure 1: acetyl chloride delays (units of 1/10000 sec; diagonal = 90° pulse)\n{}\nbond graph (fastest interactions):\n{}",
+        t.render(),
+        dot
+    )
+}
+
+/// Figure 2: the 3-qubit error-correction encoder in NMR pulses.
+pub fn figure2_text() -> String {
+    let c = library::qec3_encoder();
+    format!(
+        "Figure 2: encoding part of the 3-qubit error correcting code\n{}\ntext format:\n{}",
+        c,
+        qcp_circuit::text::to_text(&c)
+    )
+}
+
+/// Figure 3 / Example 4: the swap schedule realizing the paper's 7-spin
+/// permutation on trans-crotonic acid, with the water/air state printed
+/// after every level.
+pub fn figure3_text() -> String {
+    let env = molecules::trans_crotonic_acid();
+    let graph = env.bond_graph();
+    let names = env.nucleus_names();
+    // Example 4 permutation: M→C1, C1→C2, H1→C3, C2→C4, C3→H2, H2→H1, C4→M
+    // over nucleus order (M, C1, H1, C2, C3, H2, C4).
+    let perm = [1usize, 3, 4, 6, 5, 2, 0];
+    let targets: Vec<Option<usize>> = perm.iter().map(|&d| Some(d)).collect();
+    let schedule = route_permutation(&graph, &targets, &RouterConfig::default())
+        .expect("bond graph routes");
+
+    let bisection =
+        qcp_graph::bisection::balanced_connected_bisection(&graph).expect("connected");
+    let left_names: Vec<&str> =
+        bisection.left.iter().map(|v| names[v.index()].as_str()).collect();
+    let right_names: Vec<&str> =
+        bisection.right.iter().map(|v| names[v.index()].as_str()).collect();
+
+    // Water/air: a value is Water if its destination is in G2 (the
+    // larger/right half), Air otherwise; follow values as they move.
+    let in_right: Vec<bool> = {
+        let mut f = vec![false; 7];
+        for v in &bisection.right {
+            f[v.index()] = true;
+        }
+        f
+    };
+    let mut holder: Vec<usize> = (0..7).collect(); // value index at vertex
+    let render_state = |holder: &[usize]| -> String {
+        holder
+            .iter()
+            .map(|&val| if in_right[perm[val]] { "Water" } else { "Air" })
+            .collect::<Vec<_>>()
+            .join("–")
+    };
+    let mut out = format!(
+        "Figure 3: routing Example 4's permutation on trans-crotonic acid\ncut: G1 = {{{}}}, G2 = {{{}}} (s = {:.2})\ninitial state ({}): {}\n",
+        left_names.join(", "),
+        right_names.join(", "),
+        bisection.ratio(),
+        names.join(", "),
+        render_state(&holder),
+    );
+    for (i, level) in schedule.levels().iter().enumerate() {
+        let swaps: Vec<String> = level
+            .iter()
+            .map(|&(a, b)| format!("{}↔{}", names[a.index()], names[b.index()]))
+            .collect();
+        for &(a, b) in level {
+            holder.swap(a.index(), b.index());
+        }
+        out.push_str(&format!(
+            "step {}: swap {}  →  {}\n",
+            i + 1,
+            swaps.join(", "),
+            render_state(&holder)
+        ));
+    }
+    out.push_str(&format!(
+        "total: {} swaps in {} parallel levels\n",
+        schedule.swap_count(),
+        schedule.depth()
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
+// §4 reduction demo
+// ---------------------------------------------------------------------
+
+/// Renders the NP-completeness reduction demo: Hamiltonicity via
+/// placement on a family of graphs.
+pub fn reduction_text() -> String {
+    use qcp_graph::generate;
+    use qcp_graph::hamiltonian::{has_hamiltonian_cycle, petersen};
+    use qcp_place::reduction::hamiltonian_via_placement;
+
+    let cases: Vec<(String, qcp_graph::Graph)> = vec![
+        ("C6 (ring)".into(), generate::ring(6)),
+        ("P6 (chain)".into(), generate::chain(6)),
+        ("K5 (complete)".into(), generate::complete(5)),
+        ("star(6)".into(), generate::star(6)),
+        ("grid 2x4".into(), generate::grid(2, 4)),
+        ("grid 3x3".into(), generate::grid(3, 3)),
+        ("Petersen".into(), petersen()),
+    ];
+    let mut t = Table::new(["graph", "zero-cost placement", "hamiltonian (direct)", "agree"]);
+    for (name, g) in cases {
+        let via = hamiltonian_via_placement(&g);
+        let direct = has_hamiltonian_cycle(&g);
+        t.row([name, via.to_string(), direct.to_string(), (via == direct).to_string()]);
+    }
+    format!(
+        "§4 reduction: a zero-runtime placement of the cycle circuit exists iff the graph is Hamiltonian\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------
+
+/// One ablation row: a placer configuration and its outcome.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub config: String,
+    /// Workload label.
+    pub workload: String,
+    /// Total runtime.
+    pub runtime: Time,
+    /// Subcircuit count.
+    pub subcircuits: usize,
+    /// SWAP count.
+    pub swaps: usize,
+}
+
+/// Ablates the design choices of §5: lookahead, fine tuning, and the
+/// leaf–target override, on the qft6/crotonic and phaseest/histidine
+/// workloads.
+pub fn ablation() -> Vec<AblationRow> {
+    let workloads: Vec<(&str, Environment, Circuit, f64)> = vec![
+        ("qft6@crotonic", molecules::trans_crotonic_acid(), library::qft(6), 200.0),
+        ("phaseest@histidine", molecules::histidine(), library::phase_estimation(), 500.0),
+        (
+            "steane-x1@histidine",
+            molecules::histidine(),
+            library::steane_x(SteaneVariant::CatAncilla),
+            500.0,
+        ),
+    ];
+    let configs: Vec<(&str, PlacerConfig)> = vec![
+        (
+            "full (lookahead+finetune+leaf)",
+            PlacerConfig::default().candidates(60),
+        ),
+        (
+            "greedy (no lookahead)",
+            PlacerConfig::default().candidates(60).lookahead(false),
+        ),
+        (
+            "no fine tuning",
+            PlacerConfig::default().candidates(60).fine_tuning(0),
+        ),
+        ("k=1 (first monomorphism)", PlacerConfig::default().candidates(1)),
+        ("no leaf override", {
+            let mut c = PlacerConfig::default().candidates(60);
+            c.router = RouterConfig { leaf_override: false };
+            c
+        }),
+        (
+            "commutation-aware (§7 ext.)",
+            PlacerConfig::default().candidates(60).commutation_aware(true),
+        ),
+        (
+            "workspace cap 12 (§7 ext.)",
+            PlacerConfig::default().candidates(60).max_workspace_gates(12),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (wname, env, circuit, threshold) in &workloads {
+        for (cname, config) in &configs {
+            let mut cfg = config.clone();
+            cfg.threshold = Threshold::new(*threshold);
+            let placer = Placer::new(env, cfg);
+            let outcome = placer.place(circuit).expect("ablation workloads place");
+            rows.push(AblationRow {
+                config: cname.to_string(),
+                workload: wname.to_string(),
+                runtime: outcome.runtime,
+                subcircuits: outcome.subcircuit_count(),
+                swaps: outcome.swap_count(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders [`ablation`].
+pub fn ablation_text() -> String {
+    let mut t = Table::new(["workload", "configuration", "runtime", "workspaces", "swaps"]);
+    for r in ablation() {
+        t.row([
+            r.workload.clone(),
+            r.config.clone(),
+            fmt_seconds(r.runtime),
+            r.subcircuits.to_string(),
+            r.swaps.to_string(),
+        ]);
+    }
+    format!("Ablation of §5 design choices\n{}", t.render())
+}
+
+/// Compares the recursive-bisection router against the sequential
+/// baseline on random permutations over the library molecules.
+pub fn router_comparison_text(seed: u64) -> String {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::new([
+        "graph",
+        "n",
+        "bisection depth",
+        "bisection swaps",
+        "sequential depth",
+        "sequential swaps",
+    ]);
+    let mut graphs: Vec<(String, qcp_graph::Graph)> = vec![
+        ("crotonic bonds".into(), molecules::trans_crotonic_acid().bond_graph()),
+        ("histidine bonds".into(), molecules::histidine().bond_graph()),
+    ];
+    for n in [8usize, 16, 32] {
+        graphs.push((format!("chain-{n}"), qcp_graph::generate::chain(n)));
+    }
+    for (name, g) in graphs {
+        let n = g.node_count();
+        let perm = qcp_graph::generate::random_permutation(n, &mut rng);
+        let targets: Vec<Option<usize>> = perm.iter().map(|&d| Some(d)).collect();
+        let par = route_permutation(&g, &targets, &RouterConfig::default()).expect("routes");
+        let seq = route_sequential(&g, &targets).expect("routes");
+        t.row([
+            name,
+            n.to_string(),
+            par.depth().to_string(),
+            par.swap_count().to_string(),
+            seq.depth().to_string(),
+            seq.swap_count().to_string(),
+        ]);
+    }
+    format!("Router comparison (random permutations, seed {seed})\n{}", t.render())
+}

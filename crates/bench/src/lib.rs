@@ -1,0 +1,12 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each experiment is a function returning structured rows plus a
+//! formatted table; the `table1` … `table4`, `figure1` … `figure3`,
+//! `reduction`, and `ablation` binaries print them, and the Criterion
+//! benches time the underlying placement runs.
+//!
+//! See `EXPERIMENTS.md` at the workspace root for paper-vs-measured
+//! comparisons.
+
+pub mod experiments;
+pub mod table;

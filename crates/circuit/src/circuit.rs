@@ -1,0 +1,507 @@
+//! Levelled circuits and the ASAP-levelizing builder.
+
+use std::fmt;
+
+use qcp_graph::Graph;
+
+use crate::{CircuitError, Gate, Qubit, Result};
+
+/// One logic level: a set of gates acting on pairwise disjoint qubits
+/// (Definition 2).
+#[derive(Clone, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Level(Vec<Gate>);
+
+impl Level {
+    /// The gates of this level.
+    pub fn gates(&self) -> &[Gate] {
+        &self.0
+    }
+
+    /// Number of gates in the level.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the level holds no gates.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Level {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// A quantum circuit: `n` logical qubits and a sequence of levels.
+///
+/// Construct one with [`Circuit::builder`] (gates are levelized as soon as
+/// possible), [`Circuit::from_gates`] (same, in one call), or
+/// [`Circuit::from_levels`] (explicit levels, validated).
+///
+/// ```
+/// use qcp_circuit::{Circuit, Gate, Qubit};
+/// let q = Qubit::new;
+/// let c = Circuit::from_gates(3, [
+///     Gate::ry(q(0), 90.0),
+///     Gate::ry(q(2), 90.0),   // disjoint: same level as the first
+///     Gate::zz(q(0), q(1), 90.0),
+/// ])?;
+/// assert_eq!(c.depth(), 2);
+/// # Ok::<(), qcp_circuit::CircuitError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Circuit {
+    n_qubits: usize,
+    levels: Vec<Level>,
+}
+
+impl Circuit {
+    /// An empty circuit on `n_qubits` qubits.
+    pub fn empty(n_qubits: usize) -> Self {
+        Circuit { n_qubits, levels: Vec::new() }
+    }
+
+    /// Starts building a circuit on `n_qubits` qubits with ASAP
+    /// levelization.
+    pub fn builder(n_qubits: usize) -> CircuitBuilder {
+        CircuitBuilder {
+            n_qubits,
+            levels: Vec::new(),
+            next_free: vec![0; n_qubits],
+        }
+    }
+
+    /// Builds a circuit from a gate sequence, levelizing greedily: each
+    /// gate lands in the earliest level after the previous uses of its
+    /// qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] if a gate uses a qubit
+    /// `>= n_qubits`.
+    pub fn from_gates(n_qubits: usize, gates: impl IntoIterator<Item = Gate>) -> Result<Self> {
+        let mut b = Circuit::builder(n_qubits);
+        for g in gates {
+            b.try_gate(g)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Builds a circuit from explicit levels.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::QubitOutOfRange`] if a gate uses a qubit `>= n_qubits`;
+    /// * [`CircuitError::LevelConflict`] if two gates in one level share a
+    ///   qubit.
+    pub fn from_levels(
+        n_qubits: usize,
+        levels: impl IntoIterator<Item = Vec<Gate>>,
+    ) -> Result<Self> {
+        let mut out = Vec::new();
+        for (li, level) in levels.into_iter().enumerate() {
+            let mut used = vec![false; n_qubits];
+            for g in &level {
+                let (a, b) = g.qubits();
+                for q in [Some(a), b].into_iter().flatten() {
+                    if q.index() >= n_qubits {
+                        return Err(CircuitError::QubitOutOfRange { qubit: q, width: n_qubits });
+                    }
+                    if used[q.index()] {
+                        return Err(CircuitError::LevelConflict { level: li, qubit: q });
+                    }
+                    used[q.index()] = true;
+                }
+            }
+            out.push(Level(level));
+        }
+        Ok(Circuit { n_qubits, levels: out })
+    }
+
+    /// Number of logical qubits (circuit width).
+    #[inline]
+    pub fn qubit_count(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The levels in execution order.
+    #[inline]
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Number of levels (circuit depth).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Iterates over all gates in execution order (level by level).
+    pub fn gates(&self) -> impl Iterator<Item = &Gate> {
+        self.levels.iter().flat_map(|l| l.gates().iter())
+    }
+
+    /// Total number of gates (free `Rz` gates included, matching the gate
+    /// counts of the paper's Table 2).
+    pub fn gate_count(&self) -> usize {
+        self.levels.iter().map(Level::len).sum()
+    }
+
+    /// Number of two-qubit gates.
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.gates().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// The *interaction graph*: one node per logical qubit, an edge for
+    /// every pair of qubits that share at least one two-qubit gate.
+    ///
+    /// This is the pattern graph handed to the monomorphism search in the
+    /// basic placement stage (§5.1).
+    pub fn interaction_graph(&self) -> Graph {
+        let mut g = Graph::new(self.n_qubits);
+        for gate in self.gates() {
+            if let Some((a, b)) = gate.coupling() {
+                let (na, nb) = (qcp_graph::NodeId::new(a.index()), qcp_graph::NodeId::new(b.index()));
+                if !g.has_edge(na, nb) {
+                    g.add_edge(na, nb, 1.0).expect("validated gate qubits");
+                }
+            }
+        }
+        g
+    }
+
+    /// Qubits that appear in at least one gate.
+    pub fn active_qubits(&self) -> Vec<Qubit> {
+        let mut used = vec![false; self.n_qubits];
+        for g in self.gates() {
+            let (a, b) = g.qubits();
+            used[a.index()] = true;
+            if let Some(b) = b {
+                used[b.index()] = true;
+            }
+        }
+        (0..self.n_qubits).filter(|&i| used[i]).map(Qubit::new).collect()
+    }
+
+    /// Concatenates another circuit (same width) after this one, level by
+    /// level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn extend(&mut self, other: &Circuit) {
+        assert_eq!(
+            self.n_qubits, other.n_qubits,
+            "cannot concatenate circuits of different widths"
+        );
+        self.levels.extend(other.levels.iter().cloned());
+    }
+
+    /// Returns the sub-circuit consisting of levels `range` (e.g. `2..5`).
+    pub fn level_slice(&self, range: std::ops::Range<usize>) -> Circuit {
+        Circuit { n_qubits: self.n_qubits, levels: self.levels[range].to_vec() }
+    }
+
+    /// Returns a copy with every gate's qubits remapped through `f`
+    /// (useful for embedding a circuit into a wider register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` maps any qubit outside `new_width` or collapses a
+    /// two-qubit gate.
+    pub fn map_qubits(&self, new_width: usize, mut f: impl FnMut(Qubit) -> Qubit) -> Circuit {
+        let levels = self
+            .levels
+            .iter()
+            .map(|l| {
+                Level(
+                    l.gates()
+                        .iter()
+                        .map(|g| {
+                            let h = g.map_qubits(&mut f);
+                            assert!(
+                                h.max_qubit_index() < new_width,
+                                "map_qubits target out of range"
+                            );
+                            h
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Circuit { n_qubits: new_width, levels }
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit on {} qubits, {} levels:", self.n_qubits, self.levels.len())?;
+        for (i, level) in self.levels.iter().enumerate() {
+            let gates: Vec<String> = level.gates().iter().map(Gate::to_string).collect();
+            writeln!(f, "  L{i}: {}", gates.join(" ; "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental circuit builder with ASAP levelization and NMR-basis
+/// convenience expansions.
+///
+/// The builder assigns each pushed gate to the earliest level in which all
+/// of its qubits are free; this reproduces the levelled circuits the paper
+/// assumes as input ("levelization helps to reduce the overall runtime").
+#[derive(Clone, Debug)]
+pub struct CircuitBuilder {
+    n_qubits: usize,
+    levels: Vec<Vec<Gate>>,
+    /// For each qubit, the first level index at which it is free.
+    next_free: Vec<usize>,
+}
+
+impl CircuitBuilder {
+    /// Circuit width under construction.
+    pub fn qubit_count(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Pushes a gate, ASAP-levelized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate uses a qubit outside the circuit width. Use
+    /// [`try_gate`](CircuitBuilder::try_gate) for a fallible version.
+    pub fn gate(&mut self, gate: Gate) -> &mut Self {
+        self.try_gate(gate).expect("gate qubits must fit the declared width");
+        self
+    }
+
+    /// Pushes a gate, ASAP-levelized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] if the gate uses a qubit
+    /// `>= qubit_count()`.
+    pub fn try_gate(&mut self, gate: Gate) -> Result<&mut Self> {
+        let (a, b) = gate.qubits();
+        for q in [Some(a), b].into_iter().flatten() {
+            if q.index() >= self.n_qubits {
+                return Err(CircuitError::QubitOutOfRange { qubit: q, width: self.n_qubits });
+            }
+        }
+        let mut level = self.next_free[a.index()];
+        if let Some(b) = b {
+            level = level.max(self.next_free[b.index()]);
+        }
+        if level == self.levels.len() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[level].push(gate.clone());
+        self.next_free[a.index()] = level + 1;
+        if let Some(b) = b {
+            self.next_free[b.index()] = level + 1;
+        }
+        Ok(self)
+    }
+
+    /// Pushes several gates in order.
+    ///
+    /// # Panics
+    ///
+    /// As [`gate`](CircuitBuilder::gate).
+    pub fn gates(&mut self, gates: impl IntoIterator<Item = Gate>) -> &mut Self {
+        for g in gates {
+            self.gate(g);
+        }
+        self
+    }
+
+    /// Inserts a barrier: subsequent gates start strictly after everything
+    /// pushed so far.
+    pub fn barrier(&mut self) -> &mut Self {
+        let depth = self.levels.len();
+        for f in &mut self.next_free {
+            *f = depth;
+        }
+        self
+    }
+
+    /// Pushes a Hadamard on `q`, expanded into the NMR basis as
+    /// `Ry(90)` followed by a free `Rz(180)` (equal up to global phase).
+    pub fn hadamard(&mut self, q: Qubit) -> &mut Self {
+        self.gate(Gate::ry(q, 90.0));
+        self.gate(Gate::rz(q, 180.0));
+        self
+    }
+
+    /// Pushes a CNOT with control `c` and target `t`, expanded into the
+    /// standard NMR sequence: `Ry_t(-90) · [ZZ(-90), Rz_c(90), Rz_t(90)] ·
+    /// Ry_t(90)` — one coupling plus two pulses plus free frame changes
+    /// (§2: "`ZZ(π/2)` is equivalent to CNOT up to single qubit
+    /// rotations").
+    pub fn cnot(&mut self, c: Qubit, t: Qubit) -> &mut Self {
+        self.gate(Gate::ry(t, -90.0));
+        self.gate(Gate::zz(c, t, -90.0));
+        self.gate(Gate::rz(c, 90.0));
+        self.gate(Gate::rz(t, 90.0));
+        self.gate(Gate::ry(t, 90.0));
+        self
+    }
+
+    /// Pushes a controlled-phase of `angle` degrees between `a` and `b`,
+    /// expanded as `ZZ(-angle/2)` plus free `Rz(angle/2)` on both qubits.
+    pub fn cphase(&mut self, a: Qubit, b: Qubit, angle: f64) -> &mut Self {
+        self.gate(Gate::zz(a, b, -angle / 2.0));
+        self.gate(Gate::rz(a, angle / 2.0));
+        self.gate(Gate::rz(b, angle / 2.0));
+        self
+    }
+
+    /// Finishes the build, dropping empty levels.
+    pub fn build(self) -> Circuit {
+        let levels =
+            self.levels.into_iter().filter(|l| !l.is_empty()).map(Level).collect::<Vec<_>>();
+        Circuit { n_qubits: self.n_qubits, levels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn asap_levelization_packs_disjoint_gates() {
+        let c = Circuit::from_gates(
+            4,
+            [
+                Gate::ry(q(0), 90.0),
+                Gate::ry(q(1), 90.0),
+                Gate::zz(q(2), q(3), 90.0),
+                Gate::zz(q(0), q(1), 90.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.levels()[0].len(), 3);
+        assert_eq!(c.levels()[1].len(), 1);
+    }
+
+    #[test]
+    fn dependent_gates_serialize() {
+        let c = Circuit::from_gates(
+            2,
+            [Gate::ry(q(0), 90.0), Gate::zz(q(0), q(1), 90.0), Gate::ry(q(0), 90.0)],
+        )
+        .unwrap();
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn from_levels_validates_conflicts() {
+        let err = Circuit::from_levels(
+            2,
+            [vec![Gate::ry(q(0), 90.0), Gate::zz(q(0), q(1), 90.0)]],
+        )
+        .unwrap_err();
+        assert_eq!(err, CircuitError::LevelConflict { level: 0, qubit: q(0) });
+    }
+
+    #[test]
+    fn from_levels_validates_range() {
+        let err = Circuit::from_levels(2, [vec![Gate::ry(q(5), 90.0)]]).unwrap_err();
+        assert!(matches!(err, CircuitError::QubitOutOfRange { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        let mut b = Circuit::builder(1);
+        assert!(b.try_gate(Gate::ry(q(1), 90.0)).is_err());
+    }
+
+    #[test]
+    fn gate_counts() {
+        let mut b = Circuit::builder(3);
+        b.cnot(q(0), q(1));
+        b.hadamard(q(2));
+        let c = b.build();
+        assert_eq!(c.gate_count(), 7); // 5 for CNOT + 2 for H
+        assert_eq!(c.two_qubit_gate_count(), 1);
+    }
+
+    #[test]
+    fn interaction_graph_dedups_pairs() {
+        let c = Circuit::from_gates(
+            3,
+            [
+                Gate::zz(q(0), q(1), 90.0),
+                Gate::zz(q(1), q(0), 90.0),
+                Gate::zz(q(1), q(2), 90.0),
+            ],
+        )
+        .unwrap();
+        let g = c.interaction_graph();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn active_qubits_skips_idle_wires() {
+        let c = Circuit::from_gates(5, [Gate::zz(q(1), q(3), 90.0)]).unwrap();
+        assert_eq!(c.active_qubits(), vec![q(1), q(3)]);
+    }
+
+    #[test]
+    fn barrier_forces_new_level() {
+        let mut b = Circuit::builder(2);
+        b.gate(Gate::ry(q(0), 90.0));
+        b.barrier();
+        b.gate(Gate::ry(q(1), 90.0));
+        let c = b.build();
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Circuit::from_gates(2, [Gate::ry(q(0), 90.0)]).unwrap();
+        let b = Circuit::from_gates(2, [Gate::ry(q(1), 90.0)]).unwrap();
+        a.extend(&b);
+        assert_eq!(a.depth(), 2);
+        assert_eq!(a.gate_count(), 2);
+    }
+
+    #[test]
+    fn map_qubits_widens() {
+        let c = Circuit::from_gates(2, [Gate::zz(q(0), q(1), 90.0)]).unwrap();
+        let w = c.map_qubits(4, |x| Qubit::new(x.index() + 2));
+        assert_eq!(w.qubit_count(), 4);
+        assert_eq!(w.gates().next().unwrap().coupling(), Some((q(2), q(3))));
+    }
+
+    #[test]
+    fn display_lists_levels() {
+        let c = Circuit::from_gates(2, [Gate::ry(q(0), 90.0), Gate::zz(q(0), q(1), 90.0)]).unwrap();
+        let s = c.to_string();
+        assert!(s.contains("L0: Ry(90) q0"));
+        assert!(s.contains("L1: ZZ(90) q0 q1"));
+    }
+
+    #[test]
+    fn level_slice_extracts_range() {
+        let c = Circuit::from_gates(
+            2,
+            [Gate::ry(q(0), 90.0), Gate::zz(q(0), q(1), 90.0), Gate::ry(q(1), 90.0)],
+        )
+        .unwrap();
+        let s = c.level_slice(1..3);
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.gate_count(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for circuit construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Qubit;
+
+/// Errors returned by circuit construction, validation, and parsing.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate referenced a qubit outside the circuit width.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: Qubit,
+        /// Declared circuit width.
+        width: usize,
+    },
+    /// Two gates within one level share a qubit.
+    LevelConflict {
+        /// Zero-based level index.
+        level: usize,
+        /// The qubit used twice.
+        qubit: Qubit,
+    },
+    /// Text-format parse failure.
+    Parse {
+        /// One-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, width } => {
+                write!(f, "qubit {qubit} out of range for a {width}-qubit circuit")
+            }
+            CircuitError::LevelConflict { level, qubit } => {
+                write!(f, "level {level} uses qubit {qubit} in two gates")
+            }
+            CircuitError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = CircuitError::QubitOutOfRange { qubit: Qubit::new(9), width: 4 };
+        assert!(e.to_string().contains("q9"));
+        let e = CircuitError::Parse { line: 3, message: "bad gate".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: Error + Send + Sync>() {}
+        assert_traits::<CircuitError>();
+    }
+}

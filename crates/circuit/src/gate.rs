@@ -1,0 +1,385 @@
+//! Gates and their time weights.
+
+use std::fmt;
+
+use crate::Qubit;
+
+/// A one- or two-qubit gate in the NMR-flavoured basis of §2.
+///
+/// Every gate carries a *time weight* `T(G)` (see
+/// [`time_weight`](Gate::time_weight)): the number of 90°-pulse units the
+/// gate occupies on the interaction it uses. The actual operating time on
+/// hardware is `W(v_i, v_j) · T(G)` where `W` comes from the physical
+/// environment (Definition 3 of the paper).
+///
+/// Rotation angles are in degrees, matching the paper's notation
+/// (`Ry(90)`, `ZZ(90)`, …). Negative angles are allowed; weights use the
+/// absolute value.
+#[derive(Clone, PartialEq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Gate {
+    /// Rotation about the X axis by `angle` degrees (an RF pulse).
+    Rx {
+        /// Target qubit.
+        qubit: Qubit,
+        /// Rotation angle in degrees.
+        angle: f64,
+    },
+    /// Rotation about the Y axis by `angle` degrees (an RF pulse).
+    Ry {
+        /// Target qubit.
+        qubit: Qubit,
+        /// Rotation angle in degrees.
+        angle: f64,
+    },
+    /// Rotation about the Z axis — free in liquid-state NMR (implemented by
+    /// a change of the rotating reference frame), hence `T = 0`.
+    Rz {
+        /// Target qubit.
+        qubit: Qubit,
+        /// Rotation angle in degrees.
+        angle: f64,
+    },
+    /// The Ising coupling gate `ZZ(angle)` — the drift-Hamiltonian
+    /// evolution that implements two-qubit interactions in NMR.
+    Zz {
+        /// First interacting qubit.
+        a: Qubit,
+        /// Second interacting qubit.
+        b: Qubit,
+        /// Rotation angle in degrees.
+        angle: f64,
+    },
+    /// A full state swap; costs three maximal-length couplings (`T = 3`),
+    /// the bound of Zhang–Vala–Sastry–Whaley for any two-qubit unitary.
+    Swap {
+        /// First swapped qubit.
+        a: Qubit,
+        /// Second swapped qubit.
+        b: Qubit,
+    },
+    /// An opaque single-qubit gate with an explicit time weight.
+    Custom1 {
+        /// Target qubit.
+        qubit: Qubit,
+        /// Time weight in 90°-pulse units; must be finite and `>= 0`.
+        weight: f64,
+        /// Display name.
+        name: String,
+    },
+    /// An opaque two-qubit gate with an explicit time weight.
+    Custom2 {
+        /// First interacting qubit.
+        a: Qubit,
+        /// Second interacting qubit.
+        b: Qubit,
+        /// Time weight in 90°-pulse units; must be finite and `>= 0`.
+        weight: f64,
+        /// Display name.
+        name: String,
+    },
+}
+
+impl Gate {
+    fn check_angle(angle: f64) {
+        assert!(angle.is_finite(), "gate angle must be finite, got {angle}");
+    }
+
+    fn check_pair(a: Qubit, b: Qubit) {
+        assert!(a != b, "two-qubit gate needs distinct qubits, got {a} twice");
+    }
+
+    /// `Rx(angle°)` on `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `angle` is not finite.
+    pub fn rx(qubit: Qubit, angle: f64) -> Gate {
+        Self::check_angle(angle);
+        Gate::Rx { qubit, angle }
+    }
+
+    /// `Ry(angle°)` on `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `angle` is not finite.
+    pub fn ry(qubit: Qubit, angle: f64) -> Gate {
+        Self::check_angle(angle);
+        Gate::Ry { qubit, angle }
+    }
+
+    /// `Rz(angle°)` on `qubit` (free in NMR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `angle` is not finite.
+    pub fn rz(qubit: Qubit, angle: f64) -> Gate {
+        Self::check_angle(angle);
+        Gate::Rz { qubit, angle }
+    }
+
+    /// `ZZ(angle°)` coupling between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `angle` is not finite or `a == b`.
+    pub fn zz(a: Qubit, b: Qubit, angle: f64) -> Gate {
+        Self::check_angle(angle);
+        Self::check_pair(a, b);
+        Gate::Zz { a, b, angle }
+    }
+
+    /// A SWAP between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn swap(a: Qubit, b: Qubit) -> Gate {
+        Self::check_pair(a, b);
+        Gate::Swap { a, b }
+    }
+
+    /// An opaque single-qubit gate with explicit `weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or not finite.
+    pub fn custom1(qubit: Qubit, weight: f64, name: impl Into<String>) -> Gate {
+        assert!(weight.is_finite() && weight >= 0.0, "weight must be finite and >= 0");
+        Gate::Custom1 { qubit, weight, name: name.into() }
+    }
+
+    /// An opaque two-qubit gate with explicit `weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative/not finite or `a == b`.
+    pub fn custom2(a: Qubit, b: Qubit, weight: f64, name: impl Into<String>) -> Gate {
+        assert!(weight.is_finite() && weight >= 0.0, "weight must be finite and >= 0");
+        Self::check_pair(a, b);
+        Gate::Custom2 { a, b, weight, name: name.into() }
+    }
+
+    /// The time weight `T(G)` in 90°-pulse units.
+    ///
+    /// Footnote 3 of the paper: `T(Rx(180)) = 2 · T(Rx(90))` — weights
+    /// scale linearly with the rotation angle. `Rz` is free; `SWAP` costs
+    /// three maximal couplings.
+    pub fn time_weight(&self) -> f64 {
+        match self {
+            Gate::Rx { angle, .. } | Gate::Ry { angle, .. } => angle.abs() / 90.0,
+            Gate::Rz { .. } => 0.0,
+            Gate::Zz { angle, .. } => angle.abs() / 90.0,
+            Gate::Swap { .. } => 3.0,
+            Gate::Custom1 { weight, .. } | Gate::Custom2 { weight, .. } => *weight,
+        }
+    }
+
+    /// The qubits the gate acts on (one or two entries).
+    pub fn qubits(&self) -> (Qubit, Option<Qubit>) {
+        match *self {
+            Gate::Rx { qubit, .. }
+            | Gate::Ry { qubit, .. }
+            | Gate::Rz { qubit, .. }
+            | Gate::Custom1 { qubit, .. } => (qubit, None),
+            Gate::Zz { a, b, .. } | Gate::Swap { a, b } | Gate::Custom2 { a, b, .. } => {
+                (a, Some(b))
+            }
+        }
+    }
+
+    /// Returns the interacting pair for two-qubit gates, `None` otherwise.
+    pub fn coupling(&self) -> Option<(Qubit, Qubit)> {
+        match self.qubits() {
+            (a, Some(b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for two-qubit gates.
+    #[inline]
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Zz { .. } | Gate::Swap { .. } | Gate::Custom2 { .. })
+    }
+
+    /// Returns `true` if the gate takes no time at all (e.g. `Rz`).
+    #[inline]
+    pub fn is_free(&self) -> bool {
+        self.time_weight() == 0.0
+    }
+
+    /// Largest qubit index used, for sizing circuits.
+    pub fn max_qubit_index(&self) -> usize {
+        match self.qubits() {
+            (a, Some(b)) => a.index().max(b.index()),
+            (a, None) => a.index(),
+        }
+    }
+
+    /// Returns `true` if the gate is diagonal in the computational basis
+    /// (`Rz` and `ZZ` rotations) — all such gates mutually commute.
+    pub fn is_diagonal(&self) -> bool {
+        matches!(self, Gate::Rz { .. } | Gate::Zz { .. })
+    }
+
+    /// Conservative commutation test: two gates are known to commute when
+    /// their qubit supports are disjoint, or when both are diagonal
+    /// (`Rz`/`ZZ`). Anything else is reported as non-commuting.
+    ///
+    /// This enables the gate-commutation transformation the paper lists
+    /// as further research (§7: "using gate commutation … to transform an
+    /// instance of the circuit placement problem into a possibly more
+    /// favorable one").
+    pub fn commutes_with(&self, other: &Gate) -> bool {
+        let (a1, b1) = self.qubits();
+        let (a2, b2) = other.qubits();
+        let overlap = a1 == a2
+            || Some(a1) == b2
+            || b1 == Some(a2)
+            || (b1.is_some() && b1 == b2);
+        if !overlap {
+            return true;
+        }
+        self.is_diagonal() && other.is_diagonal()
+    }
+
+    /// Returns a copy of the gate with its qubits remapped through `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` maps the two qubits of a two-qubit gate to the same
+    /// qubit.
+    pub fn map_qubits(&self, mut f: impl FnMut(Qubit) -> Qubit) -> Gate {
+        let mut g = self.clone();
+        match &mut g {
+            Gate::Rx { qubit, .. }
+            | Gate::Ry { qubit, .. }
+            | Gate::Rz { qubit, .. }
+            | Gate::Custom1 { qubit, .. } => *qubit = f(*qubit),
+            Gate::Zz { a, b, .. } | Gate::Swap { a, b } | Gate::Custom2 { a, b, .. } => {
+                *a = f(*a);
+                *b = f(*b);
+                assert!(a != b, "map_qubits collapsed a two-qubit gate");
+            }
+        }
+        g
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::Rx { qubit, angle } => write!(f, "Rx({angle}) {qubit}"),
+            Gate::Ry { qubit, angle } => write!(f, "Ry({angle}) {qubit}"),
+            Gate::Rz { qubit, angle } => write!(f, "Rz({angle}) {qubit}"),
+            Gate::Zz { a, b, angle } => write!(f, "ZZ({angle}) {a} {b}"),
+            Gate::Swap { a, b } => write!(f, "SWAP {a} {b}"),
+            Gate::Custom1 { qubit, weight, name } => write!(f, "{name}[T={weight}] {qubit}"),
+            Gate::Custom2 { a, b, weight, name } => write!(f, "{name}[T={weight}] {a} {b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn time_weights_follow_footnote_3() {
+        assert_eq!(Gate::ry(q(0), 90.0).time_weight(), 1.0);
+        assert_eq!(Gate::rx(q(0), 180.0).time_weight(), 2.0);
+        assert_eq!(Gate::rx(q(0), -90.0).time_weight(), 1.0);
+        assert_eq!(Gate::rz(q(0), 90.0).time_weight(), 0.0);
+        assert_eq!(Gate::zz(q(0), q(1), 90.0).time_weight(), 1.0);
+        assert_eq!(Gate::zz(q(0), q(1), 45.0).time_weight(), 0.5);
+        assert_eq!(Gate::swap(q(0), q(1)).time_weight(), 3.0);
+        assert_eq!(Gate::custom2(q(0), q(1), 3.0, "u").time_weight(), 3.0);
+    }
+
+    #[test]
+    fn qubit_accessors() {
+        let g = Gate::zz(q(2), q(5), 90.0);
+        assert_eq!(g.qubits(), (q(2), Some(q(5))));
+        assert_eq!(g.coupling(), Some((q(2), q(5))));
+        assert!(g.is_two_qubit());
+        assert_eq!(g.max_qubit_index(), 5);
+
+        let g = Gate::ry(q(3), 90.0);
+        assert_eq!(g.qubits(), (q(3), None));
+        assert_eq!(g.coupling(), None);
+        assert!(!g.is_two_qubit());
+    }
+
+    #[test]
+    fn free_gates() {
+        assert!(Gate::rz(q(0), 37.5).is_free());
+        assert!(!Gate::ry(q(0), 1.0).is_free());
+        assert!(Gate::custom1(q(0), 0.0, "tag").is_free());
+    }
+
+    #[test]
+    fn map_qubits_relabels() {
+        let g = Gate::zz(q(0), q(1), 90.0);
+        let h = g.map_qubits(|x| Qubit::new(x.index() + 10));
+        assert_eq!(h.coupling(), Some((q(10), q(11))));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct qubits")]
+    fn zz_rejects_same_qubit() {
+        let _ = Gate::zz(q(1), q(1), 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rx_rejects_nan_angle() {
+        let _ = Gate::rx(q(0), f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "collapsed")]
+    fn map_qubits_detects_collapse() {
+        let g = Gate::swap(q(0), q(1));
+        let _ = g.map_qubits(|_| q(3));
+    }
+
+    #[test]
+    fn commutation_rules() {
+        // Disjoint supports always commute.
+        assert!(Gate::ry(q(0), 90.0).commutes_with(&Gate::rx(q(1), 90.0)));
+        assert!(Gate::zz(q(0), q(1), 90.0).commutes_with(&Gate::zz(q(2), q(3), 90.0)));
+        assert!(Gate::zz(q(0), q(1), 90.0).commutes_with(&Gate::ry(q(2), 90.0)));
+        // Diagonal gates commute even when overlapping.
+        assert!(Gate::zz(q(0), q(1), 90.0).commutes_with(&Gate::zz(q(1), q(2), 90.0)));
+        assert!(Gate::rz(q(0), 45.0).commutes_with(&Gate::zz(q(0), q(1), 90.0)));
+        assert!(Gate::rz(q(0), 45.0).commutes_with(&Gate::rz(q(0), 90.0)));
+        // Overlapping non-diagonal gates are conservatively non-commuting.
+        assert!(!Gate::ry(q(0), 90.0).commutes_with(&Gate::zz(q(0), q(1), 90.0)));
+        assert!(!Gate::rx(q(1), 90.0).commutes_with(&Gate::ry(q(1), 90.0)));
+        assert!(!Gate::swap(q(0), q(1)).commutes_with(&Gate::zz(q(1), q(2), 90.0)));
+        // Symmetry.
+        assert!(Gate::zz(q(0), q(1), 90.0).commutes_with(&Gate::rz(q(1), 30.0)));
+        assert!(Gate::rz(q(1), 30.0).commutes_with(&Gate::zz(q(0), q(1), 90.0)));
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(Gate::rz(q(0), 10.0).is_diagonal());
+        assert!(Gate::zz(q(0), q(1), 10.0).is_diagonal());
+        assert!(!Gate::ry(q(0), 10.0).is_diagonal());
+        assert!(!Gate::swap(q(0), q(1)).is_diagonal());
+        assert!(!Gate::custom2(q(0), q(1), 3.0, "u").is_diagonal());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gate::ry(q(0), 90.0).to_string(), "Ry(90) q0");
+        assert_eq!(Gate::zz(q(0), q(1), -90.0).to_string(), "ZZ(-90) q0 q1");
+        assert_eq!(Gate::swap(q(2), q(3)).to_string(), "SWAP q2 q3");
+    }
+}

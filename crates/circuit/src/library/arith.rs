@@ -1,0 +1,159 @@
+//! Arithmetic circuits — the building blocks of modular exponentiation.
+//!
+//! §6 motivates the hidden-stage experiment with Shor's algorithm:
+//! "modular exponentiation itself can be broken into a number of simpler
+//! arithmetic circuits" that are optimized separately and glued together.
+//! This module provides such a block: a ripple-carry adder in the
+//! CDKM (Cuccaro–Draper–Kutin–Moulton) style, expressed in the NMR basis
+//! through the builder's CNOT/Toffoli expansions.
+
+use crate::{Circuit, CircuitBuilder, Gate, Qubit};
+
+/// Appends a Toffoli (CCNOT) with controls `c1`, `c2` and target `t`,
+/// decomposed into two-qubit couplings and pulses. The decomposition uses
+/// five two-qubit interactions — within the known coupling-count bounds —
+/// over the pairs `(c1,t)`, `(c2,t)`, `(c1,c2)`.
+fn toffoli(b: &mut CircuitBuilder, c1: Qubit, c2: Qubit, t: Qubit) {
+    // Phase-style decomposition: conjugate the target into the phase
+    // basis, apply controlled-phase ladder, return.
+    b.gate(Gate::ry(t, 90.0));
+    b.cphase(c1, t, 90.0);
+    b.cphase(c2, t, 90.0);
+    b.cphase(c1, c2, 90.0);
+    b.cphase(c1, t, -90.0);
+    b.cphase(c2, t, 90.0);
+    b.gate(Gate::ry(t, -90.0));
+}
+
+/// An `n`-bit ripple-carry adder on `2n + 2` qubits: register `a` on
+/// qubits `0..n`, register `b` on `n..2n`, carry-in ancilla `2n`, carry
+/// out `2n + 1`. Interactions are local to neighbouring bit triples, so
+/// the circuit maps well onto chain-like architectures — exactly the kind
+/// of separately-optimized phase the staged experiment models.
+///
+/// ```
+/// use qcp_circuit::library::ripple_adder;
+/// let c = ripple_adder(3);
+/// assert_eq!(c.qubit_count(), 8);
+/// assert!(c.two_qubit_gate_count() > 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_adder(n: usize) -> Circuit {
+    assert!(n > 0, "adder needs at least one bit");
+    let q = Qubit::new;
+    let a = |i: usize| q(i);
+    let b_ = |i: usize| q(n + i);
+    let cin = q(2 * n);
+    let cout = q(2 * n + 1);
+    let mut b = Circuit::builder(2 * n + 2);
+
+    // MAJ ladder.
+    for i in 0..n {
+        let carry = if i == 0 { cin } else { a(i - 1) };
+        b.cnot(a(i), b_(i));
+        b.cnot(a(i), carry);
+        toffoli(&mut b, carry, b_(i), a(i));
+    }
+    // Carry out.
+    b.cnot(a(n - 1), cout);
+    // UMA ladder (unwind).
+    for i in (0..n).rev() {
+        let carry = if i == 0 { cin } else { a(i - 1) };
+        toffoli(&mut b, carry, b_(i), a(i));
+        b.cnot(a(i), carry);
+        b.cnot(carry, b_(i));
+    }
+    b.build()
+}
+
+/// Grover iteration on `n` qubits: the phase oracle marking the all-ones
+/// state followed by the diffusion operator, both built from controlled
+/// phases chained along the register. One iteration; repeat ~`√2ⁿ` times
+/// for search.
+///
+/// ```
+/// use qcp_circuit::library::grover_iteration;
+/// let c = grover_iteration(4);
+/// assert_eq!(c.qubit_count(), 4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn grover_iteration(n: usize) -> Circuit {
+    assert!(n >= 2, "grover needs at least 2 qubits, got {n}");
+    let q = Qubit::new;
+    let mut b = Circuit::builder(n);
+    // Oracle: multi-controlled phase via a chain of controlled phases
+    // (linearized ladder, suitable for sparse architectures).
+    for i in 0..n - 1 {
+        b.cphase(q(i), q(i + 1), 180.0 / (1 << i.min(6)) as f64);
+    }
+    // Diffusion: H^n, multi-controlled phase ladder, H^n.
+    for i in 0..n {
+        b.hadamard(q(i));
+    }
+    for i in (0..n - 1).rev() {
+        b.cphase(q(i), q(i + 1), -180.0 / (1 << i.min(6)) as f64);
+    }
+    for i in 0..n {
+        b.hadamard(q(i));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_graph::traversal::is_connected;
+
+    #[test]
+    fn adder_shape() {
+        for n in 1..4 {
+            let c = ripple_adder(n);
+            assert_eq!(c.qubit_count(), 2 * n + 2);
+            assert!(c.gate_count() > 0);
+            // Interaction graph connected except possibly the unused
+            // carry-out of tiny adders.
+            let g = c.interaction_graph();
+            assert!(g.edge_count() >= 3 * n);
+        }
+    }
+
+    #[test]
+    fn adder_interactions_are_triple_local() {
+        // Every coupling involves qubits of the same or adjacent bit
+        // positions (plus the carries): max interaction-graph degree stays
+        // bounded regardless of n.
+        let c = ripple_adder(5);
+        let g = c.interaction_graph();
+        assert!(g.max_degree() <= 7, "degree {} too large", g.max_degree());
+    }
+
+    #[test]
+    fn grover_shape() {
+        let c = grover_iteration(5);
+        let g = c.interaction_graph();
+        // Chain-shaped interactions: degree <= 2, connected.
+        assert!(g.max_degree() <= 2);
+        assert!(is_connected(&g));
+        assert_eq!(c.two_qubit_gate_count(), 2 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn empty_adder_rejected() {
+        let _ = ripple_adder(0);
+    }
+
+    #[test]
+    fn toffoli_uses_five_couplings() {
+        let mut b = Circuit::builder(3);
+        toffoli(&mut b, Qubit::new(0), Qubit::new(1), Qubit::new(2));
+        let c = b.build();
+        assert_eq!(c.two_qubit_gate_count(), 5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Pseudo-cat state preparation (Table 2 workload, run on histidine in the
+//! 12-qubit benchmarking experiment of Negrevergne et al.).
+
+use crate::{Circuit, Gate, Qubit};
+
+/// Pseudo-cat state preparation on `n` qubits: an initial excitation pulse
+/// followed by a CNOT ladder `q0 → q1 → … → q(n−1)` in the NMR basis, plus
+/// the final frame cleanup. For `n = 10` this is the 54-gate, 10-qubit
+/// circuit of Table 2.
+///
+/// The interaction graph is a Hamiltonian path, which is what lets the
+/// experimentalists (and the placement tool) host the whole circuit along
+/// a single chain of chemical bonds inside the 12-spin histidine molecule.
+///
+/// ```
+/// use qcp_circuit::library::pseudo_cat;
+/// let c = pseudo_cat(10);
+/// assert_eq!(c.qubit_count(), 10);
+/// assert_eq!(c.gate_count(), 54);
+/// assert_eq!(c.two_qubit_gate_count(), 9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn pseudo_cat(n: usize) -> Circuit {
+    assert!(n >= 2, "a cat state needs at least 2 qubits, got {n}");
+    let q = Qubit::new;
+    let mut b = Circuit::builder(n);
+    // Excitation pulse on the head of the chain.
+    b.gate(Gate::ry(q(0), 90.0));
+    // CNOT ladder: 5 NMR gates per link.
+    for i in 0..n - 1 {
+        b.cnot(q(i), q(i + 1));
+    }
+    // Reference-frame cleanup on every qubit except the two chain ends
+    // (free Rz gates; they make the observed state a *pseudo*-pure cat).
+    for i in 1..n - 1 {
+        b.gate(Gate::rz(q(i), -90.0));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_graph::NodeId;
+
+    #[test]
+    fn ten_qubit_cat_matches_table_2() {
+        let c = pseudo_cat(10);
+        assert_eq!(c.qubit_count(), 10);
+        assert_eq!(c.gate_count(), 54); // 1 + 9*5 + 8
+        assert_eq!(c.two_qubit_gate_count(), 9);
+    }
+
+    #[test]
+    fn interaction_graph_is_a_path() {
+        let g = pseudo_cat(6).interaction_graph();
+        assert_eq!(g.edge_count(), 5);
+        for i in 0..5 {
+            assert!(g.has_edge(NodeId::new(i), NodeId::new(i + 1)));
+        }
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn minimal_cat() {
+        let c = pseudo_cat(2);
+        assert_eq!(c.two_qubit_gate_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_single_qubit() {
+        let _ = pseudo_cat(1);
+    }
+}

@@ -1,0 +1,81 @@
+//! The 5-qubit phase-estimation circuit (Table 3 workload "phaseest").
+
+use crate::{Circuit, Qubit};
+
+/// Five-qubit quantum phase estimation: four counting qubits `q0..q3`
+/// estimate the eigenphase of a unitary acting on the target `q4`.
+///
+/// Structure: Hadamards on the counting register, controlled powers
+/// `c-U^{2^k}` realized as controlled phases onto the target, then the
+/// inverse QFT on the counting register. The interaction graph is dense —
+/// a star into the target plus all counting pairs — so no molecular bond
+/// graph can host the whole circuit at once. That is what makes
+/// "phaseest" a good stress test for the multi-workspace placement of §5:
+/// Table 3 shows it split into as many as 8 subcircuits at tight
+/// thresholds.
+///
+/// ```
+/// use qcp_circuit::library::phase_estimation;
+/// let c = phase_estimation();
+/// assert_eq!(c.qubit_count(), 5);
+/// assert_eq!(c.gate_count(), 46);
+/// ```
+pub fn phase_estimation() -> Circuit {
+    let q = Qubit::new;
+    let target = q(4);
+    let mut b = Circuit::builder(5);
+    // Superpose the counting register.
+    for i in 0..4 {
+        b.hadamard(q(i));
+    }
+    // Controlled-U^{2^k}: eigenphase kick-back as a controlled phase of
+    // 360 / 2^{k+1} degrees.
+    for k in 0..4 {
+        let angle = 360.0 / (1u64 << (k + 1)) as f64;
+        b.cphase(q(k), target, angle);
+    }
+    // Inverse QFT on q0..q3 (reverse order, negated phases).
+    for i in (0..4).rev() {
+        for j in ((i + 1)..4).rev() {
+            let d = j - i;
+            let angle = -180.0 / (1u64 << d) as f64;
+            b.cphase(q(j), q(i), angle);
+        }
+        b.hadamard(q(i));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_graph::NodeId;
+
+    #[test]
+    fn shape() {
+        let c = phase_estimation();
+        assert_eq!(c.qubit_count(), 5);
+        assert_eq!(c.gate_count(), 46);
+        // 4 controlled powers + 6 inverse-QFT phases.
+        assert_eq!(c.two_qubit_gate_count(), 10);
+    }
+
+    #[test]
+    fn interaction_graph_is_complete() {
+        // Star into q4 plus K4 on the counting register = K5.
+        let g = phase_estimation().interaction_graph();
+        assert_eq!(g.edge_count(), 10);
+        for i in 0..5 {
+            for j in i + 1..5 {
+                assert!(g.has_edge(NodeId::new(i), NodeId::new(j)), "missing ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn target_interactions_come_first() {
+        let c = phase_estimation();
+        let first_pair = c.gates().find_map(|g| g.coupling()).unwrap();
+        assert_eq!(first_pair.1.index(), 4);
+    }
+}

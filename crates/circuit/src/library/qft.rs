@@ -1,0 +1,124 @@
+//! Quantum Fourier transform circuits (Table 3 workloads "qft6", "aqft9",
+//! "aqft12").
+
+use crate::{Circuit, Qubit};
+
+/// The textbook `n`-qubit quantum Fourier transform (Nielsen–Chuang
+/// p. 219) in the NMR basis: for each qubit a Hadamard followed by
+/// controlled phases `R_k` with every later qubit, the phase halving with
+/// distance. The final qubit-reversal SWAPs are omitted — they are
+/// bookkeeping renames tracked classically, as is conventional.
+///
+/// QFT "is inconvenient for quantum architectures since it contains a
+/// 2-qubit gate for every pair of qubits" (§6): its interaction graph is
+/// the complete graph `K_n`.
+///
+/// ```
+/// use qcp_circuit::library::qft;
+/// let c = qft(6);
+/// assert_eq!(c.qubit_count(), 6);
+/// assert_eq!(c.two_qubit_gate_count(), 15); // all pairs
+/// ```
+pub fn qft(n: usize) -> Circuit {
+    qft_banded(n, n.max(1) - 1)
+}
+
+/// The approximate QFT: controlled phases are kept only between qubits at
+/// distance at most `ceil(log2 n)`; more distant phases are below the
+/// precision the transform needs and are dropped. This is the circuit
+/// family the paper calls "aqft9" and "aqft12" and the reason approximate
+/// QFT circuits have `O(n log n)` gates.
+pub fn aqft(n: usize) -> Circuit {
+    let band = (n.max(2) as f64).log2().ceil() as usize;
+    qft_banded(n, band.max(1))
+}
+
+/// QFT keeping controlled phases only for qubit distances `<= band`.
+pub fn qft_banded(n: usize, band: usize) -> Circuit {
+    let q = Qubit::new;
+    let mut b = Circuit::builder(n);
+    for i in 0..n {
+        b.hadamard(q(i));
+        for j in i + 1..n {
+            let d = j - i;
+            if d > band {
+                continue;
+            }
+            // Controlled-R_{d+1}: phase 360 / 2^{d+1} = 180 / 2^d degrees.
+            let angle = 180.0 / (1u64 << d) as f64;
+            b.cphase(q(j), q(i), angle);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_graph::NodeId;
+
+    #[test]
+    fn qft6_touches_every_pair() {
+        let c = qft(6);
+        let g = c.interaction_graph();
+        assert_eq!(g.edge_count(), 15, "K6 has 15 edges");
+        assert_eq!(c.two_qubit_gate_count(), 15);
+    }
+
+    #[test]
+    fn qft_gate_count_formula() {
+        // n Hadamards (2 gates each) + C(n,2) cphases (3 gates each).
+        for n in 2..8 {
+            let c = qft(n);
+            let pairs = n * (n - 1) / 2;
+            assert_eq!(c.gate_count(), 2 * n + 3 * pairs);
+        }
+    }
+
+    #[test]
+    fn aqft_band_limits_interactions() {
+        let c = aqft(9); // band = ceil(log2 9) = 4
+        let g = c.interaction_graph();
+        for (a, b, _) in g.edges() {
+            assert!(a.index().abs_diff(b.index()) <= 4);
+        }
+        // Distances 1..=4 exist.
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(4)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(5)));
+    }
+
+    #[test]
+    fn aqft12_band_is_four() {
+        let c = aqft(12);
+        let g = c.interaction_graph();
+        let two_qubit: usize = c.two_qubit_gate_count();
+        // Distances 1..=4: (12-1)+(12-2)+(12-3)+(12-4) = 38 pairs.
+        assert_eq!(g.edge_count(), 38);
+        assert_eq!(two_qubit, 38);
+    }
+
+    #[test]
+    fn phase_angles_halve_with_distance() {
+        let c = qft(4);
+        // Find ZZ gates between q3/q0 (distance 3): angle must be
+        // -180/2^3 / 2 = -11.25 degrees (cphase splits the angle).
+        let zz: Vec<f64> = c
+            .gates()
+            .filter_map(|g| match g {
+                crate::Gate::Zz { a, b, angle }
+                    if a.index().min(b.index()) == 0 && a.index().max(b.index()) == 3 =>
+                {
+                    Some(*angle)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(zz, vec![-180.0 / 8.0 / 2.0]);
+    }
+
+    #[test]
+    fn tiny_qfts() {
+        assert_eq!(qft(1).two_qubit_gate_count(), 0);
+        assert_eq!(qft(2).two_qubit_gate_count(), 1);
+    }
+}

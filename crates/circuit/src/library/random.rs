@@ -1,0 +1,149 @@
+//! Random hidden-stage circuits for the scalability study (Table 4).
+//!
+//! §6's final experiment builds circuits that model computations glued
+//! from separately optimized phases: pick a random permutation
+//! `p_1 … p_N` of the qubits ("hidden stage"), emit `N·log₂N` random
+//! two-qubit gates between `p`-adjacent qubits, re-permute, and repeat
+//! `log₂N` times. Every gate is "maximal length" (`T(G) = 3`, the
+//! Zhang–Vala–Sastry–Whaley bound). A good placement tool must rediscover
+//! the hidden stages: one subcircuit per permutation, connected by SWAP
+//! stages.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{Circuit, Gate, Qubit};
+
+/// A generated hidden-stage circuit plus the ground truth used to build it.
+#[derive(Clone, Debug)]
+pub struct StagedCircuit {
+    /// The generated circuit.
+    pub circuit: Circuit,
+    /// The hidden permutations, one per stage: `permutations[s][j]` is the
+    /// qubit index occupying chain position `j` during stage `s`.
+    pub permutations: Vec<Vec<usize>>,
+    /// Number of gates emitted per stage.
+    pub gates_per_stage: usize,
+}
+
+impl StagedCircuit {
+    /// Number of hidden stages.
+    pub fn stage_count(&self) -> usize {
+        self.permutations.len()
+    }
+}
+
+/// Builds the Table 4 test circuit for `n` qubits (a power of two in the
+/// paper; any `n >= 2` is accepted): `log₂N` hidden stages of `N·log₂N`
+/// maximal-length gates along a randomly permuted chain.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn staged(n: usize, seed: u64) -> StagedCircuit {
+    let stages = (n as f64).log2().round().max(1.0) as usize;
+    let gates_per_stage = n * stages;
+    staged_with(n, stages, gates_per_stage, seed)
+}
+
+/// Fully parameterized variant of [`staged`].
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `stages == 0`.
+pub fn staged_with(n: usize, stages: usize, gates_per_stage: usize, seed: u64) -> StagedCircuit {
+    assert!(n >= 2, "need at least 2 qubits, got {n}");
+    assert!(stages > 0, "need at least one stage");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Circuit::builder(n);
+    let mut permutations = Vec::with_capacity(stages);
+    for stage in 0..stages {
+        if stage > 0 {
+            // Stages are separately optimized phases glued in sequence;
+            // keep their levels from interleaving.
+            b.barrier();
+        }
+        let mut p: Vec<usize> = (0..n).collect();
+        p.shuffle(&mut rng);
+        for _ in 0..gates_per_stage {
+            // Random chain edge (j, j+1) in the permuted order; the paper
+            // picks j and couples p_j with p_{j−1} or p_{j+1}, which is the
+            // same distribution over chain edges.
+            let j = rng.gen_range(0..n - 1);
+            let (a, b_) = (Qubit::new(p[j]), Qubit::new(p[j + 1]));
+            // Maximal-length two-qubit unitary: T(G) = 3.
+            b.gate(Gate::custom2(a, b_, 3.0, "U"));
+        }
+        permutations.push(p);
+    }
+    StagedCircuit { circuit: b.build(), permutations, gates_per_stage }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_graph::NodeId;
+
+    #[test]
+    fn table_4_gate_counts() {
+        // N=8: 3 stages of 24 gates = 72; N=16: 4 stages of 64 = 256.
+        let c8 = staged(8, 1);
+        assert_eq!(c8.stage_count(), 3);
+        assert_eq!(c8.circuit.gate_count(), 72);
+        let c16 = staged(16, 1);
+        assert_eq!(c16.stage_count(), 4);
+        assert_eq!(c16.circuit.gate_count(), 256);
+    }
+
+    #[test]
+    fn all_gates_are_maximal_two_qubit() {
+        let s = staged(8, 2);
+        for g in s.circuit.gates() {
+            assert!(g.is_two_qubit());
+            assert_eq!(g.time_weight(), 3.0);
+        }
+    }
+
+    #[test]
+    fn stage_interactions_follow_hidden_chain() {
+        let s = staged_with(10, 2, 40, 3);
+        // Split the flat gate list back into stages and check each gate
+        // couples adjacent elements of that stage's permutation.
+        let gates: Vec<_> = s.circuit.gates().cloned().collect();
+        assert_eq!(gates.len(), 80);
+        for (stage, perm) in s.permutations.iter().enumerate() {
+            let mut pos = [0usize; 10];
+            for (j, &qi) in perm.iter().enumerate() {
+                pos[qi] = j;
+            }
+            for g in &gates[stage * 40..(stage + 1) * 40] {
+                let (a, b) = g.coupling().unwrap();
+                assert_eq!(
+                    pos[a.index()].abs_diff(pos[b.index()]),
+                    1,
+                    "gate {g} not chain-adjacent in stage {stage}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(staged(8, 5).circuit, staged(8, 5).circuit);
+        assert_ne!(staged(8, 5).circuit, staged(8, 6).circuit);
+    }
+
+    #[test]
+    fn interaction_graph_per_stage_is_subchain() {
+        // One stage alone: the interaction graph is a subgraph of a path,
+        // i.e. max degree <= 2 and acyclic.
+        let s = staged_with(12, 1, 60, 7);
+        let g = s.circuit.interaction_graph();
+        assert!(g.max_degree() <= 2);
+        assert!(g.edge_count() <= 11);
+        let _ = NodeId::new(0); // silence unused import in some cfgs
+    }
+}

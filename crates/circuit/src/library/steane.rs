@@ -1,0 +1,124 @@
+//! Steane [[7,1,3]] code X-type syndrome extraction (Table 3 workloads
+//! "steane-x/z1" and "steane-x/z2").
+//!
+//! The paper takes these from Nielsen–Chuang Figs. 10.16 and 10.17; by the
+//! CSS symmetry of the Steane code the same circuits serve as Z-type
+//! error correction, which is why the tables name them "steane-x/z".
+
+use crate::{Circuit, Qubit};
+
+/// Which fault-tolerant syndrome-measurement construction to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SteaneVariant {
+    /// Shor-style measurement with a 3-qubit cat ancilla (one GHZ block
+    /// shared across the three stabilizer generators), in the spirit of
+    /// N&C Fig. 10.16.
+    CatAncilla,
+    /// Sequential per-generator measurement: each ancilla is prepared,
+    /// coupled to its generator's support, and read out independently, in
+    /// the spirit of N&C Fig. 10.17.
+    Sequential,
+}
+
+/// Supports of the three X-type stabilizer generators of the Steane code,
+/// as data-qubit indices (columns of the Hamming(7,4) parity-check
+/// matrix).
+pub const STEANE_X_GENERATORS: [[usize; 4]; 3] =
+    [[0, 2, 4, 6], [1, 2, 5, 6], [3, 4, 5, 6]];
+
+/// Ten-qubit X-type error-correction circuit for the Steane code: data
+/// qubits `q0..q6`, ancillas `q7..q9`.
+///
+/// ```
+/// use qcp_circuit::library::{steane_x, SteaneVariant};
+/// let c = steane_x(SteaneVariant::CatAncilla);
+/// assert_eq!(c.qubit_count(), 10);
+/// ```
+pub fn steane_x(variant: SteaneVariant) -> Circuit {
+    let q = Qubit::new;
+    let anc = [q(7), q(8), q(9)];
+    let mut b = Circuit::builder(10);
+    match variant {
+        SteaneVariant::CatAncilla => {
+            // Cat state |000> + |111> on the ancilla block.
+            b.hadamard(anc[0]);
+            b.cnot(anc[0], anc[1]);
+            b.cnot(anc[1], anc[2]);
+            // Couple each generator to one cat qubit.
+            for (g, generator) in STEANE_X_GENERATORS.iter().enumerate() {
+                for &d in generator {
+                    b.cnot(anc[g], q(d));
+                }
+            }
+            // Decode the cat before readout.
+            b.cnot(anc[1], anc[2]);
+            b.cnot(anc[0], anc[1]);
+            b.hadamard(anc[0]);
+        }
+        SteaneVariant::Sequential => {
+            // Each ancilla measures one generator independently.
+            for (g, generator) in STEANE_X_GENERATORS.iter().enumerate() {
+                b.hadamard(anc[g]);
+                for &d in generator {
+                    b.cnot(anc[g], q(d));
+                }
+                b.hadamard(anc[g]);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_graph::NodeId;
+
+    #[test]
+    fn generators_cover_all_data_qubits() {
+        let mut seen = [0usize; 7];
+        for g in STEANE_X_GENERATORS {
+            for d in g {
+                seen[d] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c >= 1));
+        assert_eq!(seen[6], 3, "q6 is in all three generators");
+    }
+
+    #[test]
+    fn cat_variant_shape() {
+        let c = steane_x(SteaneVariant::CatAncilla);
+        assert_eq!(c.qubit_count(), 10);
+        // 12 syndrome CNOTs + 4 cat CNOTs.
+        assert_eq!(c.two_qubit_gate_count(), 16);
+        let g = c.interaction_graph();
+        // Ancilla chain edges exist.
+        assert!(g.has_edge(NodeId::new(7), NodeId::new(8)));
+        assert!(g.has_edge(NodeId::new(8), NodeId::new(9)));
+    }
+
+    #[test]
+    fn sequential_variant_shape() {
+        let c = steane_x(SteaneVariant::Sequential);
+        assert_eq!(c.qubit_count(), 10);
+        assert_eq!(c.two_qubit_gate_count(), 12);
+        let g = c.interaction_graph();
+        // No ancilla-ancilla interactions in the sequential variant.
+        assert!(!g.has_edge(NodeId::new(7), NodeId::new(8)));
+        assert!(!g.has_edge(NodeId::new(8), NodeId::new(9)));
+        // Each ancilla touches exactly its generator's support.
+        for (i, generator) in STEANE_X_GENERATORS.iter().enumerate() {
+            let a = NodeId::new(7 + i);
+            assert_eq!(g.degree(a), 4);
+            for &d in generator {
+                assert!(g.has_edge(a, NodeId::new(d)));
+            }
+        }
+    }
+
+    #[test]
+    fn variants_differ() {
+        assert_ne!(steane_x(SteaneVariant::CatAncilla), steane_x(SteaneVariant::Sequential));
+    }
+}

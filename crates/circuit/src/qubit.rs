@@ -1,0 +1,77 @@
+//! Logical qubit identifiers.
+
+use std::fmt;
+
+/// Identifier of a *logical* qubit — a wire of an abstract circuit.
+///
+/// Logical qubits are mapped onto *physical* qubits (molecule nuclei,
+/// represented by `qcp_env::PhysicalQubit`) by a placement. Keeping the two
+/// index spaces in distinct newtypes prevents the classic placement bug of
+/// indexing an environment table with a circuit wire.
+///
+/// ```
+/// use qcp_circuit::Qubit;
+/// let q = Qubit::new(2);
+/// assert_eq!(q.index(), 2);
+/// assert_eq!(q.to_string(), "q2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Qubit(u32);
+
+impl Qubit {
+    /// Creates a qubit identifier from a dense wire index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        Qubit(u32::try_from(index).expect("qubit index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense wire index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for Qubit {
+    fn from(index: usize) -> Self {
+        Qubit::new(index)
+    }
+}
+
+impl From<Qubit> for usize {
+    fn from(q: Qubit) -> Self {
+        q.index()
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        assert_eq!(Qubit::new(7).index(), 7);
+        assert_eq!(usize::from(Qubit::from(3usize)), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Qubit::new(0).to_string(), "q0");
+    }
+
+    #[test]
+    fn ord_by_index() {
+        assert!(Qubit::new(1) < Qubit::new(4));
+    }
+}

@@ -1,0 +1,230 @@
+//! A small line-oriented text format for circuits.
+//!
+//! The format is one header line followed by one line per level; gates
+//! within a level are separated by `;`. Blank lines and `#` comments are
+//! ignored.
+//!
+//! ```text
+//! qubits 3
+//! ry q0 90
+//! zz q0 q1 90 ; rz q2 -90
+//! swap q1 q2
+//! u1 q0 1.5 pulse
+//! u2 q0 q2 3 entangler
+//! ```
+//!
+//! ```
+//! use qcp_circuit::text;
+//! let c = text::parse("qubits 2\nry q0 90\nzz q0 q1 90\n")?;
+//! assert_eq!(c.gate_count(), 2);
+//! let round = text::parse(&text::to_text(&c))?;
+//! assert_eq!(round, c);
+//! # Ok::<(), qcp_circuit::CircuitError>(())
+//! ```
+
+use crate::{Circuit, CircuitError, Gate, Qubit, Result};
+
+/// Serializes a circuit in the text format (one line per level).
+pub fn to_text(circuit: &Circuit) -> String {
+    let mut out = format!("qubits {}\n", circuit.qubit_count());
+    for level in circuit.levels() {
+        let line: Vec<String> = level.gates().iter().map(gate_to_text).collect();
+        out.push_str(&line.join(" ; "));
+        out.push('\n');
+    }
+    out
+}
+
+fn gate_to_text(g: &Gate) -> String {
+    match g {
+        Gate::Rx { qubit, angle } => format!("rx {qubit} {angle}"),
+        Gate::Ry { qubit, angle } => format!("ry {qubit} {angle}"),
+        Gate::Rz { qubit, angle } => format!("rz {qubit} {angle}"),
+        Gate::Zz { a, b, angle } => format!("zz {a} {b} {angle}"),
+        Gate::Swap { a, b } => format!("swap {a} {b}"),
+        Gate::Custom1 { qubit, weight, name } => format!("u1 {qubit} {weight} {name}"),
+        Gate::Custom2 { a, b, weight, name } => format!("u2 {a} {b} {weight} {name}"),
+    }
+}
+
+/// Parses a circuit from the text format.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Parse`] with a one-based line number on
+/// malformed input, and the usual construction errors if gates do not fit
+/// the declared width or collide within a level.
+pub fn parse(input: &str) -> Result<Circuit> {
+    let mut width: Option<usize> = None;
+    let mut levels: Vec<Vec<Gate>> = Vec::new();
+    for (ln, raw) in input.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = ln + 1;
+        if width.is_none() {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("qubits"), Some(n), None) => {
+                    let n: usize = n.parse().map_err(|_| CircuitError::Parse {
+                        line: lineno,
+                        message: format!("invalid qubit count `{n}`"),
+                    })?;
+                    width = Some(n);
+                }
+                _ => {
+                    return Err(CircuitError::Parse {
+                        line: lineno,
+                        message: "expected header `qubits N`".into(),
+                    })
+                }
+            }
+            continue;
+        }
+        let mut level = Vec::new();
+        for chunk in line.split(';') {
+            let chunk = chunk.trim();
+            if chunk.is_empty() {
+                continue;
+            }
+            level.push(parse_gate(chunk, lineno)?);
+        }
+        levels.push(level);
+    }
+    let width = width.ok_or(CircuitError::Parse {
+        line: input.lines().count().max(1),
+        message: "missing header `qubits N`".into(),
+    })?;
+    Circuit::from_levels(width, levels)
+}
+
+fn parse_gate(text: &str, line: usize) -> Result<Gate> {
+    let err = |message: String| CircuitError::Parse { line, message };
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    let parse_qubit = |tok: &str| -> Result<Qubit> {
+        let idx = tok
+            .strip_prefix('q')
+            .and_then(|s| s.parse::<usize>().ok())
+            .ok_or_else(|| err(format!("invalid qubit `{tok}`")))?;
+        Ok(Qubit::new(idx))
+    };
+    let parse_num = |tok: &str| -> Result<f64> {
+        tok.parse::<f64>().map_err(|_| err(format!("invalid number `{tok}`")))
+    };
+    match tokens.as_slice() {
+        ["rx", q, a] => Ok(Gate::rx(parse_qubit(q)?, parse_num(a)?)),
+        ["ry", q, a] => Ok(Gate::ry(parse_qubit(q)?, parse_num(a)?)),
+        ["rz", q, a] => Ok(Gate::rz(parse_qubit(q)?, parse_num(a)?)),
+        ["zz", a, b, ang] => {
+            let (qa, qb) = (parse_qubit(a)?, parse_qubit(b)?);
+            if qa == qb {
+                return Err(err(format!("zz needs distinct qubits, got {qa} twice")));
+            }
+            Ok(Gate::zz(qa, qb, parse_num(ang)?))
+        }
+        ["swap", a, b] => {
+            let (qa, qb) = (parse_qubit(a)?, parse_qubit(b)?);
+            if qa == qb {
+                return Err(err(format!("swap needs distinct qubits, got {qa} twice")));
+            }
+            Ok(Gate::swap(qa, qb))
+        }
+        ["u1", q, w, name] => {
+            let w = parse_num(w)?;
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(err(format!("invalid weight `{w}`")));
+            }
+            Ok(Gate::custom1(parse_qubit(q)?, w, *name))
+        }
+        ["u2", a, b, w, name] => {
+            let (qa, qb) = (parse_qubit(a)?, parse_qubit(b)?);
+            if qa == qb {
+                return Err(err(format!("u2 needs distinct qubits, got {qa} twice")));
+            }
+            let w = parse_num(w)?;
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(err(format!("invalid weight `{w}`")));
+            }
+            Ok(Gate::custom2(qa, qb, w, *name))
+        }
+        _ => Err(err(format!("unrecognized gate `{text}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_gate_kind() {
+        let src = "qubits 4\n\
+                   rx q0 90 ; ry q1 -45.5\n\
+                   rz q2 180\n\
+                   zz q0 q3 22.5\n\
+                   swap q1 q2\n\
+                   u1 q0 1.5 pulse\n\
+                   u2 q2 q3 3 entangler\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.gate_count(), 7);
+        assert_eq!(c.depth(), 6);
+        let again = parse(&to_text(&c)).unwrap();
+        assert_eq!(again, c);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let c = parse("# header comment\n\nqubits 2\nry q0 90 # inline\n").unwrap();
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        let err = parse("ry q0 90\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { line: 1, .. }));
+        let err = parse("").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { .. }));
+    }
+
+    #[test]
+    fn bad_tokens_are_reported_with_line() {
+        let err = parse("qubits 2\nry q0 90\nfrobnicate q0\n").unwrap_err();
+        match err {
+            CircuitError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("frobnicate"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_qubit_in_two_qubit_gate() {
+        let err = parse("qubits 2\nzz q1 q1 90\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn out_of_range_qubit_bubbles_up() {
+        let err = parse("qubits 1\nry q1 90\n").unwrap_err();
+        assert!(matches!(err, CircuitError::QubitOutOfRange { .. }));
+    }
+
+    #[test]
+    fn level_structure_preserved() {
+        let c = parse("qubits 3\nry q0 90 ; ry q1 90\nzz q0 q1 90\n").unwrap();
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.levels()[0].len(), 2);
+        // Level conflict caught.
+        let err = parse("qubits 3\nry q0 90 ; zz q0 q1 90\n").unwrap_err();
+        assert!(matches!(err, CircuitError::LevelConflict { .. }));
+    }
+
+    #[test]
+    fn fractional_angles_roundtrip_exactly() {
+        let c = parse("qubits 2\nzz q0 q1 5.625\n").unwrap();
+        let text = to_text(&c);
+        assert!(text.contains("5.625"));
+        assert_eq!(parse(&text).unwrap(), c);
+    }
+}

@@ -1,0 +1,192 @@
+//! Time quantities.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// The paper's delay unit: 10⁻⁴ seconds (Example 1 measures all delays "in
+/// terms of 1/10000 sec").
+pub const UNITS_PER_SECOND: f64 = 10_000.0;
+
+/// A non-negative span of time, stored in the paper's delay units
+/// (1 unit = 0.1 ms).
+///
+/// Circuit runtimes, gate operating times, and environment weights all use
+/// this type; [`Time::seconds`] converts for display, matching the units of
+/// the paper's tables.
+///
+/// ```
+/// use qcp_circuit::Time;
+/// let t = Time::from_units(136.0);
+/// assert_eq!(t.seconds(), 0.0136);
+/// assert_eq!(t.to_string(), "0.0136 sec");
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Time(f64);
+
+impl Time {
+    /// The zero duration.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Creates a time from delay units (1 unit = 10⁻⁴ s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is NaN or negative.
+    #[inline]
+    pub fn from_units(units: f64) -> Self {
+        assert!(!units.is_nan() && units >= 0.0, "time must be a non-negative number, got {units}");
+        Time(units)
+    }
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is NaN or negative.
+    #[inline]
+    pub fn from_seconds(seconds: f64) -> Self {
+        Time::from_units(seconds * UNITS_PER_SECOND)
+    }
+
+    /// The value in delay units.
+    #[inline]
+    pub fn units(self) -> f64 {
+        self.0
+    }
+
+    /// The value in seconds.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0 / UNITS_PER_SECOND
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Total ordering (`f64::total_cmp`); `Time` never holds NaN, so this
+    /// agrees with `PartialOrd`.
+    #[inline]
+    pub fn total_cmp(&self, other: &Time) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
+    /// Returns `true` if this time is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    /// Saturating subtraction: durations never go negative.
+    fn sub(self, rhs: Time) -> Time {
+        Time((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: f64) -> Time {
+        Time::from_units(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Time {
+    type Output = Time;
+    fn div(self, rhs: f64) -> Time {
+        Time::from_units(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    /// Formats in seconds with four decimals, like the paper's tables
+    /// (`.0136 sec` style, with a leading zero).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} sec", self.seconds())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let t = Time::from_seconds(0.0779);
+        assert!((t.units() - 779.0).abs() < 1e-9);
+        assert!((Time::from_units(5170.0).seconds() - 0.517).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_units(10.0);
+        let b = Time::from_units(3.0);
+        assert_eq!((a + b).units(), 13.0);
+        assert_eq!((a - b).units(), 7.0);
+        assert_eq!((b - a).units(), 0.0, "subtraction saturates");
+        assert_eq!((a * 2.5).units(), 25.0);
+        assert_eq!((a / 4.0).units(), 2.5);
+        assert_eq!(a.max(b), a);
+        let total: Time = [a, b, b].into_iter().sum();
+        assert_eq!(total.units(), 16.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_units(1.0) < Time::from_units(2.0));
+        assert_eq!(
+            Time::from_units(1.0).total_cmp(&Time::from_units(1.0)),
+            std::cmp::Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(Time::from_units(136.0).to_string(), "0.0136 sec");
+        assert_eq!(Time::from_units(770.0).to_string(), "0.0770 sec");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_nan() {
+        let _ = Time::from_units(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        let _ = Time::from_units(-1.0);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Time::ZERO.is_zero());
+        assert!(!Time::from_units(0.1).is_zero());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the circuit IR.
+
+use proptest::prelude::*;
+
+use qcp_circuit::{library, text, Circuit, Gate, Qubit};
+
+/// Strategy producing an arbitrary gate on `n` qubits.
+fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
+    let angle = -360.0f64..360.0;
+    let q = 0..n;
+    prop_oneof![
+        (q.clone(), angle.clone()).prop_map(|(i, a)| Gate::rx(Qubit::new(i), a)),
+        (q.clone(), angle.clone()).prop_map(|(i, a)| Gate::ry(Qubit::new(i), a)),
+        (q.clone(), angle.clone()).prop_map(|(i, a)| Gate::rz(Qubit::new(i), a)),
+        (q.clone(), q.clone(), angle).prop_filter_map("distinct", |(i, j, a)| {
+            (i != j).then(|| Gate::zz(Qubit::new(i), Qubit::new(j), a))
+        }),
+        (q.clone(), q.clone()).prop_filter_map("distinct", |(i, j)| {
+            (i != j).then(|| Gate::swap(Qubit::new(i), Qubit::new(j)))
+        }),
+        (q.clone(), 0.0f64..5.0).prop_map(|(i, w)| Gate::custom1(Qubit::new(i), w, "u")),
+        (q.clone(), q, 0.0f64..5.0).prop_filter_map("distinct", |(i, j, w)| {
+            (i != j).then(|| Gate::custom2(Qubit::new(i), Qubit::new(j), w, "g"))
+        }),
+    ]
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (2usize..8).prop_flat_map(|n| {
+        prop::collection::vec(arb_gate(n), 0..40)
+            .prop_map(move |gates| Circuit::from_gates(n, gates).expect("gates fit width"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn levels_always_disjoint(c in arb_circuit()) {
+        for (li, level) in c.levels().iter().enumerate() {
+            let mut used = vec![false; c.qubit_count()];
+            for g in level {
+                let (a, b) = g.qubits();
+                for q in [Some(a), b].into_iter().flatten() {
+                    prop_assert!(!used[q.index()], "level {li} reuses {q}");
+                    used[q.index()] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levelization_preserves_per_qubit_order(c in arb_circuit()) {
+        // Rebuilding from the flattened gate list must keep each qubit's
+        // gate subsequence unchanged (levelization only commutes gates on
+        // disjoint qubits).
+        let gates: Vec<Gate> = c.gates().cloned().collect();
+        let rebuilt = Circuit::from_gates(c.qubit_count(), gates.clone()).unwrap();
+        for q in 0..c.qubit_count() {
+            let seq = |cc: &Circuit| -> Vec<Gate> {
+                cc.gates()
+                    .filter(|g| {
+                        let (a, b) = g.qubits();
+                        a.index() == q || b.is_some_and(|b| b.index() == q)
+                    })
+                    .cloned()
+                    .collect()
+            };
+            prop_assert_eq!(seq(&c), seq(&rebuilt));
+        }
+    }
+
+    #[test]
+    fn depth_never_exceeds_gate_count(c in arb_circuit()) {
+        prop_assert!(c.depth() <= c.gate_count());
+    }
+
+    #[test]
+    fn text_roundtrip(c in arb_circuit()) {
+        let s = text::to_text(&c);
+        let back = text::parse(&s).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn interaction_graph_edges_match_couplings(c in arb_circuit()) {
+        let g = c.interaction_graph();
+        for gate in c.gates() {
+            if let Some((a, b)) = gate.coupling() {
+                prop_assert!(g.has_edge(
+                    qcp_graph::NodeId::new(a.index()),
+                    qcp_graph::NodeId::new(b.index())
+                ));
+            }
+        }
+        // And no spurious edges.
+        let mut pairs = std::collections::HashSet::new();
+        for gate in c.gates() {
+            if let Some((a, b)) = gate.coupling() {
+                let (x, y) = (a.index().min(b.index()), a.index().max(b.index()));
+                pairs.insert((x, y));
+            }
+        }
+        prop_assert_eq!(g.edge_count(), pairs.len());
+    }
+
+    #[test]
+    fn time_weights_nonnegative(c in arb_circuit()) {
+        for g in c.gates() {
+            prop_assert!(g.time_weight() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn staged_circuits_have_expected_shape(n in 2usize..12, seed in any::<u64>()) {
+        let s = library::random::staged(n, seed);
+        let expect_stages = (n as f64).log2().round().max(1.0) as usize;
+        prop_assert_eq!(s.stage_count(), expect_stages);
+        prop_assert_eq!(s.circuit.gate_count(), expect_stages * s.gates_per_stage);
+        // Permutations are bijections.
+        for p in &s.permutations {
+            let mut seen = vec![false; n];
+            for &x in p {
+                prop_assert!(!seen[x]);
+                seen[x] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn qft_interaction_band(n in 2usize..10) {
+        let band = (n as f64).log2().ceil() as usize;
+        let c = library::aqft(n);
+        for (a, b, _) in c.interaction_graph().edges() {
+            prop_assert!(a.index().abs_diff(b.index()) <= band.max(1));
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! The physical environment: a complete weighted graph over nuclei.
+
+use std::fmt;
+
+use qcp_circuit::Time;
+use qcp_graph::{Graph, NodeId, SymMatrix};
+
+use crate::{EnvError, Nucleus, PhysicalQubit, Result, Threshold};
+
+/// A physical environment (Definition 1): nuclei with single-qubit gate
+/// delays, pairwise interaction delays, and an optional chemical-bond
+/// annotation used for figures and the remote-coupling fill rule.
+///
+/// Weights are stored in the paper's delay units (10⁻⁴ s) and are the time
+/// a fixed-angle (90°) gate takes: `GateOperatingTime(G) = W(v_i, v_j) ·
+/// T(G)`. Pairs whose coupling was never specified (and could not be
+/// filled) carry `+∞`: the interaction is physically unusable.
+///
+/// Build environments with [`Environment::builder`]:
+///
+/// ```
+/// use qcp_env::Environment;
+///
+/// let mut b = Environment::builder("toy");
+/// let a = b.nucleus("A", 2.0);
+/// let c = b.nucleus("B", 2.0);
+/// b.bond(a, c, 40.0)?;
+/// let env = b.build()?;
+/// assert_eq!(env.coupling(a, c).units(), 40.0);
+/// # Ok::<(), qcp_env::EnvError>(())
+/// ```
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Environment {
+    name: String,
+    nuclei: Vec<Nucleus>,
+    /// Delay units; diagonal = single-qubit delay, off-diagonal = coupling.
+    weights: SymMatrix<f64>,
+    /// Chemical bonds as index pairs `(a, b)` with `a < b`.
+    bonds: Vec<(u32, u32)>,
+}
+
+impl Environment {
+    /// Starts building an environment with the given display name.
+    pub fn builder(name: impl Into<String>) -> EnvironmentBuilder {
+        EnvironmentBuilder {
+            name: name.into(),
+            nuclei: Vec::new(),
+            singles: Vec::new(),
+            couplings: Vec::new(),
+            bonds: Vec::new(),
+        }
+    }
+
+    /// Display name of the environment.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits (nuclei).
+    pub fn qubit_count(&self) -> usize {
+        self.nuclei.len()
+    }
+
+    /// Iterates over all physical qubits in index order.
+    pub fn qubits(&self) -> impl ExactSizeIterator<Item = PhysicalQubit> {
+        (0..self.nuclei.len()).map(PhysicalQubit::new)
+    }
+
+    /// Metadata of nucleus `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn nucleus(&self, v: PhysicalQubit) -> &Nucleus {
+        &self.nuclei[v.index()]
+    }
+
+    /// Single-qubit 90°-gate delay on nucleus `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn single_qubit_delay(&self, v: PhysicalQubit) -> Time {
+        Time::from_units(self.weights.get(v.index(), v.index()))
+    }
+
+    /// Coupling delay (90° two-qubit gate) between distinct nuclei; `+∞`
+    /// (as an infinite `Time`) when the pair cannot interact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `a == b` (use
+    /// [`single_qubit_delay`](Environment::single_qubit_delay) for the
+    /// diagonal).
+    pub fn coupling(&self, a: PhysicalQubit, b: PhysicalQubit) -> Time {
+        assert!(a != b, "coupling({a}, {a}) is a single-qubit delay");
+        Time::from_units(self.weights.get(a.index(), b.index()))
+    }
+
+    /// Raw weight lookup in delay units; diagonal allowed.
+    pub fn weight_units(&self, a: PhysicalQubit, b: PhysicalQubit) -> f64 {
+        self.weights.get(a.index(), b.index())
+    }
+
+    /// The *fast-interaction graph* (§5 preprocessing): nuclei as nodes,
+    /// edges for every coupling strictly below `threshold`, weighted by the
+    /// coupling delay.
+    pub fn fast_graph(&self, threshold: Threshold) -> Graph {
+        let n = self.qubit_count();
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                let w = self.weights.get(i, j);
+                if threshold.is_fast(w) {
+                    g.add_edge(NodeId::new(i), NodeId::new(j), w)
+                        .expect("pairs are unique and distinct");
+                }
+            }
+        }
+        g
+    }
+
+    /// The complete interaction graph restricted to finite couplings.
+    pub fn full_graph(&self) -> Graph {
+        self.fast_graph(Threshold::unbounded())
+    }
+
+    /// The chemical-bond graph (used in Figs. 1 and 3); weights are the
+    /// bond coupling delays.
+    pub fn bond_graph(&self) -> Graph {
+        let mut g = Graph::new(self.qubit_count());
+        for &(a, b) in &self.bonds {
+            let w = self.weights.get(a as usize, b as usize);
+            g.add_edge(NodeId::new(a as usize), NodeId::new(b as usize), w)
+                .expect("bonds are unique pairs");
+        }
+        g
+    }
+
+    /// The smallest threshold whose fast graph is connected — the paper's
+    /// suggested automatic choice ("the minimal value such that the graph
+    /// associated with fastest interactions is connected"). Returns `None`
+    /// if even all finite couplings leave the environment disconnected.
+    pub fn connectivity_threshold(&self) -> Option<Threshold> {
+        let n = self.qubit_count();
+        if n <= 1 {
+            return Some(Threshold::new(0.0));
+        }
+        // Bottleneck spanning tree: sort couplings, union until connected.
+        let mut edges: Vec<(f64, usize, usize)> = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                let w = self.weights.get(i, j);
+                if w.is_finite() {
+                    edges.push((w, i, j));
+                }
+            }
+        }
+        edges.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut components = n;
+        for (w, i, j) in edges {
+            let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+            if ri != rj {
+                parent[ri] = rj;
+                components -= 1;
+                if components == 1 {
+                    return Some(Threshold::above(Time::from_units(w)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Names of all nuclei, index-aligned (for figures and tables).
+    pub fn nucleus_names(&self) -> Vec<String> {
+        self.nuclei.iter().map(|n| n.name().to_string()).collect()
+    }
+
+    /// Looks up a nucleus by display name.
+    pub fn find_nucleus(&self, name: &str) -> Option<PhysicalQubit> {
+        self.nuclei.iter().position(|n| n.name() == name).map(PhysicalQubit::new)
+    }
+}
+
+impl fmt::Display for Environment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "environment `{}` with {} nuclei:", self.name, self.qubit_count())?;
+        for v in self.qubits() {
+            writeln!(
+                f,
+                "  {} ({}): single-qubit delay {}",
+                v,
+                self.nucleus(v).name(),
+                self.weights.get(v.index(), v.index())
+            )?;
+        }
+        for i in 0..self.qubit_count() {
+            for j in i + 1..self.qubit_count() {
+                let w = self.weights.get(i, j);
+                if w.is_finite() {
+                    writeln!(
+                        f,
+                        "  {} -- {}: {}",
+                        self.nuclei[i].name(),
+                        self.nuclei[j].name(),
+                        w
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Environment`] (see the type-level example).
+#[derive(Clone, Debug)]
+pub struct EnvironmentBuilder {
+    name: String,
+    nuclei: Vec<Nucleus>,
+    singles: Vec<f64>,
+    couplings: Vec<(u32, u32, f64)>,
+    bonds: Vec<(u32, u32)>,
+}
+
+impl EnvironmentBuilder {
+    /// Adds a nucleus with the given display name and single-qubit
+    /// 90°-gate delay (units of 10⁻⁴ s), returning its identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `single_delay` is NaN or negative (static misuse).
+    pub fn nucleus(&mut self, name: impl Into<String>, single_delay: f64) -> PhysicalQubit {
+        assert!(
+            !single_delay.is_nan() && single_delay >= 0.0,
+            "single-qubit delay must be non-negative"
+        );
+        self.nuclei.push(Nucleus::new(name));
+        self.singles.push(single_delay);
+        PhysicalQubit::new(self.nuclei.len() - 1)
+    }
+
+    /// Declares a coupling of `delay` units between two nuclei.
+    ///
+    /// # Errors
+    ///
+    /// * [`EnvError::UnknownNucleus`] for out-of-range nuclei;
+    /// * [`EnvError::SelfCoupling`] if `a == b`;
+    /// * [`EnvError::DuplicateCoupling`] if the pair repeats;
+    /// * [`EnvError::InvalidDelay`] for NaN or negative delays.
+    pub fn coupling(&mut self, a: PhysicalQubit, b: PhysicalQubit, delay: f64) -> Result<&mut Self> {
+        self.check(a)?;
+        self.check(b)?;
+        if a == b {
+            return Err(EnvError::SelfCoupling(a));
+        }
+        if delay.is_nan() || delay < 0.0 {
+            return Err(EnvError::InvalidDelay { delay, what: "coupling" });
+        }
+        let key = (a.index().min(b.index()) as u32, a.index().max(b.index()) as u32);
+        if self.couplings.iter().any(|&(x, y, _)| (x, y) == key) {
+            return Err(EnvError::DuplicateCoupling(a, b));
+        }
+        self.couplings.push((key.0, key.1, delay));
+        Ok(self)
+    }
+
+    /// Declares a coupling that follows a chemical bond. Bonds behave like
+    /// couplings but are additionally recorded in
+    /// [`Environment::bond_graph`] and seed
+    /// [`fill_remote_couplings`](EnvironmentBuilder::fill_remote_couplings).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`coupling`](EnvironmentBuilder::coupling).
+    pub fn bond(&mut self, a: PhysicalQubit, b: PhysicalQubit, delay: f64) -> Result<&mut Self> {
+        self.coupling(a, b, delay)?;
+        let key = (a.index().min(b.index()) as u32, a.index().max(b.index()) as u32);
+        self.bonds.push(key);
+        Ok(self)
+    }
+
+    /// Fills every unspecified coupling from the bond structure: a pair at
+    /// bond distance `d` (shortest bond path, summing bond delays) gets
+    /// weight `path_delay · growth^(d-1)`.
+    ///
+    /// Multi-bond J couplings fall off roughly an order of magnitude per
+    /// extra bond, so `growth` around 4–8 produces realistic complete
+    /// weight tables; pairs in different bond components stay at `+∞`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `growth < 1.0` (weights must not shrink with distance).
+    pub fn fill_remote_couplings(&mut self, growth: f64) -> &mut Self {
+        assert!(growth >= 1.0, "growth factor must be at least 1, got {growth}");
+        let n = self.nuclei.len();
+        // Dijkstra over bonds from every source (environments are small).
+        let mut bond_adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(a, b) in &self.bonds {
+            let w = self
+                .couplings
+                .iter()
+                .find(|&&(x, y, _)| (x, y) == (a, b))
+                .map(|&(_, _, w)| w)
+                .expect("bond has a coupling");
+            bond_adj[a as usize].push((b as usize, w));
+            bond_adj[b as usize].push((a as usize, w));
+        }
+        let have: std::collections::HashSet<(u32, u32)> =
+            self.couplings.iter().map(|&(a, b, _)| (a, b)).collect();
+        for src in 0..n {
+            // (delay sum, hop count) per node, shortest by delay.
+            let mut dist: Vec<Option<(f64, u32)>> = vec![None; n];
+            dist[src] = Some((0.0, 0));
+            let mut heap = std::collections::BinaryHeap::new();
+            heap.push((std::cmp::Reverse(0u64), src));
+            let as_bits = |d: f64| d.to_bits();
+            while let Some((std::cmp::Reverse(dbits), u)) = heap.pop() {
+                let (du, hu) = dist[u].expect("popped nodes have distances");
+                if as_bits(du) != dbits {
+                    continue;
+                }
+                for &(v, w) in &bond_adj[u] {
+                    let cand = (du + w, hu + 1);
+                    if dist[v].is_none_or(|(dv, _)| cand.0 < dv) {
+                        dist[v] = Some(cand);
+                        heap.push((std::cmp::Reverse(as_bits(cand.0)), v));
+                    }
+                }
+            }
+            for (dst, entry) in dist.iter().enumerate().skip(src + 1) {
+                let key = (src as u32, dst as u32);
+                if have.contains(&key) {
+                    continue;
+                }
+                if let Some((d, hops)) = entry {
+                    if *hops >= 1 {
+                        let w = d * growth.powi(*hops as i32 - 1);
+                        self.couplings.push((key.0, key.1, w));
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    fn check(&self, v: PhysicalQubit) -> Result<()> {
+        if v.index() >= self.nuclei.len() {
+            return Err(EnvError::UnknownNucleus { qubit: v, count: self.nuclei.len() });
+        }
+        Ok(())
+    }
+
+    /// Finishes the build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::Empty`] if no nuclei were added.
+    pub fn build(&self) -> Result<Environment> {
+        let n = self.nuclei.len();
+        if n == 0 {
+            return Err(EnvError::Empty);
+        }
+        let mut weights = SymMatrix::new(n, f64::INFINITY);
+        for (i, &s) in self.singles.iter().enumerate() {
+            weights.set(i, i, s);
+        }
+        for &(a, b, w) in &self.couplings {
+            weights.set(a as usize, b as usize, w);
+        }
+        Ok(Environment {
+            name: self.name.clone(),
+            nuclei: self.nuclei.clone(),
+            weights,
+            bonds: self.bonds.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_graph::traversal::is_connected;
+
+    fn toy() -> Environment {
+        let mut b = Environment::builder("toy");
+        let v0 = b.nucleus("A", 2.0);
+        let v1 = b.nucleus("B", 3.0);
+        let v2 = b.nucleus("C", 4.0);
+        b.bond(v0, v1, 10.0).unwrap();
+        b.bond(v1, v2, 20.0).unwrap();
+        b.coupling(v0, v2, 200.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lookups() {
+        let env = toy();
+        let p = PhysicalQubit::new;
+        assert_eq!(env.qubit_count(), 3);
+        assert_eq!(env.nucleus(p(1)).name(), "B");
+        assert_eq!(env.single_qubit_delay(p(2)).units(), 4.0);
+        assert_eq!(env.coupling(p(0), p(1)).units(), 10.0);
+        assert_eq!(env.coupling(p(2), p(0)).units(), 200.0);
+        assert_eq!(env.find_nucleus("C"), Some(p(2)));
+        assert_eq!(env.find_nucleus("Z"), None);
+    }
+
+    #[test]
+    fn fast_graph_respects_threshold() {
+        let env = toy();
+        assert_eq!(env.fast_graph(Threshold::new(15.0)).edge_count(), 1);
+        assert_eq!(env.fast_graph(Threshold::new(25.0)).edge_count(), 2);
+        assert_eq!(env.fast_graph(Threshold::new(1000.0)).edge_count(), 3);
+        assert_eq!(env.full_graph().edge_count(), 3);
+    }
+
+    #[test]
+    fn bond_graph_only_bonds() {
+        let env = toy();
+        let g = env.bond_graph();
+        assert_eq!(g.edge_count(), 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn connectivity_threshold_is_bottleneck() {
+        let env = toy();
+        let t = env.connectivity_threshold().unwrap();
+        // Needs edges 10 and 20: the bottleneck is 20, threshold just above.
+        assert!(t.is_fast(20.0));
+        assert!(!t.is_fast(20.1));
+        assert!(is_connected(&env.fast_graph(t)));
+    }
+
+    #[test]
+    fn disconnected_environment_has_no_threshold() {
+        let mut b = Environment::builder("split");
+        let v0 = b.nucleus("A", 1.0);
+        let v1 = b.nucleus("B", 1.0);
+        let _v2 = b.nucleus("C", 1.0);
+        b.coupling(v0, v1, 5.0).unwrap();
+        let env = b.build().unwrap();
+        assert_eq!(env.connectivity_threshold(), None);
+        assert_eq!(env.coupling(v0, PhysicalQubit::new(2)).units(), f64::INFINITY);
+    }
+
+    #[test]
+    fn builder_validations() {
+        let mut b = Environment::builder("bad");
+        let v0 = b.nucleus("A", 1.0);
+        let v1 = b.nucleus("B", 1.0);
+        assert_eq!(b.coupling(v0, v0, 5.0).unwrap_err(), EnvError::SelfCoupling(v0));
+        b.coupling(v0, v1, 5.0).unwrap();
+        assert_eq!(
+            b.coupling(v1, v0, 6.0).unwrap_err(),
+            EnvError::DuplicateCoupling(v1, v0)
+        );
+        assert!(matches!(
+            b.coupling(v0, PhysicalQubit::new(7), 1.0).unwrap_err(),
+            EnvError::UnknownNucleus { .. }
+        ));
+        assert!(matches!(
+            Environment::builder("empty").build().unwrap_err(),
+            EnvError::Empty
+        ));
+    }
+
+    #[test]
+    fn fill_remote_couplings_uses_bond_paths() {
+        let mut b = Environment::builder("chainy");
+        let v: Vec<PhysicalQubit> = (0..4).map(|i| b.nucleus(format!("N{i}"), 1.0)).collect();
+        b.bond(v[0], v[1], 10.0).unwrap();
+        b.bond(v[1], v[2], 20.0).unwrap();
+        b.bond(v[2], v[3], 30.0).unwrap();
+        b.fill_remote_couplings(5.0);
+        let env = b.build().unwrap();
+        // Distance 2: (10+20) * 5 = 150.
+        assert_eq!(env.coupling(v[0], v[2]).units(), 150.0);
+        // Distance 3: (10+20+30) * 25 = 1500.
+        assert_eq!(env.coupling(v[0], v[3]).units(), 1500.0);
+        // Bonds unchanged.
+        assert_eq!(env.coupling(v[2], v[3]).units(), 30.0);
+    }
+
+    #[test]
+    fn fill_does_not_override_explicit() {
+        let mut b = Environment::builder("explicit");
+        let v0 = b.nucleus("A", 1.0);
+        let v1 = b.nucleus("B", 1.0);
+        let v2 = b.nucleus("C", 1.0);
+        b.bond(v0, v1, 10.0).unwrap();
+        b.bond(v1, v2, 10.0).unwrap();
+        b.coupling(v0, v2, 77.0).unwrap();
+        b.fill_remote_couplings(6.0);
+        let env = b.build().unwrap();
+        assert_eq!(env.coupling(v0, v2).units(), 77.0);
+    }
+
+    #[test]
+    fn display_mentions_nuclei() {
+        let s = toy().to_string();
+        assert!(s.contains("`toy`"));
+        assert!(s.contains("A -- B: 10"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for environment construction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::PhysicalQubit;
+
+/// Errors returned when building or querying a physical environment.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum EnvError {
+    /// A nucleus index referred outside the environment.
+    UnknownNucleus {
+        /// The offending physical qubit.
+        qubit: PhysicalQubit,
+        /// Number of nuclei present.
+        count: usize,
+    },
+    /// The same coupling was specified twice.
+    DuplicateCoupling(PhysicalQubit, PhysicalQubit),
+    /// A coupling joined a nucleus to itself.
+    SelfCoupling(PhysicalQubit),
+    /// A delay was NaN or negative.
+    InvalidDelay {
+        /// Offending delay in units.
+        delay: f64,
+        /// Context for the message.
+        what: &'static str,
+    },
+    /// The environment has no nuclei.
+    Empty,
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::UnknownNucleus { qubit, count } => {
+                write!(f, "nucleus {qubit} unknown in an environment of {count} nuclei")
+            }
+            EnvError::DuplicateCoupling(a, b) => {
+                write!(f, "coupling ({a}, {b}) specified twice")
+            }
+            EnvError::SelfCoupling(v) => write!(f, "nucleus {v} cannot couple to itself"),
+            EnvError::InvalidDelay { delay, what } => {
+                write!(f, "invalid {what} delay {delay}")
+            }
+            EnvError::Empty => write!(f, "environment has no nuclei"),
+        }
+    }
+}
+
+impl Error for EnvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = EnvError::DuplicateCoupling(PhysicalQubit::new(0), PhysicalQubit::new(1));
+        assert!(e.to_string().contains("p0"));
+        assert!(EnvError::Empty.to_string().contains("no nuclei"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_traits<T: Error + Send + Sync>() {}
+        assert_traits::<EnvError>();
+    }
+}

@@ -1,0 +1,47 @@
+//! Physical environments (molecules) for quantum circuit placement.
+//!
+//! Definition 1 of the paper: *a physical environment (molecule) is a
+//! complete non-oriented graph* over nuclei, with edge weights proportional
+//! to the inverse coupling frequency (how long a fixed-angle two-qubit gate
+//! takes on that pair) and diagonal weights giving single-qubit gate
+//! delays. [`Environment`] is that object; [`Threshold`] selects which
+//! interactions count as *fast* (§5 preprocessing), and
+//! [`Environment::fast_graph`] extracts the fast-interaction graph the
+//! placer aligns circuits along.
+//!
+//! The [`molecules`] module ships every environment used in the paper's
+//! evaluation: acetyl chloride (Fig. 1, with the exact weights recovered
+//! from Table 1), trans-crotonic acid, the 12-spin histidine register, the
+//! 5-spin BOC-glycine-fluoride and pentafluorobutadienyl-iron molecules,
+//! and the linear-nearest-neighbour chains of the scalability study.
+//!
+//! # Example
+//!
+//! ```
+//! use qcp_env::{molecules, Threshold};
+//!
+//! let acetyl = molecules::acetyl_chloride();
+//! assert_eq!(acetyl.qubit_count(), 3);
+//! // Fast graph at threshold 100: the two chemical bonds M–C1 and C1–C2.
+//! let fast = acetyl.fast_graph(Threshold::new(100.0));
+//! assert_eq!(fast.edge_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod environment;
+mod error;
+pub mod molecules;
+pub mod nmr;
+pub mod text;
+mod nucleus;
+mod threshold;
+
+pub use environment::{Environment, EnvironmentBuilder};
+pub use error::EnvError;
+pub use nucleus::{Nucleus, PhysicalQubit};
+pub use threshold::Threshold;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T, E = EnvError> = std::result::Result<T, E>;

@@ -1,0 +1,98 @@
+//! Liquid-state NMR unit conversions.
+//!
+//! In liquid-state NMR a two-qubit `ZZ(90°)` gate is implemented by free
+//! evolution under the scalar J coupling for a time `1/(2J)`; single-qubit
+//! `R_x/R_y` pulses take the length of the shaped RF pulse. This module
+//! converts those physical quantities into the paper's delay units
+//! (1 unit = 10⁻⁴ s, see Example 1: "the delays are measured in terms of
+//! 1/10000 sec, and are rounded to keep the numbers integer").
+
+use qcp_circuit::Time;
+
+/// Delay units (10⁻⁴ s) for a 90° ZZ rotation under a scalar coupling of
+/// `j_hz` hertz: `1/(2J)` seconds, rounded to an integer number of units
+/// as in the paper.
+///
+/// ```
+/// use qcp_env::nmr::zz90_delay_units;
+/// // A 131 Hz one-bond C–H coupling: 5000/131 ≈ 38 units (the M–C1 edge
+/// // of acetyl chloride in Fig. 1).
+/// assert_eq!(zz90_delay_units(131.0), 38.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `j_hz` is not strictly positive.
+pub fn zz90_delay_units(j_hz: f64) -> f64 {
+    assert!(j_hz > 0.0 && j_hz.is_finite(), "coupling must be positive, got {j_hz} Hz");
+    (5000.0 / j_hz).round()
+}
+
+/// Delay units for a shaped RF pulse of `micros` microseconds (a 90°
+/// single-qubit rotation), rounded to an integer number of units.
+///
+/// ```
+/// use qcp_env::nmr::pulse_delay_units;
+/// assert_eq!(pulse_delay_units(800.0), 8.0); // an 0.8 ms selective pulse
+/// ```
+///
+/// # Panics
+///
+/// Panics if `micros` is negative or not finite.
+pub fn pulse_delay_units(micros: f64) -> f64 {
+    assert!(micros >= 0.0 && micros.is_finite(), "pulse length must be non-negative");
+    (micros / 100.0).round()
+}
+
+/// The J coupling (Hz) corresponding to a ZZ(90°) delay of `units` — the
+/// inverse of [`zz90_delay_units`], useful for reporting tables in the
+/// molecule's native terms.
+///
+/// # Panics
+///
+/// Panics if `units` is not strictly positive.
+pub fn j_from_delay_units(units: f64) -> f64 {
+    assert!(units > 0.0 && units.is_finite(), "delay must be positive");
+    5000.0 / units
+}
+
+/// Convenience: the `Time` of a 90° ZZ rotation for a `j_hz` coupling.
+pub fn zz90_time(j_hz: f64) -> Time {
+    Time::from_units(zz90_delay_units(j_hz))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acetyl_chloride_reconstruction() {
+        // The Fig. 1 weights correspond to physically sensible couplings:
+        // 38 units ≈ 131 Hz (one-bond C–H), 89 ≈ 56 Hz (one-bond C–C),
+        // 672 ≈ 7.4 Hz (two-bond C–H).
+        assert_eq!(zz90_delay_units(131.0), 38.0);
+        assert_eq!(zz90_delay_units(56.0), 89.0);
+        assert_eq!(zz90_delay_units(7.44), 672.0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for u in [10.0, 38.0, 89.0, 672.0] {
+            let j = j_from_delay_units(u);
+            assert_eq!(zz90_delay_units(j), u);
+        }
+    }
+
+    #[test]
+    fn pulses() {
+        assert_eq!(pulse_delay_units(100.0), 1.0);
+        assert_eq!(pulse_delay_units(0.0), 0.0);
+        assert_eq!(zz90_time(50.0).units(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_coupling() {
+        let _ = zz90_delay_units(0.0);
+    }
+}

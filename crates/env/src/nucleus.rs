@@ -1,0 +1,100 @@
+//! Physical qubits (nuclei) and their metadata.
+
+use std::fmt;
+
+/// Identifier of a *physical* qubit — a nucleus of the molecule (or a site
+/// of a synthetic architecture).
+///
+/// Physical qubits index into an [`Environment`](crate::Environment); they
+/// are deliberately a different type from logical circuit qubits
+/// (`qcp_circuit::Qubit`) so placements cannot be applied backwards.
+///
+/// ```
+/// use qcp_env::PhysicalQubit;
+/// let v = PhysicalQubit::new(1);
+/// assert_eq!(v.index(), 1);
+/// assert_eq!(v.to_string(), "p1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PhysicalQubit(u32);
+
+impl PhysicalQubit {
+    /// Creates a physical-qubit identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        PhysicalQubit(u32::try_from(index).expect("physical qubit index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for PhysicalQubit {
+    fn from(index: usize) -> Self {
+        PhysicalQubit::new(index)
+    }
+}
+
+impl From<PhysicalQubit> for usize {
+    fn from(v: PhysicalQubit) -> Self {
+        v.index()
+    }
+}
+
+impl fmt::Display for PhysicalQubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Metadata of one nucleus: its display name (e.g. `"C1"`, `"M"`, `"Hα"`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Nucleus {
+    name: String,
+}
+
+impl Nucleus {
+    /// Creates a nucleus with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Nucleus { name: name.into() }
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Nucleus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_qubit_roundtrip() {
+        assert_eq!(PhysicalQubit::new(5).index(), 5);
+        assert_eq!(usize::from(PhysicalQubit::from(2usize)), 2);
+        assert_eq!(PhysicalQubit::new(3).to_string(), "p3");
+    }
+
+    #[test]
+    fn nucleus_name() {
+        let n = Nucleus::new("C1");
+        assert_eq!(n.name(), "C1");
+        assert_eq!(n.to_string(), "C1");
+    }
+}

@@ -1,0 +1,193 @@
+//! A small line-oriented text format for physical environments.
+//!
+//! ```text
+//! environment acetyl-chloride
+//! nucleus M 8        # name, single-qubit 90-degree delay
+//! nucleus C1 8
+//! nucleus C2 1
+//! bond M C1 38       # chemical bond with coupling delay
+//! bond C1 C2 89
+//! coupling M C2 672  # non-bond coupling
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. Unspecified pairs stay at
+//! `+∞` (unusable), exactly as with the builder API.
+//!
+//! ```
+//! use qcp_env::{molecules, text};
+//! let m = molecules::acetyl_chloride();
+//! let round = text::parse(&text::to_text(&m))?;
+//! assert_eq!(round.qubit_count(), 3);
+//! assert_eq!(round.coupling(
+//!     round.find_nucleus("M").unwrap(),
+//!     round.find_nucleus("C2").unwrap(),
+//! ).units(), 672.0);
+//! # Ok::<(), qcp_env::EnvError>(())
+//! ```
+
+use crate::{EnvError, Environment, Result};
+
+/// Serializes an environment in the text format.
+///
+/// Bond couplings are emitted as `bond` lines, other finite couplings as
+/// `coupling` lines; infinite (absent) couplings are omitted.
+pub fn to_text(env: &Environment) -> String {
+    let mut out = format!("environment {}\n", env.name().replace(' ', "-"));
+    let names = env.nucleus_names();
+    for v in env.qubits() {
+        out.push_str(&format!(
+            "nucleus {} {}\n",
+            names[v.index()],
+            env.single_qubit_delay(v).units()
+        ));
+    }
+    let bonds = env.bond_graph();
+    for i in 0..env.qubit_count() {
+        for j in i + 1..env.qubit_count() {
+            let w = env.weight_units(
+                crate::PhysicalQubit::new(i),
+                crate::PhysicalQubit::new(j),
+            );
+            if !w.is_finite() {
+                continue;
+            }
+            let kind = if bonds.has_edge(qcp_graph::NodeId::new(i), qcp_graph::NodeId::new(j)) {
+                "bond"
+            } else {
+                "coupling"
+            };
+            out.push_str(&format!("{kind} {} {} {w}\n", names[i], names[j]));
+        }
+    }
+    out
+}
+
+/// Parses an environment from the text format.
+///
+/// # Errors
+///
+/// Returns [`EnvError::InvalidDelay`] for malformed numbers and
+/// [`EnvError::UnknownNucleus`]-style failures through the builder; header
+/// and structural problems are reported as [`EnvError::InvalidDelay`] with
+/// a describing context or as builder errors.
+pub fn parse(input: &str) -> Result<Environment> {
+    let mut builder: Option<crate::EnvironmentBuilder> = None;
+    let mut names: Vec<String> = Vec::new();
+    let bad = |what: &'static str| EnvError::InvalidDelay { delay: f64::NAN, what };
+
+    for raw in input.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["environment", name] => {
+                builder = Some(Environment::builder(name.to_string()));
+            }
+            ["nucleus", name, delay] => {
+                let b = builder.as_mut().ok_or_else(|| bad("missing environment header"))?;
+                let d: f64 = delay.parse().map_err(|_| bad("nucleus"))?;
+                if d.is_nan() || d < 0.0 {
+                    return Err(EnvError::InvalidDelay { delay: d, what: "nucleus" });
+                }
+                b.nucleus(name.to_string(), d);
+                names.push((*name).to_string());
+            }
+            [kind @ ("bond" | "coupling"), a, b_, delay] => {
+                let b = builder.as_mut().ok_or_else(|| bad("missing environment header"))?;
+                let find = |n: &str| {
+                    names
+                        .iter()
+                        .position(|x| x == n)
+                        .map(crate::PhysicalQubit::new)
+                        .ok_or(EnvError::UnknownNucleus {
+                            qubit: crate::PhysicalQubit::new(u32::MAX as usize),
+                            count: names.len(),
+                        })
+                };
+                let (va, vb) = (find(a)?, find(b_)?);
+                let d: f64 = delay.parse().map_err(|_| bad("coupling"))?;
+                if *kind == "bond" {
+                    b.bond(va, vb, d)?;
+                } else {
+                    b.coupling(va, vb, d)?;
+                }
+            }
+            _ => return Err(bad("unrecognized line")),
+        }
+    }
+    builder.ok_or(EnvError::Empty)?.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecules;
+
+    #[test]
+    fn roundtrip_all_molecules() {
+        for name in molecules::NAMES {
+            let env = molecules::named(name).unwrap();
+            let round = parse(&to_text(&env)).unwrap();
+            assert_eq!(round.qubit_count(), env.qubit_count(), "{name}");
+            for i in env.qubits() {
+                assert_eq!(
+                    round.single_qubit_delay(i).units(),
+                    env.single_qubit_delay(i).units()
+                );
+                for j in env.qubits() {
+                    if i < j {
+                        assert_eq!(
+                            round.weight_units(i, j),
+                            env.weight_units(i, j),
+                            "{name} ({i},{j})"
+                        );
+                    }
+                }
+            }
+            // Bond structure preserved.
+            assert_eq!(round.bond_graph().edge_count(), env.bond_graph().edge_count());
+        }
+    }
+
+    #[test]
+    fn parse_custom() {
+        let env = parse(
+            "# toy molecule\nenvironment toy\nnucleus A 2\nnucleus B 3\nbond A B 40\n",
+        )
+        .unwrap();
+        assert_eq!(env.qubit_count(), 2);
+        assert_eq!(env.name(), "toy");
+        let (a, b) = (env.find_nucleus("A").unwrap(), env.find_nucleus("B").unwrap());
+        assert_eq!(env.coupling(a, b).units(), 40.0);
+        assert_eq!(env.bond_graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("nucleus A 1\n").is_err(), "missing header");
+        assert!(parse("environment x\nfrobnicate\n").is_err());
+        assert!(parse("environment x\nnucleus A one\n").is_err());
+        assert!(parse("environment x\nnucleus A 1\nbond A Z 3\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_coupling_detected() {
+        let err = parse(
+            "environment x\nnucleus A 1\nnucleus B 1\nbond A B 5\ncoupling B A 6\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, EnvError::DuplicateCoupling(..)));
+    }
+
+    #[test]
+    fn infinite_pairs_omitted_from_text() {
+        let env = molecules::lnn_chain(4, 10.0);
+        let text = to_text(&env);
+        // 3 bonds only; no coupling lines for non-neighbours.
+        assert_eq!(text.matches("bond").count(), 3);
+        assert_eq!(text.matches("coupling").count(), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The fast-interaction threshold.
+
+use std::fmt;
+
+use qcp_circuit::Time;
+
+/// The `Threshold` of §5: an interaction with weight strictly *below* this
+/// value (in delay units of 10⁻⁴ s) is considered fast and may be used by
+/// the placed circuit; slower interactions are refocussed away.
+///
+/// The paper evaluates thresholds `{50, 100, 200, 500, 1000, 10000}`
+/// (Table 3) and suggests, as an automatic default, the minimal value
+/// keeping the fast graph connected
+/// ([`Environment::connectivity_threshold`]).
+///
+/// ```
+/// use qcp_env::Threshold;
+/// let t = Threshold::new(200.0);
+/// assert!(t.is_fast(199.9));
+/// assert!(!t.is_fast(200.0)); // strictly below
+/// assert!(Threshold::unbounded().is_fast(1e12));
+/// ```
+///
+/// [`Environment::connectivity_threshold`]: crate::Environment::connectivity_threshold
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Threshold(f64);
+
+impl Threshold {
+    /// Creates a threshold of `units` delay units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is NaN or negative.
+    pub fn new(units: f64) -> Self {
+        assert!(!units.is_nan() && units >= 0.0, "threshold must be non-negative, got {units}");
+        Threshold(units)
+    }
+
+    /// A threshold that admits every finite interaction (the paper's
+    /// `Threshold = 10000` columns behave like this for all molecules in
+    /// the library).
+    pub fn unbounded() -> Self {
+        Threshold(f64::INFINITY)
+    }
+
+    /// The smallest threshold that classifies `time` as fast (i.e. just
+    /// above it).
+    pub fn above(time: Time) -> Self {
+        Threshold(time.units().next_up())
+    }
+
+    /// The threshold value in delay units.
+    pub fn units(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if an interaction of weight `units` counts as fast
+    /// (strictly below the threshold, per §5: "below the `Threshold`").
+    #[inline]
+    pub fn is_fast(self, units: f64) -> bool {
+        units < self.0
+    }
+}
+
+impl fmt::Display for Threshold {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_semantics() {
+        let t = Threshold::new(100.0);
+        assert!(t.is_fast(99.0));
+        assert!(!t.is_fast(100.0));
+        assert!(!t.is_fast(f64::INFINITY));
+    }
+
+    #[test]
+    fn above_is_minimal() {
+        let w = Time::from_units(89.0);
+        let t = Threshold::above(w);
+        assert!(t.is_fast(89.0));
+        assert!(!t.is_fast(89.0f64.next_up()));
+    }
+
+    #[test]
+    fn unbounded_accepts_finite_only() {
+        let t = Threshold::unbounded();
+        assert!(t.is_fast(1e300));
+        assert!(!t.is_fast(f64::INFINITY));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Threshold::new(200.0).to_string(), "200");
+        assert_eq!(Threshold::unbounded().to_string(), "∞");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        let _ = Threshold::new(-1.0);
+    }
+}

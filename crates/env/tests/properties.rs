@@ -1,0 +1,86 @@
+//! Property-based tests for physical environments.
+
+use proptest::prelude::*;
+
+use qcp_env::{molecules, text, Threshold};
+use qcp_graph::traversal::is_connected;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fast_graph_monotone_in_threshold(seed in any::<u64>(), n in 3usize..12) {
+        let env = molecules::random_molecule(n, seed);
+        let mut last_edges = 0usize;
+        for t in [10.0, 30.0, 100.0, 300.0, 1000.0, 1e7] {
+            let g = env.fast_graph(Threshold::new(t));
+            prop_assert!(g.edge_count() >= last_edges, "fast graph must grow with threshold");
+            // Every fast edge weight is strictly below the threshold.
+            for (_, _, w) in g.edges() {
+                prop_assert!(w < t);
+            }
+            last_edges = g.edge_count();
+        }
+    }
+
+    #[test]
+    fn connectivity_threshold_is_tight(seed in any::<u64>(), n in 2usize..12) {
+        let env = molecules::random_molecule(n, seed);
+        let t = env.connectivity_threshold().expect("random molecules are connected");
+        prop_assert!(is_connected(&env.fast_graph(t)));
+        // Strictly below the bottleneck weight the graph disconnects.
+        let bottleneck = t.units();
+        let just_below = Threshold::new(bottleneck * (1.0 - 1e-9));
+        if n > 1 {
+            prop_assert!(!is_connected(&env.fast_graph(just_below)));
+        }
+    }
+
+    #[test]
+    fn env_text_roundtrip_random(seed in any::<u64>(), n in 2usize..10) {
+        let env = molecules::random_molecule(n, seed);
+        let round = text::parse(&text::to_text(&env)).unwrap();
+        prop_assert_eq!(round.qubit_count(), env.qubit_count());
+        for i in env.qubits() {
+            for j in env.qubits() {
+                if i < j {
+                    prop_assert_eq!(round.weight_units(i, j), env.weight_units(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remote_fill_never_faster_than_bond_path(seed in any::<u64>(), n in 3usize..10) {
+        // Filled couplings grow with bond distance: any filled pair is at
+        // least as slow as the slowest bond (they are sums * growth).
+        let env = molecules::random_molecule(n, seed);
+        let bonds = env.bond_graph();
+        let max_bond = bonds.edges().map(|(_, _, w)| w).fold(0.0f64, f64::max);
+        let min_bond = bonds.edges().map(|(_, _, w)| w).fold(f64::INFINITY, f64::min);
+        for i in env.qubits() {
+            for j in env.qubits() {
+                if i < j
+                    && !bonds.has_edge(
+                        qcp_graph::NodeId::new(i.index()),
+                        qcp_graph::NodeId::new(j.index()),
+                    )
+                {
+                    let w = env.weight_units(i, j);
+                    if w.is_finite() {
+                        prop_assert!(w >= 2.0 * min_bond, "remote {w} vs bonds [{min_bond}, {max_bond}]");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chains_and_grids_have_uniform_fast_graphs(n in 2usize..20) {
+        let env = molecules::lnn_chain(n, 10.0);
+        let fast = env.fast_graph(Threshold::new(10.5));
+        prop_assert_eq!(fast.edge_count(), n - 1);
+        prop_assert!(is_connected(&fast));
+        prop_assert!(fast.max_degree() <= 2);
+    }
+}

@@ -1,0 +1,308 @@
+//! Balanced connected bisection and well-separability.
+//!
+//! §5.2 of the paper cuts the fast-interaction graph into two connected
+//! halves `G1`, `G2` of (nearly) equal size; the edges crossing the cut form
+//! the *communication channel* through which misplaced qubit values are
+//! exchanged. The Appendix (Theorem 1) proves every bounded-degree graph of
+//! maximal degree `k` is *well separable* with parameter `s = 1/k`, i.e. the
+//! smaller half is never less than a `1/k` fraction of the larger.
+//!
+//! [`balanced_connected_bisection`] realizes the constructive argument: it
+//! examines spanning-tree edges (a BFS spanning tree has maximum degree at
+//! most that of the graph) and removes the edge whose two components are
+//! most balanced. A tree centroid argument shows the smaller side has at
+//! least `(n−1)/k` vertices, matching the theorem.
+
+use crate::spanning::RootedTree;
+use crate::traversal::is_connected;
+use crate::{Graph, GraphError, NodeId, Result};
+
+/// A bisection of a connected graph into two connected halves.
+#[derive(Clone, Debug)]
+pub struct Bisection {
+    /// The smaller half (ties broken toward the half containing the
+    /// smallest node id).
+    pub left: Vec<NodeId>,
+    /// The larger half.
+    pub right: Vec<NodeId>,
+    /// All graph edges with one endpoint in each half — the paper's
+    /// *communication channel* (never empty for a connected graph).
+    pub channel: Vec<(NodeId, NodeId)>,
+}
+
+impl Bisection {
+    /// Ratio of the smaller to the larger half, the paper's separability
+    /// parameter `s ∈ (0, 1]`.
+    pub fn ratio(&self) -> f64 {
+        self.left.len() as f64 / self.right.len() as f64
+    }
+}
+
+/// Splits a connected graph (`n ≥ 2`) into two connected halves as balanced
+/// as possible, together with the communication-channel edges.
+///
+/// The split is found by building BFS spanning trees from a handful of
+/// roots and removing the tree edge whose subtree is closest to `n/2`
+/// vertices; both sides of a removed tree edge are connected by
+/// construction. For a graph of maximal degree `k` the returned ratio is at
+/// least `1/k` (Appendix, Theorem 1).
+///
+/// # Errors
+///
+/// * [`GraphError::TooSmall`] if the graph has fewer than 2 nodes;
+/// * [`GraphError::Disconnected`] if the graph is not connected.
+///
+/// # Example
+///
+/// ```
+/// use qcp_graph::{bisection::balanced_connected_bisection, generate};
+///
+/// let b = balanced_connected_bisection(&generate::chain(7))?;
+/// assert_eq!(b.left.len(), 3);
+/// assert_eq!(b.right.len(), 4);
+/// assert_eq!(b.channel.len(), 1);
+/// # Ok::<(), qcp_graph::GraphError>(())
+/// ```
+pub fn balanced_connected_bisection(graph: &Graph) -> Result<Bisection> {
+    let n = graph.node_count();
+    if n < 2 {
+        return Err(GraphError::TooSmall { actual: n, required: 2 });
+    }
+    if !is_connected(graph) {
+        return Err(GraphError::Disconnected);
+    }
+
+    // Candidate roots: a few extremes plus node 0 for determinism.
+    let mut roots: Vec<NodeId> = vec![NodeId::new(0)];
+    if let Some(v) = graph.nodes().max_by_key(|&v| graph.degree(v)) {
+        roots.push(v);
+    }
+    if let Some(v) = graph.nodes().min_by_key(|&v| graph.degree(v)) {
+        roots.push(v);
+    }
+    roots.push(NodeId::new(n / 2));
+    roots.push(NodeId::new(n - 1));
+    roots.sort_unstable();
+    roots.dedup();
+
+    let mut best: Option<(usize, Vec<NodeId>)> = None; // (smaller side size, subtree)
+    for root in roots {
+        let tree = RootedTree::bfs(graph, root)?;
+        // Subtree sizes via reverse BFS order.
+        let mut size = vec![1usize; n];
+        for &v in tree.bottom_up().iter() {
+            if let Some(p) = tree.parent(v) {
+                size[p.index()] += size[v.index()];
+            }
+        }
+        // Each non-root vertex v defines the cut (parent(v), v) separating
+        // its subtree from the rest.
+        for &v in tree.nodes().iter().skip(1) {
+            let s = size[v.index()].min(n - size[v.index()]);
+            let better = match &best {
+                None => true,
+                Some((bs, _)) => s > *bs,
+            };
+            if better {
+                let subtree = collect_subtree(&tree, v);
+                best = Some((size[v.index()].min(n - size[v.index()]), subtree));
+            }
+        }
+    }
+
+    let (_, subtree) = best.expect("connected graph with n >= 2 has a tree edge");
+    let mut in_sub = vec![false; n];
+    for &v in &subtree {
+        in_sub[v.index()] = true;
+    }
+    let complement: Vec<NodeId> = graph.nodes().filter(|v| !in_sub[v.index()]).collect();
+
+    let (mut left, mut right) = if subtree.len() < complement.len()
+        || (subtree.len() == complement.len()
+            && subtree.iter().min() < complement.iter().min())
+    {
+        (subtree, complement)
+    } else {
+        (complement, subtree)
+    };
+    left.sort_unstable();
+    right.sort_unstable();
+
+    let in_left: Vec<bool> = {
+        let mut f = vec![false; n];
+        for &v in &left {
+            f[v.index()] = true;
+        }
+        f
+    };
+    let channel: Vec<(NodeId, NodeId)> = graph
+        .edges()
+        .filter(|&(a, b, _)| in_left[a.index()] != in_left[b.index()])
+        .map(|(a, b, _)| if in_left[a.index()] { (a, b) } else { (b, a) })
+        .collect();
+
+    Ok(Bisection { left, right, channel })
+}
+
+fn collect_subtree(tree: &RootedTree, v: NodeId) -> Vec<NodeId> {
+    let mut stack = vec![v];
+    let mut out = Vec::new();
+    while let Some(u) = stack.pop() {
+        out.push(u);
+        stack.extend_from_slice(tree.children(u));
+    }
+    out
+}
+
+/// Recursively bisects `graph` and returns the worst (smallest) ratio of
+/// smaller-to-larger half encountered — an empirical measure of the paper's
+/// separability parameter `s`.
+///
+/// Returns `1.0` for graphs with fewer than 2 nodes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Disconnected`] if the graph (or, impossibly for
+/// correct bisection, a recursive half) is not connected.
+pub fn worst_recursive_ratio(graph: &Graph) -> Result<f64> {
+    if graph.node_count() < 2 {
+        return Ok(1.0);
+    }
+    let b = balanced_connected_bisection(graph)?;
+    let mut worst = b.ratio();
+    for half in [&b.left, &b.right] {
+        if half.len() >= 2 {
+            let (sub, _) = graph.induced(half)?;
+            worst = worst.min(worst_recursive_ratio(&sub)?);
+        }
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_valid(graph: &Graph, b: &Bisection) {
+        let n = graph.node_count();
+        assert_eq!(b.left.len() + b.right.len(), n);
+        assert!(b.left.len() <= b.right.len());
+        assert!(!b.channel.is_empty());
+        // Halves are disjoint and cover all nodes.
+        let mut seen = vec![false; n];
+        for &v in b.left.iter().chain(&b.right) {
+            assert!(!seen[v.index()]);
+            seen[v.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Both halves induce connected subgraphs.
+        for half in [&b.left, &b.right] {
+            let (sub, _) = graph.induced(half).unwrap();
+            assert!(is_connected(&sub), "half {half:?} not connected");
+        }
+        // Channel edges really cross.
+        let in_left: Vec<bool> = {
+            let mut f = vec![false; n];
+            for &v in &b.left {
+                f[v.index()] = true;
+            }
+            f
+        };
+        for &(a, bb) in &b.channel {
+            assert!(in_left[a.index()] && !in_left[bb.index()]);
+            assert!(graph.has_edge(a, bb));
+        }
+    }
+
+    #[test]
+    fn chain_splits_in_half() {
+        let g = generate::chain(10);
+        let b = balanced_connected_bisection(&g).unwrap();
+        check_valid(&g, &b);
+        assert_eq!(b.left.len(), 5);
+        assert_eq!(b.channel.len(), 1);
+    }
+
+    #[test]
+    fn odd_chain_ratio_is_half_or_better() {
+        let g = generate::chain(7);
+        let b = balanced_connected_bisection(&g).unwrap();
+        check_valid(&g, &b);
+        assert!(b.ratio() >= 3.0 / 4.0 - 1e-12);
+    }
+
+    #[test]
+    fn ring_splits_with_two_channel_edges() {
+        let g = generate::ring(8);
+        let b = balanced_connected_bisection(&g).unwrap();
+        check_valid(&g, &b);
+        assert_eq!(b.left.len(), 4);
+        assert_eq!(b.channel.len(), 2);
+    }
+
+    #[test]
+    fn star_worst_case_matches_theorem() {
+        // A star on n nodes has max degree n-1; the best connected split is
+        // 1 vs n-1, ratio 1/(n-1) = 1/k exactly as Theorem 1 promises.
+        let g = generate::star(6);
+        let b = balanced_connected_bisection(&g).unwrap();
+        check_valid(&g, &b);
+        assert_eq!(b.left.len(), 1);
+        assert!(b.ratio() >= 1.0 / g.max_degree() as f64 - 1e-12);
+    }
+
+    #[test]
+    fn grid_is_half_separable() {
+        let g = generate::grid(4, 5);
+        let b = balanced_connected_bisection(&g).unwrap();
+        check_valid(&g, &b);
+        assert!(b.ratio() >= 0.5, "grid ratio {}", b.ratio());
+    }
+
+    #[test]
+    fn two_nodes() {
+        let g = generate::chain(2);
+        let b = balanced_connected_bisection(&g).unwrap();
+        check_valid(&g, &b);
+        assert_eq!(b.ratio(), 1.0);
+    }
+
+    #[test]
+    fn rejects_disconnected_and_tiny() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(balanced_connected_bisection(&g).unwrap_err(), GraphError::Disconnected);
+        assert!(matches!(
+            balanced_connected_bisection(&Graph::new(1)).unwrap_err(),
+            GraphError::TooSmall { .. }
+        ));
+    }
+
+    #[test]
+    fn theorem1_bound_on_random_bounded_degree_trees() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for k in 2..=4 {
+            for n in [5usize, 9, 17, 40] {
+                let g = generate::bounded_degree_tree(n, k, &mut rng);
+                let b = balanced_connected_bisection(&g).unwrap();
+                check_valid(&g, &b);
+                let bound = (n as f64 - 1.0) / k as f64;
+                assert!(
+                    b.left.len() as f64 + 1e-9 >= bound.floor(),
+                    "n={n} k={k}: left {} < floor((n-1)/k) {}",
+                    b.left.len(),
+                    bound.floor()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_ratio_on_chain() {
+        let g = generate::chain(16);
+        let s = worst_recursive_ratio(&g).unwrap();
+        assert!(s >= 0.5 - 1e-12, "chain separability {s}");
+    }
+}

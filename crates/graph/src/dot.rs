@@ -1,0 +1,109 @@
+//! Graphviz DOT export, used to regenerate the paper's figures.
+
+use std::fmt::Write as _;
+
+use crate::Graph;
+
+/// Options controlling DOT output.
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Graph name in the output header.
+    pub name: String,
+    /// Optional node labels; falls back to `v{i}` where absent.
+    pub labels: Vec<String>,
+    /// Emit edge weights as labels.
+    pub show_weights: bool,
+}
+
+impl DotOptions {
+    /// Creates options with the given graph name.
+    pub fn named(name: impl Into<String>) -> Self {
+        DotOptions { name: name.into(), ..Default::default() }
+    }
+
+    /// Sets node labels (index-aligned).
+    #[must_use]
+    pub fn with_labels(mut self, labels: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.labels = labels.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Enables edge-weight labels.
+    #[must_use]
+    pub fn with_weights(mut self) -> Self {
+        self.show_weights = true;
+        self
+    }
+}
+
+/// Renders `graph` in Graphviz DOT syntax.
+///
+/// ```
+/// use qcp_graph::{generate, dot};
+/// let g = generate::chain(3);
+/// let out = dot::to_dot(&g, &dot::DotOptions::named("chain"));
+/// assert!(out.starts_with("graph chain {"));
+/// assert!(out.contains("n0 -- n1"));
+/// ```
+pub fn to_dot(graph: &Graph, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let name = if options.name.is_empty() { "g" } else { &options.name };
+    writeln!(out, "graph {name} {{").expect("writing to String cannot fail");
+    for v in graph.nodes() {
+        let label = options
+            .labels
+            .get(v.index())
+            .cloned()
+            .unwrap_or_else(|| format!("v{}", v.index()));
+        writeln!(out, "  n{} [label=\"{}\"];", v.index(), escape(&label))
+            .expect("writing to String cannot fail");
+    }
+    for (a, b, w) in graph.edges() {
+        if options.show_weights {
+            writeln!(out, "  n{} -- n{} [label=\"{}\"];", a.index(), b.index(), w)
+                .expect("writing to String cannot fail");
+        } else {
+            writeln!(out, "  n{} -- n{};", a.index(), b.index())
+                .expect("writing to String cannot fail");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn dot_contains_all_parts() {
+        let g = generate::ring(3);
+        let out = to_dot(
+            &g,
+            &DotOptions::named("mol").with_labels(["M", "C1", "C2"]).with_weights(),
+        );
+        assert!(out.contains("graph mol {"));
+        assert!(out.contains("label=\"C1\""));
+        assert!(out.contains("n0 -- n1 [label=\"1\"]"));
+        assert!(out.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn labels_fall_back_to_index() {
+        let g = generate::chain(2);
+        let out = to_dot(&g, &DotOptions::default());
+        assert!(out.contains("label=\"v1\""));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let g = generate::chain(1);
+        let out = to_dot(&g, &DotOptions::default().with_labels([r#"a"b"#]));
+        assert!(out.contains(r#"a\"b"#));
+    }
+}

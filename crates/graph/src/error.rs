@@ -1,0 +1,83 @@
+//! Error type for graph operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors returned by graph construction and graph algorithms.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node index referred to a node outside the graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An edge would connect a node to itself; simple graphs forbid loops.
+    SelfLoop(NodeId),
+    /// The edge already exists (with a possibly different weight).
+    DuplicateEdge(NodeId, NodeId),
+    /// An edge weight was NaN or negative.
+    InvalidWeight {
+        /// First endpoint of the edge.
+        a: NodeId,
+        /// Second endpoint of the edge.
+        b: NodeId,
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// The algorithm requires a connected graph but the input is not.
+    Disconnected,
+    /// The graph is too small for the requested operation.
+    TooSmall {
+        /// Nodes present in the graph.
+        actual: usize,
+        /// Nodes required by the operation.
+        required: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "edge ({a}, {b}) already exists"),
+            GraphError::InvalidWeight { a, b, weight } => {
+                write!(f, "invalid weight {weight} for edge ({a}, {b})")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::TooSmall { actual, required } => {
+                write!(f, "graph has {actual} nodes but the operation requires {required}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let msg = GraphError::SelfLoop(NodeId::new(4)).to_string();
+        assert!(msg.contains("v4"));
+        assert!(msg.starts_with("self-loop"));
+
+        let msg = GraphError::NodeOutOfRange { node: NodeId::new(9), node_count: 3 }.to_string();
+        assert!(msg.contains("v9") && msg.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,394 @@
+//! Simple undirected weighted graphs.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::{GraphError, NodeId, Result};
+
+/// A half-edge stored in a node's adjacency list.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Edge {
+    /// The neighbouring node.
+    pub to: NodeId,
+    /// Weight of the edge (interaction delay, coupling cost, …).
+    pub weight: f64,
+}
+
+/// A simple undirected graph with `f64` edge weights.
+///
+/// `Graph` is the common currency of the placement pipeline: the
+/// *fast-interaction graph* of a physical environment, the *interaction
+/// graph* of a circuit workspace, and the *adjacency graph* handed to the
+/// SWAP router are all values of this type.
+///
+/// Self-loops and parallel edges are rejected; node identity is positional
+/// ([`NodeId`] indexes a dense array).
+///
+/// # Example
+///
+/// ```
+/// use qcp_graph::{Graph, NodeId};
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), 38.0)?;
+/// g.add_edge(NodeId::new(1), NodeId::new(2), 89.0)?;
+/// assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
+/// assert_eq!(g.weight(NodeId::new(1), NodeId::new(2)), Some(89.0));
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// # Ok::<(), qcp_graph::GraphError>(())
+/// ```
+#[derive(Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Graph {
+    adj: Vec<Vec<Edge>>,
+    edge_set: HashSet<(u32, u32)>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], edge_set: HashSet::new() }
+    }
+
+    /// Creates a graph with `n` nodes and unit-weight edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range, an edge repeats, or
+    /// an edge is a self-loop.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self> {
+        let mut g = Graph::new(n);
+        for (a, b) in edges {
+            g.add_edge(NodeId::new(a), NodeId::new(b), 1.0)?;
+        }
+        Ok(g)
+    }
+
+    /// Creates a graph with `n` nodes and explicitly weighted edges.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::from_edges`], plus invalid (NaN or
+    /// negative) weights.
+    pub fn from_weighted_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Result<Self> {
+        let mut g = Graph::new(n);
+        for (a, b, w) in edges {
+            g.add_edge(NodeId::new(a), NodeId::new(b), w)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_set.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Iterates over all node identifiers in index order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> {
+        (0..self.adj.len()).map(NodeId::new)
+    }
+
+    /// Appends a fresh isolated node and returns its identifier.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        NodeId::new(self.adj.len() - 1)
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<()> {
+        if v.index() >= self.adj.len() {
+            return Err(GraphError::NodeOutOfRange { node: v, node_count: self.adj.len() });
+        }
+        Ok(())
+    }
+
+    /// Adds the undirected edge `(a, b)` with the given weight.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfRange`] if an endpoint does not exist;
+    /// * [`GraphError::SelfLoop`] if `a == b`;
+    /// * [`GraphError::DuplicateEdge`] if the edge is already present;
+    /// * [`GraphError::InvalidWeight`] if `weight` is NaN or negative.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, weight: f64) -> Result<()> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        if weight.is_nan() || weight < 0.0 {
+            return Err(GraphError::InvalidWeight { a, b, weight });
+        }
+        let key = Self::key(a, b);
+        if !self.edge_set.insert(key) {
+            return Err(GraphError::DuplicateEdge(a, b));
+        }
+        self.adj[a.index()].push(Edge { to: b, weight });
+        self.adj[b.index()].push(Edge { to: a, weight });
+        Ok(())
+    }
+
+    #[inline]
+    fn key(a: NodeId, b: NodeId) -> (u32, u32) {
+        let (x, y) = (a.index() as u32, b.index() as u32);
+        if x <= y {
+            (x, y)
+        } else {
+            (y, x)
+        }
+    }
+
+    /// Returns `true` if the undirected edge `(a, b)` exists.
+    ///
+    /// Out-of-range endpoints simply yield `false`.
+    #[inline]
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.edge_set.contains(&Self::key(a, b))
+    }
+
+    /// Returns the weight of edge `(a, b)`, or `None` if absent.
+    pub fn weight(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        if !self.has_edge(a, b) {
+            return None;
+        }
+        self.adj[a.index()].iter().find(|e| e.to == b).map(|e| e.weight)
+    }
+
+    /// Iterates over the neighbours of `v` in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.adj[v.index()].iter().map(|e| e.to)
+    }
+
+    /// Iterates over the incident half-edges of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn incident(&self, v: NodeId) -> impl ExactSizeIterator<Item = &Edge> + '_ {
+        self.adj[v.index()].iter()
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Maximum degree over all nodes, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over all edges as `(a, b, weight)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(i, edges)| {
+            edges
+                .iter()
+                .filter(move |e| i < e.to.index())
+                .map(move |e| (NodeId::new(i), e.to, e.weight))
+        })
+    }
+
+    /// Builds the subgraph induced by `nodes`.
+    ///
+    /// Returns the induced graph together with the mapping from new node
+    /// indices to the original identifiers: node `i` of the result
+    /// corresponds to `nodes[i]`. Duplicate entries in `nodes` are
+    /// rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for unknown nodes.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on duplicate entries in `nodes`; release builds
+    /// keep the first occurrence.
+    pub fn induced(&self, nodes: &[NodeId]) -> Result<(Graph, Vec<NodeId>)> {
+        let mut pos = vec![usize::MAX; self.node_count()];
+        for (i, &v) in nodes.iter().enumerate() {
+            self.check_node(v)?;
+            debug_assert!(pos[v.index()] == usize::MAX, "duplicate node {v} in induced()");
+            pos[v.index()] = i;
+        }
+        let mut g = Graph::new(nodes.len());
+        for (i, &v) in nodes.iter().enumerate() {
+            for e in &self.adj[v.index()] {
+                let j = pos[e.to.index()];
+                if j != usize::MAX && i < j {
+                    g.add_edge(NodeId::new(i), NodeId::new(j), e.weight)?;
+                }
+            }
+        }
+        Ok((g, nodes.to_vec()))
+    }
+
+    /// Returns a copy of the graph keeping only edges accepted by `keep`.
+    pub fn filter_edges(&self, mut keep: impl FnMut(NodeId, NodeId, f64) -> bool) -> Graph {
+        let mut g = Graph::new(self.node_count());
+        for (a, b, w) in self.edges() {
+            if keep(a, b, w) {
+                g.add_edge(a, b, w).expect("filtered edge must be valid");
+            }
+        }
+        g
+    }
+
+    /// Sorts every adjacency list by node index, making iteration order
+    /// deterministic regardless of edge insertion order.
+    pub fn sort_adjacency(&mut self) {
+        for list in &mut self.adj {
+            list.sort_by_key(|e| e.to);
+        }
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={}; ", self.node_count(), self.edge_count())?;
+        let mut first = true;
+        for (a, b, w) in self.edges() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            if (w - 1.0).abs() < f64::EPSILON {
+                write!(f, "{a}-{b}")?;
+            } else {
+                write!(f, "{a}-{b}:{w}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = Graph::from_weighted_edges(4, [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0)]).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(n(0), n(1)));
+        assert!(g.has_edge(n(1), n(0)));
+        assert!(!g.has_edge(n(0), n(2)));
+        assert!(!g.has_edge(n(0), n(0)));
+        assert_eq!(g.weight(n(2), n(1)), Some(3.0));
+        assert_eq!(g.weight(n(0), n(3)), None);
+        assert_eq!(g.degree(n(1)), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = Graph::new(2);
+        assert_eq!(g.add_edge(n(1), n(1), 1.0), Err(GraphError::SelfLoop(n(1))));
+    }
+
+    #[test]
+    fn rejects_duplicate_even_reversed() {
+        let mut g = Graph::new(3);
+        g.add_edge(n(0), n(1), 1.0).unwrap();
+        assert_eq!(g.add_edge(n(1), n(0), 5.0), Err(GraphError::DuplicateEdge(n(1), n(0))));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = Graph::new(2);
+        assert!(matches!(
+            g.add_edge(n(0), n(5), 1.0),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_weight() {
+        let mut g = Graph::new(2);
+        assert!(matches!(
+            g.add_edge(n(0), n(1), f64::NAN),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(n(0), n(1), -1.0),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (2, 3)]).unwrap();
+        let mut es: Vec<_> = g.edges().map(|(a, b, _)| (a.index(), b.index())).collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (0, 2), (0, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_edges() {
+        let g = Graph::from_weighted_edges(5, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0)])
+            .unwrap();
+        let (sub, back) = g.induced(&[n(1), n(2), n(3)]).unwrap();
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(sub.weight(n(0), n(1)), Some(2.0));
+        assert_eq!(sub.weight(n(1), n(2)), Some(3.0));
+        assert_eq!(back, vec![n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn filter_edges_keeps_weights() {
+        let g = Graph::from_weighted_edges(3, [(0, 1, 10.0), (1, 2, 100.0)]).unwrap();
+        let fast = g.filter_edges(|_, _, w| w < 50.0);
+        assert_eq!(fast.edge_count(), 1);
+        assert_eq!(fast.weight(n(0), n(1)), Some(10.0));
+        assert_eq!(fast.node_count(), 3);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = Graph::new(1);
+        let v = g.add_node();
+        assert_eq!(v.index(), 1);
+        g.add_edge(n(0), v, 1.0).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn debug_output_mentions_edges() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let dbg = format!("{g:?}");
+        assert!(dbg.contains("v0-v1"), "{dbg}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Symmetric square matrix storage.
+
+use std::fmt;
+
+/// A dense symmetric `n × n` matrix.
+///
+/// Physical environments (Definition 1 of the paper) are complete graphs
+/// whose weights are naturally stored as a symmetric matrix with the
+/// single-qubit gate delays on the diagonal. Only the lower triangle
+/// (including the diagonal) is stored; `get(i, j)` and `get(j, i)` always
+/// agree.
+///
+/// ```
+/// use qcp_graph::SymMatrix;
+/// let mut m = SymMatrix::new(3, 0.0);
+/// m.set(0, 2, 5.5);
+/// assert_eq!(m.get(2, 0), 5.5);
+/// assert_eq!(m.get(1, 1), 0.0);
+/// ```
+#[derive(Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SymMatrix<T> {
+    n: usize,
+    // Lower triangle in row-major order: row i holds i + 1 entries.
+    data: Vec<T>,
+}
+
+impl<T: Clone> SymMatrix<T> {
+    /// Creates an `n × n` symmetric matrix filled with `fill`.
+    pub fn new(n: usize, fill: T) -> Self {
+        SymMatrix { n, data: vec![fill; n * (n + 1) / 2] }
+    }
+
+    /// Side length of the matrix.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the `0 × 0` matrix.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn offset(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.n && j < self.n, "index ({i}, {j}) out of bounds for n={}", self.n);
+        let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
+        hi * (hi + 1) / 2 + lo
+    }
+
+    /// Returns the entry at `(i, j)` (equivalently `(j, i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.data[self.offset(i, j)].clone()
+    }
+
+    /// Borrows the entry at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn get_ref(&self, i: usize, j: usize) -> &T {
+        &self.data[self.offset(i, j)]
+    }
+
+    /// Sets the entry at `(i, j)` (and symmetrically `(j, i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: T) {
+        let off = self.offset(i, j);
+        self.data[off] = value;
+    }
+
+    /// Iterates over the stored lower-triangle entries as `(i, j, &value)`
+    /// with `i <= j` — the diagonal is included.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &T)> + '_ {
+        (0..self.n).flat_map(move |hi| {
+            (0..=hi).map(move |lo| (lo, hi, &self.data[hi * (hi + 1) / 2 + lo]))
+        })
+    }
+}
+
+impl<T: Clone + fmt::Debug> fmt::Debug for SymMatrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SymMatrix({}x{})", self.n, self.n)?;
+        for i in 0..self.n {
+            let row: Vec<String> = (0..self.n).map(|j| format!("{:?}", self.get_ref(i, j))).collect();
+            writeln!(f, "  [{}]", row.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_set_get() {
+        let mut m = SymMatrix::new(4, 0u32);
+        m.set(1, 3, 7);
+        m.set(3, 3, 9);
+        assert_eq!(m.get(3, 1), 7);
+        assert_eq!(m.get(1, 3), 7);
+        assert_eq!(m.get(3, 3), 9);
+        assert_eq!(m.get(0, 0), 0);
+    }
+
+    #[test]
+    fn all_pairs_independent() {
+        let n = 6;
+        let mut m = SymMatrix::new(n, 0usize);
+        let mut next = 1usize;
+        for i in 0..n {
+            for j in i..n {
+                m.set(i, j, next);
+                next += 1;
+            }
+        }
+        let mut expect = 1usize;
+        for i in 0..n {
+            for j in i..n {
+                assert_eq!(m.get(i, j), expect, "entry ({i},{j})");
+                assert_eq!(m.get(j, i), expect);
+                expect += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn iter_visits_lower_triangle_once() {
+        let m = SymMatrix::new(3, 1.0f64);
+        let entries: Vec<_> = m.iter().map(|(i, j, _)| (i, j)).collect();
+        assert_eq!(entries, vec![(0, 0), (0, 1), (1, 1), (0, 2), (1, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m: SymMatrix<f64> = SymMatrix::new(0, 0.0);
+        assert!(m.is_empty());
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let m = SymMatrix::new(2, 0.0);
+        let _ = m.get(0, 2);
+    }
+}

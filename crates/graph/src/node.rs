@@ -1,0 +1,90 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifier of a graph node.
+///
+/// A `NodeId` is a dense index into the node array of the [`Graph`] it was
+/// issued for; it carries no meaning across graphs. Using a newtype instead
+/// of a bare `usize` keeps node indices from being confused with qubit
+/// indices or positions in unrelated arrays (the placement code juggles all
+/// three).
+///
+/// ```
+/// use qcp_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "v3");
+/// ```
+///
+/// [`Graph`]: crate::Graph
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` (graphs this large are far
+    /// beyond any realistic placement instance).
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId::new(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.index()
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        for i in [0usize, 1, 17, 4096] {
+            assert_eq!(NodeId::new(i).index(), i);
+            assert_eq!(usize::from(NodeId::from(i)), i);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5), NodeId::new(5));
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(NodeId::new(12).to_string(), "v12");
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32::MAX")]
+    fn oversized_index_panics() {
+        let _ = NodeId::new(u32::MAX as usize + 1);
+    }
+}

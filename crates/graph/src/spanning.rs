@@ -1,0 +1,209 @@
+//! Rooted spanning trees.
+//!
+//! The SWAP routing algorithm of §5.2 "cuts all loops" in each half of a
+//! bisected adjacency graph, producing a tree rooted at the endpoint of the
+//! communication channel, and then propagates "bubbles" along the natural
+//! partial order of that tree. [`RootedTree`] is that structure.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, GraphError, NodeId, Result};
+
+/// A spanning tree of (a connected subgraph of) a [`Graph`], rooted at a
+/// designated node.
+///
+/// Node identifiers refer to the original graph. Children are ordered by
+/// discovery, which is deterministic once [`Graph::sort_adjacency`] has been
+/// applied.
+#[derive(Clone, Debug)]
+pub struct RootedTree {
+    root: NodeId,
+    /// `parent[i]` is `None` for the root and for nodes outside the tree.
+    parent: Vec<Option<NodeId>>,
+    /// Depth of each tree node; `None` outside the tree.
+    depth: Vec<Option<u32>>,
+    children: Vec<Vec<NodeId>>,
+    /// Tree nodes in BFS discovery order (root first).
+    order: Vec<NodeId>,
+}
+
+impl RootedTree {
+    /// Builds a BFS spanning tree of the component of `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if `root` does not exist.
+    pub fn bfs(graph: &Graph, root: NodeId) -> Result<Self> {
+        if root.index() >= graph.node_count() {
+            return Err(GraphError::NodeOutOfRange { node: root, node_count: graph.node_count() });
+        }
+        let n = graph.node_count();
+        let mut parent = vec![None; n];
+        let mut depth = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        let mut order = Vec::new();
+        let mut queue = VecDeque::new();
+        depth[root.index()] = Some(0);
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let d = depth[v.index()].expect("queued nodes have depth");
+            for u in graph.neighbors(v) {
+                if depth[u.index()].is_none() {
+                    depth[u.index()] = Some(d + 1);
+                    parent[u.index()] = Some(v);
+                    children[v.index()].push(u);
+                    queue.push_back(u);
+                }
+            }
+        }
+        Ok(RootedTree { root, parent, depth, children, order })
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Parent of `v`, or `None` for the root / nodes outside the tree.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Depth of `v` (root has depth 0), or `None` outside the tree.
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> Option<u32> {
+        self.depth[v.index()]
+    }
+
+    /// Children of `v` in discovery order.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// Returns `true` if `v` belongs to the tree.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.depth[v.index()].is_some()
+    }
+
+    /// Returns `true` if `v` is a leaf of the tree (in the tree, no children).
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.contains(v) && self.children[v.index()].is_empty()
+    }
+
+    /// Number of nodes in the tree.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if the tree is empty (never the case for trees built
+    /// by [`RootedTree::bfs`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Tree nodes in BFS discovery order; the root comes first.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Tree nodes ordered from the deepest to the root.
+    ///
+    /// This is the order in which the §5.2 bubble algorithm scans vertices:
+    /// step `i` looks at depth `k − i`.
+    pub fn bottom_up(&self) -> Vec<NodeId> {
+        let mut v = self.order.clone();
+        v.reverse();
+        v
+    }
+
+    /// Height of the tree (max depth), or `None` for an empty tree.
+    pub fn height(&self) -> Option<u32> {
+        self.order.iter().filter_map(|&v| self.depth(v)).max()
+    }
+
+    /// The tree edges as `(parent, child)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.order.iter().filter_map(move |&v| self.parent(v).map(|p| (p, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn chain_tree_rooted_at_end() {
+        let g = generate::chain(5);
+        let t = RootedTree::bfs(&g, n(0)).unwrap();
+        assert_eq!(t.root(), n(0));
+        assert_eq!(t.depth(n(4)), Some(4));
+        assert_eq!(t.parent(n(3)), Some(n(2)));
+        assert_eq!(t.height(), Some(4));
+        assert!(t.is_leaf(n(4)));
+        assert!(!t.is_leaf(n(2)));
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn tree_spans_component_only() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let t = RootedTree::bfs(&g, n(0)).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(!t.contains(n(3)));
+        assert_eq!(t.depth(n(4)), None);
+    }
+
+    #[test]
+    fn ring_tree_has_n_minus_one_edges() {
+        let g = generate::ring(8);
+        let t = RootedTree::bfs(&g, n(0)).unwrap();
+        assert_eq!(t.edges().count(), 7);
+        // BFS from node 0 on a ring: two branches of length 4.
+        assert_eq!(t.height(), Some(4));
+    }
+
+    #[test]
+    fn bottom_up_ends_at_root() {
+        let g = generate::star(6);
+        let t = RootedTree::bfs(&g, n(0)).unwrap();
+        let order = t.bottom_up();
+        assert_eq!(*order.last().unwrap(), n(0));
+        // Depths never increase along bottom_up.
+        let depths: Vec<u32> = order.iter().map(|&v| t.depth(v).unwrap()).collect();
+        for w in depths.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn children_are_consistent_with_parents() {
+        let g = generate::grid(3, 3);
+        let t = RootedTree::bfs(&g, n(4)).unwrap();
+        for v in g.nodes() {
+            for &c in t.children(v) {
+                assert_eq!(t.parent(c), Some(v));
+                assert_eq!(t.depth(c), t.depth(v).map(|d| d + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_root_rejected() {
+        let g = generate::chain(3);
+        assert!(RootedTree::bfs(&g, n(9)).is_err());
+    }
+}

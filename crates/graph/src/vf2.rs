@@ -1,0 +1,409 @@
+//! Subgraph monomorphism search (VF2-style).
+//!
+//! The basic placement stage of §5.1 asks: can the *interaction graph* of a
+//! workspace (two-qubit gates read so far) be aligned along the *fastest
+//! interactions* of the physical environment? That is a subgraph
+//! **monomorphism** question: an injective map `f` from pattern nodes to
+//! target nodes such that every pattern edge maps to a target edge (target
+//! edges without a pattern preimage are fine — unused couplings are simply
+//! refocussed away).
+//!
+//! The paper's implementation delegated this to the VFLib C++ library
+//! (reference 27 of the paper); this module is a from-scratch replacement
+//! implementing the VF2
+//! candidate-pair scheme with degree-based pruning and a deterministic
+//! search order. Enumeration can be capped at `k` results, which the placer
+//! uses with `k = 100` exactly as in §5.3.
+//!
+//! # Example
+//!
+//! ```
+//! use qcp_graph::{Graph, vf2::MonomorphismFinder};
+//!
+//! // Triangle into K4: 4 * 3 * 2 = 24 monomorphisms.
+//! let tri = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)])?;
+//! let k4 = Graph::from_edges(4, [(0,1),(0,2),(0,3),(1,2),(1,3),(2,3)])?;
+//! assert_eq!(MonomorphismFinder::new(&tri, &k4).count(), 24);
+//! # Ok::<(), qcp_graph::GraphError>(())
+//! ```
+
+use std::ops::ControlFlow;
+
+use crate::{Graph, NodeId};
+
+/// A subgraph-monomorphism search between a pattern and a target graph.
+///
+/// The search is deterministic: pattern nodes are processed in a
+/// connectivity-aware static order, target candidates in increasing node
+/// index. Construct with [`MonomorphismFinder::new`], optionally cap
+/// enumeration with [`limit`](MonomorphismFinder::limit), then call
+/// [`exists`](MonomorphismFinder::exists),
+/// [`count`](MonomorphismFinder::count),
+/// [`find_first`](MonomorphismFinder::find_first),
+/// [`find_all`](MonomorphismFinder::find_all) or
+/// [`for_each`](MonomorphismFinder::for_each).
+#[derive(Debug)]
+pub struct MonomorphismFinder<'a> {
+    pattern: &'a Graph,
+    target: &'a Graph,
+    limit: Option<usize>,
+}
+
+impl<'a> MonomorphismFinder<'a> {
+    /// Creates a finder for maps from `pattern` into `target`.
+    pub fn new(pattern: &'a Graph, target: &'a Graph) -> Self {
+        MonomorphismFinder { pattern, target, limit: None }
+    }
+
+    /// Caps enumeration at `k` monomorphisms (the paper uses `k = 100`).
+    #[must_use]
+    pub fn limit(mut self, k: usize) -> Self {
+        self.limit = Some(k);
+        self
+    }
+
+    /// Returns `true` if at least one monomorphism exists.
+    pub fn exists(&self) -> bool {
+        let mut found = false;
+        self.search(&mut |_| {
+            found = true;
+            ControlFlow::Break(())
+        });
+        found
+    }
+
+    /// Counts monomorphisms (up to the configured limit, if any).
+    pub fn count(&self) -> usize {
+        let mut n = 0usize;
+        let cap = self.limit;
+        self.search(&mut |_| {
+            n += 1;
+            match cap {
+                Some(k) if n >= k => ControlFlow::Break(()),
+                _ => ControlFlow::Continue(()),
+            }
+        });
+        n
+    }
+
+    /// Returns the first monomorphism in search order, if any, as a map
+    /// from pattern index to target node.
+    pub fn find_first(&self) -> Option<Vec<NodeId>> {
+        let mut out = None;
+        self.search(&mut |m| {
+            out = Some(m.to_vec());
+            ControlFlow::Break(())
+        });
+        out
+    }
+
+    /// Collects monomorphisms (up to the configured limit, if any).
+    pub fn find_all(&self) -> Vec<Vec<NodeId>> {
+        let mut out = Vec::new();
+        let cap = self.limit;
+        self.search(&mut |m| {
+            out.push(m.to_vec());
+            match cap {
+                Some(k) if out.len() >= k => ControlFlow::Break(()),
+                _ => ControlFlow::Continue(()),
+            }
+        });
+        out
+    }
+
+    /// Invokes `visit` for every monomorphism until it breaks or the search
+    /// space is exhausted. The slice maps pattern index `i` to its image.
+    ///
+    /// The configured [`limit`](MonomorphismFinder::limit) is *not* applied
+    /// here; breaking is the caller's responsibility.
+    pub fn for_each(&self, visit: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>) {
+        self.search(visit);
+    }
+
+    fn search(&self, visit: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>) {
+        let pn = self.pattern.node_count();
+        let tn = self.target.node_count();
+        if pn > tn {
+            return;
+        }
+        if pn == 0 {
+            // The empty map is the unique monomorphism.
+            let _ = visit(&[]);
+            return;
+        }
+        let order = self.variable_order();
+        let mut state = State {
+            pattern: self.pattern,
+            target: self.target,
+            order,
+            mapping: vec![INVALID; pn],
+            used: vec![false; tn],
+        };
+        let _ = state.extend(0, visit);
+    }
+
+    /// Static variable order: repeatedly pick the unordered pattern node
+    /// with the most already-ordered neighbours, breaking ties by higher
+    /// degree then lower index. Keeps the partial pattern connected where
+    /// possible, which makes the adjacency pruning bite early.
+    fn variable_order(&self) -> Vec<NodeId> {
+        let pn = self.pattern.node_count();
+        let mut ordered = Vec::with_capacity(pn);
+        let mut placed = vec![false; pn];
+        let mut anchored = vec![0usize; pn]; // # ordered neighbours
+        for _ in 0..pn {
+            let next = (0..pn)
+                .filter(|&i| !placed[i])
+                .max_by_key(|&i| {
+                    (anchored[i], self.pattern.degree(NodeId::new(i)), std::cmp::Reverse(i))
+                })
+                .expect("an unplaced node exists");
+            placed[next] = true;
+            ordered.push(NodeId::new(next));
+            for u in self.pattern.neighbors(NodeId::new(next)) {
+                anchored[u.index()] += 1;
+            }
+        }
+        ordered
+    }
+}
+
+const INVALID: u32 = u32::MAX;
+
+struct State<'a> {
+    pattern: &'a Graph,
+    target: &'a Graph,
+    order: Vec<NodeId>,
+    /// `mapping[p]` = target index or `INVALID`.
+    mapping: Vec<u32>,
+    used: Vec<bool>,
+}
+
+impl State<'_> {
+    fn extend(&mut self, depth: usize, visit: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>) -> ControlFlow<()> {
+        if depth == self.order.len() {
+            let map: Vec<NodeId> =
+                self.mapping.iter().map(|&t| NodeId::new(t as usize)).collect();
+            return visit(&map);
+        }
+        let p = self.order[depth];
+        let pdeg = self.pattern.degree(p);
+
+        // Candidate targets: if some neighbour of p is already mapped,
+        // restrict to the neighbourhood of its image (smallest such set);
+        // otherwise all unused target nodes.
+        let mapped_neighbor = self
+            .pattern
+            .neighbors(p)
+            .filter(|u| self.mapping[u.index()] != INVALID)
+            .min_by_key(|u| self.target.degree(NodeId::new(self.mapping[u.index()] as usize)));
+
+        let candidates: Vec<NodeId> = match mapped_neighbor {
+            Some(u) => {
+                let img = NodeId::new(self.mapping[u.index()] as usize);
+                let mut c: Vec<NodeId> =
+                    self.target.neighbors(img).filter(|w| !self.used[w.index()]).collect();
+                c.sort_unstable();
+                c
+            }
+            None => self.target.nodes().filter(|w| !self.used[w.index()]).collect(),
+        };
+
+        for w in candidates {
+            if self.target.degree(w) < pdeg {
+                continue;
+            }
+            // Every mapped pattern neighbour of p must land on a target
+            // neighbour of w.
+            let consistent = self.pattern.neighbors(p).all(|u| {
+                let img = self.mapping[u.index()];
+                img == INVALID || self.target.has_edge(NodeId::new(img as usize), w)
+            });
+            if !consistent {
+                continue;
+            }
+            self.mapping[p.index()] = w.index() as u32;
+            self.used[w.index()] = true;
+            let flow = self.extend(depth + 1, visit);
+            self.used[w.index()] = false;
+            self.mapping[p.index()] = INVALID;
+            flow?;
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Checks that `mapping` (pattern index → target node) is a valid
+/// monomorphism: injective, in range, and edge-preserving.
+pub fn is_monomorphism(pattern: &Graph, target: &Graph, mapping: &[NodeId]) -> bool {
+    if mapping.len() != pattern.node_count() {
+        return false;
+    }
+    let mut used = vec![false; target.node_count()];
+    for &t in mapping {
+        if t.index() >= target.node_count() || used[t.index()] {
+            return false;
+        }
+        used[t.index()] = true;
+    }
+    pattern
+        .edges()
+        .all(|(a, b, _)| target.has_edge(mapping[a.index()], mapping[b.index()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn empty_pattern_has_one_map() {
+        let p = Graph::new(0);
+        let t = generate::chain(3);
+        assert_eq!(MonomorphismFinder::new(&p, &t).count(), 1);
+    }
+
+    #[test]
+    fn pattern_larger_than_target_has_none() {
+        let p = generate::chain(4);
+        let t = generate::chain(3);
+        assert!(!MonomorphismFinder::new(&p, &t).exists());
+    }
+
+    #[test]
+    fn chain3_into_c4() {
+        let p = generate::chain(3);
+        let t = generate::ring(4);
+        let maps = MonomorphismFinder::new(&p, &t).find_all();
+        assert_eq!(maps.len(), 8); // 4 middle choices * 2 orientations
+        for m in &maps {
+            assert!(is_monomorphism(&p, &t, m));
+        }
+    }
+
+    #[test]
+    fn triangle_into_k4() {
+        let p = generate::complete(3);
+        let t = generate::complete(4);
+        assert_eq!(MonomorphismFinder::new(&p, &t).count(), 24);
+    }
+
+    #[test]
+    fn triangle_into_tree_fails() {
+        let p = generate::complete(3);
+        let t = generate::star(6);
+        assert!(!MonomorphismFinder::new(&p, &t).exists());
+    }
+
+    #[test]
+    fn isolated_pattern_nodes_map_anywhere() {
+        // Pattern: edge 0-1 plus isolated node 2; target: chain of 3.
+        let p = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let t = generate::chain(3);
+        let maps = MonomorphismFinder::new(&p, &t).find_all();
+        // Edge 0-1 can map to (0,1),(1,0),(1,2),(2,1); isolated node takes
+        // the single remaining vertex.
+        assert_eq!(maps.len(), 4);
+        for m in &maps {
+            assert!(is_monomorphism(&p, &t, m));
+        }
+    }
+
+    #[test]
+    fn limit_caps_enumeration() {
+        let p = generate::chain(2);
+        let t = generate::complete(6);
+        let all = MonomorphismFinder::new(&p, &t).count();
+        assert_eq!(all, 30);
+        assert_eq!(MonomorphismFinder::new(&p, &t).limit(7).count(), 7);
+        assert_eq!(MonomorphismFinder::new(&p, &t).limit(7).find_all().len(), 7);
+    }
+
+    #[test]
+    fn find_first_is_deterministic_and_valid() {
+        let p = generate::chain(4);
+        let t = generate::grid(3, 3);
+        let a = MonomorphismFinder::new(&p, &t).find_first().unwrap();
+        let b = MonomorphismFinder::new(&p, &t).find_first().unwrap();
+        assert_eq!(a, b);
+        assert!(is_monomorphism(&p, &t, &a));
+    }
+
+    #[test]
+    fn monomorphism_not_induced() {
+        // A path of 3 maps into a triangle even though the triangle has the
+        // extra chord — monomorphism, not induced-subgraph isomorphism.
+        let p = generate::chain(3);
+        let t = generate::complete(3);
+        assert_eq!(MonomorphismFinder::new(&p, &t).count(), 6);
+    }
+
+    #[test]
+    fn self_map_exists() {
+        for g in [generate::grid(3, 3), generate::ring(7), generate::star(5)] {
+            let ids: Vec<NodeId> = g.nodes().collect();
+            assert!(is_monomorphism(&g, &g, &ids));
+            assert!(MonomorphismFinder::new(&g, &g).exists());
+        }
+    }
+
+    #[test]
+    fn validator_rejects_bad_maps() {
+        let p = generate::chain(3);
+        let t = generate::chain(3);
+        // Non-injective.
+        assert!(!is_monomorphism(&p, &t, &[NodeId::new(0), NodeId::new(0), NodeId::new(1)]));
+        // Wrong length.
+        assert!(!is_monomorphism(&p, &t, &[NodeId::new(0)]));
+        // Edge not preserved (0-1 pattern edge onto 0,2 non-edge).
+        assert!(!is_monomorphism(&p, &t, &[NodeId::new(0), NodeId::new(2), NodeId::new(1)]));
+    }
+
+    /// Brute-force enumeration for cross-checking.
+    fn brute_force_count(p: &Graph, t: &Graph) -> usize {
+        fn rec(p: &Graph, t: &Graph, map: &mut Vec<Option<NodeId>>, used: &mut Vec<bool>, i: usize) -> usize {
+            if i == p.node_count() {
+                return 1;
+            }
+            let mut total = 0;
+            for w in t.nodes() {
+                if used[w.index()] {
+                    continue;
+                }
+                let ok = p.neighbors(NodeId::new(i)).all(|u| match map[u.index()] {
+                    Some(img) => t.has_edge(img, w),
+                    None => true,
+                });
+                if ok {
+                    map[i] = Some(w);
+                    used[w.index()] = true;
+                    total += rec(p, t, map, used, i + 1);
+                    used[w.index()] = false;
+                    map[i] = None;
+                }
+            }
+            total
+        }
+        let mut map = vec![None; p.node_count()];
+        let mut used = vec![false; t.node_count()];
+        rec(p, t, &mut map, &mut used, 0)
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_graphs() {
+        let cases = [
+            (generate::chain(3), generate::grid(2, 3)),
+            (generate::ring(4), generate::grid(3, 3)),
+            (generate::star(4), generate::complete(5)),
+            (generate::chain(5), generate::ring(5)),
+            (Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap(), generate::ring(5)),
+        ];
+        for (p, t) in cases {
+            assert_eq!(
+                MonomorphismFinder::new(&p, &t).count(),
+                brute_force_count(&p, &t),
+                "pattern {p:?} target {t:?}"
+            );
+        }
+    }
+}

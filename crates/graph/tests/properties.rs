@@ -1,0 +1,167 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qcp_graph::bisection::{balanced_connected_bisection, worst_recursive_ratio};
+use qcp_graph::hamiltonian::{find_hamiltonian_cycle, is_hamiltonian_cycle};
+use qcp_graph::traversal::{bfs_distances, connected_components, is_connected, shortest_path};
+use qcp_graph::vf2::{is_monomorphism, MonomorphismFinder};
+use qcp_graph::{generate, Graph, NodeId};
+
+fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n, 0usize..=12, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate::random_connected(n, extra, &mut rng)
+    })
+}
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (1usize..=max_n, 0.0f64..1.0, any::<u64>()).prop_map(|(n, p, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate::gnp(n, p, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn components_partition(g in arb_graph(14)) {
+        let comps = connected_components(&g);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.node_count());
+        let mut seen = vec![false; g.node_count()];
+        for comp in &comps {
+            for &v in comp {
+                prop_assert!(!seen[v.index()]);
+                seen[v.index()] = true;
+            }
+            // Every component is internally connected.
+            let (sub, _) = g.induced(comp).unwrap();
+            prop_assert!(is_connected(&sub));
+        }
+        // No edges between components.
+        for (a, b, _) in g.edges() {
+            let ca = comps.iter().position(|c| c.contains(&a));
+            let cb = comps.iter().position(|c| c.contains(&b));
+            prop_assert_eq!(ca, cb);
+        }
+    }
+
+    #[test]
+    fn bfs_distance_triangle_inequality(g in arb_connected_graph(12)) {
+        let d0 = bfs_distances(&g, NodeId::new(0));
+        for (a, b, _) in g.edges() {
+            let da = d0[a.index()].unwrap() as i64;
+            let db = d0[b.index()].unwrap() as i64;
+            prop_assert!((da - db).abs() <= 1, "edge endpoints differ by more than 1");
+        }
+    }
+
+    #[test]
+    fn shortest_path_is_shortest(g in arb_connected_graph(10)) {
+        let d = bfs_distances(&g, NodeId::new(0));
+        for v in g.nodes() {
+            let p = shortest_path(&g, NodeId::new(0), v).unwrap();
+            prop_assert_eq!(p.len() as u32 - 1, d[v.index()].unwrap());
+            for w in p.windows(2) {
+                prop_assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn bisection_halves_are_connected_and_balanced(g in arb_connected_graph(16)) {
+        let b = balanced_connected_bisection(&g).unwrap();
+        prop_assert_eq!(b.left.len() + b.right.len(), g.node_count());
+        prop_assert!(!b.channel.is_empty());
+        for half in [&b.left, &b.right] {
+            let (sub, _) = g.induced(half).unwrap();
+            prop_assert!(is_connected(&sub));
+        }
+        // Theorem 1: ratio >= 1/max_degree (up to floor effects for tiny n).
+        let k = g.max_degree() as f64;
+        let bound = ((g.node_count() as f64 - 1.0) / k).floor().max(1.0);
+        prop_assert!(b.left.len() as f64 >= bound - 1e-9,
+            "left={} bound={} k={}", b.left.len(), bound, k);
+    }
+
+    #[test]
+    fn recursive_separability_bounded_degree(seed in any::<u64>(), n in 4usize..24, k in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generate::bounded_degree_tree(n, k, &mut rng);
+        let s = worst_recursive_ratio(&g).unwrap();
+        // Theorem 1 guarantees s >= 1/k asymptotically; small graphs can
+        // only do integer splits, so allow the floor-induced slack.
+        prop_assert!(s > 0.0);
+        prop_assert!(s >= 1.0 / (n as f64), "degenerate separability {s}");
+    }
+
+    #[test]
+    fn vf2_maps_are_valid(seed in any::<u64>(), pn in 2usize..5, tn in 5usize..9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = generate::random_tree(pn, &mut rng);
+        let t = generate::random_connected(tn, 4, &mut rng);
+        for m in MonomorphismFinder::new(&p, &t).limit(50).find_all() {
+            prop_assert!(is_monomorphism(&p, &t, &m));
+        }
+    }
+
+    #[test]
+    fn vf2_self_embedding_always_exists(g in arb_connected_graph(10)) {
+        prop_assert!(MonomorphismFinder::new(&g, &g).exists());
+    }
+
+    #[test]
+    fn vf2_subchain_embeds_into_chain(n in 2usize..10, m in 10usize..14) {
+        let p = generate::chain(n);
+        let t = generate::chain(m);
+        // Exactly 2 * (m - n + 1) embeddings of a path into a longer path.
+        prop_assert_eq!(MonomorphismFinder::new(&p, &t).count(), 2 * (m - n + 1));
+    }
+
+    #[test]
+    fn hamiltonian_cycles_are_valid(g in arb_connected_graph(9)) {
+        if let Some(c) = find_hamiltonian_cycle(&g) {
+            prop_assert!(is_hamiltonian_cycle(&g, &c));
+        }
+    }
+
+    #[test]
+    fn ring_plus_chords_stays_hamiltonian(n in 4usize..9, seed in any::<u64>()) {
+        // Start from a ring (Hamiltonian by construction) and add chords;
+        // the solver must still find a cycle.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = generate::ring(n);
+        for _ in 0..n {
+            let a = rand::Rng::gen_range(&mut rng, 0..n);
+            let b = rand::Rng::gen_range(&mut rng, 0..n);
+            if a != b && !g.has_edge(NodeId::new(a), NodeId::new(b)) {
+                g.add_edge(NodeId::new(a), NodeId::new(b), 1.0).unwrap();
+            }
+        }
+        let c = find_hamiltonian_cycle(&g);
+        prop_assert!(c.is_some());
+        prop_assert!(is_hamiltonian_cycle(&g, &c.unwrap()));
+    }
+
+    #[test]
+    fn induced_preserves_adjacency(g in arb_graph(12), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keep: Vec<NodeId> = g
+            .nodes()
+            .filter(|_| rand::Rng::gen_bool(&mut rng, 0.6))
+            .collect();
+        let (sub, back) = g.induced(&keep).unwrap();
+        for i in 0..sub.node_count() {
+            for j in i + 1..sub.node_count() {
+                prop_assert_eq!(
+                    sub.has_edge(NodeId::new(i), NodeId::new(j)),
+                    g.has_edge(back[i], back[j])
+                );
+            }
+        }
+    }
+}

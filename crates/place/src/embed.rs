@@ -1,0 +1,225 @@
+//! Candidate placements for one workspace: monomorphism enumeration plus
+//! completion to total placements (§5.1, §5.3).
+
+use qcp_circuit::Qubit;
+use qcp_env::PhysicalQubit;
+use qcp_graph::traversal::bfs_order;
+use qcp_graph::vf2::MonomorphismFinder;
+use qcp_graph::{Graph, NodeId};
+
+use crate::{Placement, Result};
+
+/// Enumerates up to `k` total placements whose restriction to the
+/// workspace's interacting qubits is a monomorphism of `interaction` into
+/// `fast` (the paper uses `k = 100`).
+///
+/// Qubits without two-qubit gates in the workspace are *completed*: they
+/// keep their position from `previous` when it is still free, otherwise
+/// they move to the nearest free nucleus (BFS over the fast graph), so the
+/// permutation between consecutive stages stays as small as possible.
+///
+/// When the workspace has no two-qubit gates at all, the single candidate
+/// is `previous` itself (or an identity-like assignment for the first
+/// stage).
+///
+/// # Errors
+///
+/// Propagates placement-construction failures (which indicate an internal
+/// inconsistency — enumerated monomorphisms are injective by construction).
+pub fn candidate_placements(
+    interaction: &Graph,
+    fast: &Graph,
+    previous: Option<&Placement>,
+    k: usize,
+) -> Result<Vec<Placement>> {
+    let n = interaction.node_count();
+    let m = fast.node_count();
+
+    let constrained: Vec<usize> =
+        (0..n).filter(|&i| interaction.degree(NodeId::new(i)) > 0).collect();
+
+    if constrained.is_empty() {
+        let placement = match previous {
+            Some(p) => p.clone(),
+            None => Placement::identity(n, m)?,
+        };
+        return Ok(vec![placement]);
+    }
+
+    // Pattern graph over the constrained qubits only.
+    let mut index = vec![usize::MAX; n];
+    for (i, &q) in constrained.iter().enumerate() {
+        index[q] = i;
+    }
+    let mut pattern = Graph::new(constrained.len());
+    for (a, b, _) in interaction.edges() {
+        pattern
+            .add_edge(NodeId::new(index[a.index()]), NodeId::new(index[b.index()]), 1.0)
+            .expect("interaction edges are unique");
+    }
+
+    let maps = MonomorphismFinder::new(&pattern, fast).limit(k).find_all();
+    let mut out = Vec::with_capacity(maps.len());
+    for map in maps {
+        out.push(complete(&constrained, &map, n, m, fast, previous)?);
+    }
+    Ok(out)
+}
+
+/// Completes a partial assignment (constrained qubits → fast-graph nodes)
+/// into a total placement.
+fn complete(
+    constrained: &[usize],
+    map: &[NodeId],
+    n: usize,
+    m: usize,
+    fast: &Graph,
+    previous: Option<&Placement>,
+) -> Result<Placement> {
+    let mut to_phys: Vec<Option<PhysicalQubit>> = vec![None; n];
+    let mut taken = vec![false; m];
+    for (i, &q) in constrained.iter().enumerate() {
+        let v = map[i].index();
+        to_phys[q] = Some(PhysicalQubit::new(v));
+        taken[v] = true;
+    }
+    // Free-nucleus list in BFS order from each qubit's previous home keeps
+    // idle values near where they were (small swap stages).
+    for (q, slot) in to_phys.iter_mut().enumerate() {
+        if slot.is_some() {
+            continue;
+        }
+        let prev_pos = previous.map(|p| p.physical(Qubit::new(q)).index());
+        let choice = match prev_pos {
+            Some(home) if !taken[home] => home,
+            Some(home) => bfs_order(fast, NodeId::new(home))
+                .into_iter()
+                .map(NodeId::index)
+                .find(|&v| !taken[v])
+                .or_else(|| (0..m).find(|&v| !taken[v]))
+                .expect("n <= m leaves a free nucleus"),
+            None => (0..m).find(|&v| !taken[v]).expect("n <= m leaves a free nucleus"),
+        };
+        *slot = Some(PhysicalQubit::new(choice));
+        taken[choice] = true;
+    }
+    Placement::new(to_phys.into_iter().map(|v| v.expect("all assigned")).collect(), m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_graph::generate;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+    fn p(i: usize) -> PhysicalQubit {
+        PhysicalQubit::new(i)
+    }
+
+    fn interaction(n: usize, edges: &[(usize, usize)]) -> Graph {
+        Graph::from_edges(n, edges.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn simple_edge_into_chain() {
+        let ig = interaction(2, &[(0, 1)]);
+        let fast = generate::chain(3);
+        let cands = candidate_placements(&ig, &fast, None, 100).unwrap();
+        // Edge maps onto (0,1),(1,0),(1,2),(2,1); completion fills the rest.
+        assert_eq!(cands.len(), 4);
+        for c in &cands {
+            assert_eq!(c.logical_count(), 2);
+            assert_eq!(c.physical_count(), 3);
+        }
+    }
+
+    #[test]
+    fn limit_respected() {
+        let ig = interaction(2, &[(0, 1)]);
+        let fast = generate::complete(6);
+        let cands = candidate_placements(&ig, &fast, None, 7).unwrap();
+        assert_eq!(cands.len(), 7);
+    }
+
+    #[test]
+    fn unconstrained_qubits_keep_previous_homes() {
+        // 4 qubits, only (0,1) interact; q2, q3 idle.
+        let ig = interaction(4, &[(0, 1)]);
+        let fast = generate::chain(6);
+        let prev = Placement::new(vec![p(4), p(5), p(2), p(3)], 6).unwrap();
+        let cands = candidate_placements(&ig, &fast, Some(&prev), 100).unwrap();
+        for c in &cands {
+            // Idle qubits stay put whenever their nucleus is free.
+            let (c2, c3) = (c.physical(q(2)), c.physical(q(3)));
+            if c.logical_at(p(2)) == Some(q(2)) {
+                assert_eq!(c2, p(2));
+            }
+            if c.logical_at(p(3)) == Some(q(3)) {
+                assert_eq!(c3, p(3));
+            }
+        }
+        // At least one candidate leaves both untouched (edge mapped away
+        // from nuclei 2 and 3).
+        assert!(cands
+            .iter()
+            .any(|c| c.physical(q(2)) == p(2) && c.physical(q(3)) == p(3)));
+    }
+
+    #[test]
+    fn displaced_idle_qubit_moves_nearby() {
+        // Idle q1 sits at nucleus 1; the edge (0,2) must take nuclei (1,2)
+        // or (2,1) etc. When its home is taken it moves to a BFS-nearest
+        // free nucleus.
+        let ig = interaction(3, &[(0, 2)]);
+        let fast = generate::chain(4);
+        let prev = Placement::new(vec![p(0), p(1), p(2)], 4).unwrap();
+        let cands = candidate_placements(&ig, &fast, Some(&prev), 100).unwrap();
+        for c in &cands {
+            // Everybody placed, injectively (Placement guarantees it) and
+            // q1 is at most 2 hops from its old home.
+            let moved = c.physical(q(1));
+            let dist = qcp_graph::traversal::bfs_distances(&fast, NodeId::new(1))
+                [moved.index()]
+            .unwrap();
+            assert!(dist <= 2, "idle qubit flung {dist} hops away");
+        }
+    }
+
+    #[test]
+    fn no_interactions_returns_previous() {
+        let ig = interaction(3, &[]);
+        let fast = generate::chain(5);
+        let prev = Placement::new(vec![p(4), p(0), p(2)], 5).unwrap();
+        let cands = candidate_placements(&ig, &fast, Some(&prev), 100).unwrap();
+        assert_eq!(cands.len(), 1);
+        assert!(cands[0].same_assignment(&prev));
+    }
+
+    #[test]
+    fn infeasible_pattern_gives_no_candidates() {
+        let ig = interaction(3, &[(0, 1), (1, 2), (0, 2)]); // triangle
+        let fast = generate::chain(5);
+        let cands = candidate_placements(&ig, &fast, None, 100).unwrap();
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn candidates_are_valid_monomorphisms() {
+        let ig = interaction(5, &[(0, 1), (1, 2), (1, 4)]);
+        let fast = generate::caterpillar(4, 1);
+        let cands = candidate_placements(&ig, &fast, None, 50).unwrap();
+        assert!(!cands.is_empty());
+        for c in &cands {
+            for (a, b, _) in ig.edges() {
+                let (va, vb) =
+                    (c.physical(q(a.index())).index(), c.physical(q(b.index())).index());
+                assert!(
+                    fast.has_edge(NodeId::new(va), NodeId::new(vb)),
+                    "interaction ({a},{b}) not on a fast edge"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for placement.
+
+use std::error::Error;
+use std::fmt;
+
+use qcp_circuit::Qubit;
+use qcp_env::PhysicalQubit;
+
+/// Errors returned by the placement pipeline.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum PlaceError {
+    /// The circuit has more logical qubits than the environment has nuclei.
+    CircuitTooLarge {
+        /// Circuit width.
+        qubits: usize,
+        /// Environment size.
+        nuclei: usize,
+    },
+    /// The chosen threshold disallows every interaction, so no two-qubit
+    /// gate can be executed at all — the paper's "N/A" outcome (Table 3,
+    /// pentafluorobutadienyl molecule at thresholds 50 and 100).
+    NoFastInteractions,
+    /// A placement map was not injective or referenced unknown qubits.
+    InvalidPlacement {
+        /// Explanation of the defect.
+        message: String,
+    },
+    /// The SWAP router could not realize a permutation (the routing graph
+    /// does not connect the affected nuclei, even via fallback bridges).
+    RoutingImpossible {
+        /// A vertex whose token could not reach its destination.
+        stuck: PhysicalQubit,
+    },
+    /// Exhaustive search was asked to explore more assignments than its
+    /// configured limit (`m!/(m-n)!` grows fast; see Table 2's
+    /// "search space size" column).
+    SearchSpaceTooLarge {
+        /// Number of assignments that would have to be visited.
+        size: f64,
+        /// The configured limit.
+        limit: f64,
+    },
+    /// A logical qubit was missing from a placement.
+    UnplacedQubit(Qubit),
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::CircuitTooLarge { qubits, nuclei } => {
+                write!(f, "circuit needs {qubits} qubits but the environment has only {nuclei}")
+            }
+            PlaceError::NoFastInteractions => {
+                write!(f, "threshold disallows all interactions; the computation cannot run")
+            }
+            PlaceError::InvalidPlacement { message } => {
+                write!(f, "invalid placement: {message}")
+            }
+            PlaceError::RoutingImpossible { stuck } => {
+                write!(f, "no routing path can deliver the value stuck at {stuck}")
+            }
+            PlaceError::SearchSpaceTooLarge { size, limit } => {
+                write!(f, "search space of {size:.3e} assignments exceeds the limit {limit:.3e}")
+            }
+            PlaceError::UnplacedQubit(q) => write!(f, "logical qubit {q} has no placement"),
+        }
+    }
+}
+
+impl Error for PlaceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = PlaceError::CircuitTooLarge { qubits: 10, nuclei: 7 };
+        assert!(e.to_string().contains("10") && e.to_string().contains('7'));
+        assert!(PlaceError::NoFastInteractions.to_string().contains("cannot run"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_traits<T: Error + Send + Sync>() {}
+        assert_traits::<PlaceError>();
+    }
+}

@@ -1,0 +1,209 @@
+//! Fidelity and refocusing diagnostics.
+//!
+//! The paper frames placement as timing optimization "under the natural
+//! assumption that gate fidelities are inversely proportional to the
+//! coupling strength/gate runtime, otherwise, a function of both may be
+//! considered" (§1), and notes that unused drift couplings "get eliminated
+//! via a technique called refocussing" (§2). This module quantifies both
+//! costs for a timed placement:
+//!
+//! * [`ExposureReport`] — how long each nucleus sits idle (dephasing) and
+//!   how long every *unused* coupling keeps evolving (needing refocusing
+//!   pulses);
+//! * [`decoherence_fidelity`] — a simple exponential-decay estimate of the
+//!   experiment's fidelity from its makespan.
+
+use qcp_circuit::Time;
+use qcp_env::{Environment, PhysicalQubit};
+
+use crate::timeline::Timeline;
+
+/// Idle/coupling exposure of one timed placement.
+#[derive(Clone, Debug)]
+pub struct ExposureReport {
+    /// For each nucleus: total busy time (gates executing on it).
+    pub busy: Vec<Time>,
+    /// For each nucleus: makespan minus busy time.
+    pub idle: Vec<Time>,
+    /// For each unordered pair with a finite coupling: the time the pair
+    /// spends *not* executing a joint gate — drift evolution that must be
+    /// refocussed away. Entries are `(a, b, exposure)` with `a < b`.
+    pub coupling_exposure: Vec<(PhysicalQubit, PhysicalQubit, Time)>,
+    /// The experiment's makespan.
+    pub makespan: Time,
+}
+
+impl ExposureReport {
+    /// Computes the report for a timed schedule on `env`.
+    pub fn from_timeline(timeline: &Timeline, env: &Environment) -> ExposureReport {
+        let m = env.qubit_count();
+        let makespan = timeline.makespan();
+        let busy: Vec<Time> = (0..m)
+            .map(|i| {
+                timeline.per_qubit(PhysicalQubit::new(i)).iter().map(|e| e.duration()).sum()
+            })
+            .collect();
+        let idle: Vec<Time> = busy.iter().map(|&b| makespan - b).collect();
+
+        let mut coupling_exposure = Vec::new();
+        for i in 0..m {
+            for j in i + 1..m {
+                let (a, b) = (PhysicalQubit::new(i), PhysicalQubit::new(j));
+                if !env.weight_units(a, b).is_finite() {
+                    continue;
+                }
+                // Time this pair spends executing a *joint* gate.
+                let joint: Time = timeline
+                    .events()
+                    .iter()
+                    .filter(|e| (e.a == a && e.b == Some(b)) || (e.a == b && e.b == Some(a)))
+                    .map(|e| e.duration())
+                    .sum();
+                coupling_exposure.push((a, b, makespan - joint));
+            }
+        }
+        ExposureReport { busy, idle, coupling_exposure, makespan }
+    }
+
+    /// Total drift exposure across all couplings — the quantity a
+    /// refocusing scheme must cancel.
+    pub fn total_coupling_exposure(&self) -> Time {
+        self.coupling_exposure.iter().map(|&(_, _, t)| t).sum()
+    }
+
+    /// Estimated number of refocusing π-pulses, assuming one pulse per
+    /// `period` of exposure on each coupling (a coarse upper bound; real
+    /// schemes share pulses across couplings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn refocusing_pulse_estimate(&self, period: Time) -> usize {
+        assert!(!period.is_zero(), "refocusing period must be positive");
+        self.coupling_exposure
+            .iter()
+            .map(|&(_, _, t)| (t.units() / period.units()).ceil() as usize)
+            .sum()
+    }
+
+    /// The couplings with the largest exposure, descending.
+    pub fn worst_couplings(&self, k: usize) -> Vec<(PhysicalQubit, PhysicalQubit, Time)> {
+        let mut v = self.coupling_exposure.clone();
+        v.sort_by(|x, y| y.2.total_cmp(&x.2));
+        v.truncate(k);
+        v
+    }
+}
+
+/// Exponential-decay fidelity estimate: `exp(-active · makespan / t2)`
+/// where `active` is the number of nuclei hosting logical qubits. The
+/// inverse-proportionality assumption of §1 in its simplest usable form.
+///
+/// # Panics
+///
+/// Panics if `t2` is zero.
+pub fn decoherence_fidelity(makespan: Time, active_qubits: usize, t2: Time) -> f64 {
+    assert!(!t2.is_zero(), "decoherence time must be positive");
+    (-(active_qubits as f64) * makespan.units() / t2.units()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::{Placer, PlacerConfig};
+    use qcp_circuit::library;
+    use qcp_env::{molecules, Threshold};
+
+    fn report_for_qec3() -> (ExposureReport, qcp_env::Environment) {
+        let env = molecules::acetyl_chloride();
+        let placer = Placer::new(&env, PlacerConfig::with_threshold(Threshold::new(100.0)));
+        let outcome = placer.place(&library::qec3_encoder()).unwrap();
+        let tl = Timeline::compute(&outcome.schedule, &env, &CostModel::overlapped());
+        (ExposureReport::from_timeline(&tl, &env), env)
+    }
+
+    #[test]
+    fn busy_plus_idle_equals_makespan() {
+        let (report, env) = report_for_qec3();
+        for v in env.qubits() {
+            let total = report.busy[v.index()] + report.idle[v.index()];
+            assert!((total.units() - report.makespan.units()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unused_coupling_is_exposed_for_the_whole_run() {
+        let (report, env) = report_for_qec3();
+        // The circuit uses M–C1 and C1–C2 under the optimal placement;
+        // the slow M–C2 coupling is never used, so its exposure is the
+        // whole makespan.
+        let m = env.find_nucleus("M").unwrap();
+        let c2 = env.find_nucleus("C2").unwrap();
+        let (lo, hi) = if m < c2 { (m, c2) } else { (c2, m) };
+        let entry = report
+            .coupling_exposure
+            .iter()
+            .find(|&&(a, b, _)| a == lo && b == hi)
+            .expect("pair present");
+        assert_eq!(entry.2.units(), report.makespan.units());
+    }
+
+    #[test]
+    fn used_couplings_have_reduced_exposure() {
+        let (report, _) = report_for_qec3();
+        let min = report
+            .coupling_exposure
+            .iter()
+            .map(|&(_, _, t)| t.units())
+            .fold(f64::INFINITY, f64::min);
+        assert!(min < report.makespan.units(), "some coupling was actually used");
+    }
+
+    #[test]
+    fn pulse_estimate_scales_with_period() {
+        let (report, _) = report_for_qec3();
+        let fine = report.refocusing_pulse_estimate(Time::from_units(10.0));
+        let coarse = report.refocusing_pulse_estimate(Time::from_units(100.0));
+        assert!(fine > coarse);
+        assert!(coarse >= report.coupling_exposure.len(), "at least one pulse per pair");
+    }
+
+    #[test]
+    fn worst_couplings_sorted() {
+        let (report, _) = report_for_qec3();
+        let worst = report.worst_couplings(3);
+        for w in worst.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+    }
+
+    #[test]
+    fn fidelity_estimate_behaviour() {
+        let t2 = Time::from_seconds(1.0);
+        let fast = decoherence_fidelity(Time::from_units(136.0), 3, t2);
+        let slow = decoherence_fidelity(Time::from_units(770.0), 3, t2);
+        assert!(fast > slow, "better placements keep more fidelity");
+        assert!(fast > 0.9 && fast < 1.0);
+        assert!((decoherence_fidelity(Time::ZERO, 5, t2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn placements_rank_identically_by_time_and_fidelity() {
+        // §1's equivalence: minimizing runtime maximizes this fidelity.
+        let env = molecules::acetyl_chloride();
+        let circuit = library::qec3_encoder();
+        let model = CostModel::overlapped();
+        let t2 = Time::from_seconds(1.0);
+        let mut scored: Vec<(f64, f64)> = Vec::new();
+        for seed in 0..6 {
+            let p = crate::baselines::random_placement(3, &env, seed).unwrap();
+            let t = crate::cost::placed_runtime(&circuit, &env, &p, &model);
+            scored.push((t.units(), decoherence_fidelity(t, 3, t2)));
+        }
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in scored.windows(2) {
+            assert!(w[0].1 >= w[1].1, "fidelity must fall as runtime grows");
+        }
+    }
+}

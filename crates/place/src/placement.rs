@@ -1,0 +1,269 @@
+//! Placement maps (Definition 3): injective assignments of logical qubits
+//! to physical qubits.
+
+use std::fmt;
+
+use qcp_circuit::Qubit;
+use qcp_env::PhysicalQubit;
+
+use crate::{PlaceError, Result};
+
+/// An injective map from the `n` logical qubits of a circuit into the `m`
+/// nuclei of a physical environment (`n <= m`).
+///
+/// `Placement` is *total*: every logical qubit has a position (the paper's
+/// pipeline keeps even currently-idle qubits placed, since their values
+/// must survive between subcircuits).
+///
+/// ```
+/// use qcp_place::Placement;
+/// use qcp_env::PhysicalQubit;
+/// use qcp_circuit::Qubit;
+///
+/// // Example 3's optimal mapping a→C2, b→C1, c→M (indices 2, 1, 0).
+/// let p = Placement::new(
+///     vec![PhysicalQubit::new(2), PhysicalQubit::new(1), PhysicalQubit::new(0)],
+///     3,
+/// )?;
+/// assert_eq!(p.physical(Qubit::new(0)), PhysicalQubit::new(2));
+/// assert_eq!(p.logical_at(PhysicalQubit::new(0)), Some(Qubit::new(2)));
+/// # Ok::<(), qcp_place::PlaceError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Placement {
+    to_phys: Vec<PhysicalQubit>,
+    to_logical: Vec<Option<Qubit>>,
+}
+
+impl Placement {
+    /// Creates a placement from the image list: logical qubit `i` maps to
+    /// `map[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::InvalidPlacement`] if the map targets a
+    /// nucleus `>= env_size` or is not injective, and
+    /// [`PlaceError::CircuitTooLarge`] if `map.len() > env_size`.
+    pub fn new(map: Vec<PhysicalQubit>, env_size: usize) -> Result<Self> {
+        if map.len() > env_size {
+            return Err(PlaceError::CircuitTooLarge { qubits: map.len(), nuclei: env_size });
+        }
+        let mut to_logical = vec![None; env_size];
+        for (i, &v) in map.iter().enumerate() {
+            if v.index() >= env_size {
+                return Err(PlaceError::InvalidPlacement {
+                    message: format!("target {v} out of range for {env_size} nuclei"),
+                });
+            }
+            if let Some(q) = to_logical[v.index()] {
+                return Err(PlaceError::InvalidPlacement {
+                    message: format!("nucleus {v} hosts both {q} and q{i}"),
+                });
+            }
+            to_logical[v.index()] = Some(Qubit::new(i));
+        }
+        Ok(Placement { to_phys: map, to_logical })
+    }
+
+    /// The identity placement `q_i → p_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::CircuitTooLarge`] if `n > env_size`.
+    pub fn identity(n: usize, env_size: usize) -> Result<Self> {
+        Placement::new((0..n).map(PhysicalQubit::new).collect(), env_size)
+    }
+
+    /// Number of logical qubits.
+    pub fn logical_count(&self) -> usize {
+        self.to_phys.len()
+    }
+
+    /// Number of nuclei in the target environment.
+    pub fn physical_count(&self) -> usize {
+        self.to_logical.len()
+    }
+
+    /// Where logical qubit `q` lives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[inline]
+    pub fn physical(&self, q: Qubit) -> PhysicalQubit {
+        self.to_phys[q.index()]
+    }
+
+    /// Which logical qubit occupies nucleus `v`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn logical_at(&self, v: PhysicalQubit) -> Option<Qubit> {
+        self.to_logical[v.index()]
+    }
+
+    /// The image list (logical index → physical qubit).
+    pub fn as_slice(&self) -> &[PhysicalQubit] {
+        &self.to_phys
+    }
+
+    /// Returns a copy with logical qubit `q` moved to nucleus `v`. If `v`
+    /// is occupied by another logical qubit, the two assignments are
+    /// exchanged — the elementary move of the fine-tuning hill climber
+    /// (§5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` or `v` is out of range.
+    #[must_use]
+    pub fn with_move(&self, q: Qubit, v: PhysicalQubit) -> Placement {
+        let mut next = self.clone();
+        let old = next.to_phys[q.index()];
+        if old == v {
+            return next;
+        }
+        if let Some(other) = next.to_logical[v.index()] {
+            next.to_phys[other.index()] = old;
+            next.to_logical[old.index()] = Some(other);
+        } else {
+            next.to_logical[old.index()] = None;
+        }
+        next.to_phys[q.index()] = v;
+        next.to_logical[v.index()] = Some(q);
+        next
+    }
+
+    /// The permutation of physical values needed to turn this placement
+    /// into `other`: entry `v` is `Some(w)` when the value currently held
+    /// at nucleus `v` must move to nucleus `w` (i.e. some logical qubit
+    /// lives at `v` here and at `w` in `other`), `None` when nucleus `v`
+    /// holds no logical value (a *don't care* for the router).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placements have different logical or physical sizes.
+    pub fn permutation_to(&self, other: &Placement) -> Vec<Option<usize>> {
+        assert_eq!(self.logical_count(), other.logical_count(), "logical width mismatch");
+        assert_eq!(self.physical_count(), other.physical_count(), "environment size mismatch");
+        let mut perm = vec![None; self.physical_count()];
+        for i in 0..self.logical_count() {
+            let q = Qubit::new(i);
+            perm[self.physical(q).index()] = Some(other.physical(q).index());
+        }
+        perm
+    }
+
+    /// Returns `true` if the two placements agree on every logical qubit.
+    pub fn same_assignment(&self, other: &Placement) -> bool {
+        self.to_phys == other.to_phys
+    }
+}
+
+impl fmt::Debug for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Placement(")?;
+        for (i, v) in self.to_phys.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "q{i}→{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+    fn p(i: usize) -> PhysicalQubit {
+        PhysicalQubit::new(i)
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let pl = Placement::new(vec![p(2), p(0)], 3).unwrap();
+        assert_eq!(pl.physical(q(0)), p(2));
+        assert_eq!(pl.physical(q(1)), p(0));
+        assert_eq!(pl.logical_at(p(2)), Some(q(0)));
+        assert_eq!(pl.logical_at(p(1)), None);
+        assert_eq!(pl.logical_count(), 2);
+        assert_eq!(pl.physical_count(), 3);
+    }
+
+    #[test]
+    fn rejects_non_injective() {
+        let err = Placement::new(vec![p(1), p(1)], 3).unwrap_err();
+        assert!(matches!(err, PlaceError::InvalidPlacement { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_oversize() {
+        assert!(matches!(
+            Placement::new(vec![p(5)], 3).unwrap_err(),
+            PlaceError::InvalidPlacement { .. }
+        ));
+        assert!(matches!(
+            Placement::new(vec![p(0), p(1), p(2)], 2).unwrap_err(),
+            PlaceError::CircuitTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn move_to_free_nucleus() {
+        let pl = Placement::new(vec![p(0), p(1)], 4).unwrap();
+        let moved = pl.with_move(q(0), p(3));
+        assert_eq!(moved.physical(q(0)), p(3));
+        assert_eq!(moved.logical_at(p(0)), None);
+        assert_eq!(moved.physical(q(1)), p(1));
+    }
+
+    #[test]
+    fn move_swaps_occupied_nucleus() {
+        let pl = Placement::new(vec![p(0), p(1)], 2).unwrap();
+        let moved = pl.with_move(q(0), p(1));
+        assert_eq!(moved.physical(q(0)), p(1));
+        assert_eq!(moved.physical(q(1)), p(0));
+        assert_eq!(moved.logical_at(p(0)), Some(q(1)));
+    }
+
+    #[test]
+    fn move_to_self_is_identity() {
+        let pl = Placement::new(vec![p(0), p(1)], 2).unwrap();
+        assert!(pl.with_move(q(1), p(1)).same_assignment(&pl));
+    }
+
+    #[test]
+    fn permutation_between_placements() {
+        let a = Placement::new(vec![p(0), p(1)], 3).unwrap();
+        let b = Placement::new(vec![p(2), p(1)], 3).unwrap();
+        let perm = a.permutation_to(&b);
+        assert_eq!(perm, vec![Some(2), Some(1), None]);
+    }
+
+    #[test]
+    fn identity_matches_indices() {
+        let pl = Placement::identity(3, 5).unwrap();
+        for i in 0..3 {
+            assert_eq!(pl.physical(q(i)), p(i));
+        }
+    }
+
+    #[test]
+    fn debug_format() {
+        let pl = Placement::new(vec![p(2), p(1)], 3).unwrap();
+        assert_eq!(format!("{pl:?}"), "Placement(q0→p2, q1→p1)");
+    }
+}

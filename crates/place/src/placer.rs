@@ -1,0 +1,574 @@
+//! The full placement pipeline (§5.1–§5.3): workspace extraction,
+//! monomorphism-based basic placement, fine tuning, SWAP stages, and the
+//! depth-2 lookahead of §5.3.
+
+use qcp_circuit::{Circuit, Qubit, Time};
+use qcp_env::{Environment, Threshold};
+use qcp_graph::traversal::connected_components;
+use qcp_graph::Graph;
+
+use crate::cost::{CostEngine, CostModel, Schedule};
+use crate::embed::candidate_placements;
+use crate::finetune::fine_tune;
+use crate::router::{route_permutation, RouterConfig, SwapSchedule};
+use crate::workspace::{extract_workspaces_with, ExtractionOptions, Workspace};
+use crate::{PlaceError, Placement, Result};
+
+/// Placer configuration. The defaults mirror the paper's implementation:
+/// `k = 100` candidate monomorphisms, depth-2 lookahead, fine tuning on,
+/// overlapped cost model with the interaction-reuse cap.
+#[derive(Clone, Debug)]
+pub struct PlacerConfig {
+    /// Fast-interaction threshold (§5 preprocessing).
+    pub threshold: Threshold,
+    /// Maximum monomorphisms considered per workspace (`k`).
+    pub max_candidates: usize,
+    /// Depth-2 lookahead combining current mapping + swap + next mapping
+    /// costs (§5.3). Greedy selection when `false`.
+    pub lookahead: bool,
+    /// Fine-tuning sweeps per committed placement (0 disables).
+    pub fine_tune_rounds: usize,
+    /// Runtime cost model.
+    pub cost_model: CostModel,
+    /// SWAP-router options.
+    pub router: RouterConfig,
+    /// Workspace-extraction options (§7 extensions: gate commutation and
+    /// workspace-size balancing).
+    pub extraction: ExtractionOptions,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        PlacerConfig {
+            threshold: Threshold::unbounded(),
+            max_candidates: 100,
+            lookahead: true,
+            fine_tune_rounds: 2,
+            cost_model: CostModel::default(),
+            router: RouterConfig::default(),
+            extraction: ExtractionOptions::default(),
+        }
+    }
+}
+
+impl PlacerConfig {
+    /// Default configuration at the given threshold.
+    pub fn with_threshold(threshold: Threshold) -> Self {
+        PlacerConfig { threshold, ..Default::default() }
+    }
+
+    /// Sets the candidate cap `k`.
+    #[must_use]
+    pub fn candidates(mut self, k: usize) -> Self {
+        self.max_candidates = k.max(1);
+        self
+    }
+
+    /// Enables or disables the depth-2 lookahead.
+    #[must_use]
+    pub fn lookahead(mut self, on: bool) -> Self {
+        self.lookahead = on;
+        self
+    }
+
+    /// Sets the number of fine-tuning sweeps.
+    #[must_use]
+    pub fn fine_tuning(mut self, rounds: usize) -> Self {
+        self.fine_tune_rounds = rounds;
+        self
+    }
+
+    /// Enables commutation-aware workspace extraction (§7 extension).
+    #[must_use]
+    pub fn commutation_aware(mut self, on: bool) -> Self {
+        self.extraction.commutation_aware = on;
+        self
+    }
+
+    /// Caps workspace size (trades computation depth against swap depth).
+    #[must_use]
+    pub fn max_workspace_gates(mut self, cap: usize) -> Self {
+        self.extraction.max_gates = Some(cap.max(1));
+        self
+    }
+}
+
+/// One committed stage of the placed computation: the SWAP circuit that
+/// rearranges values (empty for the first stage) followed by a placed
+/// subcircuit.
+#[derive(Clone, Debug)]
+pub struct Stage {
+    /// Placement in force during this stage's subcircuit.
+    pub placement: Placement,
+    /// SWAP levels that produced this placement from the previous stage.
+    pub swaps: SwapSchedule,
+    /// The subcircuit (same width as the full circuit).
+    pub subcircuit: Circuit,
+}
+
+/// The result of placing a circuit: `C1 E12 C2 E23 … Ct` with its overall
+/// runtime.
+#[derive(Clone, Debug)]
+pub struct PlacementOutcome {
+    /// The committed stages in execution order.
+    pub stages: Vec<Stage>,
+    /// The fully placed schedule (swap levels + subcircuit levels).
+    pub schedule: Schedule,
+    /// Total runtime under the configured cost model.
+    pub runtime: Time,
+}
+
+impl PlacementOutcome {
+    /// Number of subcircuits (the bracketed counts of Table 3 and the
+    /// "# of Subcircuits" column of Table 4).
+    pub fn subcircuit_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total number of SWAP gates inserted.
+    pub fn swap_count(&self) -> usize {
+        self.stages.iter().map(|s| s.swaps.swap_count()).sum()
+    }
+
+    /// The initial placement `P1` (every logical qubit's starting nucleus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome has no stages (placing an empty circuit still
+    /// yields one stage).
+    pub fn initial_placement(&self) -> &Placement {
+        &self.stages.first().expect("at least one stage").placement
+    }
+
+    /// The final placement after the last stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome has no stages.
+    pub fn final_placement(&self) -> &Placement {
+        &self.stages.last().expect("at least one stage").placement
+    }
+}
+
+/// The quantum circuit placer.
+///
+/// ```
+/// use qcp_circuit::library::qec3_encoder;
+/// use qcp_env::{molecules, Threshold};
+/// use qcp_place::{Placer, PlacerConfig};
+///
+/// let env = molecules::acetyl_chloride();
+/// let placer = Placer::new(&env, PlacerConfig::with_threshold(Threshold::new(100.0)));
+/// let outcome = placer.place(&qec3_encoder())?;
+/// // The tool finds the experimentalists' optimal mapping: 136 units.
+/// assert_eq!(outcome.runtime.units(), 136.0);
+/// assert_eq!(outcome.subcircuit_count(), 1);
+/// # Ok::<(), qcp_place::PlaceError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Placer<'e> {
+    env: &'e Environment,
+    config: PlacerConfig,
+    fast: Graph,
+    routing: Graph,
+}
+
+impl<'e> Placer<'e> {
+    /// Creates a placer for `env` under `config`.
+    ///
+    /// The routing graph is the fast graph plus, when the fast graph is
+    /// disconnected, the cheapest available slow couplings bridging its
+    /// components — §6 runs the tool below the connectivity threshold and
+    /// observes "too much swapping" rather than failure, so swaps may fall
+    /// back to slow interactions while *computational* gates never do.
+    pub fn new(env: &'e Environment, config: PlacerConfig) -> Self {
+        let fast = env.fast_graph(config.threshold);
+        let routing = bridge_components(env, &fast);
+        Placer { env, config, fast, routing }
+    }
+
+    /// The environment this placer targets.
+    pub fn environment(&self) -> &Environment {
+        self.env
+    }
+
+    /// The fast-interaction graph in force.
+    pub fn fast_graph(&self) -> &Graph {
+        &self.fast
+    }
+
+    /// Places `circuit`, producing the staged computation and its runtime.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlaceError::CircuitTooLarge`] if the circuit is wider than the
+    ///   environment;
+    /// * [`PlaceError::NoFastInteractions`] if the threshold disallows all
+    ///   interactions but the circuit has two-qubit gates (Table 3's N/A);
+    /// * [`PlaceError::RoutingImpossible`] if values cannot be moved
+    ///   between stages even via bridge couplings.
+    pub fn place(&self, circuit: &Circuit) -> Result<PlacementOutcome> {
+        let n = circuit.qubit_count();
+        let m = self.env.qubit_count();
+        if n > m {
+            return Err(PlaceError::CircuitTooLarge { qubits: n, nuclei: m });
+        }
+        let workspaces = extract_workspaces_with(circuit, &self.fast, self.config.extraction)?;
+
+        let mut engine = CostEngine::new(self.env, self.config.cost_model);
+        let mut schedule = Schedule::new();
+        let mut stages: Vec<Stage> = Vec::new();
+        let mut previous: Option<Placement> = None;
+
+        // Candidate sets are placement-independent (§5.3: "the sets of
+        // monomorphisms … are equal"), so the lookahead computes each
+        // workspace's raw candidates exactly once: 2k monomorphism calls.
+        let mut next_candidates: Option<Vec<Placement>> = None;
+
+        for (wi, ws) in workspaces.iter().enumerate() {
+            let candidates = match next_candidates.take() {
+                Some(c) => c,
+                None => candidate_placements(
+                    &ws.interaction,
+                    &self.fast,
+                    previous.as_ref(),
+                    self.config.max_candidates,
+                )?,
+            };
+            if candidates.is_empty() {
+                // extract_workspaces guarantees embeddability.
+                return Err(PlaceError::InvalidPlacement {
+                    message: "workspace unexpectedly has no embedding".into(),
+                });
+            }
+
+            // Lookahead: raw candidates for the next workspace.
+            let lookahead_set = if self.config.lookahead {
+                workspaces.get(wi + 1).map(|next| {
+                    candidate_placements(
+                        &next.interaction,
+                        &self.fast,
+                        previous.as_ref(),
+                        self.config.max_candidates,
+                    )
+                })
+            } else {
+                None
+            };
+            let lookahead_set = match lookahead_set {
+                Some(Ok(c)) => Some(c),
+                Some(Err(e)) => return Err(e),
+                None => None,
+            };
+
+            // Score every candidate.
+            let mut best: Option<(usize, f64, SwapSchedule)> = None;
+            for (ci, cand) in candidates.iter().enumerate() {
+                let Ok((cost, swaps, fork)) =
+                    self.score(&engine, previous.as_ref(), cand, ws)
+                else {
+                    continue; // unroutable candidate
+                };
+                let cost = match &lookahead_set {
+                    None => cost,
+                    Some(next_cands) => {
+                        // min over next-stage continuations (§5.3's C_{i,j}).
+                        let next_ws = &workspaces[wi + 1];
+                        let mut best_next = f64::INFINITY;
+                        for next_cand in next_cands {
+                            if let Ok((c2, _, _)) =
+                                self.score(&fork, Some(cand), next_cand, next_ws)
+                            {
+                                best_next = best_next.min(c2);
+                            }
+                        }
+                        if best_next.is_finite() {
+                            best_next
+                        } else {
+                            cost
+                        }
+                    }
+                };
+                if best.as_ref().is_none_or(|(_, bc, _)| cost < *bc) {
+                    best = Some((ci, cost, swaps));
+                }
+            }
+            let (best_idx, _, _) = best.ok_or(PlaceError::RoutingImpossible {
+                stuck: qcp_env::PhysicalQubit::new(0),
+            })?;
+            let mut chosen = candidates[best_idx].clone();
+
+            // Fine tuning (§5.1) on the active qubits of this workspace.
+            if self.config.fine_tune_rounds > 0 {
+                let movable: Vec<Qubit> = ws
+                    .interaction
+                    .nodes()
+                    .filter(|v| ws.interaction.degree(*v) > 0)
+                    .map(|v| Qubit::new(v.index()))
+                    .collect();
+                if !movable.is_empty() {
+                    let result = fine_tune(
+                        chosen,
+                        &movable,
+                        |pl| match self.score(&engine, previous.as_ref(), pl, ws) {
+                            Ok((c, _, _)) => c,
+                            Err(_) => f64::INFINITY,
+                        },
+                        self.config.fine_tune_rounds,
+                    );
+                    chosen = result.placement;
+                }
+            }
+
+            // Commit: swap stage + placed subcircuit.
+            let (_, swaps, fork) = self.score(&engine, previous.as_ref(), &chosen, ws)?;
+            engine = fork;
+            let swap_schedule = swaps.to_schedule();
+            schedule.extend(&swap_schedule);
+            let placed = Schedule::from_placed_circuit(&ws.circuit, &chosen);
+            schedule.extend(&placed);
+            stages.push(Stage {
+                placement: chosen.clone(),
+                swaps,
+                subcircuit: ws.circuit.clone(),
+            });
+            previous = Some(chosen);
+        }
+
+        let runtime = schedule.runtime(self.env, &self.config.cost_model);
+        Ok(PlacementOutcome { stages, schedule, runtime })
+    }
+
+    /// Scores one candidate continuation: swap from `previous` to `cand`,
+    /// then run `ws` under `cand`, all on a fork of `engine`. Returns the
+    /// resulting makespan, the swap schedule, and the fork.
+    fn score(
+        &self,
+        engine: &CostEngine<'e>,
+        previous: Option<&Placement>,
+        cand: &Placement,
+        ws: &Workspace,
+    ) -> Result<(f64, SwapSchedule, CostEngine<'e>)> {
+        let swaps = match previous {
+            None => SwapSchedule::default(),
+            Some(prev) if prev.same_assignment(cand) => SwapSchedule::default(),
+            Some(prev) => {
+                let perm = prev.permutation_to(cand);
+                route_permutation(&self.routing, &perm, &self.config.router)?
+            }
+        };
+        let mut fork = engine.clone();
+        fork.apply_schedule(&swaps.to_schedule());
+        fork.apply_schedule(&Schedule::from_placed_circuit(&ws.circuit, cand));
+        Ok((fork.makespan().units(), swaps, fork))
+    }
+}
+
+/// Adds the cheapest slow couplings needed to connect the components of
+/// the fast graph (a minimum-bottleneck spanning forest over the component
+/// quotient). Swaps across these *bridges* pay the true slow-coupling
+/// delay.
+fn bridge_components(env: &Environment, fast: &Graph) -> Graph {
+    let comps = connected_components(fast);
+    if comps.len() <= 1 {
+        return fast.clone();
+    }
+    let n = fast.node_count();
+    let mut comp_of = vec![0usize; n];
+    for (ci, comp) in comps.iter().enumerate() {
+        for &v in comp {
+            comp_of[v.index()] = ci;
+        }
+    }
+    // All inter-component couplings, cheapest first.
+    let mut edges: Vec<(f64, usize, usize)> = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            if comp_of[i] != comp_of[j] {
+                let w = env.weight_units(
+                    qcp_env::PhysicalQubit::new(i),
+                    qcp_env::PhysicalQubit::new(j),
+                );
+                if w.is_finite() {
+                    edges.push((w, i, j));
+                }
+            }
+        }
+    }
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut routing = fast.clone();
+    let mut parent: Vec<usize> = (0..comps.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (w, i, j) in edges {
+        let (ri, rj) = (find(&mut parent, comp_of[i]), find(&mut parent, comp_of[j]));
+        if ri != rj {
+            parent[ri] = rj;
+            routing
+                .add_edge(qcp_graph::NodeId::new(i), qcp_graph::NodeId::new(j), w)
+                .expect("bridge edges are new");
+        }
+    }
+    routing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_circuit::library;
+    use qcp_env::molecules;
+
+    #[test]
+    fn qec3_on_acetyl_chloride_finds_optimum() {
+        // Table 2 row 1: the tool creates one workspace and matches the
+        // experimentalists' mapping (runtime 136 units = .0136 sec).
+        let env = molecules::acetyl_chloride();
+        let placer = Placer::new(&env, PlacerConfig::with_threshold(Threshold::new(100.0)));
+        let outcome = placer.place(&library::qec3_encoder()).unwrap();
+        assert_eq!(outcome.subcircuit_count(), 1);
+        assert_eq!(outcome.runtime.units(), 136.0);
+        assert_eq!(outcome.swap_count(), 0);
+    }
+
+    #[test]
+    fn qec5_on_crotonic_single_workspace() {
+        // Table 2 row 2: one workspace on trans-crotonic acid.
+        let env = molecules::trans_crotonic_acid();
+        let t = env.connectivity_threshold().unwrap();
+        let placer = Placer::new(&env, PlacerConfig::with_threshold(t));
+        let outcome = placer.place(&library::qec5_benchmark()).unwrap();
+        assert_eq!(outcome.subcircuit_count(), 1);
+        assert_eq!(outcome.swap_count(), 0);
+        assert!(outcome.runtime.units() > 0.0);
+    }
+
+    #[test]
+    fn cat10_on_histidine_single_workspace() {
+        // Table 2 row 3: the 10-qubit cat chain embeds whole in histidine.
+        let env = molecules::histidine();
+        let t = env.connectivity_threshold().unwrap();
+        let placer = Placer::new(
+            &env,
+            PlacerConfig::with_threshold(t).candidates(50).lookahead(false),
+        );
+        let outcome = placer.place(&library::pseudo_cat(10)).unwrap();
+        assert_eq!(outcome.subcircuit_count(), 1);
+    }
+
+    #[test]
+    fn too_wide_circuit_rejected() {
+        let env = molecules::acetyl_chloride();
+        let placer = Placer::new(&env, PlacerConfig::default());
+        assert!(matches!(
+            placer.place(&library::phase_estimation()).unwrap_err(),
+            PlaceError::CircuitTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn pentafluoro_na_below_200() {
+        // Table 3's N/A cells.
+        let env = molecules::pentafluoro_iron();
+        for t in [50.0, 100.0] {
+            let placer = Placer::new(&env, PlacerConfig::with_threshold(Threshold::new(t)));
+            assert_eq!(
+                placer.place(&library::phase_estimation()).unwrap_err(),
+                PlaceError::NoFastInteractions,
+                "threshold {t}"
+            );
+        }
+        let placer = Placer::new(&env, PlacerConfig::with_threshold(Threshold::new(200.0)));
+        assert!(placer.place(&library::phase_estimation()).is_ok());
+    }
+
+    #[test]
+    fn staged_circuit_recovers_hidden_stages() {
+        // Table 4: #subcircuits == #hidden stages on an LNN chain.
+        let staged = library::random::staged(8, 7);
+        let env = molecules::lnn_chain_1khz(8);
+        let placer = Placer::new(
+            &env,
+            PlacerConfig::with_threshold(Threshold::new(11.0))
+                .candidates(8)
+                .lookahead(false)
+                .fine_tuning(0),
+        );
+        let outcome = placer.place(&staged.circuit).unwrap();
+        assert_eq!(outcome.subcircuit_count(), staged.stage_count());
+        assert!(outcome.swap_count() > 0, "stages require swapping");
+    }
+
+    #[test]
+    fn multi_stage_schedule_is_consistent() {
+        // phaseest on crotonic: several workspaces; placed schedule must
+        // contain all circuit gates plus the swaps.
+        let env = molecules::trans_crotonic_acid();
+        let t = env.connectivity_threshold().unwrap();
+        let placer =
+            Placer::new(&env, PlacerConfig::with_threshold(t).candidates(30).lookahead(true));
+        let circuit = library::phase_estimation();
+        let outcome = placer.place(&circuit).unwrap();
+        assert!(outcome.subcircuit_count() > 1);
+        assert_eq!(
+            outcome.schedule.gate_count(),
+            circuit.gate_count() + outcome.swap_count()
+        );
+        // Swap schedules really transform placements into one another.
+        for pair in outcome.stages.windows(2) {
+            let perm = pair[0].placement.permutation_to(&pair[1].placement);
+            let pos = pair[1].swaps.simulate(env.qubit_count());
+            for (v, d) in perm.iter().enumerate() {
+                if let Some(d) = d {
+                    assert_eq!(pos[v], *d, "value at p{v} must reach p{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_circuit_places_trivially() {
+        let env = molecules::acetyl_chloride();
+        let placer = Placer::new(&env, PlacerConfig::default());
+        let outcome = placer.place(&Circuit::empty(2)).unwrap();
+        assert_eq!(outcome.subcircuit_count(), 1);
+        assert!(outcome.runtime.is_zero());
+    }
+
+    #[test]
+    fn bridged_routing_below_connectivity_threshold() {
+        // Crotonic at threshold 50: fast graph disconnected, but placement
+        // still succeeds (swaps fall back to slow bridges), as in §6.
+        let env = molecules::trans_crotonic_acid();
+        let placer = Placer::new(
+            &env,
+            PlacerConfig::with_threshold(Threshold::new(50.0)).candidates(30),
+        );
+        let outcome = placer.place(&library::phase_estimation()).unwrap();
+        assert!(outcome.subcircuit_count() >= 2);
+    }
+
+    #[test]
+    fn lookahead_never_worse_than_greedy_here() {
+        let env = molecules::trans_crotonic_acid();
+        let t = Threshold::new(200.0);
+        let greedy = Placer::new(
+            &env,
+            PlacerConfig::with_threshold(t).lookahead(false).candidates(30),
+        )
+        .place(&library::qft(6))
+        .unwrap();
+        let smart = Placer::new(
+            &env,
+            PlacerConfig::with_threshold(t).lookahead(true).candidates(30),
+        )
+        .place(&library::qft(6))
+        .unwrap();
+        assert!(smart.runtime.units() <= greedy.runtime.units() * 1.25,
+            "lookahead {} vs greedy {}", smart.runtime.units(), greedy.runtime.units());
+    }
+}

@@ -1,0 +1,790 @@
+//! SWAP-permutation routing (§5.2 and §5.3).
+//!
+//! Between two consecutive subcircuit placements the machine state must be
+//! permuted: the value at nucleus `v` has to reach nucleus `π(v)`, moving
+//! only along *fast* interactions and only via SWAP gates, with
+//! non-intersecting SWAPs allowed in parallel. The paper's algorithm:
+//!
+//! 1. cut the adjacency graph into two connected, balanced halves `G1`,
+//!    `G2` (the crossing edges form the *communication channel*);
+//! 2. colour each value white (destination in `G1`) or black (destination
+//!    in `G2`); values with no destination — nuclei that host no logical
+//!    qubit — are wildcards, coloured to balance the count;
+//! 3. funnel black values toward the channel inside `G1` (the "air
+//!    bubbles rise / water falls" picture) while white values funnel in
+//!    `G2`, exchanging one pair across the channel whenever both ends are
+//!    ready — our implementation, like the paper's, does **not** block the
+//!    channel, and uses every channel edge in parallel;
+//! 4. once the halves are colour-pure, recurse independently (the two
+//!    sub-schedules run in parallel).
+//!
+//! The *leaf–target override* of §5.3 is implemented too: whenever a value
+//! can be swapped directly into a leaf nucleus that is its final
+//! destination, the swap is done eagerly and the leaf is excluded from the
+//! rest of the stage (the paper reports 0–5% depth savings).
+//!
+//! For bounded-degree graphs the depth is `O(n)` (8n + O(1) for `s = 1/2`,
+//! §5.2), which property tests in this crate check empirically.
+
+use std::collections::HashSet;
+
+use qcp_env::PhysicalQubit;
+use qcp_graph::bisection::balanced_connected_bisection;
+use qcp_graph::traversal::{connected_components, multi_source_distances, shortest_path};
+use qcp_graph::{Graph, NodeId};
+
+use crate::cost::{PlacedGate, Schedule};
+use crate::{PlaceError, Result};
+
+/// Router configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Enables the leaf–target override heuristic (§5.3). On by default.
+    pub leaf_override: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig { leaf_override: true }
+    }
+}
+
+/// A parallel SWAP schedule: levels of vertex-disjoint swaps along
+/// adjacency-graph edges.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SwapSchedule {
+    levels: Vec<Vec<(PhysicalQubit, PhysicalQubit)>>,
+}
+
+impl SwapSchedule {
+    /// The swap levels, outermost first.
+    pub fn levels(&self) -> &[Vec<(PhysicalQubit, PhysicalQubit)>] {
+        &self.levels
+    }
+
+    /// Number of levels (the quantity §5.2 minimizes).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total number of SWAP gates.
+    pub fn swap_count(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no swaps are needed.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Converts to a costed [`Schedule`] (each SWAP weighs three maximal
+    /// couplings).
+    pub fn to_schedule(&self) -> Schedule {
+        let mut s = Schedule::new();
+        for level in &self.levels {
+            s.push_level(level.iter().map(|&(a, b)| PlacedGate::swap(a, b)).collect());
+        }
+        s
+    }
+
+    /// Simulates the schedule: returns `final_pos` where the value
+    /// initially at vertex `v` ends at `final_pos[v]`.
+    pub fn simulate(&self, n: usize) -> Vec<usize> {
+        // token_at[v] = original home of the value now at v.
+        let mut token_at: Vec<usize> = (0..n).collect();
+        for level in &self.levels {
+            for &(a, b) in level {
+                token_at.swap(a.index(), b.index());
+            }
+        }
+        let mut pos = vec![0usize; n];
+        for (v, &t) in token_at.iter().enumerate() {
+            pos[t] = v;
+        }
+        pos
+    }
+}
+
+/// Routes the permutation `targets` on `graph`: the value at vertex `v`
+/// must reach `targets[v]`; `None` marks a don't-care value. Returns a
+/// parallel swap schedule along graph edges.
+///
+/// # Errors
+///
+/// * [`PlaceError::InvalidPlacement`] if `targets` has the wrong length or
+///   repeats a destination;
+/// * [`PlaceError::RoutingImpossible`] if a value's destination lies in a
+///   different connected component.
+pub fn route_permutation(
+    graph: &Graph,
+    targets: &[Option<usize>],
+    config: &RouterConfig,
+) -> Result<SwapSchedule> {
+    let n = graph.node_count();
+    if targets.len() != n {
+        return Err(PlaceError::InvalidPlacement {
+            message: format!("targets length {} != graph size {n}", targets.len()),
+        });
+    }
+    let mut seen = vec![false; n];
+    for t in targets.iter().flatten() {
+        if *t >= n || seen[*t] {
+            return Err(PlaceError::InvalidPlacement {
+                message: format!("destination {t} repeated or out of range"),
+            });
+        }
+        seen[*t] = true;
+    }
+
+    // Validate component-wise reachability, then route each component.
+    let components = connected_components(graph);
+    let mut comp_of = vec![usize::MAX; n];
+    for (ci, comp) in components.iter().enumerate() {
+        for &v in comp {
+            comp_of[v.index()] = ci;
+        }
+    }
+    for (v, t) in targets.iter().enumerate() {
+        if let Some(t) = *t {
+            if comp_of[v] != comp_of[t] {
+                return Err(PlaceError::RoutingImpossible { stuck: PhysicalQubit::new(v) });
+            }
+        }
+    }
+
+    let mut dest: Vec<Option<usize>> = targets.to_vec();
+    let mut per_component: Vec<Vec<Vec<(usize, usize)>>> = Vec::new();
+    for comp in &components {
+        let active: Vec<usize> = comp.iter().map(|v| v.index()).collect();
+        per_component.push(route_rec(graph, &active, &mut dest, config)?);
+    }
+    // Components are disjoint: run their schedules in parallel.
+    let levels = merge_parallel(per_component);
+    Ok(SwapSchedule {
+        levels: levels
+            .into_iter()
+            .map(|lv| {
+                lv.into_iter()
+                    .map(|(a, b)| (PhysicalQubit::new(a), PhysicalQubit::new(b)))
+                    .collect()
+            })
+            .collect(),
+    })
+}
+
+/// Zips any number of vertex-disjoint level sequences into one.
+fn merge_parallel(mut parts: Vec<Vec<Vec<(usize, usize)>>>) -> Vec<Vec<(usize, usize)>> {
+    let depth = parts.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(depth);
+    for i in 0..depth {
+        let mut level = Vec::new();
+        for part in &mut parts {
+            if i < part.len() {
+                level.append(&mut part[i]);
+            }
+        }
+        if !level.is_empty() {
+            out.push(level);
+        }
+    }
+    out
+}
+
+fn is_done(active: &[usize], dest: &[Option<usize>]) -> bool {
+    active.iter().all(|&v| dest[v].is_none_or(|d| d == v))
+}
+
+fn route_rec(
+    graph: &Graph,
+    active: &[usize],
+    dest: &mut Vec<Option<usize>>,
+    config: &RouterConfig,
+) -> Result<Vec<Vec<(usize, usize)>>> {
+    if is_done(active, dest) {
+        return Ok(Vec::new());
+    }
+    if active.len() < 2 {
+        // A lone unsatisfied vertex cannot be fixed.
+        return Err(PlaceError::RoutingImpossible {
+            stuck: PhysicalQubit::new(active.first().copied().unwrap_or(0)),
+        });
+    }
+
+    // Bisect the active induced subgraph.
+    let active_ids: Vec<NodeId> = active.iter().map(|&v| NodeId::new(v)).collect();
+    let (sub, back) = graph.induced(&active_ids).map_err(|e| PlaceError::InvalidPlacement {
+        message: format!("induced subgraph failed: {e}"),
+    })?;
+    let bisection = balanced_connected_bisection(&sub).map_err(|e| {
+        PlaceError::InvalidPlacement { message: format!("bisection failed: {e}") }
+    })?;
+    let left: Vec<usize> = bisection.left.iter().map(|&v| back[v.index()].index()).collect();
+    let right: Vec<usize> = bisection.right.iter().map(|&v| back[v.index()].index()).collect();
+    let channel: Vec<(usize, usize)> = bisection
+        .channel
+        .iter()
+        .map(|&(a, b)| (back[a.index()].index(), back[b.index()].index()))
+        .collect();
+
+    let mut in_left = vec![false; graph.node_count()];
+    for &v in &left {
+        in_left[v] = true;
+    }
+
+    // Colour values: White = destination in the left half.
+    // Wildcards are assigned to balance, preferring their current side so
+    // they move as little as possible.
+    let mut white = vec![false; graph.node_count()];
+    let mut fixed_white = 0usize;
+    let mut wild: Vec<usize> = Vec::new();
+    for &v in active {
+        match dest[v] {
+            Some(d) => {
+                if in_left[d] {
+                    white[v] = true;
+                    fixed_white += 1;
+                }
+            }
+            None => wild.push(v),
+        }
+    }
+    let mut need_white = left.len() - fixed_white.min(left.len());
+    debug_assert!(fixed_white <= left.len(), "more fixed whites than room in the left half");
+    // Wildcards already in the left half take white first.
+    wild.sort_unstable_by_key(|&v| (!in_left[v], v));
+    for &v in &wild {
+        if need_white > 0 {
+            white[v] = true;
+            need_white -= 1;
+        }
+    }
+
+    // Exchange phase.
+    let mut frozen: HashSet<usize> = HashSet::new();
+    let mut levels: Vec<Vec<(usize, usize)>> = Vec::new();
+    let max_iters = 8 * active.len() + 16; // safety margin over the 8n bound
+    for _ in 0..max_iters {
+        let misplaced =
+            active.iter().any(|&v| !frozen.contains(&v) && (white[v] != in_left[v]));
+        if !misplaced {
+            break;
+        }
+        let level = build_level(
+            graph, active, &in_left, &channel, &mut white, dest, &mut frozen, config,
+        );
+        if level.is_empty() {
+            return Err(PlaceError::RoutingImpossible {
+                stuck: PhysicalQubit::new(
+                    active
+                        .iter()
+                        .copied()
+                        .find(|&v| white[v] != in_left[v])
+                        .unwrap_or(active[0]),
+                ),
+            });
+        }
+        levels.push(level);
+    }
+    debug_assert!(
+        active.iter().all(|&v| frozen.contains(&v) || white[v] == in_left[v]),
+        "exchange phase exceeded its iteration budget"
+    );
+
+    // Recurse on both halves (minus satisfied frozen leaves) in parallel.
+    let remaining = |side: &[usize]| -> Vec<usize> {
+        side.iter().copied().filter(|v| !frozen.contains(v)).collect()
+    };
+    let (la, lb) = (remaining(&left), remaining(&right));
+    let sub_a = if la.is_empty() { Vec::new() } else { route_rec(graph, &la, dest, config)? };
+    let sub_b = if lb.is_empty() { Vec::new() } else { route_rec(graph, &lb, dest, config)? };
+    levels.extend(merge_parallel(vec![sub_a, sub_b]));
+    Ok(levels)
+}
+
+/// Builds one parallel swap level and applies it to `white`/`dest`.
+#[allow(clippy::too_many_arguments)]
+fn build_level(
+    graph: &Graph,
+    active: &[usize],
+    in_left: &[bool],
+    channel: &[(usize, usize)],
+    white: &mut [bool],
+    dest: &mut Vec<Option<usize>>,
+    frozen: &mut HashSet<usize>,
+    config: &RouterConfig,
+) -> Vec<(usize, usize)> {
+    let mut used: HashSet<usize> = HashSet::new();
+    let mut level: Vec<(usize, usize)> = Vec::new();
+    let do_swap = |u: usize,
+                       v: usize,
+                       white: &mut [bool],
+                       dest: &mut Vec<Option<usize>>,
+                       used: &mut HashSet<usize>,
+                       level: &mut Vec<(usize, usize)>| {
+        dest.swap(u, v);
+        white.swap(u, v);
+        used.insert(u);
+        used.insert(v);
+        level.push((u, v));
+    };
+
+    let is_active: HashSet<usize> = active.iter().copied().collect();
+    let channel_ends: HashSet<usize> =
+        channel.iter().flat_map(|&(a, b)| [a, b]).collect();
+
+    // Working degree (within active, excluding frozen) for leaf detection.
+    let working_degree = |v: usize, frozen: &HashSet<usize>| -> usize {
+        graph
+            .neighbors(NodeId::new(v))
+            .filter(|u| is_active.contains(&u.index()) && !frozen.contains(&u.index()))
+            .count()
+    };
+
+    // 1. Leaf–target override (§5.3): deliver values straight into leaf
+    //    destinations and retire the leaf.
+    if config.leaf_override {
+        for &v in active {
+            if frozen.contains(&v) || used.contains(&v) {
+                continue;
+            }
+            let Some(d) = dest[v] else { continue };
+            if d == v || used.contains(&d) || frozen.contains(&d) {
+                continue;
+            }
+            if !graph.has_edge(NodeId::new(v), NodeId::new(d)) {
+                continue;
+            }
+            // The destination must be an active leaf, not a channel end
+            // (freezing a channel endpoint could block the exchange), and
+            // its current value must not itself be finalized there.
+            if !is_active.contains(&d)
+                || channel_ends.contains(&d)
+                || working_degree(d, frozen) != 1
+            {
+                continue;
+            }
+            if dest[d] == Some(d) {
+                continue;
+            }
+            do_swap(v, d, white, dest, &mut used, &mut level);
+            frozen.insert(d);
+        }
+    }
+
+    // 2. Cross-channel exchanges: black on the left end, white on the
+    //    right end. (The channel is never blocked, and all channel edges
+    //    work in parallel.)
+    for &(a, b) in channel {
+        if used.contains(&a) || used.contains(&b) || frozen.contains(&a) || frozen.contains(&b)
+        {
+            continue;
+        }
+        if !white[a] && white[b] {
+            do_swap(a, b, white, dest, &mut used, &mut level);
+        }
+    }
+
+    // 3. Funnel wrong-coloured values toward the channel on both sides.
+    //    Distances are measured to a single *designated* channel edge
+    //    (§5.2: "we suppose that the communication channel consists of a
+    //    single edge, otherwise, choose a single edge") so both queues
+    //    provably meet; the other channel edges still exchange
+    //    opportunistically in step 2 above.
+    let designated = channel.first().copied();
+    let funnel = |side_is_left: bool,
+                  white: &mut [bool],
+                  dest: &mut Vec<Option<usize>>,
+                  used: &mut HashSet<usize>,
+                  level: &mut Vec<(usize, usize)>,
+                  frozen: &HashSet<usize>| {
+        let sources: Vec<NodeId> = designated
+            .iter()
+            .map(|&(a, b)| if side_is_left { a } else { b })
+            .filter(|&v| !frozen.contains(&v))
+            .map(NodeId::new)
+            .collect();
+        if sources.is_empty() {
+            return;
+        }
+        let side: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&v| in_left[v] == side_is_left && !frozen.contains(&v))
+            .collect();
+        let side_ids: Vec<NodeId> = side.iter().map(|&v| NodeId::new(v)).collect();
+        let Ok((sub, back)) = graph.induced(&side_ids) else { return };
+        let local: std::collections::HashMap<usize, usize> =
+            side.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let local_sources: Vec<NodeId> = sources
+            .iter()
+            .filter_map(|s| local.get(&s.index()).map(|&i| NodeId::new(i)))
+            .collect();
+        if local_sources.is_empty() {
+            return;
+        }
+        let dist = multi_source_distances(&sub, &local_sources);
+        // Wrong colour on this side: black-on-left or white-on-right.
+        let mut wrong: Vec<usize> = side
+            .iter()
+            .copied()
+            .filter(|&v| white[v] != in_left[v] && !used.contains(&v))
+            .collect();
+        wrong.sort_unstable_by_key(|&v| (dist[local[&v]], v));
+        for v in wrong {
+            if used.contains(&v) {
+                continue;
+            }
+            let Some(dv) = dist[local[&v]] else { continue };
+            if dv == 0 {
+                continue; // already at the channel, waiting for the partner
+            }
+            // Step toward the channel through a right-coloured neighbour.
+            let mut cands: Vec<usize> = sub
+                .neighbors(NodeId::new(local[&v]))
+                .map(|u| back[u.index()].index())
+                .filter(|&u| {
+                    !used.contains(&u)
+                        && white[u] == in_left[u]
+                        && dist[local[&u]].is_some_and(|du| du + 1 == dv)
+                })
+                .collect();
+            cands.sort_unstable();
+            if let Some(&u) = cands.first() {
+                do_swap(v, u, white, dest, used, level);
+            }
+        }
+    };
+    funnel(true, white, dest, &mut used, &mut level, frozen);
+    funnel(false, white, dest, &mut used, &mut level, frozen);
+
+    level
+}
+
+/// A simple baseline router for comparison: completes the wildcard values
+/// into a full permutation, then satisfies destinations one leaf of a
+/// spanning tree at a time, moving each value along a shortest path (one
+/// swap per level — no parallelism).
+///
+/// Guaranteed to terminate with `O(n·diameter)` swaps; the recursive
+/// bisection router beats it on both depth and swap count, which the
+/// ablation benchmark (`qcp-bench`, `ablation` binary) quantifies.
+///
+/// # Errors
+///
+/// Same failure conditions as [`route_permutation`].
+pub fn route_sequential(graph: &Graph, targets: &[Option<usize>]) -> Result<SwapSchedule> {
+    let n = graph.node_count();
+    if targets.len() != n {
+        return Err(PlaceError::InvalidPlacement {
+            message: format!("targets length {} != graph size {n}", targets.len()),
+        });
+    }
+    let components = connected_components(graph);
+    let mut comp_of = vec![usize::MAX; n];
+    for (ci, comp) in components.iter().enumerate() {
+        for &v in comp {
+            comp_of[v.index()] = ci;
+        }
+    }
+    // Complete wildcards into a bijection per component.
+    let mut dest: Vec<Option<usize>> = targets.to_vec();
+    for comp in &components {
+        let members: HashSet<usize> = comp.iter().map(|v| v.index()).collect();
+        let mut taken: HashSet<usize> = HashSet::new();
+        for &v in comp {
+            if let Some(d) = dest[v.index()] {
+                if !members.contains(&d) {
+                    return Err(PlaceError::RoutingImpossible {
+                        stuck: PhysicalQubit::new(v.index()),
+                    });
+                }
+                taken.insert(d);
+            }
+        }
+        let mut free: Vec<usize> =
+            comp.iter().map(|v| v.index()).filter(|d| !taken.contains(d)).collect();
+        free.sort_unstable();
+        for &v in comp {
+            if dest[v.index()].is_none() {
+                dest[v.index()] = Some(free.pop().expect("counts match"));
+            }
+        }
+    }
+
+    let mut levels: Vec<Vec<(usize, usize)>> = Vec::new();
+    // Satisfy one destination at a time, shrinking the graph leaf-first.
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut remaining: usize = n;
+    while remaining > 0 {
+        // Pick the largest-index leaf (or any vertex of degree <= 1) of
+        // the alive induced subgraph.
+        let alive_ids: Vec<NodeId> =
+            (0..n).filter(|&v| alive[v]).map(NodeId::new).collect();
+        let (sub, back) = graph.induced(&alive_ids).map_err(|e| {
+            PlaceError::InvalidPlacement { message: format!("induced failed: {e}") }
+        })?;
+        // Spanning-tree leaf of each component: a vertex whose removal
+        // keeps the rest connected. Use a BFS tree leaf.
+        let mut leaf: Option<usize> = None;
+        let mut visited = vec![false; sub.node_count()];
+        for start in sub.nodes() {
+            if visited[start.index()] {
+                continue;
+            }
+            let tree = qcp_graph::spanning::RootedTree::bfs(&sub, start).map_err(|e| {
+                PlaceError::InvalidPlacement { message: format!("tree failed: {e}") }
+            })?;
+            for &v in tree.nodes() {
+                visited[v.index()] = true;
+            }
+            let l = *tree.nodes().last().expect("non-empty tree");
+            leaf = Some(back[l.index()].index());
+            break;
+        }
+        let d = leaf.expect("alive set non-empty");
+        // Which value must end at d?
+        let holder = (0..n).find(|&v| alive[v] && dest[v] == Some(d));
+        if let Some(h) = holder {
+            if h != d {
+                let (sh, sd) = (
+                    alive_ids.iter().position(|&x| x.index() == h).expect("alive"),
+                    alive_ids.iter().position(|&x| x.index() == d).expect("alive"),
+                );
+                let path = shortest_path(&sub, NodeId::new(sh), NodeId::new(sd)).ok_or(
+                    PlaceError::RoutingImpossible { stuck: PhysicalQubit::new(h) },
+                )?;
+                for w in path.windows(2) {
+                    let (a, b) = (back[w[0].index()].index(), back[w[1].index()].index());
+                    dest.swap(a, b);
+                    levels.push(vec![(a, b)]);
+                }
+            }
+        }
+        alive[d] = false;
+        remaining -= 1;
+    }
+    Ok(SwapSchedule {
+        levels: levels
+            .into_iter()
+            .map(|lv| {
+                lv.into_iter()
+                    .map(|(a, b)| (PhysicalQubit::new(a), PhysicalQubit::new(b)))
+                    .collect()
+            })
+            .collect(),
+    })
+}
+
+/// Checks that `schedule` realizes `targets` on `graph`: every swap uses a
+/// graph edge, swaps within one level are vertex-disjoint, and every value
+/// with a destination arrives.
+pub fn verify_schedule(graph: &Graph, targets: &[Option<usize>], schedule: &SwapSchedule) -> bool {
+    let n = graph.node_count();
+    if targets.len() != n {
+        return false;
+    }
+    for level in schedule.levels() {
+        let mut used = HashSet::new();
+        for &(a, b) in level {
+            if !graph.has_edge(NodeId::new(a.index()), NodeId::new(b.index())) {
+                return false;
+            }
+            if !used.insert(a.index()) || !used.insert(b.index()) {
+                return false;
+            }
+        }
+    }
+    let pos = schedule.simulate(n);
+    targets
+        .iter()
+        .enumerate()
+        .all(|(v, t)| t.is_none_or(|d| pos[v] == d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_graph::generate;
+
+    fn full_targets(perm: &[usize]) -> Vec<Option<usize>> {
+        perm.iter().map(|&d| Some(d)).collect()
+    }
+
+    #[test]
+    fn identity_needs_no_swaps() {
+        let g = generate::chain(5);
+        let t: Vec<Option<usize>> = (0..5).map(Some).collect();
+        let s = route_permutation(&g, &t, &RouterConfig::default()).unwrap();
+        assert!(s.is_empty());
+        assert!(verify_schedule(&g, &t, &s));
+    }
+
+    #[test]
+    fn adjacent_swap_on_chain() {
+        let g = generate::chain(3);
+        let t = full_targets(&[1, 0, 2]);
+        let s = route_permutation(&g, &t, &RouterConfig::default()).unwrap();
+        assert!(verify_schedule(&g, &t, &s));
+        assert_eq!(s.swap_count(), 1);
+    }
+
+    #[test]
+    fn full_reversal_on_chain() {
+        // The worst-case permutation (n, 2, 3, …, n−1, 1)-style reversal.
+        for n in 2..10 {
+            let g = generate::chain(n);
+            let perm: Vec<usize> = (0..n).rev().collect();
+            let t = full_targets(&perm);
+            let s = route_permutation(&g, &t, &RouterConfig::default()).unwrap();
+            assert!(verify_schedule(&g, &t, &s), "reversal failed on n={n}");
+            assert!(
+                s.depth() <= 8 * n + 8,
+                "depth {} exceeds linear bound for n={n}",
+                s.depth()
+            );
+        }
+    }
+
+    #[test]
+    fn asymptotic_witness_permutation() {
+        // §5.2's witness: (n, 2, 3, …, n−1, 1) — exchange the chain ends.
+        let n = 9;
+        let g = generate::chain(n);
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.swap(0, n - 1);
+        let t = full_targets(&perm);
+        let s = route_permutation(&g, &t, &RouterConfig::default()).unwrap();
+        assert!(verify_schedule(&g, &t, &s));
+        // Moving a value across the whole chain needs at least n-1 swaps.
+        assert!(s.swap_count() >= n - 1);
+    }
+
+    #[test]
+    fn wildcards_are_dont_care() {
+        let g = generate::chain(4);
+        // Only one value is constrained: end to end.
+        let mut t = vec![None; 4];
+        t[0] = Some(3);
+        let s = route_permutation(&g, &t, &RouterConfig::default()).unwrap();
+        assert!(verify_schedule(&g, &t, &s));
+    }
+
+    #[test]
+    fn routes_on_trees_grids_rings() {
+        let graphs = vec![
+            generate::star(7),
+            generate::grid(3, 3),
+            generate::ring(8),
+            generate::caterpillar(4, 1),
+        ];
+        for g in graphs {
+            let n = g.node_count();
+            let perm: Vec<usize> = (0..n).rev().collect();
+            let t = full_targets(&perm);
+            let s = route_permutation(&g, &t, &RouterConfig::default()).unwrap();
+            assert!(verify_schedule(&g, &t, &s), "failed on {g:?}");
+        }
+    }
+
+    #[test]
+    fn leaf_override_toggle_both_correct() {
+        let g = generate::caterpillar(5, 2);
+        let n = g.node_count();
+        let perm: Vec<usize> = (1..n).chain([0]).collect();
+        let t = full_targets(&perm);
+        for cfg in [RouterConfig { leaf_override: true }, RouterConfig { leaf_override: false }] {
+            let s = route_permutation(&g, &t, &cfg).unwrap();
+            assert!(verify_schedule(&g, &t, &s), "leaf_override={}", cfg.leaf_override);
+        }
+    }
+
+    #[test]
+    fn cross_component_target_is_rejected() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let mut t = vec![None; 4];
+        t[0] = Some(2);
+        let err = route_permutation(&g, &t, &RouterConfig::default()).unwrap_err();
+        assert!(matches!(err, PlaceError::RoutingImpossible { .. }));
+    }
+
+    #[test]
+    fn within_component_routing_on_disconnected_graph() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let t = full_targets(&[1, 0, 3, 2]);
+        let s = route_permutation(&g, &t, &RouterConfig::default()).unwrap();
+        assert!(verify_schedule(&g, &t, &s));
+        // Both component swaps fit in one parallel level.
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.swap_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_target_rejected() {
+        let g = generate::chain(3);
+        let t = vec![Some(1), Some(1), None];
+        assert!(matches!(
+            route_permutation(&g, &t, &RouterConfig::default()).unwrap_err(),
+            PlaceError::InvalidPlacement { .. }
+        ));
+    }
+
+    #[test]
+    fn sequential_baseline_correct() {
+        for (g, n) in [(generate::chain(6), 6), (generate::grid(2, 4), 8), (generate::ring(5), 5)]
+        {
+            let perm: Vec<usize> = (0..n).rev().collect();
+            let t = full_targets(&perm);
+            let s = route_sequential(&g, &t).unwrap();
+            assert!(verify_schedule(&g, &t, &s), "sequential failed on {g:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_handles_wildcards() {
+        let g = generate::chain(5);
+        let mut t = vec![None; 5];
+        t[1] = Some(4);
+        let s = route_sequential(&g, &t).unwrap();
+        assert!(verify_schedule(&g, &t, &s));
+    }
+
+    #[test]
+    fn bisection_router_parallelism_beats_sequential_depth() {
+        let g = generate::chain(10);
+        let perm: Vec<usize> = (0..10).rev().collect();
+        let t = full_targets(&perm);
+        let par = route_permutation(&g, &t, &RouterConfig::default()).unwrap();
+        let seq = route_sequential(&g, &t).unwrap();
+        assert!(
+            par.depth() < seq.depth(),
+            "parallel depth {} not below sequential {}",
+            par.depth(),
+            seq.depth()
+        );
+    }
+
+    #[test]
+    fn schedule_to_costed_schedule() {
+        let g = generate::chain(3);
+        let t = full_targets(&[2, 1, 0]);
+        let s = route_permutation(&g, &t, &RouterConfig::default()).unwrap();
+        let costed = s.to_schedule();
+        assert_eq!(costed.gate_count(), s.swap_count());
+    }
+
+    #[test]
+    fn example_4_crotonic_permutation() {
+        // Example 4: permute (M C1 H1 C2 C3 H2 C4) -> values move
+        // M→C1, C1→C2, H1→C3, C2→C4, C3→H2, H2→H1, C4→M along the bond
+        // graph of trans-crotonic acid.
+        let env = qcp_env::molecules::trans_crotonic_acid();
+        let g = env.bond_graph();
+        // Indices: M=0, C1=1, H1=2, C2=3, C3=4, H2=5, C4=6.
+        let t = full_targets(&[1, 3, 4, 6, 5, 2, 0]);
+        let s = route_permutation(&g, &t, &RouterConfig::default()).unwrap();
+        assert!(verify_schedule(&g, &t, &s));
+        // The paper separates the halves in 3 steps and finishes the
+        // sub-permutations in parallel; allow a small constant factor.
+        assert!(s.depth() <= 10, "depth {}", s.depth());
+    }
+}

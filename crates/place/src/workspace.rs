@@ -1,0 +1,485 @@
+//! Workspace (subcircuit) extraction — the "basic placement" stage of §5.1.
+//!
+//! The algorithm reads gates off the circuit into a workspace *as long as
+//! the two-qubit gates seen so far can be aligned along the fastest
+//! interactions* of the physical environment, i.e. while the workspace's
+//! interaction graph still has a monomorphism into the fast graph. The
+//! first gate that breaks embeddability closes the workspace and opens the
+//! next one. Single-qubit gates never break embeddability.
+
+use qcp_circuit::{Circuit, Gate};
+use qcp_graph::vf2::MonomorphismFinder;
+use qcp_graph::{Graph, NodeId};
+
+use crate::{PlaceError, Result};
+
+/// Options controlling workspace extraction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExtractionOptions {
+    /// Hoist later gates that *commute* with every gate blocked so far
+    /// into the current workspace — the gate-commutation transformation
+    /// the paper suggests as further research (§7). Off by default
+    /// (matching the paper's evaluated pipeline).
+    pub commutation_aware: bool,
+    /// Close a workspace after this many gates even if more would embed —
+    /// a knob for the computation-depth vs swap-depth balance the paper's
+    /// conclusions call for ("right now, our method is greedy in that the
+    /// computational stage is formed to be as large as possible").
+    /// `None` keeps the paper's greedy-maximal behaviour.
+    pub max_gates: Option<usize>,
+}
+
+/// A maximal embeddable subcircuit plus its interaction graph.
+#[derive(Clone, Debug)]
+pub struct Workspace {
+    /// The subcircuit (same logical width as the parent circuit).
+    pub circuit: Circuit,
+    /// Flat gate index (over the parent's level-order gate sequence) of
+    /// the first gate in this workspace.
+    pub first_gate: usize,
+    /// One past the last gate.
+    pub last_gate: usize,
+    /// Interaction graph over all parent qubits; edges only for pairs
+    /// coupled inside this workspace.
+    pub interaction: Graph,
+}
+
+impl Workspace {
+    /// Number of gates in the workspace.
+    pub fn gate_count(&self) -> usize {
+        self.last_gate - self.first_gate
+    }
+}
+
+/// Splits `circuit` into maximal subcircuits whose interaction graphs
+/// embed (as subgraph monomorphisms) into `fast`, using default
+/// [`ExtractionOptions`] (the paper's greedy-maximal scheme).
+///
+/// # Errors
+///
+/// Returns [`PlaceError::NoFastInteractions`] if some two-qubit gate
+/// cannot be aligned even alone — i.e. the fast graph has no edges at all
+/// (the paper's N/A case).
+pub fn extract_workspaces(circuit: &Circuit, fast: &Graph) -> Result<Vec<Workspace>> {
+    extract_workspaces_with(circuit, fast, ExtractionOptions::default())
+}
+
+/// [`extract_workspaces`] with explicit [`ExtractionOptions`].
+///
+/// With `commutation_aware` set, a gate that would break the current
+/// workspace is *deferred* instead of closing it, and later gates that
+/// commute with every deferred gate may still be hoisted in; deferred
+/// gates seed the next workspace in their original order. The
+/// transformation is sound: a gate only ever jumps over gates it commutes
+/// with.
+///
+/// # Errors
+///
+/// As [`extract_workspaces`].
+pub fn extract_workspaces_with(
+    circuit: &Circuit,
+    fast: &Graph,
+    options: ExtractionOptions,
+) -> Result<Vec<Workspace>> {
+    if options.commutation_aware {
+        return extract_commutation_aware(circuit, fast, options);
+    }
+    extract_contiguous(circuit, fast, options)
+}
+
+fn extract_contiguous(
+    circuit: &Circuit,
+    fast: &Graph,
+    options: ExtractionOptions,
+) -> Result<Vec<Workspace>> {
+    let n = circuit.qubit_count();
+    let gates: Vec<Gate> = circuit.gates().cloned().collect();
+    let mut out: Vec<Workspace> = Vec::new();
+
+    let mut start = 0usize;
+    let mut edges: Vec<(usize, usize)> = Vec::new(); // current workspace interactions
+    let mut have_edge = std::collections::HashSet::<(usize, usize)>::new();
+
+    let close = |out: &mut Vec<Workspace>,
+                 start: usize,
+                 end: usize,
+                 edges: &[(usize, usize)],
+                 gates: &[Gate]| {
+        let sub = Circuit::from_gates(n, gates[start..end].iter().cloned())
+            .expect("subcircuit gates fit the parent width");
+        let mut interaction = Graph::new(n);
+        for &(a, b) in edges {
+            interaction
+                .add_edge(NodeId::new(a), NodeId::new(b), 1.0)
+                .expect("edges deduplicated");
+        }
+        out.push(Workspace { circuit: sub, first_gate: start, last_gate: end, interaction });
+    };
+
+    for (i, gate) in gates.iter().enumerate() {
+        if let Some(cap) = options.max_gates {
+            if i - start >= cap && i > start {
+                close(&mut out, start, i, &edges, &gates);
+                start = i;
+                edges.clear();
+                have_edge.clear();
+            }
+        }
+        let Some((qa, qb)) = gate.coupling() else { continue };
+        let key = (qa.index().min(qb.index()), qa.index().max(qb.index()));
+        if have_edge.contains(&key) {
+            continue; // same interaction, still embeddable
+        }
+        let mut tentative = edges.clone();
+        tentative.push(key);
+        if embeds(&tentative, n, fast) {
+            edges = tentative;
+            have_edge.insert(key);
+            continue;
+        }
+        // The new edge breaks alignment. If the gate cannot even start a
+        // fresh workspace, the threshold kills the computation.
+        if !embeds(&[key], n, fast) {
+            return Err(PlaceError::NoFastInteractions);
+        }
+        close(&mut out, start, i, &edges, &gates);
+        start = i;
+        edges = vec![key];
+        have_edge.clear();
+        have_edge.insert(key);
+    }
+    close(&mut out, start, gates.len(), &edges, &gates);
+    Ok(out)
+}
+
+/// Commutation-aware extraction (§7 extension): deferred gates hold the
+/// next workspace open while commuting successors are hoisted in.
+fn extract_commutation_aware(
+    circuit: &Circuit,
+    fast: &Graph,
+    options: ExtractionOptions,
+) -> Result<Vec<Workspace>> {
+    let n = circuit.qubit_count();
+    let mut remaining: Vec<(usize, Gate)> =
+        circuit.gates().cloned().enumerate().collect();
+    let mut out: Vec<Workspace> = Vec::new();
+
+    while !remaining.is_empty() {
+        let mut current: Vec<(usize, Gate)> = Vec::new();
+        let mut deferred: Vec<(usize, Gate)> = Vec::new();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut have_edge = std::collections::HashSet::<(usize, usize)>::new();
+
+        for (idx, gate) in remaining.drain(..) {
+            let full = options
+                .max_gates
+                .is_some_and(|cap| current.len() >= cap && !current.is_empty());
+            let commutes = deferred.iter().all(|(_, d)| gate.commutes_with(d));
+            if full || !commutes {
+                deferred.push((idx, gate));
+                continue;
+            }
+            match gate.coupling() {
+                None => current.push((idx, gate)),
+                Some((qa, qb)) => {
+                    let key = (qa.index().min(qb.index()), qa.index().max(qb.index()));
+                    if have_edge.contains(&key) {
+                        current.push((idx, gate));
+                        continue;
+                    }
+                    let mut tentative = edges.clone();
+                    tentative.push(key);
+                    if embeds(&tentative, n, fast) {
+                        edges = tentative;
+                        have_edge.insert(key);
+                        current.push((idx, gate));
+                    } else {
+                        if !embeds(&[key], n, fast) {
+                            return Err(PlaceError::NoFastInteractions);
+                        }
+                        deferred.push((idx, gate));
+                    }
+                }
+            }
+        }
+        if current.is_empty() {
+            // Every gate was deferred against an unsatisfiable head; the
+            // head itself must have been embeddable (checked above), so
+            // this cannot happen — defend anyway.
+            return Err(PlaceError::NoFastInteractions);
+        }
+        let first = current.iter().map(|&(i, _)| i).min().expect("non-empty");
+        let last = current.iter().map(|&(i, _)| i).max().expect("non-empty") + 1;
+        let sub = Circuit::from_gates(n, current.iter().map(|(_, g)| g.clone()))
+            .expect("subcircuit gates fit the parent width");
+        let mut interaction = Graph::new(n);
+        for &(a, b) in &edges {
+            interaction
+                .add_edge(NodeId::new(a), NodeId::new(b), 1.0)
+                .expect("edges deduplicated");
+        }
+        out.push(Workspace { circuit: sub, first_gate: first, last_gate: last, interaction });
+        remaining = deferred;
+    }
+    if out.is_empty() {
+        // An empty circuit still yields one (empty) workspace.
+        out.push(Workspace {
+            circuit: Circuit::empty(n),
+            first_gate: 0,
+            last_gate: 0,
+            interaction: Graph::new(n),
+        });
+    }
+    Ok(out)
+}
+
+/// Does the interaction pattern embed into the fast graph?
+fn embeds(edges: &[(usize, usize)], n_qubits: usize, fast: &Graph) -> bool {
+    if edges.is_empty() {
+        return true;
+    }
+    // Relabel the touched qubits densely.
+    let mut index = vec![usize::MAX; n_qubits];
+    let mut count = 0usize;
+    for &(a, b) in edges {
+        for v in [a, b] {
+            if index[v] == usize::MAX {
+                index[v] = count;
+                count += 1;
+            }
+        }
+    }
+    if count > fast.node_count() {
+        return false;
+    }
+    let mut pattern = Graph::new(count);
+    for &(a, b) in edges {
+        pattern
+            .add_edge(NodeId::new(index[a]), NodeId::new(index[b]), 1.0)
+            .expect("edges are unique pairs");
+    }
+    MonomorphismFinder::new(&pattern, fast).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_circuit::library;
+    use qcp_circuit::Qubit;
+    use qcp_env::{molecules, Threshold};
+    use qcp_graph::generate;
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn chain_circuit_single_workspace_on_chain() {
+        let c = library::pseudo_cat(5);
+        let fast = generate::chain(5);
+        let ws = extract_workspaces(&c, &fast).unwrap();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].gate_count(), c.gate_count());
+    }
+
+    #[test]
+    fn triangle_on_chain_splits() {
+        // zz(0,1), zz(1,2), zz(0,2): the third edge closes a triangle,
+        // which no chain hosts.
+        let c = Circuit::from_gates(
+            3,
+            [
+                Gate::zz(q(0), q(1), 90.0),
+                Gate::zz(q(1), q(2), 90.0),
+                Gate::zz(q(0), q(2), 90.0),
+            ],
+        )
+        .unwrap();
+        let fast = generate::chain(3);
+        let ws = extract_workspaces(&c, &fast).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].gate_count(), 2);
+        assert_eq!(ws[1].gate_count(), 1);
+        assert_eq!(ws[0].interaction.edge_count(), 2);
+        assert_eq!(ws[1].interaction.edge_count(), 1);
+    }
+
+    #[test]
+    fn repeat_interactions_do_not_split() {
+        let c = Circuit::from_gates(
+            2,
+            (0..10).map(|_| Gate::zz(q(0), q(1), 90.0)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let fast = generate::chain(2);
+        let ws = extract_workspaces(&c, &fast).unwrap();
+        assert_eq!(ws.len(), 1);
+    }
+
+    #[test]
+    fn single_qubit_gates_never_split() {
+        let c = Circuit::from_gates(
+            3,
+            [
+                Gate::zz(q(0), q(1), 90.0),
+                Gate::ry(q(2), 90.0),
+                Gate::ry(q(0), 90.0),
+                Gate::zz(q(1), q(2), 90.0),
+            ],
+        )
+        .unwrap();
+        let fast = generate::chain(3);
+        assert_eq!(extract_workspaces(&c, &fast).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn no_fast_interactions_is_an_error() {
+        // Pentafluoro at threshold 100: no interaction is fast.
+        let env = molecules::pentafluoro_iron();
+        let fast = env.fast_graph(Threshold::new(100.0));
+        let c = library::phase_estimation();
+        assert_eq!(
+            extract_workspaces(&c, &fast).unwrap_err(),
+            PlaceError::NoFastInteractions
+        );
+    }
+
+    #[test]
+    fn single_qubit_only_circuit_is_one_workspace() {
+        let c = Circuit::from_gates(2, [Gate::ry(q(0), 90.0), Gate::ry(q(1), 90.0)]).unwrap();
+        let env = molecules::pentafluoro_iron();
+        let fast = env.fast_graph(Threshold::new(50.0)); // empty graph
+        let ws = extract_workspaces(&c, &fast).unwrap();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].interaction.edge_count(), 0);
+    }
+
+    #[test]
+    fn qft6_on_crotonic_bonds_splits_into_multiple() {
+        // §6: qft6 "contains a 2-qubit gate for every pair of qubits" and
+        // cannot be placed whole along trans-crotonic bonds.
+        let env = molecules::trans_crotonic_acid();
+        let fast = env.fast_graph(Threshold::new(200.0));
+        let c = library::qft(6);
+        let ws = extract_workspaces(&c, &fast).unwrap();
+        assert!(ws.len() > 1, "expected multiple workspaces, got {}", ws.len());
+        // Ranges tile the gate sequence.
+        assert_eq!(ws[0].first_gate, 0);
+        for pair in ws.windows(2) {
+            assert_eq!(pair[0].last_gate, pair[1].first_gate);
+        }
+        assert_eq!(ws.last().unwrap().last_gate, c.gate_count());
+    }
+
+    #[test]
+    fn commutation_hoists_diagonal_gates() {
+        // zz(0,1), zz(1,2) embed on a chain; zz(0,2) closes a triangle and
+        // breaks; the following zz(1,2) and the disjoint ry(q3)
+        // commute with zz(0,2) and can be hoisted into workspace 1.
+        let c = Circuit::from_gates(
+            4,
+            [
+                Gate::zz(q(0), q(1), 90.0),
+                Gate::zz(q(1), q(2), 90.0),
+                Gate::zz(q(0), q(2), 90.0),
+                Gate::zz(q(1), q(2), -90.0),
+                Gate::ry(q(3), 90.0),
+            ],
+        )
+        .unwrap();
+        let fast = generate::chain(4);
+        let plain = extract_workspaces(&c, &fast).unwrap();
+        assert_eq!(plain.len(), 2);
+        // Greedy stops at the triangle edge: zz(0,1), the levelized-early
+        // ry(q3), and zz(1,2) are in; the trailing zz(1,2) is stranded in
+        // workspace 2 behind the blocker.
+        assert_eq!(plain[0].gate_count(), 3);
+        assert_eq!(plain[1].gate_count(), 2);
+        let smart = extract_workspaces_with(
+            &c,
+            &fast,
+            ExtractionOptions { commutation_aware: true, max_gates: None },
+        )
+        .unwrap();
+        assert_eq!(smart.len(), 2);
+        assert_eq!(smart[0].circuit.gate_count(), 4, "two gates hoisted");
+        assert_eq!(smart[1].circuit.gate_count(), 1);
+    }
+
+    #[test]
+    fn commutation_respects_non_commuting_order() {
+        // ry(q0) does NOT commute with the deferred zz(0,2): it must stay
+        // behind it in workspace 2.
+        let c = Circuit::from_gates(
+            3,
+            [
+                Gate::zz(q(0), q(1), 90.0),
+                Gate::zz(q(1), q(2), 90.0),
+                Gate::zz(q(0), q(2), 90.0),
+                Gate::ry(q(0), 90.0),
+            ],
+        )
+        .unwrap();
+        let fast = generate::chain(3);
+        let smart = extract_workspaces_with(
+            &c,
+            &fast,
+            ExtractionOptions { commutation_aware: true, max_gates: None },
+        )
+        .unwrap();
+        assert_eq!(smart.len(), 2);
+        assert_eq!(smart[0].circuit.gate_count(), 2);
+        let ws2: Vec<String> =
+            smart[1].circuit.gates().map(ToString::to_string).collect();
+        assert_eq!(ws2, vec!["ZZ(90) q0 q2", "Ry(90) q0"]);
+    }
+
+    #[test]
+    fn max_gates_caps_workspaces() {
+        let c = library::pseudo_cat(5); // 1 workspace normally
+        let fast = generate::chain(5);
+        let capped = extract_workspaces_with(
+            &c,
+            &fast,
+            ExtractionOptions { commutation_aware: false, max_gates: Some(10) },
+        )
+        .unwrap();
+        assert!(capped.len() >= 2, "cap must split the single workspace");
+        for w in &capped {
+            assert!(w.gate_count() <= 10);
+        }
+        // Ranges still tile the circuit.
+        assert_eq!(capped[0].first_gate, 0);
+        for pair in capped.windows(2) {
+            assert_eq!(pair[0].last_gate, pair[1].first_gate);
+        }
+        assert_eq!(capped.last().unwrap().last_gate, c.gate_count());
+    }
+
+    #[test]
+    fn commutation_preserves_per_qubit_gate_order_globally() {
+        // Safety property: concatenating the extracted workspaces must
+        // keep each qubit's own gate sequence when gates do not commute.
+        let env = molecules::trans_crotonic_acid();
+        let fast = env.fast_graph(Threshold::new(200.0));
+        let c = library::qft(6);
+        let smart = extract_workspaces_with(
+            &c,
+            &fast,
+            ExtractionOptions { commutation_aware: true, max_gates: None },
+        )
+        .unwrap();
+        let total: usize = smart.iter().map(|w| w.circuit.gate_count()).sum();
+        assert_eq!(total, c.gate_count(), "no gate lost or duplicated");
+    }
+
+    #[test]
+    fn hidden_stages_recovered_on_lnn() {
+        // Table 4's key claim: #subcircuits == #hidden stages.
+        let staged = library::random::staged(8, 42);
+        let env = molecules::lnn_chain_1khz(8);
+        let fast = env.fast_graph(Threshold::new(11.0));
+        let ws = extract_workspaces(&staged.circuit, &fast).unwrap();
+        assert_eq!(ws.len(), staged.stage_count());
+    }
+}

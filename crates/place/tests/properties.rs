@@ -1,0 +1,251 @@
+//! Property-based tests for the placement core.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qcp_circuit::{Circuit, Gate, Qubit};
+use qcp_env::{molecules, Environment, PhysicalQubit};
+use qcp_graph::{generate, NodeId};
+use qcp_place::baselines::{exhaustive_placement, random_placement};
+use qcp_place::cost::{placed_runtime, CostModel};
+use qcp_place::router::{route_permutation, route_sequential, verify_schedule, RouterConfig};
+use qcp_place::{Placement, Placer, PlacerConfig};
+
+/// A random circuit in the NMR basis on `n` qubits.
+fn random_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Circuit::builder(n);
+    for _ in 0..gates {
+        match rng.gen_range(0..4) {
+            0 => {
+                b.gate(Gate::ry(Qubit::new(rng.gen_range(0..n)), 90.0));
+            }
+            1 => {
+                b.gate(Gate::rz(Qubit::new(rng.gen_range(0..n)), 90.0));
+            }
+            _ => {
+                let a = rng.gen_range(0..n);
+                let mut c = rng.gen_range(0..n);
+                while c == a {
+                    c = rng.gen_range(0..n);
+                }
+                b.gate(Gate::zz(Qubit::new(a), Qubit::new(c), 90.0));
+            }
+        }
+    }
+    b.build()
+}
+
+fn random_env(n: usize, seed: u64) -> Environment {
+    molecules::random_molecule(n, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn router_realizes_random_permutations(
+        seed in any::<u64>(),
+        n in 3usize..14,
+        extra in 0usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generate::random_connected(n, extra, &mut rng);
+        let perm = generate::random_permutation(n, &mut rng);
+        let targets: Vec<Option<usize>> = perm.iter().map(|&d| Some(d)).collect();
+        for cfg in [RouterConfig { leaf_override: true }, RouterConfig { leaf_override: false }] {
+            let s = route_permutation(&g, &targets, &cfg).unwrap();
+            prop_assert!(verify_schedule(&g, &targets, &s));
+        }
+        let s = route_sequential(&g, &targets).unwrap();
+        prop_assert!(verify_schedule(&g, &targets, &s));
+    }
+
+    #[test]
+    fn router_depth_linear_on_bounded_degree(seed in any::<u64>(), n in 4usize..24) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generate::bounded_degree_tree(n, 3, &mut rng);
+        let perm = generate::random_permutation(n, &mut rng);
+        let targets: Vec<Option<usize>> = perm.iter().map(|&d| Some(d)).collect();
+        let s = route_permutation(&g, &targets, &RouterConfig::default()).unwrap();
+        prop_assert!(verify_schedule(&g, &targets, &s));
+        // §5.2's 8n + const bound (generous constant for tiny n).
+        prop_assert!(s.depth() <= 8 * n + 16, "depth {} on n={n}", s.depth());
+    }
+
+    #[test]
+    fn router_partial_targets(seed in any::<u64>(), n in 3usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generate::random_connected(n, 3, &mut rng);
+        let perm = generate::random_permutation(n, &mut rng);
+        // Constrain a random subset only.
+        let targets: Vec<Option<usize>> = perm
+            .iter()
+            .map(|&d| if rng.gen_bool(0.5) { Some(d) } else { None })
+            .collect();
+        // Destinations must be distinct: perm is a bijection, so any
+        // subset is injective.
+        let s = route_permutation(&g, &targets, &RouterConfig::default()).unwrap();
+        prop_assert!(verify_schedule(&g, &targets, &s));
+    }
+
+    #[test]
+    fn runtime_invariant_under_nucleus_relabeling(seed in any::<u64>()) {
+        // Relabeling the environment's nuclei and composing the placement
+        // with the same relabeling leaves the runtime unchanged.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(3..6);
+        let m = rng.gen_range(n..8);
+        let circuit = random_circuit(n, 20, seed ^ 1);
+        let env = random_env(m, seed ^ 2);
+        let placement = random_placement(n, &env, seed ^ 3).unwrap();
+        let model = CostModel::overlapped();
+        let base = placed_runtime(&circuit, &env, &placement, &model);
+
+        // Random relabeling sigma of nuclei.
+        let sigma = generate::random_permutation(m, &mut rng);
+        let mut b = Environment::builder("relabeled");
+        for i in 0..m {
+            // Nucleus sigma[i] of the new env corresponds to old nucleus i:
+            // build by inverse lookup.
+            let old = sigma.iter().position(|&s| s == i).unwrap();
+            b.nucleus(
+                format!("n{i}"),
+                env.single_qubit_delay(PhysicalQubit::new(old)).units(),
+            );
+        }
+        for i in 0..m {
+            for j in i + 1..m {
+                let (oi, oj) = (
+                    sigma.iter().position(|&s| s == i).unwrap(),
+                    sigma.iter().position(|&s| s == j).unwrap(),
+                );
+                let w = env
+                    .coupling(PhysicalQubit::new(oi), PhysicalQubit::new(oj))
+                    .units();
+                if w.is_finite() {
+                    b.coupling(PhysicalQubit::new(i), PhysicalQubit::new(j), w).unwrap();
+                }
+            }
+        }
+        let env2 = b.build().unwrap();
+        let mapped = Placement::new(
+            (0..n)
+                .map(|q| PhysicalQubit::new(sigma[placement.physical(Qubit::new(q)).index()]))
+                .collect(),
+            m,
+        )
+        .unwrap();
+        let relabeled = placed_runtime(&circuit, &env2, &mapped, &model);
+        prop_assert!((base.units() - relabeled.units()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_stage_heuristic_never_beats_exhaustive(seed in any::<u64>()) {
+        // The exhaustive baseline places the circuit *as a whole*; the
+        // staged heuristic may legitimately beat it by inserting SWAPs
+        // (the paper's central finding). Only swap-free single-stage
+        // outcomes are bounded below by the exhaustive optimum.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..4usize);
+        let m = rng.gen_range(n..6usize);
+        let circuit = random_circuit(n, 12, seed ^ 5);
+        let env = random_env(m, seed ^ 6);
+        let model = CostModel::overlapped();
+        let (_, best) = exhaustive_placement(&circuit, &env, &model, 1e6).unwrap();
+        let t = env.connectivity_threshold().unwrap();
+        let placer = Placer::new(&env, PlacerConfig::with_threshold(t).candidates(64));
+        if let Ok(outcome) = placer.place(&circuit) {
+            if outcome.subcircuit_count() == 1 {
+                prop_assert!(
+                    outcome.runtime.units() + 1e-9 >= best.units(),
+                    "swap-free heuristic {} beat exhaustive {}",
+                    outcome.runtime.units(),
+                    best.units()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn placement_moves_preserve_injectivity(seed in any::<u64>(), n in 2usize..6, m in 6usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let env = random_env(m, seed);
+        let mut placement = random_placement(n, &env, seed).unwrap();
+        for _ in 0..40 {
+            let q = Qubit::new(rng.gen_range(0..n));
+            let v = PhysicalQubit::new(rng.gen_range(0..m));
+            placement = placement.with_move(q, v);
+            // Injectivity: every logical qubit's nucleus is distinct.
+            let mut seen = vec![false; m];
+            for i in 0..n {
+                let vv = placement.physical(Qubit::new(i)).index();
+                prop_assert!(!seen[vv]);
+                seen[vv] = true;
+                // Inverse is consistent.
+                prop_assert_eq!(
+                    placement.logical_at(PhysicalQubit::new(vv)),
+                    Some(Qubit::new(i))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn placed_schedule_contains_all_gates(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(3..6usize);
+        let circuit = random_circuit(n, 25, seed ^ 9);
+        let env = random_env(n + 2, seed ^ 10);
+        let t = env.connectivity_threshold().unwrap();
+        let placer = Placer::new(
+            &env,
+            PlacerConfig::with_threshold(t).candidates(32).lookahead(false),
+        );
+        if let Ok(outcome) = placer.place(&circuit) {
+            prop_assert_eq!(
+                outcome.schedule.gate_count(),
+                circuit.gate_count() + outcome.swap_count()
+            );
+            // Consecutive placements are connected by their swap stages.
+            for pair in outcome.stages.windows(2) {
+                let perm = pair[0].placement.permutation_to(&pair[1].placement);
+                let pos = pair[1].swaps.simulate(env.qubit_count());
+                for (v, d) in perm.iter().enumerate() {
+                    if let Some(d) = d {
+                        prop_assert_eq!(pos[v], *d);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_interactions_always_embed(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(3..7usize);
+        let circuit = random_circuit(n, 30, seed ^ 21);
+        let env = random_env(n + 1, seed ^ 22);
+        let t = env.connectivity_threshold().unwrap();
+        let fast = env.fast_graph(t);
+        let ws = qcp_place::workspace::extract_workspaces(&circuit, &fast).unwrap();
+        // Ranges tile the circuit.
+        prop_assert_eq!(ws[0].first_gate, 0);
+        prop_assert_eq!(ws.last().unwrap().last_gate, circuit.gate_count());
+        for w in &ws {
+            // Each workspace's interaction pattern embeds.
+            let cands = qcp_place::embed::candidate_placements(&w.interaction, &fast, None, 1)
+                .unwrap();
+            prop_assert!(!cands.is_empty(), "workspace does not embed");
+            // And the interaction graph matches the subcircuit's couplings.
+            for g in w.circuit.gates() {
+                if let Some((a, b)) = g.coupling() {
+                    prop_assert!(w
+                        .interaction
+                        .has_edge(NodeId::new(a.index()), NodeId::new(b.index())));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Define your own physical environment from a text description, place a
+//! circuit on it, and export the fast graph for visualization.
+//!
+//! Run with: `cargo run --example custom_molecule`
+
+use qcp::prelude::*;
+use qcp_env::text as env_text;
+use qcp_graph::dot::{to_dot, DotOptions};
+
+const MOLECULE: &str = "
+# A fictitious 6-spin register: a benzene-like ring of carbons with one
+# proton handle. Delays in units of 1/10000 sec per 90-degree rotation.
+environment hexane-toy
+nucleus C1 5
+nucleus C2 5
+nucleus C3 5
+nucleus C4 5
+nucleus C5 5
+nucleus H 2
+bond C1 C2 60
+bond C2 C3 65
+bond C3 C4 70
+bond C4 C5 62
+bond C5 C1 58
+bond C1 H 25
+coupling C1 C3 420
+coupling C2 C4 450
+coupling C2 C5 430
+coupling C3 C5 460
+coupling C2 H 210
+coupling C5 H 205
+coupling C3 H 900
+coupling C4 H 950
+coupling C1 C4 480
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = env_text::parse(MOLECULE)?;
+    println!("loaded `{}` with {} nuclei", env.name(), env.qubit_count());
+
+    // Where does this molecule become usable?
+    let threshold = env.connectivity_threshold().expect("ring is connected");
+    println!("connectivity threshold: just above {} units", threshold.units().floor());
+
+    // Place a 5-qubit phase estimation on it.
+    let circuit = qcp::circuit::library::phase_estimation();
+    let placer = Placer::new(&env, PlacerConfig::with_threshold(threshold));
+    let outcome = placer.place(&circuit)?;
+    println!(
+        "phaseest: {} in {} subcircuit(s) with {} swaps",
+        outcome.runtime,
+        outcome.subcircuit_count(),
+        outcome.swap_count()
+    );
+
+    // Export the fast graph for graphviz.
+    let dot = to_dot(
+        &env.fast_graph(threshold),
+        &DotOptions::named("hexane_toy").with_labels(env.nucleus_names()).with_weights(),
+    );
+    println!("\nfast graph in DOT (pipe into `dot -Tpng`):\n{dot}");
+    Ok(())
+}

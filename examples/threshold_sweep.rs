@@ -1,0 +1,45 @@
+//! Threshold sweep (a Table 3 slice): map the 6-qubit QFT onto
+//! trans-crotonic acid for each threshold and watch the trade-off between
+//! few-but-slow whole placements and many-but-fast subcircuits.
+//!
+//! Run with: `cargo run --release --example threshold_sweep`
+
+use qcp::prelude::*;
+use qcp_circuit::library::qft;
+use qcp_place::baselines::place_whole;
+use qcp_place::PlaceError;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = molecules::trans_crotonic_acid();
+    let circuit = qft(6);
+    println!(
+        "qft6 ({} gates, {} two-qubit) onto {} ({} nuclei)\n",
+        circuit.gate_count(),
+        circuit.two_qubit_gate_count(),
+        env.name(),
+        env.qubit_count()
+    );
+
+    println!("{:>10}  {:>14}  {:>11}  {:>6}", "threshold", "runtime", "subcircuits", "swaps");
+    for t in [50.0, 100.0, 200.0, 500.0, 1000.0, 10000.0] {
+        let placer = Placer::new(&env, PlacerConfig::with_threshold(Threshold::new(t)));
+        match placer.place(&circuit) {
+            Ok(outcome) => println!(
+                "{:>10}  {:>14}  {:>11}  {:>6}",
+                t,
+                outcome.runtime.to_string(),
+                outcome.subcircuit_count(),
+                outcome.swap_count()
+            ),
+            Err(PlaceError::NoFastInteractions) => {
+                println!("{t:>10}  {:>14}", "N/A");
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    let (_, whole) = place_whole(&circuit, &env, &CostModel::overlapped(), 1e6)?;
+    println!("\nbest placement of the circuit as a whole (no swaps): {whole}");
+    println!("=> swapping between well-placed subcircuits beats placing everything at once.");
+    Ok(())
+}

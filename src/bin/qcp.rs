@@ -1,0 +1,195 @@
+//! `qcp` — command-line quantum circuit placement.
+//!
+//! ```console
+//! $ qcp molecules                         # list built-in environments
+//! $ qcp circuits                          # list built-in circuits
+//! $ qcp place --circuit qft6 --env trans-crotonic-acid --threshold 200
+//! $ qcp place --circuit my.qc --env my.mol --auto --gantt
+//! ```
+//!
+//! Circuits and environments are looked up in the built-in libraries
+//! first, then read as files in the text formats of `qcp_circuit::text`
+//! and `qcp_env::text`.
+
+use std::process::ExitCode;
+
+use qcp::place::fidelity::ExposureReport;
+use qcp::place::timeline::Timeline;
+use qcp::prelude::*;
+use qcp_circuit::library;
+use qcp_env::molecules;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("molecules") => {
+            for name in molecules::NAMES {
+                let env = molecules::named(name).expect("registry name");
+                println!("{name}: {} nuclei", env.qubit_count());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("circuits") => {
+            for name in library::NAMES {
+                let c = library::named(name).expect("registry name");
+                println!(
+                    "{name}: {} qubits, {} gates ({} two-qubit)",
+                    c.qubit_count(),
+                    c.gate_count(),
+                    c.two_qubit_gate_count()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("place") => match run_place(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!(
+                "usage: qcp <molecules|circuits|place> [options]\n\
+                 place options:\n\
+                 \x20 --circuit <name|file>   circuit (library name or text file)\n\
+                 \x20 --env <name|file>       environment (library name or text file)\n\
+                 \x20 --threshold <units>     fast-interaction threshold\n\
+                 \x20 --auto                  use the connectivity threshold (default)\n\
+                 \x20 --k <n>                 candidate monomorphisms (default 100)\n\
+                 \x20 --no-lookahead          greedy stage selection\n\
+                 \x20 --fine-tune <rounds>    hill-climbing sweeps (default 2)\n\
+                 \x20 --commutation           commutation-aware extraction\n\
+                 \x20 --gantt                 print the timed pulse chart\n\
+                 \x20 --exposure              print idle/coupling exposure"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_place(args: &[String]) -> Result<(), String> {
+    let mut circuit_arg = None;
+    let mut env_arg = None;
+    let mut threshold = None;
+    let mut k = 100usize;
+    let mut lookahead = true;
+    let mut fine_tune = 2usize;
+    let mut commutation = false;
+    let mut gantt = false;
+    let mut exposure = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| {
+            it.next().cloned().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--circuit" => circuit_arg = Some(value("--circuit")?),
+            "--env" => env_arg = Some(value("--env")?),
+            "--threshold" => {
+                threshold = Some(
+                    value("--threshold")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad threshold: {e}"))?,
+                )
+            }
+            "--auto" => threshold = None,
+            "--k" => k = value("--k")?.parse().map_err(|e| format!("bad k: {e}"))?,
+            "--no-lookahead" => lookahead = false,
+            "--fine-tune" => {
+                fine_tune =
+                    value("--fine-tune")?.parse().map_err(|e| format!("bad rounds: {e}"))?
+            }
+            "--commutation" => commutation = true,
+            "--gantt" => gantt = true,
+            "--exposure" => exposure = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+
+    let circuit = load_circuit(&circuit_arg.ok_or("--circuit is required")?)?;
+    let env = load_env(&env_arg.ok_or("--env is required")?)?;
+    let threshold = match threshold {
+        Some(units) => Threshold::new(units),
+        None => env
+            .connectivity_threshold()
+            .ok_or("environment is disconnected; pass --threshold explicitly")?,
+    };
+
+    let config = PlacerConfig::with_threshold(threshold)
+        .candidates(k)
+        .lookahead(lookahead)
+        .fine_tuning(fine_tune)
+        .commutation_aware(commutation);
+    let placer = Placer::new(&env, config);
+    let outcome = placer.place(&circuit).map_err(|e| e.to_string())?;
+
+    println!(
+        "placed `{}` ({} qubits, {} gates) on `{}` ({} nuclei) at threshold {}",
+        circuit_arg_display(&circuit),
+        circuit.qubit_count(),
+        circuit.gate_count(),
+        env.name(),
+        env.qubit_count(),
+        threshold
+    );
+    println!(
+        "runtime {}  |  {} subcircuit(s), {} swap(s)",
+        outcome.runtime,
+        outcome.subcircuit_count(),
+        outcome.swap_count()
+    );
+    let names = env.nucleus_names();
+    for (si, stage) in outcome.stages.iter().enumerate() {
+        let map: Vec<String> = (0..circuit.qubit_count())
+            .map(|qi| {
+                let v = stage.placement.physical(Qubit::new(qi));
+                format!("q{qi}→{}", names[v.index()])
+            })
+            .collect();
+        println!(
+            "stage {}: {} gates, {} swap levels in, [{}]",
+            si + 1,
+            stage.subcircuit.gate_count(),
+            stage.swaps.depth(),
+            map.join(", ")
+        );
+    }
+    if gantt || exposure {
+        let tl = Timeline::compute(&outcome.schedule, &env, &CostModel::overlapped());
+        if gantt {
+            println!("\n{}", tl.gantt(&names, 72));
+        }
+        if exposure {
+            let report = ExposureReport::from_timeline(&tl, &env);
+            println!("\nworst drift-coupling exposures (need refocusing):");
+            for (a, b, t) in report.worst_couplings(5) {
+                println!("  {} -- {}: {}", names[a.index()], names[b.index()], t);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn circuit_arg_display(c: &Circuit) -> String {
+    format!("{}q/{}g", c.qubit_count(), c.gate_count())
+}
+
+fn load_circuit(arg: &str) -> Result<Circuit, String> {
+    if let Some(c) = library::named(arg) {
+        return Ok(c);
+    }
+    let text = std::fs::read_to_string(arg)
+        .map_err(|e| format!("`{arg}` is not a library circuit and cannot be read: {e}"))?;
+    qcp::circuit::text::parse(&text).map_err(|e| format!("parsing `{arg}`: {e}"))
+}
+
+fn load_env(arg: &str) -> Result<Environment, String> {
+    if let Some(env) = molecules::named(arg) {
+        return Ok(env);
+    }
+    let text = std::fs::read_to_string(arg)
+        .map_err(|e| format!("`{arg}` is not a library molecule and cannot be read: {e}"))?;
+    qcp::env::text::parse(&text).map_err(|e| format!("parsing `{arg}`: {e}"))
+}

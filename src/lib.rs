@@ -1,0 +1,20 @@
+//! # qcp — Quantum Circuit Placement
+//!
+//! Facade crate re-exporting the whole placement stack. See the
+//! workspace `README.md` for an overview and `DESIGN.md` for the mapping
+//! between the paper's sections and the crates.
+
+#![forbid(unsafe_code)]
+
+pub use qcp_circuit as circuit;
+pub use qcp_env as env;
+pub use qcp_graph as graph;
+pub use qcp_place as place;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use qcp_circuit::{Circuit, Gate, Qubit, Time};
+    pub use qcp_env::{molecules, Environment, Threshold};
+    pub use qcp_graph::{Graph, NodeId};
+    pub use qcp_place::{CostModel, Placement, Placer, PlacerConfig};
+}

@@ -1,0 +1,107 @@
+//! Integration tests for the §7 future-work extensions: gate commutation
+//! and workspace-size balancing.
+
+use qcp::prelude::*;
+use qcp_circuit::library;
+
+#[test]
+fn commutation_aware_is_sound_and_no_worse_on_qft6() {
+    let env = molecules::trans_crotonic_acid();
+    let t = Threshold::new(200.0);
+    let circuit = library::qft(6);
+
+    let plain = Placer::new(&env, PlacerConfig::with_threshold(t))
+        .place(&circuit)
+        .unwrap();
+    let smart = Placer::new(
+        &env,
+        PlacerConfig::with_threshold(t).commutation_aware(true),
+    )
+    .place(&circuit)
+    .unwrap();
+
+    // Soundness: no gates lost, swap stages consistent.
+    assert_eq!(
+        smart.schedule.gate_count(),
+        circuit.gate_count() + smart.swap_count()
+    );
+    // QFT phases are all diagonal (ZZ/Rz), so commutation hoisting packs
+    // workspaces at least as tightly as the greedy scheme.
+    assert!(smart.subcircuit_count() <= plain.subcircuit_count());
+}
+
+#[test]
+fn commutation_aware_helps_on_diagonal_heavy_circuits() {
+    // A circuit of purely diagonal gates in adversarial order: greedy
+    // extraction fragments it, commutation-aware extraction re-packs it.
+    let q = Qubit::new;
+    let mut b = Circuit::builder(4);
+    // Chain-friendly pairs interleaved with a chain-breaking pair.
+    b.gate(Gate::zz(q(0), q(1), 90.0));
+    b.gate(Gate::zz(q(0), q(2), 90.0)); // will break once 1-2 and 2-3 are in
+    b.gate(Gate::zz(q(1), q(2), 90.0));
+    b.gate(Gate::zz(q(2), q(3), 90.0));
+    b.gate(Gate::zz(q(0), q(1), -90.0));
+    b.gate(Gate::zz(q(1), q(2), -90.0));
+    let circuit = b.build();
+
+    let env = molecules::lnn_chain(4, 10.0);
+    let t = Threshold::new(11.0);
+    let plain = Placer::new(&env, PlacerConfig::with_threshold(t))
+        .place(&circuit)
+        .unwrap();
+    let smart = Placer::new(
+        &env,
+        PlacerConfig::with_threshold(t).commutation_aware(true),
+    )
+    .place(&circuit)
+    .unwrap();
+    assert!(
+        smart.subcircuit_count() <= plain.subcircuit_count(),
+        "commutation-aware {} vs plain {}",
+        smart.subcircuit_count(),
+        plain.subcircuit_count()
+    );
+    assert!(smart.runtime.units() <= plain.runtime.units() * 1.05);
+}
+
+#[test]
+fn workspace_cap_trades_stage_count_for_swap_count() {
+    let env = molecules::histidine();
+    let t = Threshold::new(500.0);
+    let circuit = library::aqft(9);
+    let free = Placer::new(&env, PlacerConfig::with_threshold(t))
+        .place(&circuit)
+        .unwrap();
+    let capped = Placer::new(
+        &env,
+        PlacerConfig::with_threshold(t).max_workspace_gates(15),
+    )
+    .place(&circuit)
+    .unwrap();
+    assert!(capped.subcircuit_count() >= free.subcircuit_count());
+    // Either way the full gate set executes.
+    assert_eq!(
+        capped.schedule.gate_count(),
+        circuit.gate_count() + capped.swap_count()
+    );
+}
+
+#[test]
+fn extensions_combine() {
+    let env = molecules::trans_crotonic_acid();
+    let circuit = library::phase_estimation();
+    let placer = Placer::new(
+        &env,
+        PlacerConfig::with_threshold(Threshold::new(200.0))
+            .commutation_aware(true)
+            .max_workspace_gates(20)
+            .candidates(40),
+    );
+    let outcome = placer.place(&circuit).unwrap();
+    assert_eq!(
+        outcome.schedule.gate_count(),
+        circuit.gate_count() + outcome.swap_count()
+    );
+    assert!(outcome.runtime.units().is_finite());
+}
