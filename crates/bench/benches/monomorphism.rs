@@ -30,14 +30,22 @@ fn bench_interactions_into_molecules(c: &mut Criterion) {
     let pattern = generate::chain(10);
     let target = histidine.bond_graph();
     group.bench_function("cat10-into-histidine", |b| {
-        b.iter(|| MonomorphismFinder::new(&pattern, &target).limit(100).find_all())
+        b.iter(|| {
+            MonomorphismFinder::new(&pattern, &target)
+                .limit(100)
+                .find_all()
+        })
     });
     // The qec5 caterpillar into the crotonic bond graph (Table 2 row 2).
     let crotonic = molecules::trans_crotonic_acid();
     let pattern = qcp_circuit::library::qec5_benchmark().interaction_graph();
     let target2 = crotonic.bond_graph();
     group.bench_function("qec5-into-crotonic", |b| {
-        b.iter(|| MonomorphismFinder::new(&pattern, &target2).limit(100).find_all())
+        b.iter(|| {
+            MonomorphismFinder::new(&pattern, &target2)
+                .limit(100)
+                .find_all()
+        })
     });
     group.finish();
 }
@@ -49,7 +57,11 @@ fn bench_enumeration_caps(c: &mut Criterion) {
     let target = generate::grid(5, 5);
     for k in [1usize, 10, 100, 1000] {
         group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
-            b.iter(|| MonomorphismFinder::new(&pattern, &target).limit(k).find_all())
+            b.iter(|| {
+                MonomorphismFinder::new(&pattern, &target)
+                    .limit(k)
+                    .find_all()
+            })
         });
     }
     group.finish();

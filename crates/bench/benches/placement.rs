@@ -19,8 +19,7 @@ fn bench_tables_1_2(c: &mut Criterion) {
         b.iter(|| exhaustive_placement(&qec3, &acetyl, &CostModel::overlapped(), 1e4).unwrap())
     });
     group.bench_function("placer/qec3-acetyl", |b| {
-        let placer =
-            Placer::new(&acetyl, PlacerConfig::with_threshold(Threshold::new(100.0)));
+        let placer = Placer::new(&acetyl, PlacerConfig::with_threshold(Threshold::new(100.0)));
         b.iter(|| placer.place(&qec3).unwrap())
     });
 
@@ -38,7 +37,9 @@ fn bench_tables_1_2(c: &mut Criterion) {
         let t = histidine.connectivity_threshold().unwrap();
         let placer = Placer::new(
             &histidine,
-            PlacerConfig::with_threshold(t).candidates(50).lookahead(false),
+            PlacerConfig::with_threshold(t)
+                .candidates(50)
+                .lookahead(false),
         );
         b.iter(|| placer.place(&cat).unwrap())
     });

@@ -11,7 +11,10 @@ use qcp_place::router::{route_permutation, route_sequential, RouterConfig};
 
 fn targets_for(n: usize, seed: u64) -> Vec<Option<usize>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    generate::random_permutation(n, &mut rng).into_iter().map(Some).collect()
+    generate::random_permutation(n, &mut rng)
+        .into_iter()
+        .map(Some)
+        .collect()
 }
 
 fn bench_chains(c: &mut Criterion) {
@@ -51,7 +54,10 @@ fn bench_grids_and_trees(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(11);
     let cases = vec![
         ("grid-6x6".to_string(), generate::grid(6, 6)),
-        ("tree-36".to_string(), generate::bounded_degree_tree(36, 3, &mut rng)),
+        (
+            "tree-36".to_string(),
+            generate::bounded_degree_tree(36, 3, &mut rng),
+        ),
         ("ring-36".to_string(), generate::ring(36)),
     ];
     for (name, g) in cases {
@@ -63,5 +69,10 @@ fn bench_grids_and_trees(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_chains, bench_molecule_graphs, bench_grids_and_trees);
+criterion_group!(
+    benches,
+    bench_chains,
+    bench_molecule_graphs,
+    bench_grids_and_trees
+);
 criterion_main!(benches);

@@ -92,14 +92,21 @@ pub fn table1() -> Table1 {
         names[best_placement.as_slice()[1].index()].clone(),
         names[best_placement.as_slice()[2].index()].clone(),
     ];
-    Table1 { trace, example_runtime, optimal_runtime, optimal_assignment }
+    Table1 {
+        trace,
+        example_runtime,
+        optimal_runtime,
+        optimal_assignment,
+    }
 }
 
 /// Renders [`table1`] in the paper's layout.
 pub fn table1_text() -> String {
     let t1 = table1();
     let mut t = Table::new(
-        ["time[]"].into_iter().chain(t1.trace.iter().map(|c| c.gate.as_str())),
+        ["time[]"]
+            .into_iter()
+            .chain(t1.trace.iter().map(|c| c.gate.as_str())),
     );
     let row = |label: &str, pick: fn(&(f64, f64, f64)) -> f64, t1: &Table1| -> Vec<String> {
         [label.to_string()]
@@ -152,9 +159,21 @@ pub struct Table2Row {
 /// circuits and reports runtime and search-space size.
 pub fn table2() -> Vec<Table2Row> {
     let cases: [(&str, Circuit, Environment); 3] = [
-        ("error correction encoding", library::qec3_encoder(), molecules::acetyl_chloride()),
-        ("5 bit error correction", library::qec5_benchmark(), molecules::trans_crotonic_acid()),
-        ("pseudo-cat state preparation", library::pseudo_cat(10), molecules::histidine()),
+        (
+            "error correction encoding",
+            library::qec3_encoder(),
+            molecules::acetyl_chloride(),
+        ),
+        (
+            "5 bit error correction",
+            library::qec5_benchmark(),
+            molecules::trans_crotonic_acid(),
+        ),
+        (
+            "pseudo-cat state preparation",
+            library::pseudo_cat(10),
+            molecules::histidine(),
+        ),
     ];
     cases
         .into_iter()
@@ -164,7 +183,9 @@ pub fn table2() -> Vec<Table2Row> {
                 .expect("library molecules are connected");
             let placer = Placer::new(
                 &env,
-                PlacerConfig::with_threshold(threshold).candidates(100).fine_tuning(3),
+                PlacerConfig::with_threshold(threshold)
+                    .candidates(100)
+                    .fine_tuning(3),
             );
             let outcome = placer.place(&circuit).expect("library circuits place");
             Table2Row {
@@ -205,7 +226,10 @@ pub fn table2_text() -> String {
             format!("{}", r.search_space),
         ]);
     }
-    format!("Table 2: mapping experimentally constructed circuits\n{}", t.render())
+    format!(
+        "Table 2: mapping experimentally constructed circuits\n{}",
+        t.render()
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -230,7 +254,10 @@ impl Table3Cell {
     /// Paper-style rendering: `.2237 sec (5)` or `N/A`.
     pub fn render(&self) -> String {
         match self {
-            Table3Cell::Placed { runtime, subcircuits } => {
+            Table3Cell::Placed {
+                runtime,
+                subcircuits,
+            } => {
                 format!("{} ({subcircuits})", fmt_seconds(*runtime))
             }
             Table3Cell::NotAvailable => "N/A".to_string(),
@@ -409,7 +436,10 @@ pub fn table4_text(max_n: usize, seed: u64) -> String {
             format!("{:.2} sec", r.software_runtime.as_secs_f64()),
         ]);
     }
-    format!("Table 4: performance test for circuit placement over chains\n{}", t.render())
+    format!(
+        "Table 4: performance test for circuit placement over chains\n{}",
+        t.render()
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -421,24 +451,30 @@ pub fn figure1_text() -> String {
     let env = molecules::acetyl_chloride();
     let names = env.nucleus_names();
     let mut t = Table::new(
-        [""].into_iter().map(String::from).chain(names.iter().cloned()),
+        [""].into_iter()
+            .map(String::from)
+            .chain(names.iter().cloned()),
     );
     for (i, row_name) in names.iter().enumerate() {
         t.row(
-            [row_name.clone()].into_iter().chain((0..env.qubit_count()).map(|j| {
-                format!(
-                    "{}",
-                    env.weight_units(
-                        qcp_env::PhysicalQubit::new(i),
-                        qcp_env::PhysicalQubit::new(j)
+            [row_name.clone()]
+                .into_iter()
+                .chain((0..env.qubit_count()).map(|j| {
+                    format!(
+                        "{}",
+                        env.weight_units(
+                            qcp_env::PhysicalQubit::new(i),
+                            qcp_env::PhysicalQubit::new(j)
+                        )
                     )
-                )
-            })),
+                })),
         );
     }
     let dot = to_dot(
         &env.bond_graph(),
-        &DotOptions::named("acetyl_chloride").with_labels(names).with_weights(),
+        &DotOptions::named("acetyl_chloride")
+            .with_labels(names)
+            .with_weights(),
     );
     format!(
         "Figure 1: acetyl chloride delays (units of 1/10000 sec; diagonal = 90° pulse)\n{}\nbond graph (fastest interactions):\n{}",
@@ -468,15 +504,20 @@ pub fn figure3_text() -> String {
     // over nucleus order (M, C1, H1, C2, C3, H2, C4).
     let perm = [1usize, 3, 4, 6, 5, 2, 0];
     let targets: Vec<Option<usize>> = perm.iter().map(|&d| Some(d)).collect();
-    let schedule = route_permutation(&graph, &targets, &RouterConfig::default())
-        .expect("bond graph routes");
+    let schedule =
+        route_permutation(&graph, &targets, &RouterConfig::default()).expect("bond graph routes");
 
-    let bisection =
-        qcp_graph::bisection::balanced_connected_bisection(&graph).expect("connected");
-    let left_names: Vec<&str> =
-        bisection.left.iter().map(|v| names[v.index()].as_str()).collect();
-    let right_names: Vec<&str> =
-        bisection.right.iter().map(|v| names[v.index()].as_str()).collect();
+    let bisection = qcp_graph::bisection::balanced_connected_bisection(&graph).expect("connected");
+    let left_names: Vec<&str> = bisection
+        .left
+        .iter()
+        .map(|v| names[v.index()].as_str())
+        .collect();
+    let right_names: Vec<&str> = bisection
+        .right
+        .iter()
+        .map(|v| names[v.index()].as_str())
+        .collect();
 
     // Water/air: a value is Water if its destination is in G2 (the
     // larger/right half), Air otherwise; follow values as they move.
@@ -546,11 +587,21 @@ pub fn reduction_text() -> String {
         ("grid 3x3".into(), generate::grid(3, 3)),
         ("Petersen".into(), petersen()),
     ];
-    let mut t = Table::new(["graph", "zero-cost placement", "hamiltonian (direct)", "agree"]);
+    let mut t = Table::new([
+        "graph",
+        "zero-cost placement",
+        "hamiltonian (direct)",
+        "agree",
+    ]);
     for (name, g) in cases {
         let via = hamiltonian_via_placement(&g);
         let direct = has_hamiltonian_cycle(&g);
-        t.row([name, via.to_string(), direct.to_string(), (via == direct).to_string()]);
+        t.row([
+            name,
+            via.to_string(),
+            direct.to_string(),
+            (via == direct).to_string(),
+        ]);
     }
     format!(
         "§4 reduction: a zero-runtime placement of the cycle circuit exists iff the graph is Hamiltonian\n{}",
@@ -582,8 +633,18 @@ pub struct AblationRow {
 /// workloads.
 pub fn ablation() -> Vec<AblationRow> {
     let workloads: Vec<(&str, Environment, Circuit, f64)> = vec![
-        ("qft6@crotonic", molecules::trans_crotonic_acid(), library::qft(6), 200.0),
-        ("phaseest@histidine", molecules::histidine(), library::phase_estimation(), 500.0),
+        (
+            "qft6@crotonic",
+            molecules::trans_crotonic_acid(),
+            library::qft(6),
+            200.0,
+        ),
+        (
+            "phaseest@histidine",
+            molecules::histidine(),
+            library::phase_estimation(),
+            500.0,
+        ),
         (
             "steane-x1@histidine",
             molecules::histidine(),
@@ -604,19 +665,28 @@ pub fn ablation() -> Vec<AblationRow> {
             "no fine tuning",
             PlacerConfig::default().candidates(60).fine_tuning(0),
         ),
-        ("k=1 (first monomorphism)", PlacerConfig::default().candidates(1)),
+        (
+            "k=1 (first monomorphism)",
+            PlacerConfig::default().candidates(1),
+        ),
         ("no leaf override", {
             let mut c = PlacerConfig::default().candidates(60);
-            c.router = RouterConfig { leaf_override: false };
+            c.router = RouterConfig {
+                leaf_override: false,
+            };
             c
         }),
         (
             "commutation-aware (§7 ext.)",
-            PlacerConfig::default().candidates(60).commutation_aware(true),
+            PlacerConfig::default()
+                .candidates(60)
+                .commutation_aware(true),
         ),
         (
             "workspace cap 12 (§7 ext.)",
-            PlacerConfig::default().candidates(60).max_workspace_gates(12),
+            PlacerConfig::default()
+                .candidates(60)
+                .max_workspace_gates(12),
         ),
     ];
     let mut rows = Vec::new();
@@ -640,7 +710,13 @@ pub fn ablation() -> Vec<AblationRow> {
 
 /// Renders [`ablation`].
 pub fn ablation_text() -> String {
-    let mut t = Table::new(["workload", "configuration", "runtime", "workspaces", "swaps"]);
+    let mut t = Table::new([
+        "workload",
+        "configuration",
+        "runtime",
+        "workspaces",
+        "swaps",
+    ]);
     for r in ablation() {
         t.row([
             r.workload.clone(),
@@ -669,8 +745,14 @@ pub fn router_comparison_text(seed: u64) -> String {
         "sequential swaps",
     ]);
     let mut graphs: Vec<(String, qcp_graph::Graph)> = vec![
-        ("crotonic bonds".into(), molecules::trans_crotonic_acid().bond_graph()),
-        ("histidine bonds".into(), molecules::histidine().bond_graph()),
+        (
+            "crotonic bonds".into(),
+            molecules::trans_crotonic_acid().bond_graph(),
+        ),
+        (
+            "histidine bonds".into(),
+            molecules::histidine().bond_graph(),
+        ),
     ];
     for n in [8usize, 16, 32] {
         graphs.push((format!("chain-{n}"), qcp_graph::generate::chain(n)));
@@ -690,5 +772,8 @@ pub fn router_comparison_text(seed: u64) -> String {
             seq.swap_count().to_string(),
         ]);
     }
-    format!("Router comparison (random permutations, seed {seed})\n{}", t.render())
+    format!(
+        "Router comparison (random permutations, seed {seed})\n{}",
+        t.render()
+    )
 }

@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: impl IntoIterator<Item = impl Into<String>>) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (shorter rows are padded with empty cells).
@@ -107,6 +110,9 @@ mod tests {
 
     #[test]
     fn fmt_seconds_style() {
-        assert_eq!(fmt_seconds(qcp_circuit::Time::from_units(136.0)), "0.0136 sec");
+        assert_eq!(
+            fmt_seconds(qcp_circuit::Time::from_units(136.0)),
+            "0.0136 sec"
+        );
     }
 }

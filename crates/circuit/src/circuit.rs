@@ -64,7 +64,10 @@ pub struct Circuit {
 impl Circuit {
     /// An empty circuit on `n_qubits` qubits.
     pub fn empty(n_qubits: usize) -> Self {
-        Circuit { n_qubits, levels: Vec::new() }
+        Circuit {
+            n_qubits,
+            levels: Vec::new(),
+        }
     }
 
     /// Starts building a circuit on `n_qubits` qubits with ASAP
@@ -111,17 +114,26 @@ impl Circuit {
                 let (a, b) = g.qubits();
                 for q in [Some(a), b].into_iter().flatten() {
                     if q.index() >= n_qubits {
-                        return Err(CircuitError::QubitOutOfRange { qubit: q, width: n_qubits });
+                        return Err(CircuitError::QubitOutOfRange {
+                            qubit: q,
+                            width: n_qubits,
+                        });
                     }
                     if used[q.index()] {
-                        return Err(CircuitError::LevelConflict { level: li, qubit: q });
+                        return Err(CircuitError::LevelConflict {
+                            level: li,
+                            qubit: q,
+                        });
                     }
                     used[q.index()] = true;
                 }
             }
             out.push(Level(level));
         }
-        Ok(Circuit { n_qubits, levels: out })
+        Ok(Circuit {
+            n_qubits,
+            levels: out,
+        })
     }
 
     /// Number of logical qubits (circuit width).
@@ -167,7 +179,10 @@ impl Circuit {
         let mut g = Graph::new(self.n_qubits);
         for gate in self.gates() {
             if let Some((a, b)) = gate.coupling() {
-                let (na, nb) = (qcp_graph::NodeId::new(a.index()), qcp_graph::NodeId::new(b.index()));
+                let (na, nb) = (
+                    qcp_graph::NodeId::new(a.index()),
+                    qcp_graph::NodeId::new(b.index()),
+                );
                 if !g.has_edge(na, nb) {
                     g.add_edge(na, nb, 1.0).expect("validated gate qubits");
                 }
@@ -186,7 +201,10 @@ impl Circuit {
                 used[b.index()] = true;
             }
         }
-        (0..self.n_qubits).filter(|&i| used[i]).map(Qubit::new).collect()
+        (0..self.n_qubits)
+            .filter(|&i| used[i])
+            .map(Qubit::new)
+            .collect()
     }
 
     /// Concatenates another circuit (same width) after this one, level by
@@ -205,7 +223,10 @@ impl Circuit {
 
     /// Returns the sub-circuit consisting of levels `range` (e.g. `2..5`).
     pub fn level_slice(&self, range: std::ops::Range<usize>) -> Circuit {
-        Circuit { n_qubits: self.n_qubits, levels: self.levels[range].to_vec() }
+        Circuit {
+            n_qubits: self.n_qubits,
+            levels: self.levels[range].to_vec(),
+        }
     }
 
     /// Returns a copy with every gate's qubits remapped through `f`
@@ -235,13 +256,21 @@ impl Circuit {
                 )
             })
             .collect();
-        Circuit { n_qubits: new_width, levels }
+        Circuit {
+            n_qubits: new_width,
+            levels,
+        }
     }
 }
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit on {} qubits, {} levels:", self.n_qubits, self.levels.len())?;
+        writeln!(
+            f,
+            "circuit on {} qubits, {} levels:",
+            self.n_qubits,
+            self.levels.len()
+        )?;
         for (i, level) in self.levels.iter().enumerate() {
             let gates: Vec<String> = level.gates().iter().map(Gate::to_string).collect();
             writeln!(f, "  L{i}: {}", gates.join(" ; "))?;
@@ -277,7 +306,8 @@ impl CircuitBuilder {
     /// Panics if the gate uses a qubit outside the circuit width. Use
     /// [`try_gate`](CircuitBuilder::try_gate) for a fallible version.
     pub fn gate(&mut self, gate: Gate) -> &mut Self {
-        self.try_gate(gate).expect("gate qubits must fit the declared width");
+        self.try_gate(gate)
+            .expect("gate qubits must fit the declared width");
         self
     }
 
@@ -291,7 +321,10 @@ impl CircuitBuilder {
         let (a, b) = gate.qubits();
         for q in [Some(a), b].into_iter().flatten() {
             if q.index() >= self.n_qubits {
-                return Err(CircuitError::QubitOutOfRange { qubit: q, width: self.n_qubits });
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    width: self.n_qubits,
+                });
             }
         }
         let mut level = self.next_free[a.index()];
@@ -364,9 +397,16 @@ impl CircuitBuilder {
 
     /// Finishes the build, dropping empty levels.
     pub fn build(self) -> Circuit {
-        let levels =
-            self.levels.into_iter().filter(|l| !l.is_empty()).map(Level).collect::<Vec<_>>();
-        Circuit { n_qubits: self.n_qubits, levels }
+        let levels = self
+            .levels
+            .into_iter()
+            .filter(|l| !l.is_empty())
+            .map(Level)
+            .collect::<Vec<_>>();
+        Circuit {
+            n_qubits: self.n_qubits,
+            levels,
+        }
     }
 }
 
@@ -399,7 +439,11 @@ mod tests {
     fn dependent_gates_serialize() {
         let c = Circuit::from_gates(
             2,
-            [Gate::ry(q(0), 90.0), Gate::zz(q(0), q(1), 90.0), Gate::ry(q(0), 90.0)],
+            [
+                Gate::ry(q(0), 90.0),
+                Gate::zz(q(0), q(1), 90.0),
+                Gate::ry(q(0), 90.0),
+            ],
         )
         .unwrap();
         assert_eq!(c.depth(), 3);
@@ -407,12 +451,15 @@ mod tests {
 
     #[test]
     fn from_levels_validates_conflicts() {
-        let err = Circuit::from_levels(
-            2,
-            [vec![Gate::ry(q(0), 90.0), Gate::zz(q(0), q(1), 90.0)]],
-        )
-        .unwrap_err();
-        assert_eq!(err, CircuitError::LevelConflict { level: 0, qubit: q(0) });
+        let err = Circuit::from_levels(2, [vec![Gate::ry(q(0), 90.0), Gate::zz(q(0), q(1), 90.0)]])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CircuitError::LevelConflict {
+                level: 0,
+                qubit: q(0)
+            }
+        );
     }
 
     #[test]
@@ -497,7 +544,11 @@ mod tests {
     fn level_slice_extracts_range() {
         let c = Circuit::from_gates(
             2,
-            [Gate::ry(q(0), 90.0), Gate::zz(q(0), q(1), 90.0), Gate::ry(q(1), 90.0)],
+            [
+                Gate::ry(q(0), 90.0),
+                Gate::zz(q(0), q(1), 90.0),
+                Gate::ry(q(1), 90.0),
+            ],
         )
         .unwrap();
         let s = c.level_slice(1..3);

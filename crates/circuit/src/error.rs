@@ -56,9 +56,15 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        let e = CircuitError::QubitOutOfRange { qubit: Qubit::new(9), width: 4 };
+        let e = CircuitError::QubitOutOfRange {
+            qubit: Qubit::new(9),
+            width: 4,
+        };
         assert!(e.to_string().contains("q9"));
-        let e = CircuitError::Parse { line: 3, message: "bad gate".into() };
+        let e = CircuitError::Parse {
+            line: 3,
+            message: "bad gate".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 

@@ -86,7 +86,10 @@ impl Gate {
     }
 
     fn check_pair(a: Qubit, b: Qubit) {
-        assert!(a != b, "two-qubit gate needs distinct qubits, got {a} twice");
+        assert!(
+            a != b,
+            "two-qubit gate needs distinct qubits, got {a} twice"
+        );
     }
 
     /// `Rx(angle°)` on `qubit`.
@@ -146,8 +149,15 @@ impl Gate {
     ///
     /// Panics if `weight` is negative or not finite.
     pub fn custom1(qubit: Qubit, weight: f64, name: impl Into<String>) -> Gate {
-        assert!(weight.is_finite() && weight >= 0.0, "weight must be finite and >= 0");
-        Gate::Custom1 { qubit, weight, name: name.into() }
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be finite and >= 0"
+        );
+        Gate::Custom1 {
+            qubit,
+            weight,
+            name: name.into(),
+        }
     }
 
     /// An opaque two-qubit gate with explicit `weight`.
@@ -156,9 +166,17 @@ impl Gate {
     ///
     /// Panics if `weight` is negative/not finite or `a == b`.
     pub fn custom2(a: Qubit, b: Qubit, weight: f64, name: impl Into<String>) -> Gate {
-        assert!(weight.is_finite() && weight >= 0.0, "weight must be finite and >= 0");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be finite and >= 0"
+        );
         Self::check_pair(a, b);
-        Gate::Custom2 { a, b, weight, name: name.into() }
+        Gate::Custom2 {
+            a,
+            b,
+            weight,
+            name: name.into(),
+        }
     }
 
     /// The time weight `T(G)` in 90°-pulse units.
@@ -200,7 +218,10 @@ impl Gate {
     /// Returns `true` for two-qubit gates.
     #[inline]
     pub fn is_two_qubit(&self) -> bool {
-        matches!(self, Gate::Zz { .. } | Gate::Swap { .. } | Gate::Custom2 { .. })
+        matches!(
+            self,
+            Gate::Zz { .. } | Gate::Swap { .. } | Gate::Custom2 { .. }
+        )
     }
 
     /// Returns `true` if the gate takes no time at all (e.g. `Rz`).
@@ -234,10 +255,7 @@ impl Gate {
     pub fn commutes_with(&self, other: &Gate) -> bool {
         let (a1, b1) = self.qubits();
         let (a2, b2) = other.qubits();
-        let overlap = a1 == a2
-            || Some(a1) == b2
-            || b1 == Some(a2)
-            || (b1.is_some() && b1 == b2);
+        let overlap = a1 == a2 || Some(a1) == b2 || b1 == Some(a2) || (b1.is_some() && b1 == b2);
         if !overlap {
             return true;
         }
@@ -275,7 +293,11 @@ impl fmt::Display for Gate {
             Gate::Rz { qubit, angle } => write!(f, "Rz({angle}) {qubit}"),
             Gate::Zz { a, b, angle } => write!(f, "ZZ({angle}) {a} {b}"),
             Gate::Swap { a, b } => write!(f, "SWAP {a} {b}"),
-            Gate::Custom1 { qubit, weight, name } => write!(f, "{name}[T={weight}] {qubit}"),
+            Gate::Custom1 {
+                qubit,
+                weight,
+                name,
+            } => write!(f, "{name}[T={weight}] {qubit}"),
             Gate::Custom2 { a, b, weight, name } => write!(f, "{name}[T={weight}] {a} {b}"),
         }
     }

@@ -57,8 +57,17 @@ pub fn named(name: &str) -> Option<Circuit> {
 
 /// All table workload names accepted by [`named`], in table order.
 pub const NAMES: &[&str] = &[
-    "qec3", "qec5", "cat10", "phaseest", "qft6", "aqft9", "aqft12", "steane-x1", "steane-x2",
-    "adder3", "grover5",
+    "qec3",
+    "qec5",
+    "cat10",
+    "phaseest",
+    "qft6",
+    "aqft9",
+    "aqft12",
+    "steane-x1",
+    "steane-x2",
+    "adder3",
+    "grover5",
 ];
 
 #[cfg(test)]

@@ -67,7 +67,10 @@ mod tests {
         assert_eq!(g.edge_count(), 10);
         for i in 0..5 {
             for j in i + 1..5 {
-                assert!(g.has_edge(NodeId::new(i), NodeId::new(j)), "missing ({i},{j})");
+                assert!(
+                    g.has_edge(NodeId::new(i), NodeId::new(j)),
+                    "missing ({i},{j})"
+                );
             }
         }
     }

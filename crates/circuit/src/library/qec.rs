@@ -109,11 +109,20 @@ mod tests {
         // Ignoring free Rz gates, the sequence must be:
         // Ya90, ZZab90, Yc90, ZZbc90, Yb90 (columns of Table 1).
         let c = qec3_encoder();
-        let costed: Vec<String> =
-            c.gates().filter(|g| !g.is_free()).map(ToString::to_string).collect();
+        let costed: Vec<String> = c
+            .gates()
+            .filter(|g| !g.is_free())
+            .map(ToString::to_string)
+            .collect();
         assert_eq!(
             costed,
-            vec!["Ry(90) q0", "ZZ(90) q0 q1", "Ry(90) q2", "ZZ(90) q1 q2", "Ry(90) q1"]
+            vec![
+                "Ry(90) q0",
+                "ZZ(90) q0 q1",
+                "Ry(90) q2",
+                "ZZ(90) q1 q2",
+                "Ry(90) q1"
+            ]
         );
     }
 

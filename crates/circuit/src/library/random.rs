@@ -79,7 +79,11 @@ pub fn staged_with(n: usize, stages: usize, gates_per_stage: usize, seed: u64) -
         }
         permutations.push(p);
     }
-    StagedCircuit { circuit: b.build(), permutations, gates_per_stage }
+    StagedCircuit {
+        circuit: b.build(),
+        permutations,
+        gates_per_stage,
+    }
 }
 
 #[cfg(test)]

@@ -23,8 +23,7 @@ pub enum SteaneVariant {
 /// Supports of the three X-type stabilizer generators of the Steane code,
 /// as data-qubit indices (columns of the Hamming(7,4) parity-check
 /// matrix).
-pub const STEANE_X_GENERATORS: [[usize; 4]; 3] =
-    [[0, 2, 4, 6], [1, 2, 5, 6], [3, 4, 5, 6]];
+pub const STEANE_X_GENERATORS: [[usize; 4]; 3] = [[0, 2, 4, 6], [1, 2, 5, 6], [3, 4, 5, 6]];
 
 /// Ten-qubit X-type error-correction circuit for the Steane code: data
 /// qubits `q0..q6`, ancillas `q7..q9`.
@@ -119,6 +118,9 @@ mod tests {
 
     #[test]
     fn variants_differ() {
-        assert_ne!(steane_x(SteaneVariant::CatAncilla), steane_x(SteaneVariant::Sequential));
+        assert_ne!(
+            steane_x(SteaneVariant::CatAncilla),
+            steane_x(SteaneVariant::Sequential)
+        );
     }
 }

@@ -42,7 +42,11 @@ fn gate_to_text(g: &Gate) -> String {
         Gate::Rz { qubit, angle } => format!("rz {qubit} {angle}"),
         Gate::Zz { a, b, angle } => format!("zz {a} {b} {angle}"),
         Gate::Swap { a, b } => format!("swap {a} {b}"),
-        Gate::Custom1 { qubit, weight, name } => format!("u1 {qubit} {weight} {name}"),
+        Gate::Custom1 {
+            qubit,
+            weight,
+            name,
+        } => format!("u1 {qubit} {weight} {name}"),
         Gate::Custom2 { a, b, weight, name } => format!("u2 {a} {b} {weight} {name}"),
     }
 }
@@ -110,7 +114,8 @@ fn parse_gate(text: &str, line: usize) -> Result<Gate> {
         Ok(Qubit::new(idx))
     };
     let parse_num = |tok: &str| -> Result<f64> {
-        tok.parse::<f64>().map_err(|_| err(format!("invalid number `{tok}`")))
+        tok.parse::<f64>()
+            .map_err(|_| err(format!("invalid number `{tok}`")))
     };
     match tokens.as_slice() {
         ["rx", q, a] => Ok(Gate::rx(parse_qubit(q)?, parse_num(a)?)),

@@ -36,7 +36,10 @@ impl Time {
     /// Panics if `units` is NaN or negative.
     #[inline]
     pub fn from_units(units: f64) -> Self {
-        assert!(!units.is_nan() && units >= 0.0, "time must be a non-negative number, got {units}");
+        assert!(
+            !units.is_nan() && units >= 0.0,
+            "time must be a non-negative number, got {units}"
+        );
         Time(units)
     }
 

@@ -187,13 +187,21 @@ impl Environment {
 
     /// Looks up a nucleus by display name.
     pub fn find_nucleus(&self, name: &str) -> Option<PhysicalQubit> {
-        self.nuclei.iter().position(|n| n.name() == name).map(PhysicalQubit::new)
+        self.nuclei
+            .iter()
+            .position(|n| n.name() == name)
+            .map(PhysicalQubit::new)
     }
 }
 
 impl fmt::Display for Environment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "environment `{}` with {} nuclei:", self.name, self.qubit_count())?;
+        writeln!(
+            f,
+            "environment `{}` with {} nuclei:",
+            self.name,
+            self.qubit_count()
+        )?;
         for v in self.qubits() {
             writeln!(
                 f,
@@ -256,16 +264,27 @@ impl EnvironmentBuilder {
     /// * [`EnvError::SelfCoupling`] if `a == b`;
     /// * [`EnvError::DuplicateCoupling`] if the pair repeats;
     /// * [`EnvError::InvalidDelay`] for NaN or negative delays.
-    pub fn coupling(&mut self, a: PhysicalQubit, b: PhysicalQubit, delay: f64) -> Result<&mut Self> {
+    pub fn coupling(
+        &mut self,
+        a: PhysicalQubit,
+        b: PhysicalQubit,
+        delay: f64,
+    ) -> Result<&mut Self> {
         self.check(a)?;
         self.check(b)?;
         if a == b {
             return Err(EnvError::SelfCoupling(a));
         }
         if delay.is_nan() || delay < 0.0 {
-            return Err(EnvError::InvalidDelay { delay, what: "coupling" });
+            return Err(EnvError::InvalidDelay {
+                delay,
+                what: "coupling",
+            });
         }
-        let key = (a.index().min(b.index()) as u32, a.index().max(b.index()) as u32);
+        let key = (
+            a.index().min(b.index()) as u32,
+            a.index().max(b.index()) as u32,
+        );
         if self.couplings.iter().any(|&(x, y, _)| (x, y) == key) {
             return Err(EnvError::DuplicateCoupling(a, b));
         }
@@ -283,7 +302,10 @@ impl EnvironmentBuilder {
     /// Same as [`coupling`](EnvironmentBuilder::coupling).
     pub fn bond(&mut self, a: PhysicalQubit, b: PhysicalQubit, delay: f64) -> Result<&mut Self> {
         self.coupling(a, b, delay)?;
-        let key = (a.index().min(b.index()) as u32, a.index().max(b.index()) as u32);
+        let key = (
+            a.index().min(b.index()) as u32,
+            a.index().max(b.index()) as u32,
+        );
         self.bonds.push(key);
         Ok(self)
     }
@@ -300,7 +322,10 @@ impl EnvironmentBuilder {
     ///
     /// Panics if `growth < 1.0` (weights must not shrink with distance).
     pub fn fill_remote_couplings(&mut self, growth: f64) -> &mut Self {
-        assert!(growth >= 1.0, "growth factor must be at least 1, got {growth}");
+        assert!(
+            growth >= 1.0,
+            "growth factor must be at least 1, got {growth}"
+        );
         let n = self.nuclei.len();
         // Dijkstra over bonds from every source (environments are small).
         let mut bond_adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
@@ -354,7 +379,10 @@ impl EnvironmentBuilder {
 
     fn check(&self, v: PhysicalQubit) -> Result<()> {
         if v.index() >= self.nuclei.len() {
-            return Err(EnvError::UnknownNucleus { qubit: v, count: self.nuclei.len() });
+            return Err(EnvError::UnknownNucleus {
+                qubit: v,
+                count: self.nuclei.len(),
+            });
         }
         Ok(())
     }
@@ -450,7 +478,10 @@ mod tests {
         b.coupling(v0, v1, 5.0).unwrap();
         let env = b.build().unwrap();
         assert_eq!(env.connectivity_threshold(), None);
-        assert_eq!(env.coupling(v0, PhysicalQubit::new(2)).units(), f64::INFINITY);
+        assert_eq!(
+            env.coupling(v0, PhysicalQubit::new(2)).units(),
+            f64::INFINITY
+        );
     }
 
     #[test]
@@ -458,7 +489,10 @@ mod tests {
         let mut b = Environment::builder("bad");
         let v0 = b.nucleus("A", 1.0);
         let v1 = b.nucleus("B", 1.0);
-        assert_eq!(b.coupling(v0, v0, 5.0).unwrap_err(), EnvError::SelfCoupling(v0));
+        assert_eq!(
+            b.coupling(v0, v0, 5.0).unwrap_err(),
+            EnvError::SelfCoupling(v0)
+        );
         b.coupling(v0, v1, 5.0).unwrap();
         assert_eq!(
             b.coupling(v1, v0, 6.0).unwrap_err(),

@@ -35,7 +35,10 @@ impl fmt::Display for EnvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EnvError::UnknownNucleus { qubit, count } => {
-                write!(f, "nucleus {qubit} unknown in an environment of {count} nuclei")
+                write!(
+                    f,
+                    "nucleus {qubit} unknown in an environment of {count} nuclei"
+                )
             }
             EnvError::DuplicateCoupling(a, b) => {
                 write!(f, "coupling ({a}, {b}) specified twice")

@@ -34,8 +34,8 @@ mod environment;
 mod error;
 pub mod molecules;
 pub mod nmr;
-pub mod text;
 mod nucleus;
+pub mod text;
 mod threshold;
 
 pub use environment::{Environment, EnvironmentBuilder};

@@ -126,6 +126,7 @@ pub fn histidine() -> Environment {
     b.bond(ca, cp, 94.0).expect("fresh pair"); // 53 Hz C–C
     b.bond(ca, cb, 139.0).expect("fresh pair"); // 36 Hz C–C
     b.bond(cb, cg, 114.0).expect("fresh pair"); // 44 Hz C–C
+
     // Imidazole ring (closed 5-cycle) plus its proton.
     b.bond(cg, nd1, 333.0).expect("fresh pair"); // 15 Hz C–N
     b.bond(cg, cd2, 69.0).expect("fresh pair"); // 72 Hz ring C=C
@@ -133,6 +134,7 @@ pub fn histidine() -> Environment {
     b.bond(ce1, ne2, 312.0).expect("fresh pair");
     b.bond(ne2, cd2, 357.0).expect("fresh pair");
     b.bond(cd2, hd2, 26.0).expect("fresh pair"); // 190 Hz aromatic C–H
+
     // Selected multi-bond couplings.
     b.coupling(ha, n, 625.0).expect("fresh pair");
     b.coupling(ha, cp, 417.0).expect("fresh pair");
@@ -166,6 +168,7 @@ pub fn boc_glycine_fluoride() -> Environment {
     b.bond(cp, ca, 94.0).expect("fresh pair"); // 53 Hz C–C
     b.bond(ca, n, 385.0).expect("fresh pair"); // 13 Hz C–N
     b.bond(n, hn, 56.0).expect("fresh pair"); // 90 Hz N–H
+
     // Two-bond couplings (the 36 Hz two-bond C–F is famously large).
     b.coupling(f, ca, 139.0).expect("fresh pair");
     b.coupling(cp, n, 192.0).expect("fresh pair");
@@ -242,10 +245,12 @@ pub fn grid(rows: usize, cols: usize, coupling: f64) -> Environment {
         for c in 0..cols {
             let v = ids[r * cols + c];
             if c + 1 < cols {
-                b.bond(v, ids[r * cols + c + 1], coupling).expect("fresh pair");
+                b.bond(v, ids[r * cols + c + 1], coupling)
+                    .expect("fresh pair");
             }
             if r + 1 < rows {
-                b.bond(v, ids[(r + 1) * cols + c], coupling).expect("fresh pair");
+                b.bond(v, ids[(r + 1) * cols + c], coupling)
+                    .expect("fresh pair");
             }
         }
     }
@@ -264,11 +269,13 @@ pub fn random_molecule(n: usize, seed: u64) -> Environment {
     let mut rng = StdRng::seed_from_u64(seed);
     let tree = qcp_graph::generate::bounded_degree_tree(n, 4, &mut rng);
     let mut b = Environment::builder(format!("random-{n}-{seed}"));
-    let vs: Vec<PhysicalQubit> =
-        (0..n).map(|i| b.nucleus(format!("s{i}"), rng.gen_range(1..=8) as f64)).collect();
+    let vs: Vec<PhysicalQubit> = (0..n)
+        .map(|i| b.nucleus(format!("s{i}"), rng.gen_range(1..=8) as f64))
+        .collect();
     for (x, y, _) in tree.edges() {
         let delay = rng.gen_range(20..=60) as f64;
-        b.bond(vs[x.index()], vs[y.index()], delay).expect("tree edges are unique");
+        b.bond(vs[x.index()], vs[y.index()], delay)
+            .expect("tree edges are unique");
     }
     b.fill_remote_couplings(6.0);
     b.build().expect("non-empty")
@@ -373,7 +380,9 @@ mod tests {
     fn histidine_hosts_a_ten_spin_path() {
         let env = histidine();
         let bg = env.bond_graph();
-        let path = ["HN", "N", "Ca", "Cb", "Cg", "Nd1", "Ce1", "Ne2", "Cd2", "Hd2"];
+        let path = [
+            "HN", "N", "Ca", "Cb", "Cg", "Nd1", "Ce1", "Ne2", "Cd2", "Hd2",
+        ];
         for w in path.windows(2) {
             let a = env.find_nucleus(w[0]).unwrap();
             let b = env.find_nucleus(w[1]).unwrap();
@@ -425,7 +434,8 @@ mod tests {
         assert!(is_connected(&fast));
         // Non-neighbours cannot interact at all.
         assert_eq!(
-            env.coupling(PhysicalQubit::new(0), PhysicalQubit::new(2)).units(),
+            env.coupling(PhysicalQubit::new(0), PhysicalQubit::new(2))
+                .units(),
             f64::INFINITY
         );
     }

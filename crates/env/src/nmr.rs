@@ -24,7 +24,10 @@ use qcp_circuit::Time;
 ///
 /// Panics if `j_hz` is not strictly positive.
 pub fn zz90_delay_units(j_hz: f64) -> f64 {
-    assert!(j_hz > 0.0 && j_hz.is_finite(), "coupling must be positive, got {j_hz} Hz");
+    assert!(
+        j_hz > 0.0 && j_hz.is_finite(),
+        "coupling must be positive, got {j_hz} Hz"
+    );
     (5000.0 / j_hz).round()
 }
 
@@ -40,7 +43,10 @@ pub fn zz90_delay_units(j_hz: f64) -> f64 {
 ///
 /// Panics if `micros` is negative or not finite.
 pub fn pulse_delay_units(micros: f64) -> f64 {
-    assert!(micros >= 0.0 && micros.is_finite(), "pulse length must be non-negative");
+    assert!(
+        micros >= 0.0 && micros.is_finite(),
+        "pulse length must be non-negative"
+    );
     (micros / 100.0).round()
 }
 

@@ -44,10 +44,7 @@ pub fn to_text(env: &Environment) -> String {
     let bonds = env.bond_graph();
     for i in 0..env.qubit_count() {
         for j in i + 1..env.qubit_count() {
-            let w = env.weight_units(
-                crate::PhysicalQubit::new(i),
-                crate::PhysicalQubit::new(j),
-            );
+            let w = env.weight_units(crate::PhysicalQubit::new(i), crate::PhysicalQubit::new(j));
             if !w.is_finite() {
                 continue;
             }
@@ -73,7 +70,10 @@ pub fn to_text(env: &Environment) -> String {
 pub fn parse(input: &str) -> Result<Environment> {
     let mut builder: Option<crate::EnvironmentBuilder> = None;
     let mut names: Vec<String> = Vec::new();
-    let bad = |what: &'static str| EnvError::InvalidDelay { delay: f64::NAN, what };
+    let bad = |what: &'static str| EnvError::InvalidDelay {
+        delay: f64::NAN,
+        what,
+    };
 
     for raw in input.lines() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -86,16 +86,23 @@ pub fn parse(input: &str) -> Result<Environment> {
                 builder = Some(Environment::builder(name.to_string()));
             }
             ["nucleus", name, delay] => {
-                let b = builder.as_mut().ok_or_else(|| bad("missing environment header"))?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| bad("missing environment header"))?;
                 let d: f64 = delay.parse().map_err(|_| bad("nucleus"))?;
                 if d.is_nan() || d < 0.0 {
-                    return Err(EnvError::InvalidDelay { delay: d, what: "nucleus" });
+                    return Err(EnvError::InvalidDelay {
+                        delay: d,
+                        what: "nucleus",
+                    });
                 }
                 b.nucleus(name.to_string(), d);
                 names.push((*name).to_string());
             }
             [kind @ ("bond" | "coupling"), a, b_, delay] => {
-                let b = builder.as_mut().ok_or_else(|| bad("missing environment header"))?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| bad("missing environment header"))?;
                 let find = |n: &str| {
                     names
                         .iter()
@@ -147,19 +154,23 @@ mod tests {
                 }
             }
             // Bond structure preserved.
-            assert_eq!(round.bond_graph().edge_count(), env.bond_graph().edge_count());
+            assert_eq!(
+                round.bond_graph().edge_count(),
+                env.bond_graph().edge_count()
+            );
         }
     }
 
     #[test]
     fn parse_custom() {
-        let env = parse(
-            "# toy molecule\nenvironment toy\nnucleus A 2\nnucleus B 3\nbond A B 40\n",
-        )
-        .unwrap();
+        let env = parse("# toy molecule\nenvironment toy\nnucleus A 2\nnucleus B 3\nbond A B 40\n")
+            .unwrap();
         assert_eq!(env.qubit_count(), 2);
         assert_eq!(env.name(), "toy");
-        let (a, b) = (env.find_nucleus("A").unwrap(), env.find_nucleus("B").unwrap());
+        let (a, b) = (
+            env.find_nucleus("A").unwrap(),
+            env.find_nucleus("B").unwrap(),
+        );
         assert_eq!(env.coupling(a, b).units(), 40.0);
         assert_eq!(env.bond_graph().edge_count(), 1);
     }
@@ -175,10 +186,8 @@ mod tests {
 
     #[test]
     fn duplicate_coupling_detected() {
-        let err = parse(
-            "environment x\nnucleus A 1\nnucleus B 1\nbond A B 5\ncoupling B A 6\n",
-        )
-        .unwrap_err();
+        let err = parse("environment x\nnucleus A 1\nnucleus B 1\nbond A B 5\ncoupling B A 6\n")
+            .unwrap_err();
         assert!(matches!(err, EnvError::DuplicateCoupling(..)));
     }
 

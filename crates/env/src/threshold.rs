@@ -33,7 +33,10 @@ impl Threshold {
     ///
     /// Panics if `units` is NaN or negative.
     pub fn new(units: f64) -> Self {
-        assert!(!units.is_nan() && units >= 0.0, "threshold must be non-negative, got {units}");
+        assert!(
+            !units.is_nan() && units >= 0.0,
+            "threshold must be non-negative, got {units}"
+        );
         Threshold(units)
     }
 

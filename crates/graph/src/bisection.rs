@@ -66,7 +66,10 @@ impl Bisection {
 pub fn balanced_connected_bisection(graph: &Graph) -> Result<Bisection> {
     let n = graph.node_count();
     if n < 2 {
-        return Err(GraphError::TooSmall { actual: n, required: 2 });
+        return Err(GraphError::TooSmall {
+            actual: n,
+            required: 2,
+        });
     }
     if !is_connected(graph) {
         return Err(GraphError::Disconnected);
@@ -118,8 +121,7 @@ pub fn balanced_connected_bisection(graph: &Graph) -> Result<Bisection> {
     let complement: Vec<NodeId> = graph.nodes().filter(|v| !in_sub[v.index()]).collect();
 
     let (mut left, mut right) = if subtree.len() < complement.len()
-        || (subtree.len() == complement.len()
-            && subtree.iter().min() < complement.iter().min())
+        || (subtree.len() == complement.len() && subtree.iter().min() < complement.iter().min())
     {
         (subtree, complement)
     } else {
@@ -141,7 +143,11 @@ pub fn balanced_connected_bisection(graph: &Graph) -> Result<Bisection> {
         .map(|(a, b, _)| if in_left[a.index()] { (a, b) } else { (b, a) })
         .collect();
 
-    Ok(Bisection { left, right, channel })
+    Ok(Bisection {
+        left,
+        right,
+        channel,
+    })
 }
 
 fn collect_subtree(tree: &RootedTree, v: NodeId) -> Vec<NodeId> {
@@ -273,7 +279,10 @@ mod tests {
     #[test]
     fn rejects_disconnected_and_tiny() {
         let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
-        assert_eq!(balanced_connected_bisection(&g).unwrap_err(), GraphError::Disconnected);
+        assert_eq!(
+            balanced_connected_bisection(&g).unwrap_err(),
+            GraphError::Disconnected
+        );
         assert!(matches!(
             balanced_connected_bisection(&Graph::new(1)).unwrap_err(),
             GraphError::TooSmall { .. }

@@ -18,7 +18,10 @@ pub struct DotOptions {
 impl DotOptions {
     /// Creates options with the given graph name.
     pub fn named(name: impl Into<String>) -> Self {
-        DotOptions { name: name.into(), ..Default::default() }
+        DotOptions {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Sets node labels (index-aligned).
@@ -47,7 +50,11 @@ impl DotOptions {
 /// ```
 pub fn to_dot(graph: &Graph, options: &DotOptions) -> String {
     let mut out = String::new();
-    let name = if options.name.is_empty() { "g" } else { &options.name };
+    let name = if options.name.is_empty() {
+        "g"
+    } else {
+        &options.name
+    };
     writeln!(out, "graph {name} {{").expect("writing to String cannot fail");
     for v in graph.nodes() {
         let label = options
@@ -85,7 +92,9 @@ mod tests {
         let g = generate::ring(3);
         let out = to_dot(
             &g,
-            &DotOptions::named("mol").with_labels(["M", "C1", "C2"]).with_weights(),
+            &DotOptions::named("mol")
+                .with_labels(["M", "C1", "C2"])
+                .with_weights(),
         );
         assert!(out.contains("graph mol {"));
         assert!(out.contains("label=\"C1\""));

@@ -44,7 +44,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
             GraphError::DuplicateEdge(a, b) => write!(f, "edge ({a}, {b}) already exists"),
@@ -53,7 +56,10 @@ impl fmt::Display for GraphError {
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::TooSmall { actual, required } => {
-                write!(f, "graph has {actual} nodes but the operation requires {required}")
+                write!(
+                    f,
+                    "graph has {actual} nodes but the operation requires {required}"
+                )
             }
         }
     }
@@ -71,7 +77,11 @@ mod tests {
         assert!(msg.contains("v4"));
         assert!(msg.starts_with("self-loop"));
 
-        let msg = GraphError::NodeOutOfRange { node: NodeId::new(9), node_count: 3 }.to_string();
+        let msg = GraphError::NodeOutOfRange {
+            node: NodeId::new(9),
+            node_count: 3,
+        }
+        .to_string();
         assert!(msg.contains("v9") && msg.contains('3'));
     }
 

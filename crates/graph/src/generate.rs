@@ -72,7 +72,8 @@ pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
     let mut g = Graph::new(n);
     for i in 1..n {
         let p = rng.gen_range(0..i);
-        g.add_edge(NodeId::new(p), NodeId::new(i), 1.0).expect("tree edge is fresh");
+        g.add_edge(NodeId::new(p), NodeId::new(i), 1.0)
+            .expect("tree edge is fresh");
     }
     g
 }
@@ -87,7 +88,10 @@ pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
 /// Panics if `max_degree < 2` and `n > 2`.
 pub fn bounded_degree_tree(n: usize, max_degree: usize, rng: &mut impl Rng) -> Graph {
     if n > 2 {
-        assert!(max_degree >= 2, "max_degree must be at least 2, got {max_degree}");
+        assert!(
+            max_degree >= 2,
+            "max_degree must be at least 2, got {max_degree}"
+        );
     }
     let mut g = Graph::new(n);
     let mut degree = vec![0usize; n];
@@ -95,7 +99,8 @@ pub fn bounded_degree_tree(n: usize, max_degree: usize, rng: &mut impl Rng) -> G
     for i in 1..n {
         let slot = rng.gen_range(0..open.len());
         let p = open[slot];
-        g.add_edge(NodeId::new(p), NodeId::new(i), 1.0).expect("tree edge is fresh");
+        g.add_edge(NodeId::new(p), NodeId::new(i), 1.0)
+            .expect("tree edge is fresh");
         degree[p] += 1;
         degree[i] += 1;
         if degree[p] >= max_degree {
@@ -120,7 +125,8 @@ pub fn random_connected(n: usize, extra_edges: usize, rng: &mut impl Rng) -> Gra
         let a = rng.gen_range(0..n);
         let b = rng.gen_range(0..n);
         if a != b && !g.has_edge(NodeId::new(a), NodeId::new(b)) {
-            g.add_edge(NodeId::new(a), NodeId::new(b), 1.0).expect("checked fresh");
+            g.add_edge(NodeId::new(a), NodeId::new(b), 1.0)
+                .expect("checked fresh");
             added += 1;
         }
     }
@@ -133,7 +139,8 @@ pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
     for i in 0..n {
         for j in i + 1..n {
             if rng.gen_bool(p.clamp(0.0, 1.0)) {
-                g.add_edge(NodeId::new(i), NodeId::new(j), 1.0).expect("fresh edge");
+                g.add_edge(NodeId::new(i), NodeId::new(j), 1.0)
+                    .expect("fresh edge");
             }
         }
     }

@@ -48,7 +48,10 @@ pub struct Graph {
 impl Graph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n], edge_set: HashSet::new() }
+        Graph {
+            adj: vec![Vec::new(); n],
+            edge_set: HashSet::new(),
+        }
     }
 
     /// Creates a graph with `n` nodes and unit-weight edges.
@@ -57,10 +60,7 @@ impl Graph {
     ///
     /// Returns an error if an endpoint is out of range, an edge repeats, or
     /// an edge is a self-loop.
-    pub fn from_edges(
-        n: usize,
-        edges: impl IntoIterator<Item = (usize, usize)>,
-    ) -> Result<Self> {
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Result<Self> {
         let mut g = Graph::new(n);
         for (a, b) in edges {
             g.add_edge(NodeId::new(a), NodeId::new(b), 1.0)?;
@@ -116,7 +116,10 @@ impl Graph {
 
     fn check_node(&self, v: NodeId) -> Result<()> {
         if v.index() >= self.adj.len() {
-            return Err(GraphError::NodeOutOfRange { node: v, node_count: self.adj.len() });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                node_count: self.adj.len(),
+            });
         }
         Ok(())
     }
@@ -170,7 +173,10 @@ impl Graph {
         if !self.has_edge(a, b) {
             return None;
         }
-        self.adj[a.index()].iter().find(|e| e.to == b).map(|e| e.weight)
+        self.adj[a.index()]
+            .iter()
+            .find(|e| e.to == b)
+            .map(|e| e.weight)
     }
 
     /// Iterates over the neighbours of `v` in insertion order.
@@ -235,7 +241,10 @@ impl Graph {
         let mut pos = vec![usize::MAX; self.node_count()];
         for (i, &v) in nodes.iter().enumerate() {
             self.check_node(v)?;
-            debug_assert!(pos[v.index()] == usize::MAX, "duplicate node {v} in induced()");
+            debug_assert!(
+                pos[v.index()] == usize::MAX,
+                "duplicate node {v} in induced()"
+            );
             pos[v.index()] = i;
         }
         let mut g = Graph::new(nodes.len());
@@ -272,7 +281,12 @@ impl Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Graph(n={}, m={}; ", self.node_count(), self.edge_count())?;
+        write!(
+            f,
+            "Graph(n={}, m={}; ",
+            self.node_count(),
+            self.edge_count()
+        )?;
         let mut first = true;
         for (a, b, w) in self.edges() {
             if !first {
@@ -322,7 +336,10 @@ mod tests {
     fn rejects_duplicate_even_reversed() {
         let mut g = Graph::new(3);
         g.add_edge(n(0), n(1), 1.0).unwrap();
-        assert_eq!(g.add_edge(n(1), n(0), 5.0), Err(GraphError::DuplicateEdge(n(1), n(0))));
+        assert_eq!(
+            g.add_edge(n(1), n(0), 5.0),
+            Err(GraphError::DuplicateEdge(n(1), n(0)))
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub struct SymMatrix<T> {
 impl<T: Clone> SymMatrix<T> {
     /// Creates an `n × n` symmetric matrix filled with `fill`.
     pub fn new(n: usize, fill: T) -> Self {
-        SymMatrix { n, data: vec![fill; n * (n + 1) / 2] }
+        SymMatrix {
+            n,
+            data: vec![fill; n * (n + 1) / 2],
+        }
     }
 
     /// Side length of the matrix.
@@ -45,7 +48,11 @@ impl<T: Clone> SymMatrix<T> {
 
     #[inline]
     fn offset(&self, i: usize, j: usize) -> usize {
-        debug_assert!(i < self.n && j < self.n, "index ({i}, {j}) out of bounds for n={}", self.n);
+        debug_assert!(
+            i < self.n && j < self.n,
+            "index ({i}, {j}) out of bounds for n={}",
+            self.n
+        );
         let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
         hi * (hi + 1) / 2 + lo
     }
@@ -94,7 +101,9 @@ impl<T: Clone + fmt::Debug> fmt::Debug for SymMatrix<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "SymMatrix({}x{})", self.n, self.n)?;
         for i in 0..self.n {
-            let row: Vec<String> = (0..self.n).map(|j| format!("{:?}", self.get_ref(i, j))).collect();
+            let row: Vec<String> = (0..self.n)
+                .map(|j| format!("{:?}", self.get_ref(i, j)))
+                .collect();
             writeln!(f, "  [{}]", row.join(", "))?;
         }
         Ok(())
@@ -141,7 +150,10 @@ mod tests {
     fn iter_visits_lower_triangle_once() {
         let m = SymMatrix::new(3, 1.0f64);
         let entries: Vec<_> = m.iter().map(|(i, j, _)| (i, j)).collect();
-        assert_eq!(entries, vec![(0, 0), (0, 1), (1, 1), (0, 2), (1, 2), (2, 2)]);
+        assert_eq!(
+            entries,
+            vec![(0, 0), (0, 1), (1, 1), (0, 2), (1, 2), (2, 2)]
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl RootedTree {
     /// Returns [`GraphError::NodeOutOfRange`] if `root` does not exist.
     pub fn bfs(graph: &Graph, root: NodeId) -> Result<Self> {
         if root.index() >= graph.node_count() {
-            return Err(GraphError::NodeOutOfRange { node: root, node_count: graph.node_count() });
+            return Err(GraphError::NodeOutOfRange {
+                node: root,
+                node_count: graph.node_count(),
+            });
         }
         let n = graph.node_count();
         let mut parent = vec![None; n];
@@ -57,7 +60,13 @@ impl RootedTree {
                 }
             }
         }
-        Ok(RootedTree { root, parent, depth, children, order })
+        Ok(RootedTree {
+            root,
+            parent,
+            depth,
+            children,
+            order,
+        })
     }
 
     /// The root node.
@@ -132,7 +141,9 @@ impl RootedTree {
 
     /// The tree edges as `(parent, child)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.order.iter().filter_map(move |&v| self.parent(v).map(|p| (p, v)))
+        self.order
+            .iter()
+            .filter_map(move |&v| self.parent(v).map(|p| (p, v)))
     }
 }
 

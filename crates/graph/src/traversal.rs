@@ -192,7 +192,10 @@ mod tests {
     fn multi_source_takes_minimum() {
         let g = generate::chain(6);
         let d = multi_source_distances(&g, &[n(0), n(5)]);
-        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(2), Some(1), Some(0)]);
+        assert_eq!(
+            d,
+            vec![Some(0), Some(1), Some(2), Some(2), Some(1), Some(0)]
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ pub struct MonomorphismFinder<'a> {
 impl<'a> MonomorphismFinder<'a> {
     /// Creates a finder for maps from `pattern` into `target`.
     pub fn new(pattern: &'a Graph, target: &'a Graph) -> Self {
-        MonomorphismFinder { pattern, target, limit: None }
+        MonomorphismFinder {
+            pattern,
+            target,
+            limit: None,
+        }
     }
 
     /// Caps enumeration at `k` monomorphisms (the paper uses `k = 100`).
@@ -155,7 +159,11 @@ impl<'a> MonomorphismFinder<'a> {
             let next = (0..pn)
                 .filter(|&i| !placed[i])
                 .max_by_key(|&i| {
-                    (anchored[i], self.pattern.degree(NodeId::new(i)), std::cmp::Reverse(i))
+                    (
+                        anchored[i],
+                        self.pattern.degree(NodeId::new(i)),
+                        std::cmp::Reverse(i),
+                    )
                 })
                 .expect("an unplaced node exists");
             placed[next] = true;
@@ -180,10 +188,17 @@ struct State<'a> {
 }
 
 impl State<'_> {
-    fn extend(&mut self, depth: usize, visit: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>) -> ControlFlow<()> {
+    fn extend(
+        &mut self,
+        depth: usize,
+        visit: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         if depth == self.order.len() {
-            let map: Vec<NodeId> =
-                self.mapping.iter().map(|&t| NodeId::new(t as usize)).collect();
+            let map: Vec<NodeId> = self
+                .mapping
+                .iter()
+                .map(|&t| NodeId::new(t as usize))
+                .collect();
             return visit(&map);
         }
         let p = self.order[depth];
@@ -196,17 +211,27 @@ impl State<'_> {
             .pattern
             .neighbors(p)
             .filter(|u| self.mapping[u.index()] != INVALID)
-            .min_by_key(|u| self.target.degree(NodeId::new(self.mapping[u.index()] as usize)));
+            .min_by_key(|u| {
+                self.target
+                    .degree(NodeId::new(self.mapping[u.index()] as usize))
+            });
 
         let candidates: Vec<NodeId> = match mapped_neighbor {
             Some(u) => {
                 let img = NodeId::new(self.mapping[u.index()] as usize);
-                let mut c: Vec<NodeId> =
-                    self.target.neighbors(img).filter(|w| !self.used[w.index()]).collect();
+                let mut c: Vec<NodeId> = self
+                    .target
+                    .neighbors(img)
+                    .filter(|w| !self.used[w.index()])
+                    .collect();
                 c.sort_unstable();
                 c
             }
-            None => self.target.nodes().filter(|w| !self.used[w.index()]).collect(),
+            None => self
+                .target
+                .nodes()
+                .filter(|w| !self.used[w.index()])
+                .collect(),
         };
 
         for w in candidates {
@@ -352,16 +377,30 @@ mod tests {
         let p = generate::chain(3);
         let t = generate::chain(3);
         // Non-injective.
-        assert!(!is_monomorphism(&p, &t, &[NodeId::new(0), NodeId::new(0), NodeId::new(1)]));
+        assert!(!is_monomorphism(
+            &p,
+            &t,
+            &[NodeId::new(0), NodeId::new(0), NodeId::new(1)]
+        ));
         // Wrong length.
         assert!(!is_monomorphism(&p, &t, &[NodeId::new(0)]));
         // Edge not preserved (0-1 pattern edge onto 0,2 non-edge).
-        assert!(!is_monomorphism(&p, &t, &[NodeId::new(0), NodeId::new(2), NodeId::new(1)]));
+        assert!(!is_monomorphism(
+            &p,
+            &t,
+            &[NodeId::new(0), NodeId::new(2), NodeId::new(1)]
+        ));
     }
 
     /// Brute-force enumeration for cross-checking.
     fn brute_force_count(p: &Graph, t: &Graph) -> usize {
-        fn rec(p: &Graph, t: &Graph, map: &mut Vec<Option<NodeId>>, used: &mut Vec<bool>, i: usize) -> usize {
+        fn rec(
+            p: &Graph,
+            t: &Graph,
+            map: &mut Vec<Option<NodeId>>,
+            used: &mut Vec<bool>,
+            i: usize,
+        ) -> usize {
             if i == p.node_count() {
                 return 1;
             }
@@ -396,7 +435,10 @@ mod tests {
             (generate::ring(4), generate::grid(3, 3)),
             (generate::star(4), generate::complete(5)),
             (generate::chain(5), generate::ring(5)),
-            (Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap(), generate::ring(5)),
+            (
+                Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap(),
+                generate::ring(5),
+            ),
         ];
         for (p, t) in cases {
             assert_eq!(

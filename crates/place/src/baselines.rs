@@ -50,7 +50,10 @@ pub fn exhaustive_placement(
     let n = circuit.qubit_count();
     let m = env.qubit_count();
     if n > m {
-        return Err(PlaceError::CircuitTooLarge { qubits: n, nuclei: m });
+        return Err(PlaceError::CircuitTooLarge {
+            qubits: n,
+            nuclei: m,
+        });
     }
     let size = search_space_size(n, m);
     if size > limit {
@@ -61,9 +64,8 @@ pub fn exhaustive_placement(
     let mut assignment: Vec<usize> = Vec::with_capacity(n);
     let mut used = vec![false; m];
     visit(&mut assignment, &mut used, n, m, &mut |assign| {
-        let placement =
-            Placement::new(assign.iter().map(|&v| PhysicalQubit::new(v)).collect(), m)
-                .expect("assignments are injective");
+        let placement = Placement::new(assign.iter().map(|&v| PhysicalQubit::new(v)).collect(), m)
+            .expect("assignments are injective");
         let cost = placed_runtime(circuit, env, &placement, model).units();
         if best.as_ref().is_none_or(|(_, bc)| cost < *bc) {
             best = Some((placement, cost));
@@ -103,12 +105,18 @@ fn visit(
 pub fn random_placement(n: usize, env: &Environment, seed: u64) -> Result<Placement> {
     let m = env.qubit_count();
     if n > m {
-        return Err(PlaceError::CircuitTooLarge { qubits: n, nuclei: m });
+        return Err(PlaceError::CircuitTooLarge {
+            qubits: n,
+            nuclei: m,
+        });
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut nuclei: Vec<usize> = (0..m).collect();
     nuclei.shuffle(&mut rng);
-    Placement::new(nuclei.into_iter().take(n).map(PhysicalQubit::new).collect(), m)
+    Placement::new(
+        nuclei.into_iter().take(n).map(PhysicalQubit::new).collect(),
+        m,
+    )
 }
 
 /// Simulated-annealing placement: random restarts of
@@ -142,7 +150,11 @@ pub fn annealing_placement(
         let cand = current.with_move(q, v);
         let cand_cost = placed_runtime(circuit, env, &cand, model).units();
         let accept = cand_cost <= cur_cost
-            || rng.gen_bool(((cur_cost - cand_cost) / temp.max(1e-9)).exp().clamp(0.0, 1.0));
+            || rng.gen_bool(
+                ((cur_cost - cand_cost) / temp.max(1e-9))
+                    .exp()
+                    .clamp(0.0, 1.0),
+            );
         if accept {
             current = cand;
             cur_cost = cand_cost;
@@ -191,7 +203,9 @@ pub fn place_whole(
             if outcome.subcircuit_count() != 1 {
                 // Whole placement impossible (e.g. LNN chains with
                 // infinitely slow long-range couplings).
-                return Err(PlaceError::RoutingImpossible { stuck: PhysicalQubit::new(0) });
+                return Err(PlaceError::RoutingImpossible {
+                    stuck: PhysicalQubit::new(0),
+                });
             }
             let placement = outcome.initial_placement().clone();
             Ok((placement, outcome.runtime))
@@ -281,7 +295,10 @@ mod tests {
         let model = CostModel::overlapped();
         let (ex_p, ex_t) = exhaustive_placement(&circuit, &env, &model, 1e5).unwrap();
         let (heu_p, heu_t) = place_whole(&circuit, &env, &model, 10.0).unwrap();
-        assert!(heu_t.units() >= ex_t.units() - 1e-9, "heuristic cannot beat exhaustive");
+        assert!(
+            heu_t.units() >= ex_t.units() - 1e-9,
+            "heuristic cannot beat exhaustive"
+        );
         assert!(
             heu_t.units() <= ex_t.units() * 1.5,
             "heuristic {heu_t} too far above exhaustive {ex_t}"

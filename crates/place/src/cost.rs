@@ -49,7 +49,10 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { execution: ExecutionModel::Overlapped, reuse_cap: Some(3.0) }
+        CostModel {
+            execution: ExecutionModel::Overlapped,
+            reuse_cap: Some(3.0),
+        }
     }
 }
 
@@ -61,7 +64,10 @@ impl CostModel {
 
     /// Strictly sequential levels, reuse cap 3.
     pub fn leveled() -> Self {
-        CostModel { execution: ExecutionModel::Leveled, reuse_cap: Some(3.0) }
+        CostModel {
+            execution: ExecutionModel::Leveled,
+            reuse_cap: Some(3.0),
+        }
     }
 
     /// Disables the interaction-reuse cap (keeps the execution model).
@@ -97,7 +103,11 @@ impl PlacedGate {
     /// Panics if `a == b`.
     pub fn two(a: PhysicalQubit, b: PhysicalQubit, weight: f64) -> Self {
         assert!(a != b, "two-qubit gate needs distinct nuclei");
-        PlacedGate { a, b: Some(b), weight }
+        PlacedGate {
+            a,
+            b: Some(b),
+            weight,
+        }
     }
 
     /// A SWAP (weight 3 — three maximal couplings) on nuclei `a`, `b`.
@@ -244,8 +254,8 @@ impl<'a> CostEngine<'a> {
                 let effective = match self.model.reuse_cap {
                     None => gate.weight,
                     Some(cap) => {
-                        let continuing = self.last_pair[i] == Some(key)
-                            && self.last_pair[j] == Some(key);
+                        let continuing =
+                            self.last_pair[i] == Some(key) && self.last_pair[j] == Some(key);
                         let prev = if continuing {
                             *self.runs.get(&key).unwrap_or(&0.0)
                         } else {
@@ -379,7 +389,8 @@ mod tests {
         assert_eq!(s.runtime(&env, &CostModel::overlapped()).units(), 30.0);
         // Uncapped: 50.
         assert_eq!(
-            s.runtime(&env, &CostModel::overlapped().without_reuse_cap()).units(),
+            s.runtime(&env, &CostModel::overlapped().without_reuse_cap())
+                .units(),
             50.0
         );
     }
@@ -428,7 +439,9 @@ mod tests {
     #[test]
     fn empty_schedule_is_free() {
         let env = acetyl_chloride();
-        assert!(Schedule::new().runtime(&env, &CostModel::default()).is_zero());
+        assert!(Schedule::new()
+            .runtime(&env, &CostModel::default())
+            .is_zero());
     }
 
     #[test]

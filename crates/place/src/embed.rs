@@ -35,8 +35,9 @@ pub fn candidate_placements(
     let n = interaction.node_count();
     let m = fast.node_count();
 
-    let constrained: Vec<usize> =
-        (0..n).filter(|&i| interaction.degree(NodeId::new(i)) > 0).collect();
+    let constrained: Vec<usize> = (0..n)
+        .filter(|&i| interaction.degree(NodeId::new(i)) > 0)
+        .collect();
 
     if constrained.is_empty() {
         let placement = match previous {
@@ -54,7 +55,11 @@ pub fn candidate_placements(
     let mut pattern = Graph::new(constrained.len());
     for (a, b, _) in interaction.edges() {
         pattern
-            .add_edge(NodeId::new(index[a.index()]), NodeId::new(index[b.index()]), 1.0)
+            .add_edge(
+                NodeId::new(index[a.index()]),
+                NodeId::new(index[b.index()]),
+                1.0,
+            )
             .expect("interaction edges are unique");
     }
 
@@ -98,12 +103,20 @@ fn complete(
                 .find(|&v| !taken[v])
                 .or_else(|| (0..m).find(|&v| !taken[v]))
                 .expect("n <= m leaves a free nucleus"),
-            None => (0..m).find(|&v| !taken[v]).expect("n <= m leaves a free nucleus"),
+            None => (0..m)
+                .find(|&v| !taken[v])
+                .expect("n <= m leaves a free nucleus"),
         };
         *slot = Some(PhysicalQubit::new(choice));
         taken[choice] = true;
     }
-    Placement::new(to_phys.into_iter().map(|v| v.expect("all assigned")).collect(), m)
+    Placement::new(
+        to_phys
+            .into_iter()
+            .map(|v| v.expect("all assigned"))
+            .collect(),
+        m,
+    )
 }
 
 #[cfg(test)]
@@ -180,9 +193,8 @@ mod tests {
             // Everybody placed, injectively (Placement guarantees it) and
             // q1 is at most 2 hops from its old home.
             let moved = c.physical(q(1));
-            let dist = qcp_graph::traversal::bfs_distances(&fast, NodeId::new(1))
-                [moved.index()]
-            .unwrap();
+            let dist =
+                qcp_graph::traversal::bfs_distances(&fast, NodeId::new(1))[moved.index()].unwrap();
             assert!(dist <= 2, "idle qubit flung {dist} hops away");
         }
     }
@@ -213,8 +225,10 @@ mod tests {
         assert!(!cands.is_empty());
         for c in &cands {
             for (a, b, _) in ig.edges() {
-                let (va, vb) =
-                    (c.physical(q(a.index())).index(), c.physical(q(b.index())).index());
+                let (va, vb) = (
+                    c.physical(q(a.index())).index(),
+                    c.physical(q(b.index())).index(),
+                );
                 assert!(
                     fast.has_edge(NodeId::new(va), NodeId::new(vb)),
                     "interaction ({a},{b}) not on a fast edge"

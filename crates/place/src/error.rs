@@ -49,10 +49,16 @@ impl fmt::Display for PlaceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlaceError::CircuitTooLarge { qubits, nuclei } => {
-                write!(f, "circuit needs {qubits} qubits but the environment has only {nuclei}")
+                write!(
+                    f,
+                    "circuit needs {qubits} qubits but the environment has only {nuclei}"
+                )
             }
             PlaceError::NoFastInteractions => {
-                write!(f, "threshold disallows all interactions; the computation cannot run")
+                write!(
+                    f,
+                    "threshold disallows all interactions; the computation cannot run"
+                )
             }
             PlaceError::InvalidPlacement { message } => {
                 write!(f, "invalid placement: {message}")
@@ -61,7 +67,10 @@ impl fmt::Display for PlaceError {
                 write!(f, "no routing path can deliver the value stuck at {stuck}")
             }
             PlaceError::SearchSpaceTooLarge { size, limit } => {
-                write!(f, "search space of {size:.3e} assignments exceeds the limit {limit:.3e}")
+                write!(
+                    f,
+                    "search space of {size:.3e} assignments exceeds the limit {limit:.3e}"
+                )
             }
             PlaceError::UnplacedQubit(q) => write!(f, "logical qubit {q} has no placement"),
         }
@@ -76,9 +85,14 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = PlaceError::CircuitTooLarge { qubits: 10, nuclei: 7 };
+        let e = PlaceError::CircuitTooLarge {
+            qubits: 10,
+            nuclei: 7,
+        };
         assert!(e.to_string().contains("10") && e.to_string().contains('7'));
-        assert!(PlaceError::NoFastInteractions.to_string().contains("cannot run"));
+        assert!(PlaceError::NoFastInteractions
+            .to_string()
+            .contains("cannot run"));
     }
 
     #[test]

@@ -40,7 +40,11 @@ impl ExposureReport {
         let makespan = timeline.makespan();
         let busy: Vec<Time> = (0..m)
             .map(|i| {
-                timeline.per_qubit(PhysicalQubit::new(i)).iter().map(|e| e.duration()).sum()
+                timeline
+                    .per_qubit(PhysicalQubit::new(i))
+                    .iter()
+                    .map(|e| e.duration())
+                    .sum()
             })
             .collect();
         let idle: Vec<Time> = busy.iter().map(|&b| makespan - b).collect();
@@ -62,7 +66,12 @@ impl ExposureReport {
                 coupling_exposure.push((a, b, makespan - joint));
             }
         }
-        ExposureReport { busy, idle, coupling_exposure, makespan }
+        ExposureReport {
+            busy,
+            idle,
+            coupling_exposure,
+            makespan,
+        }
     }
 
     /// Total drift exposure across all couplings — the quantity a
@@ -157,7 +166,10 @@ mod tests {
             .iter()
             .map(|&(_, _, t)| t.units())
             .fold(f64::INFINITY, f64::min);
-        assert!(min < report.makespan.units(), "some coupling was actually used");
+        assert!(
+            min < report.makespan.units(),
+            "some coupling was actually used"
+        );
     }
 
     #[test]
@@ -166,7 +178,10 @@ mod tests {
         let fine = report.refocusing_pulse_estimate(Time::from_units(10.0));
         let coarse = report.refocusing_pulse_estimate(Time::from_units(100.0));
         assert!(fine > coarse);
-        assert!(coarse >= report.coupling_exposure.len(), "at least one pulse per pair");
+        assert!(
+            coarse >= report.coupling_exposure.len(),
+            "at least one pulse per pair"
+        );
     }
 
     #[test]

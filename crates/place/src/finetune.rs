@@ -71,7 +71,12 @@ pub fn fine_tune(
             break;
         }
     }
-    FineTuneResult { placement: current, cost: best_cost, moves, rounds }
+    FineTuneResult {
+        placement: current,
+        cost: best_cost,
+        moves,
+        rounds,
+    }
 }
 
 #[cfg(test)]
@@ -101,7 +106,10 @@ mod tests {
             |pl| placed_runtime(&circuit, &env, pl, &model).units(),
             10,
         );
-        assert_eq!(result.cost, 136.0, "hill climbing must reach the optimum here");
+        assert_eq!(
+            result.cost, 136.0,
+            "hill climbing must reach the optimum here"
+        );
         assert!(result.moves >= 1);
     }
 

@@ -47,7 +47,10 @@ impl Placement {
     /// [`PlaceError::CircuitTooLarge`] if `map.len() > env_size`.
     pub fn new(map: Vec<PhysicalQubit>, env_size: usize) -> Result<Self> {
         if map.len() > env_size {
-            return Err(PlaceError::CircuitTooLarge { qubits: map.len(), nuclei: env_size });
+            return Err(PlaceError::CircuitTooLarge {
+                qubits: map.len(),
+                nuclei: env_size,
+            });
         }
         let mut to_logical = vec![None; env_size];
         for (i, &v) in map.iter().enumerate() {
@@ -63,7 +66,10 @@ impl Placement {
             }
             to_logical[v.index()] = Some(Qubit::new(i));
         }
-        Ok(Placement { to_phys: map, to_logical })
+        Ok(Placement {
+            to_phys: map,
+            to_logical,
+        })
     }
 
     /// The identity placement `q_i → p_i`.
@@ -146,8 +152,16 @@ impl Placement {
     ///
     /// Panics if the placements have different logical or physical sizes.
     pub fn permutation_to(&self, other: &Placement) -> Vec<Option<usize>> {
-        assert_eq!(self.logical_count(), other.logical_count(), "logical width mismatch");
-        assert_eq!(self.physical_count(), other.physical_count(), "environment size mismatch");
+        assert_eq!(
+            self.logical_count(),
+            other.logical_count(),
+            "logical width mismatch"
+        );
+        assert_eq!(
+            self.physical_count(),
+            other.physical_count(),
+            "environment size mismatch"
+        );
         let mut perm = vec![None; self.physical_count()];
         for i in 0..self.logical_count() {
             let q = Qubit::new(i);

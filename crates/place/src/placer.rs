@@ -54,7 +54,10 @@ impl Default for PlacerConfig {
 impl PlacerConfig {
     /// Default configuration at the given threshold.
     pub fn with_threshold(threshold: Threshold) -> Self {
-        PlacerConfig { threshold, ..Default::default() }
+        PlacerConfig {
+            threshold,
+            ..Default::default()
+        }
     }
 
     /// Sets the candidate cap `k`.
@@ -184,7 +187,12 @@ impl<'e> Placer<'e> {
     pub fn new(env: &'e Environment, config: PlacerConfig) -> Self {
         let fast = env.fast_graph(config.threshold);
         let routing = bridge_components(env, &fast);
-        Placer { env, config, fast, routing }
+        Placer {
+            env,
+            config,
+            fast,
+            routing,
+        }
     }
 
     /// The environment this placer targets.
@@ -211,7 +219,10 @@ impl<'e> Placer<'e> {
         let n = circuit.qubit_count();
         let m = self.env.qubit_count();
         if n > m {
-            return Err(PlaceError::CircuitTooLarge { qubits: n, nuclei: m });
+            return Err(PlaceError::CircuitTooLarge {
+                qubits: n,
+                nuclei: m,
+            });
         }
         let workspaces = extract_workspaces_with(circuit, &self.fast, self.config.extraction)?;
 
@@ -264,8 +275,7 @@ impl<'e> Placer<'e> {
             // Score every candidate.
             let mut best: Option<(usize, f64, SwapSchedule)> = None;
             for (ci, cand) in candidates.iter().enumerate() {
-                let Ok((cost, swaps, fork)) =
-                    self.score(&engine, previous.as_ref(), cand, ws)
+                let Ok((cost, swaps, fork)) = self.score(&engine, previous.as_ref(), cand, ws)
                 else {
                     continue; // unroutable candidate
                 };
@@ -336,7 +346,11 @@ impl<'e> Placer<'e> {
         }
 
         let runtime = schedule.runtime(self.env, &self.config.cost_model);
-        Ok(PlacementOutcome { stages, schedule, runtime })
+        Ok(PlacementOutcome {
+            stages,
+            schedule,
+            runtime,
+        })
     }
 
     /// Scores one candidate continuation: swap from `previous` to `cand`,
@@ -454,7 +468,9 @@ mod tests {
         let t = env.connectivity_threshold().unwrap();
         let placer = Placer::new(
             &env,
-            PlacerConfig::with_threshold(t).candidates(50).lookahead(false),
+            PlacerConfig::with_threshold(t)
+                .candidates(50)
+                .lookahead(false),
         );
         let outcome = placer.place(&library::pseudo_cat(10)).unwrap();
         assert_eq!(outcome.subcircuit_count(), 1);
@@ -509,8 +525,12 @@ mod tests {
         // contain all circuit gates plus the swaps.
         let env = molecules::trans_crotonic_acid();
         let t = env.connectivity_threshold().unwrap();
-        let placer =
-            Placer::new(&env, PlacerConfig::with_threshold(t).candidates(30).lookahead(true));
+        let placer = Placer::new(
+            &env,
+            PlacerConfig::with_threshold(t)
+                .candidates(30)
+                .lookahead(true),
+        );
         let circuit = library::phase_estimation();
         let outcome = placer.place(&circuit).unwrap();
         assert!(outcome.subcircuit_count() > 1);
@@ -558,17 +578,25 @@ mod tests {
         let t = Threshold::new(200.0);
         let greedy = Placer::new(
             &env,
-            PlacerConfig::with_threshold(t).lookahead(false).candidates(30),
+            PlacerConfig::with_threshold(t)
+                .lookahead(false)
+                .candidates(30),
         )
         .place(&library::qft(6))
         .unwrap();
         let smart = Placer::new(
             &env,
-            PlacerConfig::with_threshold(t).lookahead(true).candidates(30),
+            PlacerConfig::with_threshold(t)
+                .lookahead(true)
+                .candidates(30),
         )
         .place(&library::qft(6))
         .unwrap();
-        assert!(smart.runtime.units() <= greedy.runtime.units() * 1.25,
-            "lookahead {} vs greedy {}", smart.runtime.units(), greedy.runtime.units());
+        assert!(
+            smart.runtime.units() <= greedy.runtime.units() * 1.25,
+            "lookahead {} vs greedy {}",
+            smart.runtime.units(),
+            greedy.runtime.units()
+        );
     }
 }

@@ -30,8 +30,13 @@ pub fn reduction_instance(h: &Graph) -> (Environment, Circuit) {
     let nuclei: Vec<_> = (0..m).map(|i| b.nucleus(format!("v{i}"), 0.0)).collect();
     for i in 0..m {
         for j in i + 1..m {
-            let w = if h.has_edge(NodeId::new(i), NodeId::new(j)) { 0.0 } else { 1.0 };
-            b.coupling(nuclei[i], nuclei[j], w).expect("pairs are fresh");
+            let w = if h.has_edge(NodeId::new(i), NodeId::new(j)) {
+                0.0
+            } else {
+                1.0
+            };
+            b.coupling(nuclei[i], nuclei[j], w)
+                .expect("pairs are fresh");
         }
     }
     let env = b.build().expect("non-empty");
@@ -114,7 +119,9 @@ mod tests {
         assert_eq!(env.qubit_count(), 5);
         assert_eq!(circuit.qubit_count(), 5);
         assert_eq!(circuit.gate_count(), 5);
-        assert!(circuit.gates().all(|g| g.is_two_qubit() && g.time_weight() == 1.0));
+        assert!(circuit
+            .gates()
+            .all(|g| g.is_two_qubit() && g.time_weight() == 1.0));
         // H-edges are free, non-edges cost 1.
         let p = qcp_env::PhysicalQubit::new;
         assert_eq!(env.coupling(p(0), p(1)).units(), 0.0);
@@ -125,10 +132,17 @@ mod tests {
     fn ring_reduces_to_zero_cost() {
         let h = generate::ring(6);
         let (env, circuit) = reduction_instance(&h);
-        let (_, t) =
-            exhaustive_placement(&circuit, &env, &CostModel::overlapped().without_reuse_cap(), 1e6)
-                .unwrap();
-        assert!(t.is_zero(), "ring is Hamiltonian, zero-cost placement must exist");
+        let (_, t) = exhaustive_placement(
+            &circuit,
+            &env,
+            &CostModel::overlapped().without_reuse_cap(),
+            1e6,
+        )
+        .unwrap();
+        assert!(
+            t.is_zero(),
+            "ring is Hamiltonian, zero-cost placement must exist"
+        );
         assert!(hamiltonian_via_placement(&h));
     }
 
@@ -137,9 +151,13 @@ mod tests {
         // A star is not Hamiltonian: best placement has positive runtime.
         let h = generate::star(5);
         let (env, circuit) = reduction_instance(&h);
-        let (_, t) =
-            exhaustive_placement(&circuit, &env, &CostModel::overlapped().without_reuse_cap(), 1e6)
-                .unwrap();
+        let (_, t) = exhaustive_placement(
+            &circuit,
+            &env,
+            &CostModel::overlapped().without_reuse_cap(),
+            1e6,
+        )
+        .unwrap();
         assert!(t.units() > 0.0);
         assert!(!hamiltonian_via_placement(&h));
     }

@@ -45,7 +45,9 @@ pub struct RouterConfig {
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        RouterConfig { leaf_override: true }
+        RouterConfig {
+            leaf_override: true,
+        }
     }
 }
 
@@ -147,7 +149,9 @@ pub fn route_permutation(
     for (v, t) in targets.iter().enumerate() {
         if let Some(t) = *t {
             if comp_of[v] != comp_of[t] {
-                return Err(PlaceError::RoutingImpossible { stuck: PhysicalQubit::new(v) });
+                return Err(PlaceError::RoutingImpossible {
+                    stuck: PhysicalQubit::new(v),
+                });
             }
         }
     }
@@ -212,14 +216,25 @@ fn route_rec(
 
     // Bisect the active induced subgraph.
     let active_ids: Vec<NodeId> = active.iter().map(|&v| NodeId::new(v)).collect();
-    let (sub, back) = graph.induced(&active_ids).map_err(|e| PlaceError::InvalidPlacement {
-        message: format!("induced subgraph failed: {e}"),
-    })?;
-    let bisection = balanced_connected_bisection(&sub).map_err(|e| {
-        PlaceError::InvalidPlacement { message: format!("bisection failed: {e}") }
-    })?;
-    let left: Vec<usize> = bisection.left.iter().map(|&v| back[v.index()].index()).collect();
-    let right: Vec<usize> = bisection.right.iter().map(|&v| back[v.index()].index()).collect();
+    let (sub, back) = graph
+        .induced(&active_ids)
+        .map_err(|e| PlaceError::InvalidPlacement {
+            message: format!("induced subgraph failed: {e}"),
+        })?;
+    let bisection =
+        balanced_connected_bisection(&sub).map_err(|e| PlaceError::InvalidPlacement {
+            message: format!("bisection failed: {e}"),
+        })?;
+    let left: Vec<usize> = bisection
+        .left
+        .iter()
+        .map(|&v| back[v.index()].index())
+        .collect();
+    let right: Vec<usize> = bisection
+        .right
+        .iter()
+        .map(|&v| back[v.index()].index())
+        .collect();
     let channel: Vec<(usize, usize)> = bisection
         .channel
         .iter()
@@ -249,7 +264,10 @@ fn route_rec(
         }
     }
     let mut need_white = left.len() - fixed_white.min(left.len());
-    debug_assert!(fixed_white <= left.len(), "more fixed whites than room in the left half");
+    debug_assert!(
+        fixed_white <= left.len(),
+        "more fixed whites than room in the left half"
+    );
     // Wildcards already in the left half take white first.
     wild.sort_unstable_by_key(|&v| (!in_left[v], v));
     for &v in &wild {
@@ -264,13 +282,21 @@ fn route_rec(
     let mut levels: Vec<Vec<(usize, usize)>> = Vec::new();
     let max_iters = 8 * active.len() + 16; // safety margin over the 8n bound
     for _ in 0..max_iters {
-        let misplaced =
-            active.iter().any(|&v| !frozen.contains(&v) && (white[v] != in_left[v]));
+        let misplaced = active
+            .iter()
+            .any(|&v| !frozen.contains(&v) && (white[v] != in_left[v]));
         if !misplaced {
             break;
         }
         let level = build_level(
-            graph, active, &in_left, &channel, &mut white, dest, &mut frozen, config,
+            graph,
+            active,
+            &in_left,
+            &channel,
+            &mut white,
+            dest,
+            &mut frozen,
+            config,
         );
         if level.is_empty() {
             return Err(PlaceError::RoutingImpossible {
@@ -286,17 +312,30 @@ fn route_rec(
         levels.push(level);
     }
     debug_assert!(
-        active.iter().all(|&v| frozen.contains(&v) || white[v] == in_left[v]),
+        active
+            .iter()
+            .all(|&v| frozen.contains(&v) || white[v] == in_left[v]),
         "exchange phase exceeded its iteration budget"
     );
 
     // Recurse on both halves (minus satisfied frozen leaves) in parallel.
     let remaining = |side: &[usize]| -> Vec<usize> {
-        side.iter().copied().filter(|v| !frozen.contains(v)).collect()
+        side.iter()
+            .copied()
+            .filter(|v| !frozen.contains(v))
+            .collect()
     };
     let (la, lb) = (remaining(&left), remaining(&right));
-    let sub_a = if la.is_empty() { Vec::new() } else { route_rec(graph, &la, dest, config)? };
-    let sub_b = if lb.is_empty() { Vec::new() } else { route_rec(graph, &lb, dest, config)? };
+    let sub_a = if la.is_empty() {
+        Vec::new()
+    } else {
+        route_rec(graph, &la, dest, config)?
+    };
+    let sub_b = if lb.is_empty() {
+        Vec::new()
+    } else {
+        route_rec(graph, &lb, dest, config)?
+    };
     levels.extend(merge_parallel(vec![sub_a, sub_b]));
     Ok(levels)
 }
@@ -316,11 +355,11 @@ fn build_level(
     let mut used: HashSet<usize> = HashSet::new();
     let mut level: Vec<(usize, usize)> = Vec::new();
     let do_swap = |u: usize,
-                       v: usize,
-                       white: &mut [bool],
-                       dest: &mut Vec<Option<usize>>,
-                       used: &mut HashSet<usize>,
-                       level: &mut Vec<(usize, usize)>| {
+                   v: usize,
+                   white: &mut [bool],
+                   dest: &mut Vec<Option<usize>>,
+                   used: &mut HashSet<usize>,
+                   level: &mut Vec<(usize, usize)>| {
         dest.swap(u, v);
         white.swap(u, v);
         used.insert(u);
@@ -329,8 +368,7 @@ fn build_level(
     };
 
     let is_active: HashSet<usize> = active.iter().copied().collect();
-    let channel_ends: HashSet<usize> =
-        channel.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let channel_ends: HashSet<usize> = channel.iter().flat_map(|&(a, b)| [a, b]).collect();
 
     // Working degree (within active, excluding frozen) for leaf detection.
     let working_degree = |v: usize, frozen: &HashSet<usize>| -> usize {
@@ -375,8 +413,7 @@ fn build_level(
     //    right end. (The channel is never blocked, and all channel edges
     //    work in parallel.)
     for &(a, b) in channel {
-        if used.contains(&a) || used.contains(&b) || frozen.contains(&a) || frozen.contains(&b)
-        {
+        if used.contains(&a) || used.contains(&b) || frozen.contains(&a) || frozen.contains(&b) {
             continue;
         }
         if !white[a] && white[b] {
@@ -412,7 +449,9 @@ fn build_level(
             .filter(|&v| in_left[v] == side_is_left && !frozen.contains(&v))
             .collect();
         let side_ids: Vec<NodeId> = side.iter().map(|&v| NodeId::new(v)).collect();
-        let Ok((sub, back)) = graph.induced(&side_ids) else { return };
+        let Ok((sub, back)) = graph.induced(&side_ids) else {
+            return;
+        };
         let local: std::collections::HashMap<usize, usize> =
             side.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let local_sources: Vec<NodeId> = sources
@@ -501,8 +540,11 @@ pub fn route_sequential(graph: &Graph, targets: &[Option<usize>]) -> Result<Swap
                 taken.insert(d);
             }
         }
-        let mut free: Vec<usize> =
-            comp.iter().map(|v| v.index()).filter(|d| !taken.contains(d)).collect();
+        let mut free: Vec<usize> = comp
+            .iter()
+            .map(|v| v.index())
+            .filter(|d| !taken.contains(d))
+            .collect();
         free.sort_unstable();
         for &v in comp {
             if dest[v.index()].is_none() {
@@ -518,11 +560,12 @@ pub fn route_sequential(graph: &Graph, targets: &[Option<usize>]) -> Result<Swap
     while remaining > 0 {
         // Pick the largest-index leaf (or any vertex of degree <= 1) of
         // the alive induced subgraph.
-        let alive_ids: Vec<NodeId> =
-            (0..n).filter(|&v| alive[v]).map(NodeId::new).collect();
-        let (sub, back) = graph.induced(&alive_ids).map_err(|e| {
-            PlaceError::InvalidPlacement { message: format!("induced failed: {e}") }
-        })?;
+        let alive_ids: Vec<NodeId> = (0..n).filter(|&v| alive[v]).map(NodeId::new).collect();
+        let (sub, back) = graph
+            .induced(&alive_ids)
+            .map_err(|e| PlaceError::InvalidPlacement {
+                message: format!("induced failed: {e}"),
+            })?;
         // Spanning-tree leaf of each component: a vertex whose removal
         // keeps the rest connected. Use a BFS tree leaf.
         let mut leaf: Option<usize> = None;
@@ -532,7 +575,9 @@ pub fn route_sequential(graph: &Graph, targets: &[Option<usize>]) -> Result<Swap
                 continue;
             }
             let tree = qcp_graph::spanning::RootedTree::bfs(&sub, start).map_err(|e| {
-                PlaceError::InvalidPlacement { message: format!("tree failed: {e}") }
+                PlaceError::InvalidPlacement {
+                    message: format!("tree failed: {e}"),
+                }
             })?;
             for &v in tree.nodes() {
                 visited[v.index()] = true;
@@ -547,11 +592,19 @@ pub fn route_sequential(graph: &Graph, targets: &[Option<usize>]) -> Result<Swap
         if let Some(h) = holder {
             if h != d {
                 let (sh, sd) = (
-                    alive_ids.iter().position(|&x| x.index() == h).expect("alive"),
-                    alive_ids.iter().position(|&x| x.index() == d).expect("alive"),
+                    alive_ids
+                        .iter()
+                        .position(|&x| x.index() == h)
+                        .expect("alive"),
+                    alive_ids
+                        .iter()
+                        .position(|&x| x.index() == d)
+                        .expect("alive"),
                 );
                 let path = shortest_path(&sub, NodeId::new(sh), NodeId::new(sd)).ok_or(
-                    PlaceError::RoutingImpossible { stuck: PhysicalQubit::new(h) },
+                    PlaceError::RoutingImpossible {
+                        stuck: PhysicalQubit::new(h),
+                    },
                 )?;
                 for w in path.windows(2) {
                     let (a, b) = (back[w[0].index()].index(), back[w[1].index()].index());
@@ -692,9 +745,20 @@ mod tests {
         let n = g.node_count();
         let perm: Vec<usize> = (1..n).chain([0]).collect();
         let t = full_targets(&perm);
-        for cfg in [RouterConfig { leaf_override: true }, RouterConfig { leaf_override: false }] {
+        for cfg in [
+            RouterConfig {
+                leaf_override: true,
+            },
+            RouterConfig {
+                leaf_override: false,
+            },
+        ] {
             let s = route_permutation(&g, &t, &cfg).unwrap();
-            assert!(verify_schedule(&g, &t, &s), "leaf_override={}", cfg.leaf_override);
+            assert!(
+                verify_schedule(&g, &t, &s),
+                "leaf_override={}",
+                cfg.leaf_override
+            );
         }
     }
 
@@ -730,8 +794,11 @@ mod tests {
 
     #[test]
     fn sequential_baseline_correct() {
-        for (g, n) in [(generate::chain(6), 6), (generate::grid(2, 4), 8), (generate::ring(5), 5)]
-        {
+        for (g, n) in [
+            (generate::chain(6), 6),
+            (generate::grid(2, 4), 8),
+            (generate::ring(5), 5),
+        ] {
             let perm: Vec<usize> = (0..n).rev().collect();
             let t = full_targets(&perm);
             let s = route_sequential(&g, &t).unwrap();

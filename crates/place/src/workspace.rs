@@ -113,7 +113,12 @@ fn extract_contiguous(
                 .add_edge(NodeId::new(a), NodeId::new(b), 1.0)
                 .expect("edges deduplicated");
         }
-        out.push(Workspace { circuit: sub, first_gate: start, last_gate: end, interaction });
+        out.push(Workspace {
+            circuit: sub,
+            first_gate: start,
+            last_gate: end,
+            interaction,
+        });
     };
 
     for (i, gate) in gates.iter().enumerate() {
@@ -125,7 +130,9 @@ fn extract_contiguous(
                 have_edge.clear();
             }
         }
-        let Some((qa, qb)) = gate.coupling() else { continue };
+        let Some((qa, qb)) = gate.coupling() else {
+            continue;
+        };
         let key = (qa.index().min(qb.index()), qa.index().max(qb.index()));
         if have_edge.contains(&key) {
             continue; // same interaction, still embeddable
@@ -160,8 +167,7 @@ fn extract_commutation_aware(
     options: ExtractionOptions,
 ) -> Result<Vec<Workspace>> {
     let n = circuit.qubit_count();
-    let mut remaining: Vec<(usize, Gate)> =
-        circuit.gates().cloned().enumerate().collect();
+    let mut remaining: Vec<(usize, Gate)> = circuit.gates().cloned().enumerate().collect();
     let mut out: Vec<Workspace> = Vec::new();
 
     while !remaining.is_empty() {
@@ -218,7 +224,12 @@ fn extract_commutation_aware(
                 .add_edge(NodeId::new(a), NodeId::new(b), 1.0)
                 .expect("edges deduplicated");
         }
-        out.push(Workspace { circuit: sub, first_gate: first, last_gate: last, interaction });
+        out.push(Workspace {
+            circuit: sub,
+            first_gate: first,
+            last_gate: last,
+            interaction,
+        });
         remaining = deferred;
     }
     if out.is_empty() {
@@ -308,7 +319,9 @@ mod tests {
     fn repeat_interactions_do_not_split() {
         let c = Circuit::from_gates(
             2,
-            (0..10).map(|_| Gate::zz(q(0), q(1), 90.0)).collect::<Vec<_>>(),
+            (0..10)
+                .map(|_| Gate::zz(q(0), q(1), 90.0))
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         let fast = generate::chain(2);
@@ -362,7 +375,11 @@ mod tests {
         let fast = env.fast_graph(Threshold::new(200.0));
         let c = library::qft(6);
         let ws = extract_workspaces(&c, &fast).unwrap();
-        assert!(ws.len() > 1, "expected multiple workspaces, got {}", ws.len());
+        assert!(
+            ws.len() > 1,
+            "expected multiple workspaces, got {}",
+            ws.len()
+        );
         // Ranges tile the gate sequence.
         assert_eq!(ws[0].first_gate, 0);
         for pair in ws.windows(2) {
@@ -398,7 +415,10 @@ mod tests {
         let smart = extract_workspaces_with(
             &c,
             &fast,
-            ExtractionOptions { commutation_aware: true, max_gates: None },
+            ExtractionOptions {
+                commutation_aware: true,
+                max_gates: None,
+            },
         )
         .unwrap();
         assert_eq!(smart.len(), 2);
@@ -424,13 +444,15 @@ mod tests {
         let smart = extract_workspaces_with(
             &c,
             &fast,
-            ExtractionOptions { commutation_aware: true, max_gates: None },
+            ExtractionOptions {
+                commutation_aware: true,
+                max_gates: None,
+            },
         )
         .unwrap();
         assert_eq!(smart.len(), 2);
         assert_eq!(smart[0].circuit.gate_count(), 2);
-        let ws2: Vec<String> =
-            smart[1].circuit.gates().map(ToString::to_string).collect();
+        let ws2: Vec<String> = smart[1].circuit.gates().map(ToString::to_string).collect();
         assert_eq!(ws2, vec!["ZZ(90) q0 q2", "Ry(90) q0"]);
     }
 
@@ -441,7 +463,10 @@ mod tests {
         let capped = extract_workspaces_with(
             &c,
             &fast,
-            ExtractionOptions { commutation_aware: false, max_gates: Some(10) },
+            ExtractionOptions {
+                commutation_aware: false,
+                max_gates: Some(10),
+            },
         )
         .unwrap();
         assert!(capped.len() >= 2, "cap must split the single workspace");
@@ -466,7 +491,10 @@ mod tests {
         let smart = extract_workspaces_with(
             &c,
             &fast,
-            ExtractionOptions { commutation_aware: true, max_gates: None },
+            ExtractionOptions {
+                commutation_aware: true,
+                max_gates: None,
+            },
         )
         .unwrap();
         let total: usize = smart.iter().map(|w| w.circuit.gate_count()).sum();

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Where does this molecule become usable?
     let threshold = env.connectivity_threshold().expect("ring is connected");
-    println!("connectivity threshold: just above {} units", threshold.units().floor());
+    println!(
+        "connectivity threshold: just above {} units",
+        threshold.units().floor()
+    );
 
     // Place a 5-qubit phase estimation on it.
     let circuit = qcp::circuit::library::phase_estimation();
@@ -56,7 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Export the fast graph for graphviz.
     let dot = to_dot(
         &env.fast_graph(threshold),
-        &DotOptions::named("hexane_toy").with_labels(env.nucleus_names()).with_weights(),
+        &DotOptions::named("hexane_toy")
+            .with_labels(env.nucleus_names())
+            .with_weights(),
     );
     println!("\nfast graph in DOT (pipe into `dot -Tpng`):\n{dot}");
     Ok(())

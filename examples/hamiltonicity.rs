@@ -20,10 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, h) in cases {
         let via_placement = hamiltonian_via_placement(&h);
         let direct = has_hamiltonian_cycle(&h);
-        println!(
-            "{name}: zero-cost placement exists = {via_placement}, hamiltonian = {direct}"
+        println!("{name}: zero-cost placement exists = {via_placement}, hamiltonian = {direct}");
+        assert_eq!(
+            via_placement, direct,
+            "the reduction must agree with the direct solver"
         );
-        assert_eq!(via_placement, direct, "the reduction must agree with the direct solver");
     }
 
     // Show the actual instance for the 6-cycle and its optimal runtime.
@@ -32,8 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = CostModel::overlapped().without_reuse_cap();
     let (placement, runtime) = exhaustive_placement(&circuit, &env, &model, 1e6)?;
     println!("\nreduction instance for the 6-cycle:");
-    println!("  circuit: {} two-qubit gates in a qubit cycle", circuit.gate_count());
+    println!(
+        "  circuit: {} two-qubit gates in a qubit cycle",
+        circuit.gate_count()
+    );
     println!("  optimal placement: {placement}");
-    println!("  optimal runtime: {} units (zero iff Hamiltonian)", runtime.units());
+    println!(
+        "  optimal runtime: {} units (zero iff Hamiltonian)",
+        runtime.units()
+    );
     Ok(())
 }

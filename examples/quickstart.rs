@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let placer = Placer::new(&env, PlacerConfig::with_threshold(threshold));
     let outcome = placer.place(&circuit)?;
 
-    println!("placed in {} subcircuit(s), {} swaps", outcome.subcircuit_count(), outcome.swap_count());
+    println!(
+        "placed in {} subcircuit(s), {} swaps",
+        outcome.subcircuit_count(),
+        outcome.swap_count()
+    );
     let placement = outcome.initial_placement();
     for q in 0..circuit.qubit_count() {
         let v = placement.physical(Qubit::new(q));

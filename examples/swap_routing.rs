@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schedule = route_permutation(&bonds, &targets, &RouterConfig::default())?;
     assert!(verify_schedule(&bonds, &targets, &schedule));
 
-    println!("\n{} swaps in {} parallel levels:", schedule.swap_count(), schedule.depth());
+    println!(
+        "\n{} swaps in {} parallel levels:",
+        schedule.swap_count(),
+        schedule.depth()
+    );
     for (i, level) in schedule.levels().iter().enumerate() {
         let swaps: Vec<String> = level
             .iter()
@@ -36,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Cost the swap stage on the real molecule (SWAP = 3 couplings).
-    let time = schedule.to_schedule().runtime(&env, &CostModel::overlapped());
+    let time = schedule
+        .to_schedule()
+        .runtime(&env, &CostModel::overlapped());
     println!("\nexecuting this permutation costs {time}");
     Ok(())
 }

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         env.qubit_count()
     );
 
-    println!("{:>10}  {:>14}  {:>11}  {:>6}", "threshold", "runtime", "subcircuits", "swaps");
+    println!(
+        "{:>10}  {:>14}  {:>11}  {:>6}",
+        "threshold", "runtime", "subcircuits", "swaps"
+    );
     for t in [50.0, 100.0, 200.0, 500.0, 1000.0, 10000.0] {
         let placer = Placer::new(&env, PlacerConfig::with_threshold(Threshold::new(t)));
         match placer.place(&circuit) {

@@ -82,7 +82,9 @@ fn run_place(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |what: &str| {
-            it.next().cloned().ok_or_else(|| format!("{what} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
         };
         match a.as_str() {
             "--circuit" => circuit_arg = Some(value("--circuit")?),
@@ -98,8 +100,9 @@ fn run_place(args: &[String]) -> Result<(), String> {
             "--k" => k = value("--k")?.parse().map_err(|e| format!("bad k: {e}"))?,
             "--no-lookahead" => lookahead = false,
             "--fine-tune" => {
-                fine_tune =
-                    value("--fine-tune")?.parse().map_err(|e| format!("bad rounds: {e}"))?
+                fine_tune = value("--fine-tune")?
+                    .parse()
+                    .map_err(|e| format!("bad rounds: {e}"))?
             }
             "--commutation" => commutation = true,
             "--gantt" => gantt = true,
@@ -111,6 +114,9 @@ fn run_place(args: &[String]) -> Result<(), String> {
     let circuit = load_circuit(&circuit_arg.ok_or("--circuit is required")?)?;
     let env = load_env(&env_arg.ok_or("--env is required")?)?;
     let threshold = match threshold {
+        Some(units) if units < 0.0 || units.is_nan() => {
+            return Err(format!("--threshold must be non-negative, got {units}"))
+        }
         Some(units) => Threshold::new(units),
         None => env
             .connectivity_threshold()

@@ -8,10 +8,14 @@ use qcp_place::PlaceError;
 /// Places `circuit` on `env` at the connectivity threshold and validates
 /// the outcome's internal consistency.
 fn place_and_check(env: &Environment, circuit: &qcp::circuit::Circuit) {
-    let threshold = env.connectivity_threshold().expect("library molecules connect");
+    let threshold = env
+        .connectivity_threshold()
+        .expect("library molecules connect");
     let placer = Placer::new(
         env,
-        PlacerConfig::with_threshold(threshold).candidates(40).fine_tuning(1),
+        PlacerConfig::with_threshold(threshold)
+            .candidates(40)
+            .fine_tuning(1),
     );
     let outcome = match placer.place(circuit) {
         Ok(o) => o,
@@ -28,7 +32,10 @@ fn place_and_check(env: &Environment, circuit: &qcp::circuit::Circuit) {
     if circuit.gate_count() > 0 && circuit.gates().any(|g| !g.is_free()) {
         assert!(outcome.runtime.units() > 0.0);
     }
-    assert!(outcome.runtime.units().is_finite(), "infinite runtime means a slow coupling leaked in");
+    assert!(
+        outcome.runtime.units().is_finite(),
+        "infinite runtime means a slow coupling leaked in"
+    );
     // Stage placements are total and injective by construction; check the
     // swap stages connect them.
     for pair in outcome.stages.windows(2) {

@@ -94,8 +94,12 @@ fn table2_qec5_placement_is_exhaustively_optimal() {
     let model = CostModel::overlapped();
     let (_, best) = exhaustive_placement(&library::qec5_benchmark(), &env, &model, 1e5).unwrap();
     let threshold = env.connectivity_threshold().unwrap();
-    let placer =
-        Placer::new(&env, PlacerConfig::with_threshold(threshold).candidates(200).fine_tuning(4));
+    let placer = Placer::new(
+        &env,
+        PlacerConfig::with_threshold(threshold)
+            .candidates(200)
+            .fine_tuning(4),
+    );
     let outcome = placer.place(&library::qec5_benchmark()).unwrap();
     assert!(
         outcome.runtime.units() <= best.units() * 1.05,
@@ -115,7 +119,10 @@ fn table3_pentafluoro_na_below_200() {
     let circuit = library::phase_estimation();
     for t in [50.0, 100.0] {
         let placer = Placer::new(&env, PlacerConfig::with_threshold(Threshold::new(t)));
-        assert_eq!(placer.place(&circuit).unwrap_err(), PlaceError::NoFastInteractions);
+        assert_eq!(
+            placer.place(&circuit).unwrap_err(),
+            PlaceError::NoFastInteractions
+        );
     }
     let placer = Placer::new(&env, PlacerConfig::with_threshold(Threshold::new(200.0)));
     assert!(placer.place(&circuit).is_ok());
@@ -138,7 +145,10 @@ fn table3_subcircuits_decrease_with_threshold() {
         );
         last = outcome.subcircuit_count();
     }
-    assert_eq!(last, 1, "an unbounded-ish threshold places the circuit whole");
+    assert_eq!(
+        last, 1,
+        "an unbounded-ish threshold places the circuit whole"
+    );
 }
 
 #[test]
@@ -202,8 +212,12 @@ fn table4_recovers_hidden_stages() {
 #[test]
 fn table4_gate_counts_match_paper() {
     // N, gates, stages from the paper's table.
-    for (n, gates, stages) in [(8usize, 72usize, 3usize), (16, 256, 4), (32, 800, 5), (64, 2304, 6)]
-    {
+    for (n, gates, stages) in [
+        (8usize, 72usize, 3usize),
+        (16, 256, 4),
+        (32, 800, 5),
+        (64, 2304, 6),
+    ] {
         let staged = library::random::staged(n, 9);
         assert_eq!(staged.circuit.gate_count(), gates);
         assert_eq!(staged.stage_count(), stages);

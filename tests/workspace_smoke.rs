@@ -1,0 +1,98 @@
+//! Workspace smoke test: the facade crate re-exports the whole stack and
+//! every packaged molecule is usable out of the box.
+
+use qcp::prelude::*;
+
+/// `qcp::prelude::*` must glob-import cleanly and expose the core types of
+/// all four member crates under their canonical names.
+#[test]
+fn prelude_glob_imports_resolve() {
+    // qcp_circuit
+    let mut b = Circuit::builder(2);
+    b.gate(Gate::zz(Qubit::new(0), Qubit::new(1), 90.0));
+    let circuit = b.build();
+    assert_eq!(circuit.qubit_count(), 2);
+    let _t: Time = Time::from_units(1.0);
+
+    // qcp_graph
+    let g: Graph = circuit.interaction_graph();
+    assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+
+    // qcp_env
+    let env: Environment = molecules::acetyl_chloride();
+    let _threshold: Threshold = Threshold::new(100.0);
+
+    // qcp_place
+    let _model: CostModel = CostModel::overlapped();
+    let placer = Placer::new(&env, PlacerConfig::with_threshold(Threshold::new(100.0)));
+    let outcome = placer.place(&circuit).expect("tiny circuit places");
+    let placement: &Placement = &outcome.stages[0].placement;
+    assert!(placement.physical(Qubit::new(0)) != placement.physical(Qubit::new(1)));
+}
+
+/// The module-path re-exports (`qcp::circuit`, `qcp::env`, ...) point at
+/// the same crates as the prelude.
+#[test]
+fn module_reexports_are_the_same_crates() {
+    let via_module = qcp::env::molecules::acetyl_chloride();
+    let via_prelude = molecules::acetyl_chloride();
+    assert_eq!(via_module.qubit_count(), via_prelude.qubit_count());
+    let _: qcp::circuit::Circuit = qcp::circuit::library::qec3_encoder();
+    let _: qcp::graph::Graph = qcp::graph::generate::chain(3);
+    let _: qcp::place::PlacerConfig = PlacerConfig::with_threshold(Threshold::new(1.0));
+}
+
+/// Every named molecule constructor yields an environment that is connected
+/// at its own connectivity threshold — the minimal property the placer
+/// needs to make progress on it.
+#[test]
+fn named_molecules_connected_at_connectivity_threshold() {
+    use qcp::graph::traversal::is_connected;
+
+    let fixed: [(&str, Environment); 5] = [
+        ("acetyl_chloride", molecules::acetyl_chloride()),
+        ("trans_crotonic_acid", molecules::trans_crotonic_acid()),
+        ("histidine", molecules::histidine()),
+        ("boc_glycine_fluoride", molecules::boc_glycine_fluoride()),
+        ("pentafluoro_iron", molecules::pentafluoro_iron()),
+    ];
+    for (name, env) in fixed {
+        let t = env
+            .connectivity_threshold()
+            .unwrap_or_else(|| panic!("{name} has no connectivity threshold"));
+        assert!(
+            is_connected(&env.fast_graph(t)),
+            "{name} disconnected at its connectivity threshold {t:?}"
+        );
+        assert!(env.qubit_count() > 0, "{name} is empty");
+    }
+
+    // Parametric families.
+    let families: [(&str, Environment); 4] = [
+        ("lnn_chain(7)", molecules::lnn_chain(7, 10.0)),
+        ("lnn_chain_1khz(9)", molecules::lnn_chain_1khz(9)),
+        ("grid(3x4)", molecules::grid(3, 4, 25.0)),
+        ("random_molecule(8)", molecules::random_molecule(8, 2007)),
+    ];
+    for (name, env) in families {
+        let t = env
+            .connectivity_threshold()
+            .unwrap_or_else(|| panic!("{name} has no connectivity threshold"));
+        assert!(
+            is_connected(&env.fast_graph(t)),
+            "{name} disconnected at its connectivity threshold {t:?}"
+        );
+    }
+}
+
+/// The table-name lookup agrees with `molecules::NAMES` and with the
+/// direct constructors.
+#[test]
+fn named_lookup_covers_all_names() {
+    for &name in molecules::NAMES {
+        let env = molecules::named(name)
+            .unwrap_or_else(|| panic!("molecules::named({name:?}) returned None"));
+        assert!(env.qubit_count() >= 3, "{name} suspiciously small");
+    }
+    assert!(molecules::named("benzene-nope").is_none());
+}

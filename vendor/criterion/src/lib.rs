@@ -1,0 +1,316 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) crate covering what the
+//! qcp benches use: [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input` (with `&str` or [`BenchmarkId`] ids),
+//! `sample_size`, [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — median of `sample_size` timed
+//! batches after a short warm-up — and prints one line per benchmark.
+//! When invoked by `cargo test` (cargo passes `--test`), each benchmark
+//! body runs exactly once as a smoke check, keeping `cargo test` fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How a benchmark run was invoked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Bench,
+    /// One iteration per benchmark (`cargo test` passes `--test`).
+    Test,
+    /// Compile/list only (`--list`); run nothing.
+    List,
+}
+
+fn mode_from_args() -> Mode {
+    let mut mode = Mode::Bench;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => mode = Mode::Test,
+            "--list" => mode = Mode::List,
+            _ => {}
+        }
+    }
+    mode
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id made of a name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function`-style ids (`&str`, `String`,
+/// or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self,
+            parameter: None,
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: mode_from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = id.into_benchmark_id().render();
+        let sample_size = 10;
+        run_benchmark(self.mode, &name, sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id().render());
+        run_benchmark(self.criterion.mode, &name, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing it `input` by reference.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(mode: Mode, name: &str, sample_size: usize, mut f: F) {
+    match mode {
+        Mode::List => {
+            println!("{name}: benchmark");
+        }
+        Mode::Test => {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("{name}: ok (test mode)");
+        }
+        Mode::Bench => {
+            // Warm-up and iteration-count calibration: aim for ~25 ms per
+            // sample, capped to keep slow placements tractable.
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let per_iter = b.elapsed.max(Duration::from_nanos(1));
+            let target = Duration::from_millis(25);
+            let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+            let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+            for _ in 0..sample_size {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                samples.push(b.elapsed / iters as u32);
+            }
+            samples.sort_unstable();
+            let median = samples[samples.len() / 2];
+            let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+            println!(
+                "{name}: median {} (min {}, max {}, {} samples x {} iters)",
+                fmt_duration(median),
+                fmt_duration(lo),
+                fmt_duration(hi),
+                samples.len(),
+                iters,
+            );
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("exists", 64).render(), "exists/64");
+        assert_eq!(BenchmarkId::from_parameter(8).render(), "8");
+        assert_eq!("plain".into_benchmark_id().render(), "plain");
+    }
+
+    #[test]
+    fn bencher_runs_requested_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn groups_execute_bodies_in_test_mode() {
+        let mut c = Criterion { mode: Mode::Test };
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("case", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(ran);
+    }
+}
