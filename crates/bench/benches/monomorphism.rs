@@ -50,6 +50,37 @@ fn bench_interactions_into_molecules(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_grid_ring_targets(c: &mut Criterion) {
+    // The cases tracked in BENCH_PLACE.json (see the `perf` binary): the
+    // bitset/CSR rework is required to keep these ≥2× faster than the
+    // pre-CSR implementation.
+    let mut group = c.benchmark_group("vf2/grid-ring");
+    let grid66 = generate::grid(6, 6);
+    let cases = [
+        ("chain8-into-grid6x6", generate::chain(8), &grid66),
+        ("ring8-into-grid6x6", generate::ring(8), &grid66),
+    ];
+    for (name, pattern, target) in &cases {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                MonomorphismFinder::new(pattern, target)
+                    .limit(100)
+                    .find_all()
+            })
+        });
+    }
+    let ring24 = generate::ring(24);
+    let chain12 = generate::chain(12);
+    group.bench_function("chain12-into-ring24", |b| {
+        b.iter(|| {
+            MonomorphismFinder::new(&chain12, &ring24)
+                .limit(100)
+                .find_all()
+        })
+    });
+    group.finish();
+}
+
 fn bench_enumeration_caps(c: &mut Criterion) {
     let mut group = c.benchmark_group("vf2/enumeration");
     let mut rng = StdRng::seed_from_u64(3);
@@ -71,6 +102,7 @@ criterion_group!(
     benches,
     bench_paths_into_chains,
     bench_interactions_into_molecules,
+    bench_grid_ring_targets,
     bench_enumeration_caps
 );
 criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! `perf` — runs the hot-path suites and writes `BENCH_PLACE.json`.
+//!
+//! ```console
+//! $ cargo run --release -p qcp_bench --bin perf             # full run
+//! $ cargo run --release -p qcp_bench --bin perf -- --quick  # CI smoke
+//! $ cargo run --release -p qcp_bench --bin perf -- \
+//!       --baseline BENCH_PLACE.json --out BENCH_PLACE.json  # with speedups
+//! ```
+
+use qcp_bench::perf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PLACE.json".to_string());
+    let baseline = match flag_value(&args, "--baseline") {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => perf::parse_medians(&text),
+            Err(e) => {
+                eprintln!("perf: cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Default::default(),
+    };
+
+    let cases = perf::run_suites(quick);
+    for c in &cases {
+        let speedup = baseline
+            .get(c.name)
+            .map(|&b| {
+                format!(
+                    "  ({:.2}x vs baseline)",
+                    b as f64 / c.median_ns.max(1) as f64
+                )
+            })
+            .unwrap_or_default();
+        println!(
+            "{}: median {} ns ({} samples x {} iters){speedup}",
+            c.name, c.median_ns, c.samples, c.iters
+        );
+    }
+    let json = perf::to_json(&cases, quick, &baseline);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("perf: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

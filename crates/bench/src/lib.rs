@@ -9,4 +9,5 @@
 //! comparisons.
 
 pub mod experiments;
+pub mod perf;
 pub mod table;

@@ -1,0 +1,319 @@
+//! Machine-readable performance baseline (`perf` binary).
+//!
+//! Times the three hot-path suites (subgraph monomorphism, SWAP routing,
+//! whole-circuit placement) plus the Table 4 chain workloads end-to-end,
+//! and renders the medians as JSON (`BENCH_PLACE.json` at the workspace
+//! root). Future PRs re-run the binary with `--baseline` pointing at the
+//! committed file to get per-case speedup factors, giving the repo a perf
+//! trajectory instead of one-off criterion printouts.
+//!
+//! Measurement mirrors the vendored criterion shim: calibrate an
+//! iteration count against a per-sample time budget, take a handful of
+//! samples, report the median nanoseconds per iteration. `--quick` is the
+//! CI smoke mode: smaller budgets, fewer samples, and the 256-qubit chain
+//! replaced by its 64-qubit sibling.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use qcp_circuit::library;
+use qcp_env::{molecules, Threshold};
+use qcp_graph::vf2::MonomorphismFinder;
+use qcp_graph::{generate, Graph};
+use qcp_place::router::{route_permutation, RouterConfig};
+use qcp_place::{Placer, PlacerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One timed case.
+#[derive(Clone, Debug)]
+pub struct PerfCase {
+    /// Suite the case belongs to (`mono`, `router`, `place`, `e2e`).
+    pub suite: &'static str,
+    /// Unique case name, prefixed by its suite.
+    pub name: &'static str,
+    /// Median nanoseconds per iteration.
+    pub median_ns: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+fn measure(quick: bool, mut f: impl FnMut()) -> (u64, usize, u64) {
+    // Calibration run doubles as warm-up.
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().max(Duration::from_nanos(1));
+    let budget = if quick {
+        Duration::from_millis(5)
+    } else {
+        Duration::from_millis(40)
+    };
+    let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 20_000) as u64;
+    let samples = match (quick, once >= Duration::from_millis(200)) {
+        (true, true) => 1,
+        (true, false) => 3,
+        (false, true) => 3,
+        (false, false) => 9,
+    };
+    let mut medians: Vec<u64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        medians.push((start.elapsed().as_nanos() / u128::from(iters)) as u64);
+    }
+    medians.sort_unstable();
+    (medians[medians.len() / 2], samples, iters)
+}
+
+/// Runs every suite and returns the timed cases in a stable order.
+pub fn run_suites(quick: bool) -> Vec<PerfCase> {
+    let mut out = Vec::new();
+    let mut case = |suite: &'static str, name: &'static str, f: &mut dyn FnMut()| {
+        let (median_ns, samples, iters) = measure(quick, f);
+        out.push(PerfCase {
+            suite,
+            name,
+            median_ns,
+            samples,
+            iters,
+        });
+    };
+
+    // --- monomorphism suite (the paper's stated bottleneck, §5.3) ---
+    let grid66 = generate::grid(6, 6);
+    let grid55 = generate::grid(5, 5);
+    let chain8 = generate::chain(8);
+    let ring8 = generate::ring(8);
+    let chain12 = generate::chain(12);
+    let ring24 = generate::ring(24);
+    let chain128 = generate::chain(128);
+    let chain256 = generate::chain(256);
+    let mut rng = StdRng::seed_from_u64(3);
+    let tree6 = generate::random_tree(6, &mut rng);
+    let histidine = molecules::histidine().bond_graph();
+    let cat10 = generate::chain(10);
+    let crotonic = molecules::trans_crotonic_acid().bond_graph();
+    let qec5 = library::qec5_benchmark().interaction_graph();
+
+    let mono: [(&'static str, &Graph, &Graph, Option<usize>); 7] = [
+        ("mono/chain8-into-grid6x6", &chain8, &grid66, Some(100)),
+        ("mono/ring8-into-grid6x6", &ring8, &grid66, Some(100)),
+        ("mono/chain12-into-ring24", &chain12, &ring24, Some(100)),
+        ("mono/tree6-into-grid5x5", &tree6, &grid55, Some(100)),
+        ("mono/chain128-into-chain256", &chain128, &chain256, None),
+        ("mono/cat10-into-histidine", &cat10, &histidine, Some(100)),
+        ("mono/qec5-into-crotonic", &qec5, &crotonic, Some(100)),
+    ];
+    for (name, pattern, target, limit) in mono {
+        case("mono", name, &mut || match limit {
+            Some(k) => {
+                black_box(MonomorphismFinder::new(pattern, target).limit(k).find_all());
+            }
+            None => {
+                black_box(MonomorphismFinder::new(pattern, target).exists());
+            }
+        });
+    }
+
+    // --- router suite ---
+    let router_graphs: [(&'static str, Graph); 4] = [
+        ("router/chain32", generate::chain(32)),
+        ("router/grid6x6", generate::grid(6, 6)),
+        ("router/crotonic-bonds", crotonic.clone()),
+        ("router/histidine-bonds", histidine.clone()),
+    ];
+    for (name, graph) in &router_graphs {
+        let mut rng = StdRng::seed_from_u64(7);
+        let perm = generate::random_permutation(graph.node_count(), &mut rng);
+        let targets: Vec<Option<usize>> = perm.into_iter().map(Some).collect();
+        case("router", name, &mut || {
+            black_box(
+                route_permutation(graph, &targets, &RouterConfig::default())
+                    .expect("connected graphs route"),
+            );
+        });
+    }
+
+    // --- placement suite (full pipeline on the paper's workloads) ---
+    struct PlaceCase {
+        name: &'static str,
+        env: qcp_env::Environment,
+        circuit: qcp_circuit::Circuit,
+        threshold: Threshold,
+    }
+    let place_cases = [
+        PlaceCase {
+            name: "place/qec3-acetyl",
+            env: molecules::acetyl_chloride(),
+            circuit: library::qec3_encoder(),
+            threshold: Threshold::new(100.0),
+        },
+        PlaceCase {
+            name: "place/qec5-crotonic",
+            env: molecules::trans_crotonic_acid(),
+            circuit: library::qec5_benchmark(),
+            threshold: molecules::trans_crotonic_acid()
+                .connectivity_threshold()
+                .expect("connected"),
+        },
+        PlaceCase {
+            name: "place/phaseest-crotonic-t200",
+            env: molecules::trans_crotonic_acid(),
+            circuit: library::phase_estimation(),
+            threshold: Threshold::new(200.0),
+        },
+        PlaceCase {
+            name: "place/qft6-histidine-t500",
+            env: molecules::histidine(),
+            circuit: library::qft(6),
+            threshold: Threshold::new(500.0),
+        },
+    ];
+    for pc in &place_cases {
+        let placer = Placer::new(&pc.env, PlacerConfig::with_threshold(pc.threshold));
+        case("place", pc.name, &mut || {
+            black_box(placer.place(&pc.circuit).expect("workloads place"));
+        });
+    }
+
+    // --- Table 4 end-to-end (staged chains; includes environment build) ---
+    case("e2e", "e2e/chain64-staged", &mut || {
+        black_box(crate::experiments::table4_row(64, 2007));
+    });
+    if !quick {
+        case("e2e", "e2e/chain256-staged", &mut || {
+            black_box(crate::experiments::table4_row(256, 2007));
+        });
+    }
+
+    out
+}
+
+/// Renders the cases as JSON, one case object per line. When `baseline`
+/// has a median for a case (keyed by name), the object also carries
+/// `baseline_ns` and `speedup` (baseline / current).
+pub fn to_json(cases: &[PerfCase], quick: bool, baseline: &BTreeMap<String, u64>) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": 1,\n");
+    s.push_str("  \"tool\": \"qcp_bench perf\",\n");
+    let _ = writeln!(
+        s,
+        "  \"mode\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    s.push_str("  \"unit\": \"ns/iter (median)\",\n");
+    s.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"suite\": \"{}\", \"name\": \"{}\", \"median_ns\": {}, \"samples\": {}, \"iters\": {}",
+            c.suite, c.name, c.median_ns, c.samples, c.iters
+        );
+        if let Some(&base) = baseline.get(c.name) {
+            let speedup = base as f64 / c.median_ns.max(1) as f64;
+            let _ = write!(s, ", \"baseline_ns\": {base}, \"speedup\": {speedup:.2}");
+        }
+        s.push_str(if i + 1 == cases.len() { "}\n" } else { "},\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts `name → median_ns` from a previously written JSON file.
+///
+/// The parser is deliberately minimal: it understands exactly the
+/// line-per-case layout [`to_json`] produces (each line carrying a
+/// `"name"` and a `"median_ns"` field), which keeps the workspace free of
+/// a JSON dependency.
+pub fn parse_medians(json: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in json.lines() {
+        let Some(name) = field_str(line, "name") else {
+            continue;
+        };
+        let Some(median) = field_u64(line, "median_ns") else {
+            continue;
+        };
+        out.insert(name.to_string(), median);
+    }
+    out
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cases() -> Vec<PerfCase> {
+        vec![
+            PerfCase {
+                suite: "mono",
+                name: "mono/a",
+                median_ns: 120,
+                samples: 7,
+                iters: 100,
+            },
+            PerfCase {
+                suite: "router",
+                name: "router/b",
+                median_ns: 3400,
+                samples: 3,
+                iters: 10,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_roundtrips_medians() {
+        let json = to_json(&sample_cases(), false, &BTreeMap::new());
+        let medians = parse_medians(&json);
+        assert_eq!(medians.get("mono/a"), Some(&120));
+        assert_eq!(medians.get("router/b"), Some(&3400));
+    }
+
+    #[test]
+    fn baseline_adds_speedup() {
+        let mut base = BTreeMap::new();
+        base.insert("mono/a".to_string(), 240u64);
+        let json = to_json(&sample_cases(), true, &base);
+        assert!(json.contains("\"baseline_ns\": 240"));
+        assert!(json.contains("\"speedup\": 2.00"));
+        assert!(json.contains("\"mode\": \"quick\""));
+        // router/b has no baseline entry, so no speedup field on its line.
+        let router_line = json.lines().find(|l| l.contains("router/b")).unwrap();
+        assert!(!router_line.contains("speedup"));
+    }
+
+    #[test]
+    fn measure_reports_sane_medians() {
+        let (ns, samples, iters) = measure(true, || {
+            black_box((0..100).sum::<u64>());
+        });
+        assert!(ns > 0);
+        assert!(samples >= 1 && iters >= 1);
+    }
+}

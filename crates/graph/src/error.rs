@@ -20,6 +20,8 @@ pub enum GraphError {
     SelfLoop(NodeId),
     /// The edge already exists (with a possibly different weight).
     DuplicateEdge(NodeId, NodeId),
+    /// A node list that must be duplicate-free repeated an entry.
+    DuplicateNode(NodeId),
     /// An edge weight was NaN or negative.
     InvalidWeight {
         /// First endpoint of the edge.
@@ -51,6 +53,7 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
             GraphError::DuplicateEdge(a, b) => write!(f, "edge ({a}, {b}) already exists"),
+            GraphError::DuplicateNode(v) => write!(f, "node {v} appears more than once"),
             GraphError::InvalidWeight { a, b, weight } => {
                 write!(f, "invalid weight {weight} for edge ({a}, {b})")
             }

@@ -1,11 +1,10 @@
-//! Simple undirected weighted graphs.
+//! Simple undirected weighted graphs on a CSR + bitset core.
 
-use std::collections::HashSet;
 use std::fmt;
 
 use crate::{GraphError, NodeId, Result};
 
-/// A half-edge stored in a node's adjacency list.
+/// A half-edge incident to a node.
 #[derive(Clone, Copy, Debug, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Edge {
@@ -25,6 +24,25 @@ pub struct Edge {
 /// Self-loops and parallel edges are rejected; node identity is positional
 /// ([`NodeId`] indexes a dense array).
 ///
+/// # Memory layout
+///
+/// Internally the graph keeps two synchronized views, sized for the hot
+/// paths of the VF2 monomorphism search (the paper's stated bottleneck,
+/// §5.3):
+///
+/// * a **CSR adjacency** — one contiguous neighbour array plus per-node
+///   offsets, with each node's neighbours kept **sorted by index** and a
+///   parallel weight array; and
+/// * a **packed bitset adjacency matrix** — one `u64`-word row per node —
+///   making [`has_edge`](Graph::has_edge) a branch-free O(1) bit test and
+///   [`weight`](Graph::weight) an O(log degree) binary search.
+///
+/// Because rows are always index-sorted, [`neighbors`](Graph::neighbors),
+/// [`incident`](Graph::incident), and [`edges`](Graph::edges) enumerate in
+/// increasing node order regardless of edge insertion order; every
+/// traversal built on them (BFS orders, spanning trees, VF2 candidate
+/// enumeration) is deterministic by construction.
+///
 /// # Example
 ///
 /// ```
@@ -38,19 +56,39 @@ pub struct Edge {
 /// assert_eq!(g.degree(NodeId::new(1)), 2);
 /// # Ok::<(), qcp_graph::GraphError>(())
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Graph {
-    adj: Vec<Vec<Edge>>,
-    edge_set: HashSet<(u32, u32)>,
+    /// CSR row boundaries: node `v`'s neighbours occupy
+    /// `nbrs[offsets[v] as usize..offsets[v + 1] as usize]`.
+    offsets: Vec<u32>,
+    /// Neighbour indices, ascending within each row.
+    nbrs: Vec<NodeId>,
+    /// Edge weights, parallel to `nbrs`.
+    wgts: Vec<f64>,
+    /// Packed adjacency matrix, `words_per_row` `u64` words per node.
+    bits: Vec<u64>,
+    words_per_row: usize,
+    edge_count: usize,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new(0)
+    }
 }
 
 impl Graph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
         Graph {
-            adj: vec![Vec::new(); n],
-            edge_set: HashSet::new(),
+            offsets: vec![0; n + 1],
+            nbrs: Vec::new(),
+            wgts: Vec::new(),
+            bits: vec![0; n * words_per_row],
+            words_per_row,
+            edge_count: 0,
         }
     }
 
@@ -61,11 +99,7 @@ impl Graph {
     /// Returns an error if an endpoint is out of range, an edge repeats, or
     /// an edge is a self-loop.
     pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Result<Self> {
-        let mut g = Graph::new(n);
-        for (a, b) in edges {
-            g.add_edge(NodeId::new(a), NodeId::new(b), 1.0)?;
-        }
-        Ok(g)
+        Graph::build(n, edges.into_iter().map(|(a, b)| (a, b, 1.0)))
     }
 
     /// Creates a graph with `n` nodes and explicitly weighted edges.
@@ -78,50 +112,174 @@ impl Graph {
         n: usize,
         edges: impl IntoIterator<Item = (usize, usize, f64)>,
     ) -> Result<Self> {
-        let mut g = Graph::new(n);
+        Graph::build(n, edges)
+    }
+
+    /// Bulk constructor: validates every edge, then lays out the CSR
+    /// arrays in one pass (count, sort half-edges, fill) instead of
+    /// repeated sorted insertion. All batch construction paths
+    /// ([`from_edges`](Graph::from_edges), [`induced`](Graph::induced),
+    /// [`filter_edges`](Graph::filter_edges)) funnel through here;
+    /// [`add_edge`](Graph::add_edge) stays available for incremental
+    /// mutation.
+    fn build(n: usize, edges: impl IntoIterator<Item = (usize, usize, f64)>) -> Result<Self> {
+        let words_per_row = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words_per_row];
+        let mut halves: Vec<(u32, u32, f64)> = Vec::new();
+        let mut edge_count = 0usize;
         for (a, b, w) in edges {
-            g.add_edge(NodeId::new(a), NodeId::new(b), w)?;
+            let (na, nb) = (NodeId::new(a), NodeId::new(b));
+            if a >= n || b >= n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: if a >= n { na } else { nb },
+                    node_count: n,
+                });
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop(na));
+            }
+            if w.is_nan() || w < 0.0 {
+                return Err(GraphError::InvalidWeight {
+                    a: na,
+                    b: nb,
+                    weight: w,
+                });
+            }
+            if (bits[a * words_per_row + b / 64] >> (b % 64)) & 1 != 0 {
+                return Err(GraphError::DuplicateEdge(na, nb));
+            }
+            bits[a * words_per_row + b / 64] |= 1u64 << (b % 64);
+            bits[b * words_per_row + a / 64] |= 1u64 << (a % 64);
+            halves.push((a as u32, b as u32, w));
+            halves.push((b as u32, a as u32, w));
+            edge_count += 1;
         }
-        Ok(g)
+        halves.sort_unstable_by_key(|&(src, dst, _)| (src, dst));
+        let mut offsets = vec![0u32; n + 1];
+        for &(src, _, _) in &halves {
+            offsets[src as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut nbrs = Vec::with_capacity(halves.len());
+        let mut wgts = Vec::with_capacity(halves.len());
+        for &(_, dst, w) in &halves {
+            nbrs.push(NodeId::new(dst as usize));
+            wgts.push(w);
+        }
+        Ok(Graph {
+            offsets,
+            nbrs,
+            wgts,
+            bits,
+            words_per_row,
+            edge_count,
+        })
     }
 
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of edges.
     #[inline]
     pub fn edge_count(&self) -> usize {
-        self.edge_set.len()
+        self.edge_count
     }
 
     /// Returns `true` if the graph has no nodes.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.node_count() == 0
     }
 
     /// Iterates over all node identifiers in index order.
     pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> {
-        (0..self.adj.len()).map(NodeId::new)
+        (0..self.node_count()).map(NodeId::new)
     }
 
     /// Appends a fresh isolated node and returns its identifier.
     pub fn add_node(&mut self) -> NodeId {
-        self.adj.push(Vec::new());
-        NodeId::new(self.adj.len() - 1)
+        let last = *self.offsets.last().expect("offsets is never empty");
+        self.offsets.push(last);
+        let n = self.node_count();
+        if n > self.words_per_row * 64 {
+            // Re-layout the bit matrix with wider rows; doubling amortizes
+            // repeated single-node growth.
+            let new_wpr = n.div_ceil(64).max(self.words_per_row * 2);
+            let mut bits = vec![0u64; n * new_wpr];
+            for v in 0..n - 1 {
+                bits[v * new_wpr..v * new_wpr + self.words_per_row].copy_from_slice(
+                    &self.bits[v * self.words_per_row..(v + 1) * self.words_per_row],
+                );
+            }
+            self.bits = bits;
+            self.words_per_row = new_wpr;
+        } else {
+            self.bits.extend(std::iter::repeat_n(0, self.words_per_row));
+        }
+        NodeId::new(n - 1)
     }
 
     fn check_node(&self, v: NodeId) -> Result<()> {
-        if v.index() >= self.adj.len() {
+        if v.index() >= self.node_count() {
             return Err(GraphError::NodeOutOfRange {
                 node: v,
-                node_count: self.adj.len(),
+                node_count: self.node_count(),
             });
         }
         Ok(())
+    }
+
+    #[inline]
+    fn bit(&self, a: usize, b: usize) -> bool {
+        (self.bits[a * self.words_per_row + b / 64] >> (b % 64)) & 1 != 0
+    }
+
+    #[inline]
+    fn set_bit(&mut self, a: usize, b: usize) {
+        self.bits[a * self.words_per_row + b / 64] |= 1u64 << (b % 64);
+    }
+
+    #[inline]
+    fn row_range(&self, v: usize) -> std::ops::Range<usize> {
+        self.offsets[v] as usize..self.offsets[v + 1] as usize
+    }
+
+    /// Number of `u64` words per adjacency-matrix row.
+    #[inline]
+    pub(crate) fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Node `v`'s adjacency-matrix row as packed `u64` words (bit `b` of
+    /// word `k` set iff the edge `(v, 64k + b)` exists). The VF2 search
+    /// intersects these rows word-parallel to enumerate candidates.
+    #[inline]
+    pub(crate) fn adjacency_row(&self, v: usize) -> &[u64] {
+        &self.bits[v * self.words_per_row..(v + 1) * self.words_per_row]
+    }
+
+    /// Node `v`'s adjacency-matrix row as a single word. Only valid for
+    /// graphs of at most 64 nodes (one word per row) — the VF2 fast path.
+    #[inline]
+    pub(crate) fn adjacency_word(&self, v: usize) -> u64 {
+        debug_assert_eq!(self.words_per_row, 1);
+        self.bits[v]
+    }
+
+    /// Inserts `to` into `v`'s CSR row at its sorted position.
+    fn insert_half_edge(&mut self, v: usize, to: NodeId, weight: f64) {
+        let range = self.row_range(v);
+        let pos = range.start + self.nbrs[range].partition_point(|&x| x < to);
+        self.nbrs.insert(pos, to);
+        self.wgts.insert(pos, weight);
+        for o in &mut self.offsets[v + 1..] {
+            *o += 1;
+        }
     }
 
     /// Adds the undirected edge `(a, b)` with the given weight.
@@ -141,60 +299,77 @@ impl Graph {
         if weight.is_nan() || weight < 0.0 {
             return Err(GraphError::InvalidWeight { a, b, weight });
         }
-        let key = Self::key(a, b);
-        if !self.edge_set.insert(key) {
+        let (i, j) = (a.index(), b.index());
+        if self.bit(i, j) {
             return Err(GraphError::DuplicateEdge(a, b));
         }
-        self.adj[a.index()].push(Edge { to: b, weight });
-        self.adj[b.index()].push(Edge { to: a, weight });
+        self.set_bit(i, j);
+        self.set_bit(j, i);
+        self.insert_half_edge(i, b, weight);
+        self.insert_half_edge(j, a, weight);
+        self.edge_count += 1;
         Ok(())
-    }
-
-    #[inline]
-    fn key(a: NodeId, b: NodeId) -> (u32, u32) {
-        let (x, y) = (a.index() as u32, b.index() as u32);
-        if x <= y {
-            (x, y)
-        } else {
-            (y, x)
-        }
     }
 
     /// Returns `true` if the undirected edge `(a, b)` exists.
     ///
-    /// Out-of-range endpoints simply yield `false`.
+    /// A single bit test on the packed adjacency matrix. Out-of-range
+    /// endpoints simply yield `false`.
     #[inline]
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        a != b && self.edge_set.contains(&Self::key(a, b))
+        let (i, j) = (a.index(), b.index());
+        let n = self.node_count();
+        i < n && j < n && i != j && self.bit(i, j)
     }
 
     /// Returns the weight of edge `(a, b)`, or `None` if absent.
+    ///
+    /// O(log degree): a binary search of `a`'s sorted CSR row.
     pub fn weight(&self, a: NodeId, b: NodeId) -> Option<f64> {
         if !self.has_edge(a, b) {
             return None;
         }
-        self.adj[a.index()]
-            .iter()
-            .find(|e| e.to == b)
-            .map(|e| e.weight)
+        let range = self.row_range(a.index());
+        let pos = self.nbrs[range.clone()]
+            .binary_search(&b)
+            .expect("bitset and CSR stay synchronized");
+        Some(self.wgts[range.start + pos])
     }
 
-    /// Iterates over the neighbours of `v` in insertion order.
+    /// The neighbours of `v` as a contiguous slice sorted by node index.
+    ///
+    /// This is the zero-cost view the VF2 hot path iterates; [`neighbors`]
+    /// (Graph::neighbors) is the iterator convenience over the same slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbor_slice(&self, v: NodeId) -> &[NodeId] {
+        &self.nbrs[self.row_range(v.index())]
+    }
+
+    /// Iterates over the neighbours of `v` in increasing node order.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     pub fn neighbors(&self, v: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
-        self.adj[v.index()].iter().map(|e| e.to)
+        self.neighbor_slice(v).iter().copied()
     }
 
-    /// Iterates over the incident half-edges of `v`.
+    /// Iterates over the incident half-edges of `v` in increasing
+    /// neighbour order.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
-    pub fn incident(&self, v: NodeId) -> impl ExactSizeIterator<Item = &Edge> + '_ {
-        self.adj[v.index()].iter()
+    pub fn incident(&self, v: NodeId) -> impl ExactSizeIterator<Item = Edge> + '_ {
+        let range = self.row_range(v.index());
+        self.nbrs[range.clone()]
+            .iter()
+            .zip(&self.wgts[range])
+            .map(|(&to, &weight)| Edge { to, weight })
     }
 
     /// Degree of node `v`.
@@ -204,21 +379,26 @@ impl Graph {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.index()].len()
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
     /// Maximum degree over all nodes, or 0 for the empty graph.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
-    /// Iterates over all edges as `(a, b, weight)` with `a < b`.
+    /// Iterates over all edges as `(a, b, weight)` with `a < b`, in
+    /// lexicographic order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(i, edges)| {
-            edges
-                .iter()
-                .filter(move |e| i < e.to.index())
-                .map(move |e| (NodeId::new(i), e.to, e.weight))
+        self.nodes().flat_map(move |v| {
+            self.incident(v)
+                .filter(move |e| v < e.to)
+                .map(move |e| (v, e.to, e.weight))
         })
     }
 
@@ -226,56 +406,43 @@ impl Graph {
     ///
     /// Returns the induced graph together with the mapping from new node
     /// indices to the original identifiers: node `i` of the result
-    /// corresponds to `nodes[i]`. Duplicate entries in `nodes` are
-    /// rejected.
+    /// corresponds to `nodes[i]`.
     ///
     /// # Errors
     ///
-    /// Returns [`GraphError::NodeOutOfRange`] for unknown nodes.
-    ///
-    /// # Panics
-    ///
-    /// Debug builds panic on duplicate entries in `nodes`; release builds
-    /// keep the first occurrence.
+    /// * [`GraphError::NodeOutOfRange`] for unknown nodes;
+    /// * [`GraphError::DuplicateNode`] if `nodes` repeats an entry (in
+    ///   every build profile).
     pub fn induced(&self, nodes: &[NodeId]) -> Result<(Graph, Vec<NodeId>)> {
         let mut pos = vec![usize::MAX; self.node_count()];
         for (i, &v) in nodes.iter().enumerate() {
             self.check_node(v)?;
-            debug_assert!(
-                pos[v.index()] == usize::MAX,
-                "duplicate node {v} in induced()"
-            );
+            if pos[v.index()] != usize::MAX {
+                return Err(GraphError::DuplicateNode(v));
+            }
             pos[v.index()] = i;
         }
-        let mut g = Graph::new(nodes.len());
-        for (i, &v) in nodes.iter().enumerate() {
-            for e in &self.adj[v.index()] {
-                let j = pos[e.to.index()];
-                if j != usize::MAX && i < j {
-                    g.add_edge(NodeId::new(i), NodeId::new(j), e.weight)?;
-                }
-            }
-        }
+        let g = Graph::build(
+            nodes.len(),
+            nodes.iter().enumerate().flat_map(|(i, &v)| {
+                let pos = &pos;
+                self.incident(v).filter_map(move |e| {
+                    let j = pos[e.to.index()];
+                    (j != usize::MAX && i < j).then_some((i, j, e.weight))
+                })
+            }),
+        )?;
         Ok((g, nodes.to_vec()))
     }
 
     /// Returns a copy of the graph keeping only edges accepted by `keep`.
     pub fn filter_edges(&self, mut keep: impl FnMut(NodeId, NodeId, f64) -> bool) -> Graph {
-        let mut g = Graph::new(self.node_count());
-        for (a, b, w) in self.edges() {
-            if keep(a, b, w) {
-                g.add_edge(a, b, w).expect("filtered edge must be valid");
-            }
-        }
-        g
-    }
-
-    /// Sorts every adjacency list by node index, making iteration order
-    /// deterministic regardless of edge insertion order.
-    pub fn sort_adjacency(&mut self) {
-        for list in &mut self.adj {
-            list.sort_by_key(|e| e.to);
-        }
+        let edges: Vec<(usize, usize, f64)> = self
+            .edges()
+            .filter(|&(a, b, w)| keep(a, b, w))
+            .map(|(a, b, w)| (a.index(), b.index(), w))
+            .collect();
+        Graph::build(self.node_count(), edges).expect("filtered edges must be valid")
     }
 }
 
@@ -365,10 +532,21 @@ mod tests {
     }
 
     #[test]
+    fn neighbors_are_index_sorted_regardless_of_insertion() {
+        // Insert node 3's neighbours backwards; enumeration is ascending.
+        let g = Graph::from_edges(5, [(3, 4), (3, 2), (3, 0), (3, 1)]).unwrap();
+        let nb: Vec<usize> = g.neighbors(n(3)).map(NodeId::index).collect();
+        assert_eq!(nb, vec![0, 1, 2, 4]);
+        assert_eq!(g.neighbor_slice(n(3)).len(), 4);
+        let inc: Vec<usize> = g.incident(n(3)).map(|e| e.to.index()).collect();
+        assert_eq!(inc, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
     fn edges_iterates_each_once() {
         let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (2, 3)]).unwrap();
-        let mut es: Vec<_> = g.edges().map(|(a, b, _)| (a.index(), b.index())).collect();
-        es.sort_unstable();
+        let es: Vec<_> = g.edges().map(|(a, b, _)| (a.index(), b.index())).collect();
+        // Already lexicographically sorted by construction.
         assert_eq!(es, vec![(0, 1), (0, 2), (0, 3), (2, 3)]);
     }
 
@@ -382,6 +560,15 @@ mod tests {
         assert_eq!(sub.weight(n(0), n(1)), Some(2.0));
         assert_eq!(sub.weight(n(1), n(2)), Some(3.0));
         assert_eq!(back, vec![n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn induced_rejects_duplicates() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert_eq!(
+            g.induced(&[n(0), n(1), n(0)]).unwrap_err(),
+            GraphError::DuplicateNode(n(0))
+        );
     }
 
     #[test]
@@ -400,6 +587,25 @@ mod tests {
         assert_eq!(v.index(), 1);
         g.add_edge(n(0), v, 1.0).unwrap();
         assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn add_node_grows_past_word_boundaries() {
+        // Push a graph across the 64-bit row boundary and verify the
+        // re-laid-out bit matrix still answers queries correctly.
+        let mut g = Graph::new(0);
+        for _ in 0..130 {
+            g.add_node();
+        }
+        for i in 1..130 {
+            g.add_edge(n(i - 1), n(i), 1.0).unwrap();
+        }
+        g.add_edge(n(0), n(129), 1.0).unwrap();
+        assert!(g.has_edge(n(0), n(129)));
+        assert!(g.has_edge(n(64), n(65)));
+        assert!(!g.has_edge(n(0), n(64)));
+        assert_eq!(g.edge_count(), 130);
+        assert_eq!(g.degree(n(0)), 2);
     }
 
     #[test]

@@ -13,8 +13,8 @@ use crate::{Graph, GraphError, NodeId, Result};
 /// designated node.
 ///
 /// Node identifiers refer to the original graph. Children are ordered by
-/// discovery, which is deterministic once [`Graph::sort_adjacency`] has been
-/// applied.
+/// discovery, which is deterministic because [`Graph`] enumerates
+/// neighbours in increasing node order.
 #[derive(Clone, Debug)]
 pub struct RootedTree {
     root: NodeId,

@@ -136,14 +136,61 @@ impl<'a> MonomorphismFinder<'a> {
             return;
         }
         let order = self.variable_order();
+        let twpr = self.target.words_per_row().max(1);
+        // One bit per target node, all set; dead bits beyond the node
+        // count stay zero so bit-walks never step outside the graph.
+        let mut unused = vec![u64::MAX; twpr];
+        for (k, word) in unused.iter_mut().enumerate() {
+            let lo = k * 64;
+            if lo + 64 > tn {
+                *word = if tn > lo { (1u64 << (tn - lo)) - 1 } else { 0 };
+            }
+        }
+        // The degree cut as a bitset: one mask per *distinct* pattern
+        // degree holding the target nodes of at least that degree.
+        // Folding the cut into the candidate mask removes a branch per
+        // candidate from the innermost walk.
+        let mut distinct: Vec<usize> = order.iter().map(|&p| self.pattern.degree(p)).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut deg_masks = vec![0u64; distinct.len() * twpr];
+        for (di, &d) in distinct.iter().enumerate() {
+            let row = &mut deg_masks[di * twpr..(di + 1) * twpr];
+            for w in 0..tn {
+                if self.target.degree(NodeId::new(w)) >= d {
+                    row[w / 64] |= 1u64 << (w % 64);
+                }
+            }
+        }
+        let deg_mask_of: Vec<u32> = order
+            .iter()
+            .map(|&p| {
+                let pdeg = self.pattern.degree(p);
+                distinct.iter().position(|&d| d == pdeg).expect("present") as u32
+            })
+            .collect();
+        let small = twpr == 1 && self.target.words_per_row() == 1;
         let mut state = State {
             pattern: self.pattern,
             target: self.target,
             order,
             mapping: vec![INVALID; pn],
-            used: vec![false; tn],
+            unused,
+            deg_masks,
+            deg_mask_of,
+            cand_stack: vec![0; pn * twpr],
+            twpr,
+            image: vec![NodeId::new(0); pn],
         };
-        let _ = state.extend(0, visit);
+        if small {
+            // Targets of at most 64 nodes (every library molecule and
+            // most benchmark topologies) run the register-resident
+            // single-word kernel; the unused set travels as an argument.
+            let all = state.unused[0];
+            let _ = state.extend_small(0, all, visit);
+        } else {
+            let _ = state.extend(0, visit);
+        }
     }
 
     /// Static variable order: repeatedly pick the unordered pattern node
@@ -155,20 +202,25 @@ impl<'a> MonomorphismFinder<'a> {
         let mut ordered = Vec::with_capacity(pn);
         let mut placed = vec![false; pn];
         let mut anchored = vec![0usize; pn]; // # ordered neighbours
+        let degs: Vec<usize> = (0..pn)
+            .map(|i| self.pattern.degree(NodeId::new(i)))
+            .collect();
         for _ in 0..pn {
-            let next = (0..pn)
-                .filter(|&i| !placed[i])
-                .max_by_key(|&i| {
-                    (
-                        anchored[i],
-                        self.pattern.degree(NodeId::new(i)),
-                        std::cmp::Reverse(i),
-                    )
-                })
-                .expect("an unplaced node exists");
+            // First (lowest-index) maximum of (anchored, degree): ties on
+            // both keys fall to the lower index, exactly as the original
+            // `max_by_key` with `Reverse(i)` did.
+            let mut next = usize::MAX;
+            for i in 0..pn {
+                if placed[i] {
+                    continue;
+                }
+                if next == usize::MAX || (anchored[i], degs[i]) > (anchored[next], degs[next]) {
+                    next = i;
+                }
+            }
             placed[next] = true;
             ordered.push(NodeId::new(next));
-            for u in self.pattern.neighbors(NodeId::new(next)) {
+            for u in self.pattern.neighbor_slice(NodeId::new(next)) {
                 anchored[u.index()] += 1;
             }
         }
@@ -184,75 +236,151 @@ struct State<'a> {
     order: Vec<NodeId>,
     /// `mapping[p]` = target index or `INVALID`.
     mapping: Vec<u32>,
-    used: Vec<bool>,
+    /// Bit `w` set iff target node `w` is not an image yet (`twpr` words,
+    /// dead bits beyond the node count kept zero).
+    unused: Vec<u64>,
+    /// One mask per distinct pattern degree: the target nodes of at least
+    /// that degree (`twpr` words each).
+    deg_masks: Vec<u64>,
+    /// Per-depth index into `deg_masks`.
+    deg_mask_of: Vec<u32>,
+    /// Per-depth candidate bitsets, `twpr` words each, carved out of one
+    /// allocation: depth `d` owns `cand_stack[d * twpr..(d + 1) * twpr]`.
+    cand_stack: Vec<u64>,
+    /// Words per target adjacency-matrix row.
+    twpr: usize,
+    /// Scratch buffer for rendering complete mappings, reused across
+    /// solutions so the search allocates nothing per node visited.
+    image: Vec<NodeId>,
 }
 
 impl State<'_> {
+    /// Single-word variant of [`extend`](State::extend) for targets of at
+    /// most 64 nodes: the unused set and every candidate set live in
+    /// registers (`u64` arguments and locals), adjacency rows are single
+    /// loads, and the per-depth candidate stack is not touched. Candidate
+    /// order and pruning semantics are identical to the general kernel.
+    fn extend_small(
+        &mut self,
+        depth: usize,
+        unused: u64,
+        visit: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if depth == self.order.len() {
+            for (slot, &t) in self.image.iter_mut().zip(&self.mapping) {
+                *slot = NodeId::new(t as usize);
+            }
+            return visit(&self.image);
+        }
+        let p = self.order[depth];
+        let mut unmapped_pnbrs = 0usize;
+        let mut cand = unused & self.deg_masks[self.deg_mask_of[depth] as usize];
+        for u in self.pattern.neighbor_slice(p) {
+            let img = self.mapping[u.index()];
+            if img == INVALID {
+                unmapped_pnbrs += 1;
+            } else {
+                cand &= self.target.adjacency_word(img as usize);
+            }
+        }
+        let mut word = cand;
+        while word != 0 {
+            let w = word.trailing_zeros() as usize;
+            word &= word - 1;
+            let row = self.target.adjacency_word(w);
+            if ((row & unused).count_ones() as usize) < unmapped_pnbrs {
+                continue;
+            }
+            self.mapping[p.index()] = w as u32;
+            let flow = self.extend_small(depth + 1, unused & !(1u64 << w), visit);
+            self.mapping[p.index()] = INVALID;
+            flow?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Recursive candidate-pair extension, word-parallel.
+    ///
+    /// The candidate set for pattern node `p` is computed once per depth
+    /// as a bitset intersection: the adjacency-matrix rows of every
+    /// already-mapped neighbour's image ANDed together (adjacency
+    /// consistency), masked by the unused set and by the precomputed
+    /// degree mask — then walked lowest bit first, so targets are tried
+    /// in increasing node index. One scalar cut runs per surviving
+    /// candidate: the VF2 look-ahead comparing `p`'s unmapped pattern
+    /// neighbours against `w`'s unused target neighbours (a popcount
+    /// over `w`'s row). All cuts only remove branches that cannot
+    /// complete, so the order in which *solutions* appear is identical
+    /// to the unpruned search.
     fn extend(
         &mut self,
         depth: usize,
         visit: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
         if depth == self.order.len() {
-            let map: Vec<NodeId> = self
-                .mapping
-                .iter()
-                .map(|&t| NodeId::new(t as usize))
-                .collect();
-            return visit(&map);
+            for (slot, &t) in self.image.iter_mut().zip(&self.mapping) {
+                *slot = NodeId::new(t as usize);
+            }
+            return visit(&self.image);
         }
         let p = self.order[depth];
-        let pdeg = self.pattern.degree(p);
+        let pnbrs = self.pattern.neighbor_slice(p);
+        // The look-ahead bound: every still-unmapped pattern neighbour of
+        // p must eventually land on a distinct unused target neighbour of
+        // p's image. The mapped set is fixed throughout this depth.
+        let mut unmapped_pnbrs = 0usize;
 
-        // Candidate targets: if some neighbour of p is already mapped,
-        // restrict to the neighbourhood of its image (smallest such set);
-        // otherwise all unused target nodes.
-        let mapped_neighbor = self
-            .pattern
-            .neighbors(p)
-            .filter(|u| self.mapping[u.index()] != INVALID)
-            .min_by_key(|u| {
-                self.target
-                    .degree(NodeId::new(self.mapping[u.index()] as usize))
-            });
+        // Candidate bitset:
+        // unused ∩ degree-mask ∩ (⋂ rows of mapped neighbour images).
+        let twpr = self.twpr;
+        let base = depth * twpr;
+        let dm = self.deg_mask_of[depth] as usize * twpr;
+        for k in 0..twpr {
+            self.cand_stack[base + k] = self.unused[k] & self.deg_masks[dm + k];
+        }
+        for u in pnbrs {
+            let img = self.mapping[u.index()];
+            if img == INVALID {
+                unmapped_pnbrs += 1;
+            } else {
+                let row = self.target.adjacency_row(img as usize);
+                for (slot, &r) in self.cand_stack[base..base + twpr].iter_mut().zip(row) {
+                    *slot &= r;
+                }
+            }
+        }
 
-        let candidates: Vec<NodeId> = match mapped_neighbor {
-            Some(u) => {
-                let img = NodeId::new(self.mapping[u.index()] as usize);
-                let mut c: Vec<NodeId> = self
-                    .target
-                    .neighbors(img)
-                    .filter(|w| !self.used[w.index()])
-                    .collect();
-                c.sort_unstable();
-                c
+        for k in 0..twpr {
+            // Snapshot the word: recursion below never touches this
+            // depth's slice, and `unused` is restored after each descent,
+            // so the candidate set is loop-invariant (matching the
+            // collect-then-iterate semantics of the pre-CSR search).
+            let mut word = self.cand_stack[base + k];
+            while word != 0 {
+                let w = k * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                // Look-ahead cut: w must keep enough unused neighbours
+                // for p's unmapped pattern neighbours.
+                if unmapped_pnbrs > 0 {
+                    let row = self.target.adjacency_row(w);
+                    let mut free = 0usize;
+                    for (&r, &u) in row.iter().zip(&self.unused) {
+                        free += (r & u).count_ones() as usize;
+                        if free >= unmapped_pnbrs {
+                            break;
+                        }
+                    }
+                    if free < unmapped_pnbrs {
+                        continue;
+                    }
+                }
+                self.mapping[p.index()] = w as u32;
+                self.unused[w / 64] &= !(1u64 << (w % 64));
+                let flow = self.extend(depth + 1, visit);
+                self.unused[w / 64] |= 1u64 << (w % 64);
+                self.mapping[p.index()] = INVALID;
+                flow?;
             }
-            None => self
-                .target
-                .nodes()
-                .filter(|w| !self.used[w.index()])
-                .collect(),
-        };
-
-        for w in candidates {
-            if self.target.degree(w) < pdeg {
-                continue;
-            }
-            // Every mapped pattern neighbour of p must land on a target
-            // neighbour of w.
-            let consistent = self.pattern.neighbors(p).all(|u| {
-                let img = self.mapping[u.index()];
-                img == INVALID || self.target.has_edge(NodeId::new(img as usize), w)
-            });
-            if !consistent {
-                continue;
-            }
-            self.mapping[p.index()] = w.index() as u32;
-            self.used[w.index()] = true;
-            let flow = self.extend(depth + 1, visit);
-            self.used[w.index()] = false;
-            self.mapping[p.index()] = INVALID;
-            flow?;
         }
         ControlFlow::Continue(())
     }

@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use qcp_circuit::{Circuit, Time};
+use qcp_circuit::{Circuit, Gate, Time};
 use qcp_env::{Environment, PhysicalQubit};
 
 use crate::Placement;
@@ -140,25 +140,13 @@ impl Schedule {
     ///
     /// Panics if the placement is narrower than the circuit.
     pub fn from_placed_circuit(circuit: &Circuit, placement: &Placement) -> Self {
-        assert!(
-            placement.logical_count() >= circuit.qubit_count(),
-            "placement covers {} qubits but the circuit needs {}",
-            placement.logical_count(),
-            circuit.qubit_count()
-        );
+        assert_placement_covers(circuit, placement);
         let mut s = Schedule::new();
         for level in circuit.levels() {
             let placed: Vec<PlacedGate> = level
                 .gates()
                 .iter()
-                .map(|g| {
-                    let (a, b) = g.qubits();
-                    PlacedGate {
-                        a: placement.physical(a),
-                        b: b.map(|q| placement.physical(q)),
-                        weight: g.time_weight(),
-                    }
-                })
+                .map(|g| bind_gate(g, placement))
                 .collect();
             s.levels.push(placed);
         }
@@ -225,6 +213,55 @@ impl<'a> CostEngine<'a> {
         &self.times
     }
 
+    /// Rewinds this engine to the exact state of `other`, reusing this
+    /// engine's allocations.
+    ///
+    /// This is the cheap half of the fork-arena pattern: the placer keeps
+    /// one (or two, with lookahead) scratch engines alive and resets them
+    /// per candidate instead of cloning a fresh `CostEngine` — `Vec` and
+    /// `HashMap` buffers are reused across thousands of scoring calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engines target different environments.
+    pub fn copy_from(&mut self, other: &CostEngine<'a>) {
+        assert!(
+            std::ptr::eq(self.env, other.env),
+            "fork arena engines must share an environment"
+        );
+        self.model = other.model;
+        self.times.clone_from(&other.times);
+        self.last_pair.clone_from(&other.last_pair);
+        self.runs.clone_from(&other.runs);
+    }
+
+    /// Applies a circuit bound to nuclei through `placement`, level by
+    /// level, without materializing an intermediate [`Schedule`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement is narrower than the circuit.
+    pub fn apply_placed_circuit(&mut self, circuit: &Circuit, placement: &Placement) {
+        assert_placement_covers(circuit, placement);
+        for level in circuit.levels() {
+            self.level_barrier();
+            for g in level.gates() {
+                let _ = self.apply_gate(&bind_gate(g, placement));
+            }
+        }
+    }
+
+    /// Applies levels of SWAP gates (weight 3 each) without materializing
+    /// an intermediate [`Schedule`].
+    pub fn apply_swap_levels(&mut self, levels: &[Vec<(PhysicalQubit, PhysicalQubit)>]) {
+        for level in levels {
+            self.level_barrier();
+            for &(a, b) in level {
+                let _ = self.apply_gate(&PlacedGate::swap(a, b));
+            }
+        }
+    }
+
     /// The finish time of the busiest nucleus.
     pub fn makespan(&self) -> Time {
         Time::from_units(self.times.iter().copied().fold(0.0, f64::max))
@@ -286,12 +323,22 @@ impl<'a> CostEngine<'a> {
         }
     }
 
-    /// Applies a whole level, inserting the global barrier first when the
-    /// model is [`ExecutionModel::Leveled`].
-    pub fn apply_level(&mut self, level: &[PlacedGate]) {
+    /// The start-of-level barrier: a no-op under
+    /// [`ExecutionModel::Overlapped`], a global [`barrier`](Self::barrier)
+    /// under [`ExecutionModel::Leveled`]. Every level-applying path
+    /// (schedules, placed circuits, swap levels) goes through this one
+    /// rule.
+    #[inline]
+    fn level_barrier(&mut self) {
         if self.model.execution == ExecutionModel::Leveled {
             self.barrier();
         }
+    }
+
+    /// Applies a whole level, inserting the global barrier first when the
+    /// model is [`ExecutionModel::Leveled`].
+    pub fn apply_level(&mut self, level: &[PlacedGate]) {
+        self.level_barrier();
         for g in level {
             let _ = self.apply_gate(g);
         }
@@ -303,6 +350,26 @@ impl<'a> CostEngine<'a> {
             self.apply_level(level);
         }
     }
+}
+
+/// Binds one circuit gate to nuclei through `placement`.
+fn bind_gate(g: &Gate, placement: &Placement) -> PlacedGate {
+    let (a, b) = g.qubits();
+    PlacedGate {
+        a: placement.physical(a),
+        b: b.map(|q| placement.physical(q)),
+        weight: g.time_weight(),
+    }
+}
+
+/// Panics unless `placement` is at least as wide as `circuit`.
+fn assert_placement_covers(circuit: &Circuit, placement: &Placement) {
+    assert!(
+        placement.logical_count() >= circuit.qubit_count(),
+        "placement covers {} qubits but the circuit needs {}",
+        placement.logical_count(),
+        circuit.qubit_count()
+    );
 }
 
 /// Convenience: the runtime of `circuit` on `env` under `placement`.

@@ -63,60 +63,93 @@ pub fn candidate_placements(
             .expect("interaction edges are unique");
     }
 
-    let maps = MonomorphismFinder::new(&pattern, fast).limit(k).find_all();
-    let mut out = Vec::with_capacity(maps.len());
-    for map in maps {
-        out.push(complete(&constrained, &map, n, m, fast, previous)?);
+    // Stream monomorphisms straight out of the search, completing each
+    // into a placement through reusable scratch buffers (no intermediate
+    // `Vec<Vec<NodeId>>` of raw maps).
+    let mut scratch = CompletionScratch::new(n, m);
+    let mut out = Vec::new();
+    let mut failure: Option<crate::PlaceError> = None;
+    MonomorphismFinder::new(&pattern, fast).for_each(&mut |map| {
+        match scratch.complete(&constrained, map, fast, previous) {
+            Ok(placement) => out.push(placement),
+            Err(e) => {
+                failure = Some(e);
+                return std::ops::ControlFlow::Break(());
+            }
+        }
+        if out.len() >= k {
+            std::ops::ControlFlow::Break(())
+        } else {
+            std::ops::ControlFlow::Continue(())
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(out),
     }
-    Ok(out)
 }
 
-/// Completes a partial assignment (constrained qubits → fast-graph nodes)
-/// into a total placement.
-fn complete(
-    constrained: &[usize],
-    map: &[NodeId],
-    n: usize,
-    m: usize,
-    fast: &Graph,
-    previous: Option<&Placement>,
-) -> Result<Placement> {
-    let mut to_phys: Vec<Option<PhysicalQubit>> = vec![None; n];
-    let mut taken = vec![false; m];
-    for (i, &q) in constrained.iter().enumerate() {
-        let v = map[i].index();
-        to_phys[q] = Some(PhysicalQubit::new(v));
-        taken[v] = true;
-    }
-    // Free-nucleus list in BFS order from each qubit's previous home keeps
-    // idle values near where they were (small swap stages).
-    for (q, slot) in to_phys.iter_mut().enumerate() {
-        if slot.is_some() {
-            continue;
+/// Reusable buffers for completing partial assignments into placements.
+struct CompletionScratch {
+    to_phys: Vec<Option<PhysicalQubit>>,
+    taken: Vec<bool>,
+}
+
+impl CompletionScratch {
+    fn new(n: usize, m: usize) -> Self {
+        CompletionScratch {
+            to_phys: vec![None; n],
+            taken: vec![false; m],
         }
-        let prev_pos = previous.map(|p| p.physical(Qubit::new(q)).index());
-        let choice = match prev_pos {
-            Some(home) if !taken[home] => home,
-            Some(home) => bfs_order(fast, NodeId::new(home))
-                .into_iter()
-                .map(NodeId::index)
-                .find(|&v| !taken[v])
-                .or_else(|| (0..m).find(|&v| !taken[v]))
-                .expect("n <= m leaves a free nucleus"),
-            None => (0..m)
-                .find(|&v| !taken[v])
-                .expect("n <= m leaves a free nucleus"),
-        };
-        *slot = Some(PhysicalQubit::new(choice));
-        taken[choice] = true;
     }
-    Placement::new(
-        to_phys
-            .into_iter()
-            .map(|v| v.expect("all assigned"))
-            .collect(),
-        m,
-    )
+
+    /// Completes a partial assignment (constrained qubits → fast-graph
+    /// nodes) into a total placement.
+    fn complete(
+        &mut self,
+        constrained: &[usize],
+        map: &[NodeId],
+        fast: &Graph,
+        previous: Option<&Placement>,
+    ) -> Result<Placement> {
+        let m = self.taken.len();
+        self.to_phys.fill(None);
+        self.taken.fill(false);
+        for (i, &q) in constrained.iter().enumerate() {
+            let v = map[i].index();
+            self.to_phys[q] = Some(PhysicalQubit::new(v));
+            self.taken[v] = true;
+        }
+        // Free-nucleus list in BFS order from each qubit's previous home
+        // keeps idle values near where they were (small swap stages).
+        for (q, slot) in self.to_phys.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            let prev_pos = previous.map(|p| p.physical(Qubit::new(q)).index());
+            let choice = match prev_pos {
+                Some(home) if !self.taken[home] => home,
+                Some(home) => bfs_order(fast, NodeId::new(home))
+                    .into_iter()
+                    .map(NodeId::index)
+                    .find(|&v| !self.taken[v])
+                    .or_else(|| (0..m).find(|&v| !self.taken[v]))
+                    .expect("n <= m leaves a free nucleus"),
+                None => (0..m)
+                    .find(|&v| !self.taken[v])
+                    .expect("n <= m leaves a free nucleus"),
+            };
+            *slot = Some(PhysicalQubit::new(choice));
+            self.taken[choice] = true;
+        }
+        Placement::new(
+            self.to_phys
+                .iter()
+                .map(|v| v.expect("all assigned"))
+                .collect(),
+            m,
+        )
+    }
 }
 
 #[cfg(test)]

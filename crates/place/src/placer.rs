@@ -227,6 +227,11 @@ impl<'e> Placer<'e> {
         let workspaces = extract_workspaces_with(circuit, &self.fast, self.config.extraction)?;
 
         let mut engine = CostEngine::new(self.env, self.config.cost_model);
+        // Fork arena: two scratch engines reset per scoring call instead
+        // of cloning a fresh CostEngine (times/last-pair/runs buffers) for
+        // every candidate and every lookahead continuation.
+        let mut fork = CostEngine::new(self.env, self.config.cost_model);
+        let mut fork2 = CostEngine::new(self.env, self.config.cost_model);
         let mut schedule = Schedule::new();
         let mut stages: Vec<Stage> = Vec::new();
         let mut previous: Option<Placement> = None;
@@ -275,19 +280,21 @@ impl<'e> Placer<'e> {
             // Score every candidate.
             let mut best: Option<(usize, f64, SwapSchedule)> = None;
             for (ci, cand) in candidates.iter().enumerate() {
-                let Ok((cost, swaps, fork)) = self.score(&engine, previous.as_ref(), cand, ws)
+                let Ok((cost, swaps)) =
+                    self.score_into(&engine, previous.as_ref(), cand, ws, &mut fork)
                 else {
                     continue; // unroutable candidate
                 };
                 let cost = match &lookahead_set {
                     None => cost,
                     Some(next_cands) => {
-                        // min over next-stage continuations (§5.3's C_{i,j}).
+                        // min over next-stage continuations (§5.3's C_{i,j});
+                        // `fork` holds the post-candidate state.
                         let next_ws = &workspaces[wi + 1];
                         let mut best_next = f64::INFINITY;
                         for next_cand in next_cands {
-                            if let Ok((c2, _, _)) =
-                                self.score(&fork, Some(cand), next_cand, next_ws)
+                            if let Ok((c2, _)) =
+                                self.score_into(&fork, Some(cand), next_cand, next_ws, &mut fork2)
                             {
                                 best_next = best_next.min(c2);
                             }
@@ -320,8 +327,8 @@ impl<'e> Placer<'e> {
                     let result = fine_tune(
                         chosen,
                         &movable,
-                        |pl| match self.score(&engine, previous.as_ref(), pl, ws) {
-                            Ok((c, _, _)) => c,
+                        |pl| match self.score_into(&engine, previous.as_ref(), pl, ws, &mut fork) {
+                            Ok((c, _)) => c,
                             Err(_) => f64::INFINITY,
                         },
                         self.config.fine_tune_rounds,
@@ -331,8 +338,8 @@ impl<'e> Placer<'e> {
             }
 
             // Commit: swap stage + placed subcircuit.
-            let (_, swaps, fork) = self.score(&engine, previous.as_ref(), &chosen, ws)?;
-            engine = fork;
+            let (_, swaps) = self.score_into(&engine, previous.as_ref(), &chosen, ws, &mut fork)?;
+            std::mem::swap(&mut engine, &mut fork);
             let swap_schedule = swaps.to_schedule();
             schedule.extend(&swap_schedule);
             let placed = Schedule::from_placed_circuit(&ws.circuit, &chosen);
@@ -354,15 +361,18 @@ impl<'e> Placer<'e> {
     }
 
     /// Scores one candidate continuation: swap from `previous` to `cand`,
-    /// then run `ws` under `cand`, all on a fork of `engine`. Returns the
-    /// resulting makespan, the swap schedule, and the fork.
-    fn score(
+    /// then run `ws` under `cand`, evaluated on `fork` (reset to `base`'s
+    /// state first, reusing its buffers). Returns the resulting makespan
+    /// and the swap schedule; `fork` is left holding the post-candidate
+    /// state for lookahead continuations or commitment.
+    fn score_into(
         &self,
-        engine: &CostEngine<'e>,
+        base: &CostEngine<'e>,
         previous: Option<&Placement>,
         cand: &Placement,
         ws: &Workspace,
-    ) -> Result<(f64, SwapSchedule, CostEngine<'e>)> {
+        fork: &mut CostEngine<'e>,
+    ) -> Result<(f64, SwapSchedule)> {
         let swaps = match previous {
             None => SwapSchedule::default(),
             Some(prev) if prev.same_assignment(cand) => SwapSchedule::default(),
@@ -371,10 +381,10 @@ impl<'e> Placer<'e> {
                 route_permutation(&self.routing, &perm, &self.config.router)?
             }
         };
-        let mut fork = engine.clone();
-        fork.apply_schedule(&swaps.to_schedule());
-        fork.apply_schedule(&Schedule::from_placed_circuit(&ws.circuit, cand));
-        Ok((fork.makespan().units(), swaps, fork))
+        fork.copy_from(base);
+        fork.apply_swap_levels(swaps.levels());
+        fork.apply_placed_circuit(&ws.circuit, cand);
+        Ok((fork.makespan().units(), swaps))
     }
 }
 
