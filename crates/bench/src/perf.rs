@@ -1,17 +1,19 @@
 //! Machine-readable performance baseline (`perf` binary).
 //!
-//! Times the three hot-path suites (subgraph monomorphism, SWAP routing,
-//! whole-circuit placement) plus the Table 4 chain workloads end-to-end,
-//! and renders the medians as JSON (`BENCH_PLACE.json` at the workspace
-//! root). Future PRs re-run the binary with `--baseline` pointing at the
-//! committed file to get per-case speedup factors, giving the repo a perf
+//! Times the hot-path suites (subgraph monomorphism, SWAP routing,
+//! whole-circuit placement), the Table 4 chain workloads end-to-end, and
+//! the 32-request topology-zoo batch at 1 and 4 workers, and renders the
+//! medians as JSON (`BENCH_PLACE.json` at the workspace root). Future
+//! PRs re-run the binary with `--baseline` pointing at the committed
+//! file to get per-case speedup factors, giving the repo a perf
 //! trajectory instead of one-off criterion printouts.
 //!
 //! Measurement mirrors the vendored criterion shim: calibrate an
 //! iteration count against a per-sample time budget, take a handful of
 //! samples, report the median nanoseconds per iteration. `--quick` is the
-//! CI smoke mode: smaller budgets, fewer samples, and the 256-qubit chain
-//! replaced by its 64-qubit sibling.
+//! CI smoke mode: smaller budgets, fewer samples, the 256-qubit chain
+//! replaced by its 64-qubit sibling, and the 32-request batch zoo
+//! shrunk to 8 requests.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -19,18 +21,20 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use qcp_circuit::library;
+use qcp_env::topologies::{self, Delays};
 use qcp_env::{molecules, Threshold};
 use qcp_graph::vf2::MonomorphismFinder;
 use qcp_graph::{generate, Graph};
 use qcp_place::router::{route_permutation, RouterConfig};
-use qcp_place::{Placer, PlacerConfig};
+use qcp_place::{BatchPlacer, Placer, PlacerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// One timed case.
 #[derive(Clone, Debug)]
 pub struct PerfCase {
-    /// Suite the case belongs to (`mono`, `router`, `place`, `e2e`).
+    /// Suite the case belongs to (`mono`, `router`, `place`, `e2e`,
+    /// `batch`).
     pub suite: &'static str,
     /// Unique case name, prefixed by its suite.
     pub name: &'static str,
@@ -191,6 +195,61 @@ pub fn run_suites(quick: bool) -> Vec<PerfCase> {
             black_box(crate::experiments::table4_row(256, 2007));
         });
     }
+
+    // --- batch throughput (topology zoo: 8 circuits × 4 backends = 32
+    // requests across grid / heavy-hex / molecule environments; quick
+    // mode shrinks to a cheap 4 × 2 = 8-request zoo, mirroring the
+    // chain256 → chain64 substitution above) ---
+    let mut zoo_circuits: Vec<qcp_circuit::Circuit> = vec![
+        library::qec3_encoder(),
+        library::qec5_benchmark(),
+        library::phase_estimation(),
+        library::qft(4),
+    ];
+    let mut zoo_envs = vec![
+        topologies::grid(4, 4, Delays::default()),
+        topologies::heavy_hex(3, Delays::default()),
+    ];
+    if !quick {
+        zoo_circuits.extend([
+            library::qft(5),
+            library::qft(6),
+            library::pseudo_cat(7),
+            library::grover_iteration(5),
+        ]);
+        zoo_envs.extend([molecules::trans_crotonic_acid(), molecules::histidine()]);
+    }
+    let zoo_size = zoo_circuits.len() * zoo_envs.len();
+    let zoo_config = PlacerConfig::default().candidates(30);
+    let zoo = |jobs: usize| {
+        BatchPlacer::cross_auto(&zoo_circuits, &zoo_envs, &zoo_config)
+            .jobs(jobs)
+            .run()
+    };
+    // Determinism gate before timing: worker count must not change a
+    // single outcome bit.
+    {
+        let serial = zoo(1);
+        let parallel = zoo(4);
+        assert_eq!(serial.results.len(), zoo_size);
+        assert_eq!(serial.failed(), 0, "zoo workloads must all place");
+        assert_eq!(
+            serial.outcome_fingerprint(),
+            parallel.outcome_fingerprint(),
+            "batch outcomes must be identical across job counts"
+        );
+    }
+    let (name1, name4) = if quick {
+        ("batch/zoo8-jobs1", "batch/zoo8-jobs4")
+    } else {
+        ("batch/zoo32-jobs1", "batch/zoo32-jobs4")
+    };
+    case("batch", name1, &mut || {
+        black_box(zoo(1));
+    });
+    case("batch", name4, &mut || {
+        black_box(zoo(4));
+    });
 
     out
 }

@@ -318,14 +318,30 @@ impl EnvironmentBuilder {
     /// extra bond, so `growth` around 4–8 produces realistic complete
     /// weight tables; pairs in different bond components stay at `+∞`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `growth < 1.0` (weights must not shrink with distance).
-    pub fn fill_remote_couplings(&mut self, growth: f64) -> &mut Self {
-        assert!(
-            growth >= 1.0,
-            "growth factor must be at least 1, got {growth}"
-        );
+    /// Returns [`EnvError::InvalidGrowth`] if `growth` is NaN, infinite,
+    /// or below 1 — filled weights must be finite and must not shrink
+    /// with bond distance.
+    ///
+    /// ```
+    /// use qcp_env::{Environment, EnvError};
+    ///
+    /// let mut b = Environment::builder("toy");
+    /// let a = b.nucleus("A", 1.0);
+    /// let c = b.nucleus("B", 1.0);
+    /// b.bond(a, c, 10.0)?;
+    /// assert!(matches!(b.fill_remote_couplings(f64::NAN).unwrap_err(),
+    ///                  EnvError::InvalidGrowth(g) if g.is_nan()));
+    /// assert_eq!(b.fill_remote_couplings(0.5).unwrap_err(),
+    ///            EnvError::InvalidGrowth(0.5));
+    /// b.fill_remote_couplings(6.0)?; // valid
+    /// # Ok::<(), EnvError>(())
+    /// ```
+    pub fn fill_remote_couplings(&mut self, growth: f64) -> Result<&mut Self> {
+        if !growth.is_finite() || growth < 1.0 {
+            return Err(EnvError::InvalidGrowth(growth));
+        }
         let n = self.nuclei.len();
         // Dijkstra over bonds from every source (environments are small).
         let mut bond_adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
@@ -374,7 +390,7 @@ impl EnvironmentBuilder {
                 }
             }
         }
-        self
+        Ok(self)
     }
 
     fn check(&self, v: PhysicalQubit) -> Result<()> {
@@ -515,7 +531,7 @@ mod tests {
         b.bond(v[0], v[1], 10.0).unwrap();
         b.bond(v[1], v[2], 20.0).unwrap();
         b.bond(v[2], v[3], 30.0).unwrap();
-        b.fill_remote_couplings(5.0);
+        b.fill_remote_couplings(5.0).unwrap();
         let env = b.build().unwrap();
         // Distance 2: (10+20) * 5 = 150.
         assert_eq!(env.coupling(v[0], v[2]).units(), 150.0);
@@ -534,7 +550,7 @@ mod tests {
         b.bond(v0, v1, 10.0).unwrap();
         b.bond(v1, v2, 10.0).unwrap();
         b.coupling(v0, v2, 77.0).unwrap();
-        b.fill_remote_couplings(6.0);
+        b.fill_remote_couplings(6.0).unwrap();
         let env = b.build().unwrap();
         assert_eq!(env.coupling(v0, v2).units(), 77.0);
     }

@@ -29,6 +29,21 @@ pub enum EnvError {
     },
     /// The environment has no nuclei.
     Empty,
+    /// A remote-coupling growth factor was NaN, infinite, or below 1
+    /// (filled weights must be finite and must not shrink with bond
+    /// distance).
+    InvalidGrowth(
+        /// The offending growth factor.
+        f64,
+    ),
+    /// A topology specifier could not be parsed or names a degenerate
+    /// device (see [`crate::topologies::TopologySpec`]).
+    BadTopology {
+        /// The specifier as given.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EnvError {
@@ -48,6 +63,15 @@ impl fmt::Display for EnvError {
                 write!(f, "invalid {what} delay {delay}")
             }
             EnvError::Empty => write!(f, "environment has no nuclei"),
+            EnvError::InvalidGrowth(g) => {
+                write!(
+                    f,
+                    "remote-coupling growth factor must be finite and at least 1, got {g}"
+                )
+            }
+            EnvError::BadTopology { spec, reason } => {
+                write!(f, "bad topology `{spec}`: {reason}")
+            }
         }
     }
 }

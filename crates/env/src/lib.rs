@@ -14,6 +14,10 @@
 //! from Table 1), trans-crotonic acid, the 12-spin histidine register, the
 //! 5-spin BOC-glycine-fluoride and pentafluorobutadienyl-iron molecules,
 //! and the linear-nearest-neighbour chains of the scalability study.
+//! The [`topologies`] module synthesizes environments from hardware
+//! coupling maps instead (line, ring, grid, heavy-hex, star, or any
+//! explicit coupling list), so the same placer runs against device-style
+//! backends.
 //!
 //! # Example
 //!
@@ -37,6 +41,7 @@ pub mod nmr;
 mod nucleus;
 pub mod text;
 mod threshold;
+pub mod topologies;
 
 pub use environment::{Environment, EnvironmentBuilder};
 pub use error::EnvError;

@@ -93,7 +93,7 @@ pub fn trans_crotonic_acid() -> Environment {
     b.coupling(h2, c2, 208.0).expect("fresh pair");
     b.coupling(h2, c4, 238.0).expect("fresh pair");
     b.coupling(c2, c4, 833.0).expect("fresh pair");
-    b.fill_remote_couplings(6.0);
+    b.fill_remote_couplings(6.0).expect("growth 6 is valid");
     b.build().expect("non-empty")
 }
 
@@ -150,7 +150,7 @@ pub fn histidine() -> Environment {
     b.coupling(hd2, ne2, 417.0).expect("fresh pair");
     b.coupling(hd2, cg, 455.0).expect("fresh pair");
     b.coupling(ca, cg, 893.0).expect("fresh pair");
-    b.fill_remote_couplings(5.0);
+    b.fill_remote_couplings(5.0).expect("growth 5 is valid");
     b.build().expect("non-empty")
 }
 
@@ -277,7 +277,7 @@ pub fn random_molecule(n: usize, seed: u64) -> Environment {
         b.bond(vs[x.index()], vs[y.index()], delay)
             .expect("tree edges are unique");
     }
-    b.fill_remote_couplings(6.0);
+    b.fill_remote_couplings(6.0).expect("growth 6 is valid");
     b.build().expect("non-empty")
 }
 

@@ -50,6 +50,48 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     Graph::from_edges(rows * cols, edges).expect("grid edges are valid")
 }
 
+/// The heavy-hex lattice of IBM-style superconducting devices: `d` rows
+/// of `2d - 1` qubits joined into chains, with vertical *connector*
+/// qubits between adjacent rows at alternating columns (columns `≡ 0
+/// (mod 4)` below even rows, `≡ 2 (mod 4)` below odd rows). Every cycle
+/// is a subdivided hexagon and no node exceeds degree 3 — the "heavy"
+/// property that motivates the lattice.
+///
+/// For odd `d ≥ 3` the graph has exactly `d(5d - 3)/2` nodes and
+/// `3d(d - 1)` edges. Row qubit `(r, c)` is node `r·(2d - 1) + c`;
+/// connectors are numbered after all row qubits in `(row gap, column)`
+/// order.
+///
+/// # Panics
+///
+/// Panics if `d` is even or smaller than 3.
+pub fn heavy_hex(d: usize) -> Graph {
+    assert!(
+        d >= 3 && d % 2 == 1,
+        "heavy-hex distance must be odd and at least 3, got {d}"
+    );
+    let cols = 2 * d - 1;
+    let row_qubits = d * cols;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Horizontal chains.
+    for r in 0..d {
+        for c in 1..cols {
+            edges.push((r * cols + c - 1, r * cols + c));
+        }
+    }
+    // Vertical connectors, alternating column phase per row gap.
+    let mut connector = row_qubits;
+    for gap in 0..d - 1 {
+        let phase = 2 * (gap % 2);
+        for c in (phase..cols).step_by(4) {
+            edges.push((gap * cols + c, connector));
+            edges.push((connector, (gap + 1) * cols + c));
+            connector += 1;
+        }
+    }
+    Graph::from_edges(connector, edges).expect("heavy-hex edges are valid")
+}
+
 /// A caterpillar tree: a spine chain of `spine` nodes, each carrying `legs`
 /// pendant leaves. Models the bond graphs of linear molecules such as
 /// trans-crotonic acid.
@@ -206,6 +248,23 @@ mod tests {
         assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // horizontal + vertical
         assert!(is_connected(&g));
         assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn heavy_hex_shape() {
+        for d in [3usize, 5, 7] {
+            let g = heavy_hex(d);
+            assert_eq!(g.node_count(), d * (5 * d - 3) / 2, "nodes at d={d}");
+            assert_eq!(g.edge_count(), 3 * d * (d - 1), "edges at d={d}");
+            assert!(is_connected(&g), "connected at d={d}");
+            assert!(g.max_degree() <= 3, "heavy property at d={d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd and at least 3")]
+    fn heavy_hex_rejects_even_distance() {
+        let _ = heavy_hex(4);
     }
 
     #[test]

@@ -338,8 +338,9 @@ impl Graph {
 
     /// The neighbours of `v` as a contiguous slice sorted by node index.
     ///
-    /// This is the zero-cost view the VF2 hot path iterates; [`neighbors`]
-    /// (Graph::neighbors) is the iterator convenience over the same slice.
+    /// This is the zero-cost view the VF2 hot path iterates;
+    /// [`neighbors`](Graph::neighbors) is the iterator convenience over
+    /// the same slice.
     ///
     /// # Panics
     ///

@@ -1,0 +1,513 @@
+//! Parallel batch placement: N circuits × M environments through a pool
+//! of worker threads.
+//!
+//! A single [`crate::Placer`] call is fast but single-threaded; serving
+//! heavy traffic means running many independent placement requests at
+//! once. [`BatchPlacer`] fans a request list out across
+//! `std::thread::scope` workers (work-stealing over an atomic cursor, one
+//! placer and cost-engine arena per in-flight request, no shared mutable
+//! state) and collects per-request [`BatchResult`]s plus an aggregate
+//! [`BatchReport`].
+//!
+//! Results are **deterministic**: the placement pipeline has no data
+//! races to hide (each request is independent and the placer itself is
+//! deterministic), and the report lists results in request order, so the
+//! outcomes are bit-identical whatever the worker count — only the wall
+//! clock changes. [`BatchReport::outcome_fingerprint`] condenses that
+//! guarantee into one comparable hash.
+//!
+//! # Example
+//!
+//! ```
+//! use qcp_circuit::library;
+//! use qcp_env::{molecules, topologies, Threshold};
+//! use qcp_place::batch::BatchPlacer;
+//! use qcp_place::PlacerConfig;
+//!
+//! let circuits = [library::qec3_encoder(), library::qft(4)];
+//! let envs = [
+//!     molecules::trans_crotonic_acid(),
+//!     topologies::grid(2, 3, topologies::Delays::default()),
+//! ];
+//! let report = BatchPlacer::cross_auto(&circuits, &envs, &PlacerConfig::default())
+//!     .jobs(2)
+//!     .run();
+//! assert_eq!(report.results.len(), 4);
+//! assert_eq!(report.failed(), 0);
+//! // Same requests, one worker: identical outcomes.
+//! let serial = BatchPlacer::cross_auto(&circuits, &envs, &PlacerConfig::default())
+//!     .jobs(1)
+//!     .run();
+//! assert_eq!(report.outcome_fingerprint(), serial.outcome_fingerprint());
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use qcp_circuit::{Circuit, Time};
+use qcp_env::Environment;
+
+use crate::{PlaceError, PlacementOutcome, Placer, PlacerConfig};
+
+/// One placement request: a circuit to run on an environment under a
+/// placer configuration.
+#[derive(Clone, Debug)]
+pub struct BatchRequest {
+    /// Display label carried into the result (e.g. `qft6@grid-8x8`).
+    pub label: String,
+    /// The circuit to place.
+    pub circuit: Circuit,
+    /// The target environment (molecule or synthesized device backend).
+    pub environment: Environment,
+    /// Placer configuration, including the fast-interaction threshold.
+    pub config: PlacerConfig,
+}
+
+impl BatchRequest {
+    /// Creates a request with an explicit label.
+    pub fn new(
+        label: impl Into<String>,
+        circuit: Circuit,
+        environment: Environment,
+        config: PlacerConfig,
+    ) -> Self {
+        BatchRequest {
+            label: label.into(),
+            circuit,
+            environment,
+            config,
+        }
+    }
+}
+
+/// The outcome of one [`BatchRequest`], in request order within
+/// [`BatchReport::results`].
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Index of the request this result answers.
+    pub index: usize,
+    /// Label copied from the request.
+    pub label: String,
+    /// The placement outcome, or the error the pipeline reported.
+    pub outcome: Result<PlacementOutcome, PlaceError>,
+    /// Wall-clock time this single request took on its worker.
+    pub elapsed: Duration,
+}
+
+/// A parallel batch-placement driver.
+///
+/// Build one with [`BatchPlacer::new`] (explicit requests) or
+/// [`BatchPlacer::cross`] / [`BatchPlacer::cross_auto`] (the N × M
+/// product of circuits and environments), choose a worker count with
+/// [`jobs`](BatchPlacer::jobs), and call [`run`](BatchPlacer::run).
+#[derive(Clone, Debug)]
+pub struct BatchPlacer {
+    requests: Vec<BatchRequest>,
+    jobs: usize,
+}
+
+impl BatchPlacer {
+    /// A driver over an explicit request list.
+    pub fn new(requests: Vec<BatchRequest>) -> Self {
+        BatchPlacer { requests, jobs: 0 }
+    }
+
+    /// The N × M cross product: every circuit on every environment, all
+    /// under `config` (circuit-major request order, labels
+    /// `c<i>@<env name>`).
+    pub fn cross(
+        circuits: &[Circuit],
+        environments: &[Environment],
+        config: &PlacerConfig,
+    ) -> Self {
+        Self::cross_with(circuits, environments, |_| config.clone())
+    }
+
+    /// Like [`cross`](BatchPlacer::cross), but each environment gets its
+    /// own connectivity threshold ([`Environment::connectivity_threshold`],
+    /// the paper's automatic choice) in place of `base.threshold`;
+    /// disconnected environments keep `base.threshold`.
+    pub fn cross_auto(
+        circuits: &[Circuit],
+        environments: &[Environment],
+        base: &PlacerConfig,
+    ) -> Self {
+        Self::cross_with(circuits, environments, |env| {
+            let mut config = base.clone();
+            if let Some(t) = env.connectivity_threshold() {
+                config.threshold = t;
+            }
+            config
+        })
+    }
+
+    fn cross_with(
+        circuits: &[Circuit],
+        environments: &[Environment],
+        mut config_for: impl FnMut(&Environment) -> PlacerConfig,
+    ) -> Self {
+        let configs: Vec<PlacerConfig> = environments.iter().map(&mut config_for).collect();
+        let requests = circuits
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, circuit)| {
+                environments.iter().zip(&configs).map(move |(env, config)| {
+                    BatchRequest::new(
+                        format!("c{ci}@{}", env.name()),
+                        circuit.clone(),
+                        env.clone(),
+                        config.clone(),
+                    )
+                })
+            })
+            .collect();
+        BatchPlacer::new(requests)
+    }
+
+    /// Sets the worker count. `0` (the default) uses
+    /// [`std::thread::available_parallelism`]; any value is additionally
+    /// capped at the request count.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The requests this driver will run, in result order.
+    pub fn requests(&self) -> &[BatchRequest] {
+        &self.requests
+    }
+
+    /// Places every request and aggregates the results.
+    ///
+    /// With more than one worker, requests are handed out over an atomic
+    /// cursor (work stealing keeps the workers busy even when request
+    /// costs are skewed); each request is placed exactly once, and the
+    /// report lists results in request order regardless of which worker
+    /// finished what when.
+    pub fn run(&self) -> BatchReport {
+        let n = self.requests.len();
+        let jobs = match self.jobs {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            j => j,
+        }
+        .clamp(1, n.max(1));
+        let started = Instant::now();
+
+        let mut results: Vec<BatchResult> = if jobs == 1 {
+            // Exactly the sequential loop: no spawn overhead for --jobs 1.
+            self.requests.iter().enumerate().map(place_one).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut collected = std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..jobs)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut mine = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(request) = self.requests.get(i) else {
+                                    break;
+                                };
+                                mine.push(place_one((i, request)));
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .flat_map(|w| w.join().expect("batch worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            collected.sort_by_key(|r| r.index);
+            collected
+        };
+        debug_assert!(results.iter().enumerate().all(|(i, r)| r.index == i));
+        results.shrink_to_fit();
+
+        BatchReport {
+            results,
+            wall_time: started.elapsed(),
+            jobs,
+        }
+    }
+}
+
+fn place_one((index, request): (usize, &BatchRequest)) -> BatchResult {
+    let t0 = Instant::now();
+    // One placer (and thus one cost-engine arena) per request; nothing is
+    // shared between in-flight placements.
+    let placer = Placer::new(&request.environment, request.config.clone());
+    let outcome = placer.place(&request.circuit);
+    BatchResult {
+        index,
+        label: request.label.clone(),
+        outcome,
+        elapsed: t0.elapsed(),
+    }
+}
+
+/// Aggregate view of a batch run; per-request detail stays available in
+/// [`results`](BatchReport::results).
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-request results, in request order (independent of worker
+    /// count and scheduling).
+    pub results: Vec<BatchResult>,
+    /// Wall-clock time of the whole batch.
+    pub wall_time: Duration,
+    /// Number of workers actually used.
+    pub jobs: usize,
+}
+
+impl BatchReport {
+    /// Number of requests that produced a placement.
+    pub fn succeeded(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.is_ok()).count()
+    }
+
+    /// Number of requests that failed (their errors stay in
+    /// [`results`](BatchReport::results)).
+    pub fn failed(&self) -> usize {
+        self.results.len() - self.succeeded()
+    }
+
+    /// Sum of the placed circuits' physical runtimes.
+    pub fn total_runtime(&self) -> Time {
+        Time::from_units(
+            self.results
+                .iter()
+                .filter_map(|r| r.outcome.as_ref().ok())
+                .map(|o| o.runtime.units())
+                .sum(),
+        )
+    }
+
+    /// Total SWAP gates inserted across all successful placements.
+    pub fn total_swaps(&self) -> usize {
+        self.results
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .map(|o| o.swap_count())
+            .sum()
+    }
+
+    /// Sum of per-request placement times (the single-threaded work the
+    /// batch represents; compare against [`wall_time`](BatchReport::wall_time)
+    /// for the realized parallel speedup).
+    pub fn cpu_time(&self) -> Duration {
+        self.results.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Median per-request placement time (zero for an empty batch).
+    pub fn median_elapsed(&self) -> Duration {
+        let mut times: Vec<Duration> = self.results.iter().map(|r| r.elapsed).collect();
+        if times.is_empty() {
+            return Duration::ZERO;
+        }
+        times.sort_unstable();
+        times[times.len() / 2]
+    }
+
+    /// Requests completed per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        self.results.len() as f64 / self.wall_time.as_secs_f64().max(1e-12)
+    }
+
+    /// An order-sensitive FNV-1a hash over every outcome: each result's
+    /// success flag, runtime bits, subcircuit count, swap count, and
+    /// initial placement. Two runs of the same requests must produce
+    /// equal fingerprints whatever their worker counts — the determinism
+    /// contract the property tests pin down.
+    pub fn outcome_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for r in &self.results {
+            match &r.outcome {
+                Ok(outcome) => {
+                    mix(1);
+                    mix(outcome.runtime.units().to_bits());
+                    mix(outcome.subcircuit_count() as u64);
+                    mix(outcome.swap_count() as u64);
+                    for stage in &outcome.stages {
+                        for v in stage.placement.as_slice() {
+                            mix(v.index() as u64);
+                        }
+                    }
+                }
+                Err(e) => {
+                    mix(2);
+                    for byte in e.to_string().bytes() {
+                        mix(u64::from(byte));
+                    }
+                }
+            }
+        }
+        h
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "batch: {} request(s) on {} worker(s) in {:.3} s ({:.1} req/s, cpu {:.3} s)",
+            self.results.len(),
+            self.jobs,
+            self.wall_time.as_secs_f64(),
+            self.throughput(),
+            self.cpu_time().as_secs_f64(),
+        )?;
+        writeln!(
+            f,
+            "  {} ok, {} failed | total physical runtime {} | {} swap(s) | median request {:.1} ms",
+            self.succeeded(),
+            self.failed(),
+            self.total_runtime(),
+            self.total_swaps(),
+            self.median_elapsed().as_secs_f64() * 1e3,
+        )?;
+        for r in &self.results {
+            match &r.outcome {
+                Ok(o) => writeln!(
+                    f,
+                    "  [{:>3}] {}: runtime {}, {} stage(s), {} swap(s)",
+                    r.index,
+                    r.label,
+                    o.runtime,
+                    o.subcircuit_count(),
+                    o.swap_count()
+                )?,
+                Err(e) => writeln!(f, "  [{:>3}] {}: FAILED: {e}", r.index, r.label)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_circuit::library;
+    use qcp_env::{molecules, topologies, Threshold};
+
+    fn zoo() -> (Vec<Circuit>, Vec<Environment>) {
+        let circuits = vec![
+            library::qec3_encoder(),
+            library::qft(4),
+            library::pseudo_cat(5),
+        ];
+        let envs = vec![
+            molecules::trans_crotonic_acid(),
+            topologies::grid(2, 3, topologies::Delays::default()),
+            topologies::heavy_hex(3, topologies::Delays::default()),
+        ];
+        (circuits, envs)
+    }
+
+    #[test]
+    fn send_sync_bounds() {
+        fn assert_traits<T: Send + Sync>() {}
+        assert_traits::<BatchRequest>();
+        assert_traits::<BatchPlacer>();
+        assert_traits::<BatchReport>();
+    }
+
+    #[test]
+    fn cross_builds_row_major_requests() {
+        let (circuits, envs) = zoo();
+        let batch = BatchPlacer::cross(&circuits, &envs, &PlacerConfig::default());
+        assert_eq!(batch.requests().len(), 9);
+        assert_eq!(batch.requests()[0].label, "c0@trans-crotonic acid");
+        assert_eq!(batch.requests()[1].label, "c0@grid-2x3");
+        assert_eq!(batch.requests()[3].label, "c1@trans-crotonic acid");
+    }
+
+    #[test]
+    fn outcomes_identical_across_worker_counts() {
+        let (circuits, envs) = zoo();
+        let reports: Vec<BatchReport> = [1usize, 2, 8]
+            .into_iter()
+            .map(|j| {
+                BatchPlacer::cross_auto(&circuits, &envs, &PlacerConfig::default())
+                    .jobs(j)
+                    .run()
+            })
+            .collect();
+        assert_eq!(reports[0].failed(), 0);
+        let fp = reports[0].outcome_fingerprint();
+        for r in &reports[1..] {
+            assert_eq!(r.outcome_fingerprint(), fp);
+            assert_eq!(r.results.len(), reports[0].results.len());
+            for (a, b) in reports[0].results.iter().zip(&r.results) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.label, b.label);
+            }
+        }
+    }
+
+    #[test]
+    fn failures_are_reported_not_fatal() {
+        // qft(6) cannot fit acetyl chloride's 3 nuclei.
+        let circuits = vec![library::qec3_encoder(), library::qft(6)];
+        let envs = vec![molecules::acetyl_chloride()];
+        let report = BatchPlacer::cross_auto(&circuits, &envs, &PlacerConfig::default())
+            .jobs(4)
+            .run();
+        assert_eq!(report.succeeded(), 1);
+        assert_eq!(report.failed(), 1);
+        assert!(matches!(
+            report.results[1].outcome,
+            Err(PlaceError::CircuitTooLarge { .. })
+        ));
+        let text = report.to_string();
+        assert!(text.contains("1 ok, 1 failed"), "{text}");
+        assert!(text.contains("FAILED"), "{text}");
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let report = BatchPlacer::new(Vec::new()).jobs(4).run();
+        assert_eq!(report.results.len(), 0);
+        assert_eq!(report.failed(), 0);
+        assert_eq!(report.median_elapsed(), Duration::ZERO);
+        assert!(report.total_runtime().is_zero());
+    }
+
+    #[test]
+    fn jobs_zero_is_auto_and_capped() {
+        let circuits = vec![library::qec3_encoder()];
+        let envs = vec![molecules::acetyl_chloride()];
+        let mut batch = BatchPlacer::cross(
+            &circuits,
+            &envs,
+            &PlacerConfig::with_threshold(Threshold::new(100.0)),
+        );
+        batch = batch.jobs(64);
+        let report = batch.run();
+        // One request: worker count is capped at 1 however many were asked.
+        assert_eq!(report.jobs, 1);
+        assert_eq!(report.succeeded(), 1);
+    }
+
+    #[test]
+    fn aggregates_add_up() {
+        let (circuits, envs) = zoo();
+        let report = BatchPlacer::cross_auto(&circuits, &envs, &PlacerConfig::default())
+            .jobs(2)
+            .run();
+        let manual_runtime: f64 = report
+            .results
+            .iter()
+            .map(|r| r.outcome.as_ref().unwrap().runtime.units())
+            .sum();
+        assert_eq!(report.total_runtime().units(), manual_runtime);
+        assert!(report.cpu_time() >= report.median_elapsed());
+        assert!(report.throughput() > 0.0);
+    }
+}

@@ -23,7 +23,9 @@
 //!
 //! Reference strategies live in [`baselines`] (exhaustive search,
 //! annealing, whole-circuit placement) and the §4 NP-completeness
-//! reduction in [`reduction`].
+//! reduction in [`reduction`]. For many independent requests at once —
+//! N circuits × M environments — [`batch`] fans the work out across
+//! worker threads with deterministic, worker-count-independent outcomes.
 //!
 //! # Example
 //!
@@ -44,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod batch;
 pub mod cost;
 pub mod embed;
 mod error;
@@ -56,6 +59,7 @@ pub mod router;
 pub mod timeline;
 pub mod workspace;
 
+pub use batch::{BatchPlacer, BatchReport, BatchRequest, BatchResult};
 pub use cost::{CostModel, ExecutionModel, PlacedGate, Schedule};
 pub use error::PlaceError;
 pub use placement::Placement;

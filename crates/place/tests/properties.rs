@@ -5,9 +5,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use qcp_circuit::{Circuit, Gate, Qubit};
+use qcp_env::topologies::{self, Delays};
 use qcp_env::{molecules, Environment, PhysicalQubit};
 use qcp_graph::{generate, NodeId};
 use qcp_place::baselines::{exhaustive_placement, random_placement};
+use qcp_place::batch::BatchPlacer;
 use qcp_place::cost::{placed_runtime, CostModel};
 use qcp_place::router::{route_permutation, route_sequential, verify_schedule, RouterConfig};
 use qcp_place::{Placement, Placer, PlacerConfig};
@@ -219,6 +221,52 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batch_outcomes_independent_of_worker_count(seed in any::<u64>()) {
+        // The determinism contract: --jobs 1 and --jobs 8 (and anything
+        // in between) must produce bit-identical outcomes, in the same
+        // order, on the same request list.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuits: Vec<Circuit> = (0..4)
+            .map(|i| {
+                let n = rng.gen_range(2..6usize);
+                random_circuit(n, rng.gen_range(5..25), seed ^ i)
+            })
+            .collect();
+        let envs = vec![
+            random_env(6, seed ^ 11),
+            topologies::grid(2, 3, Delays::default()),
+            topologies::line(6, Delays::default()),
+        ];
+        let config = PlacerConfig::default().candidates(16);
+        let serial = BatchPlacer::cross_auto(&circuits, &envs, &config).jobs(1).run();
+        let parallel = BatchPlacer::cross_auto(&circuits, &envs, &config).jobs(8).run();
+        prop_assert_eq!(serial.results.len(), 12);
+        prop_assert_eq!(serial.outcome_fingerprint(), parallel.outcome_fingerprint());
+        for (a, b) in serial.results.iter().zip(&parallel.results) {
+            prop_assert_eq!(a.index, b.index);
+            prop_assert_eq!(&a.label, &b.label);
+            match (&a.outcome, &b.outcome) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(x.runtime.units(), y.runtime.units());
+                    prop_assert_eq!(x.subcircuit_count(), y.subcircuit_count());
+                    prop_assert_eq!(x.swap_count(), y.swap_count());
+                    for (sx, sy) in x.stages.iter().zip(&y.stages) {
+                        prop_assert!(sx.placement.same_assignment(&sy.placement));
+                    }
+                }
+                (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                (x, y) => prop_assert!(false, "ok/err mismatch: {x:?} vs {y:?}"),
+            }
+        }
+        // Aggregates agree too (wall time aside).
+        prop_assert_eq!(serial.total_swaps(), parallel.total_swaps());
+        prop_assert_eq!(
+            serial.total_runtime().units(),
+            parallel.total_runtime().units()
+        );
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Topology zoo: place a suite of benchmark circuits on every device
+//! backend — line, ring, grid, heavy-hex, star, and two NMR molecules —
+//! and print the per-device results plus the parallel batch report.
+//!
+//! Run with: `cargo run --release --example topology_zoo`
+
+use qcp::circuit::library;
+use qcp::env::topologies::{self, Delays};
+use qcp::prelude::*;
+
+fn main() {
+    // The circuit suite. Everything fits every backend except the
+    // 8-qubit adder on the 7-spin crotonic acid — kept in on purpose to
+    // show that one failing request never aborts a batch.
+    let circuits: Vec<(&str, Circuit)> = vec![
+        ("qec3", library::qec3_encoder()),
+        ("qec5", library::qec5_benchmark()),
+        ("phaseest", library::phase_estimation()),
+        ("qft4", library::qft(4)),
+        ("qft6", library::qft(6)),
+        ("cat7", library::pseudo_cat(7)),
+        ("adder3", library::ripple_adder(3)),
+        ("grover5", library::grover_iteration(5)),
+    ];
+
+    // The device zoo: synthesized topologies (uniform 1 kHz-processor
+    // delays) next to the paper's molecules.
+    let delays = Delays::default();
+    let envs: Vec<Environment> = vec![
+        topologies::line(8, delays),
+        topologies::ring(8, delays),
+        topologies::grid(3, 3, delays),
+        topologies::heavy_hex(3, delays),
+        topologies::star(8, delays),
+        molecules::trans_crotonic_acid(),
+        molecules::histidine(),
+    ];
+
+    println!("devices:");
+    for env in &envs {
+        let g = env.full_graph();
+        println!(
+            "  {:<22} {:>3} qubits, {:>3} couplings, max degree {}",
+            env.name(),
+            env.qubit_count(),
+            g.edge_count(),
+            g.max_degree()
+        );
+    }
+
+    // Per-device placement table: each circuit placed at the device's
+    // connectivity threshold.
+    println!(
+        "\n{:<10} {:<22} {:>12} {:>7} {:>6}",
+        "circuit", "device", "runtime", "stages", "swaps"
+    );
+    for (name, circuit) in &circuits {
+        for env in &envs {
+            let t = env
+                .connectivity_threshold()
+                .expect("zoo devices are connected");
+            let placer = Placer::new(env, PlacerConfig::with_threshold(t).candidates(30));
+            match placer.place(circuit) {
+                Ok(outcome) => println!(
+                    "{:<10} {:<22} {:>12} {:>7} {:>6}",
+                    name,
+                    env.name(),
+                    outcome.runtime.to_string(),
+                    outcome.subcircuit_count(),
+                    outcome.swap_count()
+                ),
+                Err(e) => println!("{:<10} {:<22} {e}", name, env.name()),
+            }
+        }
+    }
+
+    // The same grid as one parallel batch: all circuits × all devices.
+    let suite: Vec<Circuit> = circuits.iter().map(|(_, c)| c.clone()).collect();
+    let config = PlacerConfig::default().candidates(30);
+    let report = BatchPlacer::cross_auto(&suite, &envs, &config).run();
+    println!(
+        "\nbatch: {} requests on {} worker(s): {:.2} req/s, {} failed, fingerprint {:016x}",
+        report.results.len(),
+        report.jobs,
+        report.throughput(),
+        report.failed(),
+        report.outcome_fingerprint()
+    );
+
+    // Determinism check: a single-worker rerun produces bit-identical
+    // outcomes (only the wall clock may differ).
+    let serial = BatchPlacer::cross_auto(&suite, &envs, &config)
+        .jobs(1)
+        .run();
+    assert_eq!(
+        report.outcome_fingerprint(),
+        serial.outcome_fingerprint(),
+        "batch outcomes must not depend on worker count"
+    );
+    println!("determinism: single-worker rerun matches (fingerprints equal)");
+}

@@ -4,20 +4,27 @@
 //! $ qcp molecules                         # list built-in environments
 //! $ qcp circuits                          # list built-in circuits
 //! $ qcp place --circuit qft6 --env trans-crotonic-acid --threshold 200
+//! $ qcp place --circuit qft6 --topology grid:8x8
 //! $ qcp place --circuit my.qc --env my.mol --auto --gantt
+//! $ qcp batch --circuits qec3,qec5,qft6 \
+//!       --envs trans-crotonic-acid,grid:4x4,heavy_hex:3 --jobs 4
 //! ```
 //!
-//! Circuits and environments are looked up in the built-in libraries
-//! first, then read as files in the text formats of `qcp_circuit::text`
-//! and `qcp_env::text`.
+//! Circuits are looked up in the built-in library first, then read as
+//! files in the text format of `qcp_circuit::text`. Environments resolve
+//! as molecule names, then device-topology specs
+//! (`qcp_env::topologies::TopologySpec`, e.g. `grid:8x8`), then files in
+//! the `qcp_env::text` format.
 
 use std::process::ExitCode;
 
+use qcp::place::batch::BatchPlacer;
 use qcp::place::fidelity::ExposureReport;
 use qcp::place::timeline::Timeline;
 use qcp::prelude::*;
 use qcp_circuit::library;
 use qcp_env::molecules;
+use qcp_env::topologies::{Delays, TopologySpec};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,12 +55,22 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("batch") => match run_batch(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
         _ => {
             eprintln!(
-                "usage: qcp <molecules|circuits|place> [options]\n\
+                "usage: qcp <molecules|circuits|place|batch> [options]\n\
                  place options:\n\
                  \x20 --circuit <name|file>   circuit (library name or text file)\n\
-                 \x20 --env <name|file>       environment (library name or text file)\n\
+                 \x20 --env <name|spec|file>  environment (molecule, topology spec, or file)\n\
+                 \x20 --topology <spec>       device backend (line:16, ring:12, grid:8x8,\n\
+                 \x20                         heavy_hex:3, star:5); alternative to --env\n\
+                 \x20 --coupling <units>      coupling delay for --topology (default 10)\n\
                  \x20 --threshold <units>     fast-interaction threshold\n\
                  \x20 --auto                  use the connectivity threshold (default)\n\
                  \x20 --k <n>                 candidate monomorphisms (default 100)\n\
@@ -61,7 +78,14 @@ fn main() -> ExitCode {
                  \x20 --fine-tune <rounds>    hill-climbing sweeps (default 2)\n\
                  \x20 --commutation           commutation-aware extraction\n\
                  \x20 --gantt                 print the timed pulse chart\n\
-                 \x20 --exposure              print idle/coupling exposure"
+                 \x20 --exposure              print idle/coupling exposure\n\
+                 batch options:\n\
+                 \x20 --circuits <a,b,...>    comma-separated circuits (names or files)\n\
+                 \x20 --envs <a,b,...>        comma-separated environments/topologies\n\
+                 \x20 --jobs <k>              worker threads (default: all cores)\n\
+                 \x20 --threshold <units>     fixed threshold (default: per-env auto)\n\
+                 \x20 --coupling <units>      coupling delay for topology specs\n\
+                 \x20 --k/--no-lookahead/--fine-tune/--commutation as for place"
             );
             ExitCode::FAILURE
         }
@@ -71,6 +95,8 @@ fn main() -> ExitCode {
 fn run_place(args: &[String]) -> Result<(), String> {
     let mut circuit_arg = None;
     let mut env_arg = None;
+    let mut topology_arg = None;
+    let mut coupling = 10.0f64;
     let mut threshold = None;
     let mut k = 100usize;
     let mut lookahead = true;
@@ -89,6 +115,8 @@ fn run_place(args: &[String]) -> Result<(), String> {
         match a.as_str() {
             "--circuit" => circuit_arg = Some(value("--circuit")?),
             "--env" => env_arg = Some(value("--env")?),
+            "--topology" => topology_arg = Some(value("--topology")?),
+            "--coupling" => coupling = parse_coupling(&value("--coupling")?)?,
             "--threshold" => {
                 threshold = Some(
                     value("--threshold")?
@@ -112,7 +140,12 @@ fn run_place(args: &[String]) -> Result<(), String> {
     }
 
     let circuit = load_circuit(&circuit_arg.ok_or("--circuit is required")?)?;
-    let env = load_env(&env_arg.ok_or("--env is required")?)?;
+    let env = match (env_arg, topology_arg) {
+        (Some(_), Some(_)) => return Err("--env and --topology are mutually exclusive".into()),
+        (None, None) => return Err("--env or --topology is required".into()),
+        (Some(name), None) => load_env(&name, coupling)?,
+        (None, Some(spec)) => build_topology(&spec, coupling)?,
+    };
     let threshold = match threshold {
         Some(units) if units < 0.0 || units.is_nan() => {
             return Err(format!("--threshold must be non-negative, got {units}"))
@@ -178,6 +211,110 @@ fn run_place(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `qcp batch`: place every circuit on every environment in parallel.
+fn run_batch(args: &[String]) -> Result<(), String> {
+    let mut circuits_arg = None;
+    let mut envs_arg = None;
+    let mut jobs = 0usize;
+    let mut coupling = 10.0f64;
+    let mut threshold = None;
+    let mut k = 100usize;
+    let mut lookahead = true;
+    let mut fine_tune = 2usize;
+    let mut commutation = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--circuits" => circuits_arg = Some(value("--circuits")?),
+            "--envs" => envs_arg = Some(value("--envs")?),
+            "--jobs" => {
+                jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad job count: {e}"))?
+            }
+            "--coupling" => coupling = parse_coupling(&value("--coupling")?)?,
+            "--threshold" => {
+                let units: f64 = value("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad threshold: {e}"))?;
+                if units < 0.0 || units.is_nan() {
+                    return Err(format!("--threshold must be non-negative, got {units}"));
+                }
+                threshold = Some(Threshold::new(units));
+            }
+            "--auto" => threshold = None,
+            "--k" => k = value("--k")?.parse().map_err(|e| format!("bad k: {e}"))?,
+            "--no-lookahead" => lookahead = false,
+            "--fine-tune" => {
+                fine_tune = value("--fine-tune")?
+                    .parse()
+                    .map_err(|e| format!("bad rounds: {e}"))?
+            }
+            "--commutation" => commutation = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+
+    let circuits: Vec<Circuit> = split_list(&circuits_arg.ok_or("--circuits is required")?)
+        .iter()
+        .map(|name| load_circuit(name))
+        .collect::<Result<_, _>>()?;
+    let envs: Vec<Environment> = split_list(&envs_arg.ok_or("--envs is required")?)
+        .iter()
+        .map(|name| load_env(name, coupling))
+        .collect::<Result<_, _>>()?;
+    if circuits.is_empty() || envs.is_empty() {
+        return Err("--circuits and --envs must both be non-empty".into());
+    }
+
+    let base = PlacerConfig::default()
+        .candidates(k)
+        .lookahead(lookahead)
+        .fine_tuning(fine_tune)
+        .commutation_aware(commutation);
+    let batch = match threshold {
+        Some(t) => {
+            let config = PlacerConfig {
+                threshold: t,
+                ..base
+            };
+            BatchPlacer::cross(&circuits, &envs, &config)
+        }
+        None => BatchPlacer::cross_auto(&circuits, &envs, &base),
+    };
+    print!("{}", batch.jobs(jobs).run());
+    Ok(())
+}
+
+fn split_list(arg: &str) -> Vec<String> {
+    arg.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect()
+}
+
+fn parse_coupling(text: &str) -> Result<f64, String> {
+    match text.parse::<f64>() {
+        Ok(units) if units.is_finite() && units >= 0.0 => Ok(units),
+        Ok(units) => Err(format!(
+            "--coupling must be finite and non-negative, got {units}"
+        )),
+        Err(e) => Err(format!("bad coupling: {e}")),
+    }
+}
+
+fn build_topology(spec: &str, coupling: f64) -> Result<Environment, String> {
+    let parsed: TopologySpec = spec.parse().map_err(|e| format!("{e}"))?;
+    Ok(parsed.build(Delays::uniform(coupling)))
+}
+
 fn circuit_arg_display(c: &Circuit) -> String {
     format!("{}q/{}g", c.qubit_count(), c.gate_count())
 }
@@ -191,11 +328,24 @@ fn load_circuit(arg: &str) -> Result<Circuit, String> {
     qcp::circuit::text::parse(&text).map_err(|e| format!("parsing `{arg}`: {e}"))
 }
 
-fn load_env(arg: &str) -> Result<Environment, String> {
+/// Resolves an environment argument: a molecule name, then a topology
+/// spec (`grid:8x8`), then a file in the `qcp_env::text` format.
+fn load_env(arg: &str, coupling: f64) -> Result<Environment, String> {
     if let Some(env) = molecules::named(arg) {
         return Ok(env);
     }
-    let text = std::fs::read_to_string(arg)
-        .map_err(|e| format!("`{arg}` is not a library molecule and cannot be read: {e}"))?;
-    qcp::env::text::parse(&text).map_err(|e| format!("parsing `{arg}`: {e}"))
+    let topology_err = match arg.parse::<TopologySpec>() {
+        Ok(spec) => return Ok(spec.build(Delays::uniform(coupling))),
+        Err(e) => e,
+    };
+    // Not a valid spec: fall back to reading a file (paths may legally
+    // contain `:`), but keep the more specific error for spec-shaped args
+    // that name no file.
+    match std::fs::read_to_string(arg) {
+        Ok(text) => qcp::env::text::parse(&text).map_err(|e| format!("parsing `{arg}`: {e}")),
+        Err(_) if arg.contains(':') => Err(topology_err.to_string()),
+        Err(e) => Err(format!(
+            "`{arg}` is not a library molecule or topology spec and cannot be read: {e}"
+        )),
+    }
 }

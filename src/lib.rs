@@ -1,8 +1,10 @@
 //! # qcp — Quantum Circuit Placement
 //!
 //! Facade crate re-exporting the whole placement stack. See the
-//! workspace `README.md` for an overview and `DESIGN.md` for the mapping
-//! between the paper's sections and the crates.
+//! workspace `README.md` for an overview, `GUIDE.md` for a task-oriented
+//! walkthrough (its snippets run as doc-tests of this crate), and
+//! `DESIGN.md` for the mapping between the paper's sections and the
+//! crates.
 
 #![forbid(unsafe_code)]
 
@@ -14,7 +16,13 @@ pub use qcp_place as place;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use qcp_circuit::{Circuit, Gate, Qubit, Time};
-    pub use qcp_env::{molecules, Environment, Threshold};
+    pub use qcp_env::{molecules, topologies, Environment, Threshold};
     pub use qcp_graph::{Graph, NodeId};
-    pub use qcp_place::{CostModel, Placement, Placer, PlacerConfig};
+    pub use qcp_place::{BatchPlacer, BatchReport, CostModel, Placement, Placer, PlacerConfig};
 }
+
+// Compile and run every Rust snippet in GUIDE.md as a doc-test, so the
+// walkthrough can never drift from the real API.
+#[doc = include_str!("../GUIDE.md")]
+#[cfg(doctest)]
+pub struct GuideDoctests;

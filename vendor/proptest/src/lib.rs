@@ -300,7 +300,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,
