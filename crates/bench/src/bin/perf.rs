@@ -1,26 +1,33 @@
-//! `perf` — runs the hot-path suites and writes `BENCH_PLACE.json`.
+//! `perf` — runs the hot-path suites and writes `BENCH_PLACE.json`, or
+//! gates a fresh run against the committed baseline.
 //!
 //! ```console
 //! $ cargo run --release -p qcp_bench --bin perf             # full run
 //! $ cargo run --release -p qcp_bench --bin perf -- --quick  # CI smoke
 //! $ cargo run --release -p qcp_bench --bin perf -- \
 //!       --baseline BENCH_PLACE.json --out BENCH_PLACE.json  # with speedups
+//! $ cargo run --release -p qcp_bench --bin perf -- \
+//!       compare BENCH_PLACE.json bench-place-ci.json \
+//!       --max-slowdown 1.25                     # CI regression gate
 //! ```
+//!
+//! `compare` exits non-zero when any shared case slowed down by more
+//! than the configured factor; cases present in only one file (quick and
+//! full runs size some suites differently) and cases under the
+//! `--min-ns` noise floor are skipped.
 
 use qcp_bench::perf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        run_compare(&args[1..]);
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_PLACE.json".to_string());
     let baseline = match flag_value(&args, "--baseline") {
-        Some(path) => match std::fs::read_to_string(&path) {
-            Ok(text) => perf::parse_medians(&text),
-            Err(e) => {
-                eprintln!("perf: cannot read baseline {path}: {e}");
-                std::process::exit(1);
-            }
-        },
+        Some(path) => read_medians(&path),
         None => Default::default(),
     };
 
@@ -46,6 +53,57 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out_path}");
+}
+
+/// `perf compare <baseline.json> <current.json> [--max-slowdown f]
+/// [--min-ns n]`: the CI perf-regression gate.
+fn run_compare(args: &[String]) {
+    let split = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
+    let positional: Vec<&String> = args[..split].iter().collect();
+    let flagged: Vec<String> = args[split..].to_vec();
+    let [baseline_path, current_path] = positional[..] else {
+        eprintln!("usage: perf compare <baseline.json> <current.json> [--max-slowdown 1.25] [--min-ns 1000]");
+        std::process::exit(2);
+    };
+    let max_slowdown: f64 = flag_value(&flagged, "--max-slowdown")
+        .map_or(1.25, |v| v.parse().expect("--max-slowdown needs a number"));
+    let min_ns: u64 = flag_value(&flagged, "--min-ns")
+        .map_or(1_000, |v| v.parse().expect("--min-ns needs an integer"));
+    // Gate on per-case minima (falling back to medians for old files):
+    // load only ever inflates a sample, so minima are stable across
+    // shared CI runners where medians flake.
+    let baseline = read_metric(baseline_path, perf::parse_gate_metric);
+    let current = read_metric(current_path, perf::parse_gate_metric);
+    let cmp = perf::compare(&baseline, &current, max_slowdown, min_ns);
+    print!("{}", cmp.render());
+    if !cmp.passed() {
+        eprintln!(
+            "perf compare: FAILED ({} regression(s))",
+            cmp.regressions().len()
+        );
+        std::process::exit(1);
+    }
+    println!("perf compare: ok");
+}
+
+fn read_medians(path: &str) -> std::collections::BTreeMap<String, u64> {
+    read_metric(path, perf::parse_medians)
+}
+
+fn read_metric(
+    path: &str,
+    parse: impl Fn(&str) -> std::collections::BTreeMap<String, u64>,
+) -> std::collections::BTreeMap<String, u64> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text),
+        Err(e) => {
+            eprintln!("perf: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {

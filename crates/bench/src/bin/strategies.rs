@@ -1,0 +1,16 @@
+//! Compares the anytime placement strategies (exact, budgeted exact,
+//! hybrid, anneal) on large device topologies — the EXPERIMENTS.md
+//! strategy table.
+//!
+//! ```console
+//! $ cargo run --release -p qcp_bench --bin strategies          # 50 ms budget
+//! $ cargo run --release -p qcp_bench --bin strategies -- 200   # custom budget
+//! ```
+
+fn main() {
+    let budget_ms = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("budget must be a millisecond count"))
+        .unwrap_or(50);
+    print!("{}", qcp_bench::experiments::strategies_text(budget_ms));
+}

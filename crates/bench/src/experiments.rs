@@ -777,3 +777,121 @@ pub fn router_comparison_text(seed: u64) -> String {
         t.render()
     )
 }
+
+// ---------------------------------------------------------------------
+// Anytime strategies (exact vs hybrid under a latency budget)
+// ---------------------------------------------------------------------
+
+/// One row of the strategy comparison: a workload placed by one strategy
+/// under one budget.
+#[derive(Clone, Debug)]
+pub struct StrategyRow {
+    /// Workload label (`circuit@device`).
+    pub workload: String,
+    /// Strategy label (with its budget, e.g. `hybrid/50ms`).
+    pub strategy: String,
+    /// `Ok(resolution)` or the failure text.
+    pub outcome: Result<String, String>,
+    /// Physical runtime of the placed circuit, when placed.
+    pub runtime: Option<Time>,
+    /// Subcircuit count, when placed.
+    pub subcircuits: Option<usize>,
+    /// Wall-clock placement latency.
+    pub latency: std::time::Duration,
+}
+
+/// Compares exact, budgeted-exact, hybrid, and anneal on device
+/// topologies where exact enumeration blows past an interactive budget
+/// (`grid:8x8`, `heavy_hex:5`): the EXPERIMENTS.md success-rate /
+/// latency table.
+pub fn strategies(budget_ms: u64) -> Vec<StrategyRow> {
+    use qcp_env::topologies::{self, Delays};
+    use qcp_place::{SearchBudget, Strategy};
+
+    let workloads: Vec<(String, Environment, Circuit)> = vec![
+        (
+            "qft6@grid:8x8".into(),
+            topologies::grid(8, 8, Delays::default()),
+            library::qft(6),
+        ),
+        (
+            "qft6@heavy_hex:5".into(),
+            topologies::heavy_hex(5, Delays::default()),
+            library::qft(6),
+        ),
+        (
+            "qec5@grid:8x8".into(),
+            topologies::grid(8, 8, Delays::default()),
+            library::qec5_benchmark(),
+        ),
+        (
+            "cat10@heavy_hex:5".into(),
+            topologies::heavy_hex(5, Delays::default()),
+            library::pseudo_cat(10),
+        ),
+    ];
+    let budget = SearchBudget::from_millis(budget_ms);
+    let configs: Vec<(String, Strategy, SearchBudget)> = vec![
+        ("exact".into(), Strategy::Exact, SearchBudget::unlimited()),
+        (format!("exact/{budget_ms}ms"), Strategy::Exact, budget),
+        (format!("hybrid/{budget_ms}ms"), Strategy::Hybrid, budget),
+        ("anneal".into(), Strategy::Anneal, SearchBudget::unlimited()),
+    ];
+    let mut rows = Vec::new();
+    for (wname, env, circuit) in &workloads {
+        let t = env.connectivity_threshold().expect("connected devices");
+        for (cname, strategy, budget) in &configs {
+            let config = PlacerConfig::with_threshold(t)
+                .strategy(*strategy)
+                .budget(*budget);
+            let placer = Placer::new(env, config);
+            let started = Instant::now();
+            let outcome = placer.place(circuit);
+            let latency = started.elapsed();
+            rows.push(match outcome {
+                Ok(o) => StrategyRow {
+                    workload: wname.clone(),
+                    strategy: cname.clone(),
+                    outcome: Ok(o.resolution.to_string()),
+                    runtime: Some(o.runtime),
+                    subcircuits: Some(o.subcircuit_count()),
+                    latency,
+                },
+                Err(e) => StrategyRow {
+                    workload: wname.clone(),
+                    strategy: cname.clone(),
+                    outcome: Err(e.to_string()),
+                    runtime: None,
+                    subcircuits: None,
+                    latency,
+                },
+            });
+        }
+    }
+    rows
+}
+
+/// Renders [`strategies`].
+pub fn strategies_text(budget_ms: u64) -> String {
+    let mut t = Table::new([
+        "workload", "strategy", "outcome", "runtime", "stages", "latency",
+    ]);
+    for r in strategies(budget_ms) {
+        t.row([
+            r.workload.clone(),
+            r.strategy.clone(),
+            match &r.outcome {
+                Ok(res) => res.clone(),
+                Err(e) if e.contains("budget") => "FAILED (budget)".into(),
+                Err(_) => "FAILED".into(),
+            },
+            r.runtime.map_or("-".into(), fmt_seconds),
+            r.subcircuits.map_or("-".into(), |s| s.to_string()),
+            format!("{:.1} ms", r.latency.as_secs_f64() * 1e3),
+        ]);
+    }
+    format!(
+        "Anytime strategies at a {budget_ms} ms budget (latency is machine-dependent)\n{}",
+        t.render()
+    )
+}

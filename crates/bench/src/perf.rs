@@ -26,7 +26,7 @@ use qcp_env::{molecules, Threshold};
 use qcp_graph::vf2::MonomorphismFinder;
 use qcp_graph::{generate, Graph};
 use qcp_place::router::{route_permutation, RouterConfig};
-use qcp_place::{BatchPlacer, Placer, PlacerConfig};
+use qcp_place::{BatchPlacer, Placer, PlacerConfig, Resolution, SearchBudget, Strategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,19 +34,23 @@ use rand::SeedableRng;
 #[derive(Clone, Debug)]
 pub struct PerfCase {
     /// Suite the case belongs to (`mono`, `router`, `place`, `e2e`,
-    /// `batch`).
+    /// `batch`, `strategy`).
     pub suite: &'static str,
     /// Unique case name, prefixed by its suite.
     pub name: &'static str,
     /// Median nanoseconds per iteration.
     pub median_ns: u64,
+    /// Minimum nanoseconds per iteration across the samples. External
+    /// load only ever *adds* time, so the minimum is the noise-robust
+    /// estimator the CI regression gate compares.
+    pub min_ns: u64,
     /// Number of timed samples.
     pub samples: usize,
     /// Iterations per sample.
     pub iters: u64,
 }
 
-fn measure(quick: bool, mut f: impl FnMut()) -> (u64, usize, u64) {
+fn measure(quick: bool, mut f: impl FnMut()) -> (u64, u64, usize, u64) {
     // Calibration run doubles as warm-up.
     let start = Instant::now();
     f();
@@ -57,9 +61,12 @@ fn measure(quick: bool, mut f: impl FnMut()) -> (u64, usize, u64) {
         Duration::from_millis(40)
     };
     let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 20_000) as u64;
+    // Several samples everywhere: the regression gate compares the
+    // per-case *minimum*, which needs a handful of attempts to touch the
+    // noise floor on a shared runner (a lone sample cannot estimate it).
     let samples = match (quick, once >= Duration::from_millis(200)) {
-        (true, true) => 1,
-        (true, false) => 3,
+        (true, true) => 3,
+        (true, false) => 5,
         (false, true) => 3,
         (false, false) => 9,
     };
@@ -72,18 +79,26 @@ fn measure(quick: bool, mut f: impl FnMut()) -> (u64, usize, u64) {
         medians.push((start.elapsed().as_nanos() / u128::from(iters)) as u64);
     }
     medians.sort_unstable();
-    (medians[medians.len() / 2], samples, iters)
+    let mut min = medians[0];
+    if iters == 1 {
+        // The calibration run is a full single iteration too — a free
+        // extra sample for the heavy cases, where every sample counts
+        // toward a stable minimum.
+        min = min.min(once.as_nanos() as u64);
+    }
+    (medians[medians.len() / 2], min, samples, iters)
 }
 
 /// Runs every suite and returns the timed cases in a stable order.
 pub fn run_suites(quick: bool) -> Vec<PerfCase> {
     let mut out = Vec::new();
     let mut case = |suite: &'static str, name: &'static str, f: &mut dyn FnMut()| {
-        let (median_ns, samples, iters) = measure(quick, f);
+        let (median_ns, min_ns, samples, iters) = measure(quick, f);
         out.push(PerfCase {
             suite,
             name,
             median_ns,
+            min_ns,
             samples,
             iters,
         });
@@ -251,7 +266,191 @@ pub fn run_suites(quick: bool) -> Vec<PerfCase> {
         black_box(zoo(4));
     });
 
+    // --- anytime strategies (identical cases in quick and full mode, so
+    // the CI regression gate covers them; see `compare`) ---
+    let hh3 = topologies::heavy_hex(3, Delays::default());
+    let grid88 = topologies::grid(8, 8, Delays::default());
+    let qft6 = library::qft(6);
+    let qec5 = library::qec5_benchmark();
+    let strat_config = |env: &qcp_env::Environment, strategy: Strategy, budget: SearchBudget| {
+        PlacerConfig::with_threshold(env.connectivity_threshold().expect("connected"))
+            .strategy(strategy)
+            .budget(budget)
+    };
+    // The node-budgeted hybrid must really exercise the fallback chain —
+    // pin the resolution before timing it.
+    let hybrid_budget = SearchBudget::nodes(2_000);
+    {
+        let placer = Placer::new(&hh3, strat_config(&hh3, Strategy::Hybrid, hybrid_budget));
+        let outcome = placer.place(&qft6).expect("hybrid always places");
+        assert_eq!(
+            outcome.resolution,
+            Resolution::BudgetExhausted,
+            "hybrid case must fall back, or it times the exact path twice"
+        );
+    }
+    struct StrategyCase {
+        name: &'static str,
+        env: qcp_env::Environment,
+        circuit: qcp_circuit::Circuit,
+        strategy: Strategy,
+        budget: SearchBudget,
+    }
+    let strategy_cases = [
+        StrategyCase {
+            name: "strategy/exact-qft6-heavyhex3",
+            env: hh3.clone(),
+            circuit: qft6.clone(),
+            strategy: Strategy::Exact,
+            budget: SearchBudget::unlimited(),
+        },
+        StrategyCase {
+            name: "strategy/anneal-qft6-heavyhex3",
+            env: hh3.clone(),
+            circuit: qft6.clone(),
+            strategy: Strategy::Anneal,
+            budget: SearchBudget::unlimited(),
+        },
+        StrategyCase {
+            name: "strategy/hybrid2k-qft6-heavyhex3",
+            env: hh3,
+            circuit: qft6,
+            strategy: Strategy::Hybrid,
+            budget: hybrid_budget,
+        },
+        StrategyCase {
+            name: "strategy/exact-qec5-grid8x8",
+            env: grid88.clone(),
+            circuit: qec5.clone(),
+            strategy: Strategy::Exact,
+            budget: SearchBudget::unlimited(),
+        },
+        StrategyCase {
+            name: "strategy/anneal-qec5-grid8x8",
+            env: grid88,
+            circuit: qec5,
+            strategy: Strategy::Anneal,
+            budget: SearchBudget::unlimited(),
+        },
+    ];
+    for sc in &strategy_cases {
+        let placer = Placer::new(&sc.env, strat_config(&sc.env, sc.strategy, sc.budget));
+        case("strategy", sc.name, &mut || {
+            black_box(placer.place(&sc.circuit).expect("strategy workloads place"));
+        });
+    }
+
     out
+}
+
+/// One row of a baseline-vs-current comparison (the CI regression gate).
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    /// Case name (shared between the two files).
+    pub name: String,
+    /// Gate metric (min ns/iter, or median for old files) in the
+    /// baseline file.
+    pub baseline_ns: u64,
+    /// Gate metric in the current file.
+    pub current_ns: u64,
+    /// `current / baseline` (> 1 means slower than the baseline).
+    pub ratio: f64,
+}
+
+/// The result of comparing a current perf run against a committed
+/// baseline.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Rows for every case present in both files and above the noise
+    /// floor, in baseline order.
+    pub rows: Vec<CompareRow>,
+    /// Cases skipped (missing on either side, or below the floor).
+    pub skipped: usize,
+    /// Slowdown factor above which a case counts as a regression.
+    pub max_slowdown: f64,
+}
+
+impl Comparison {
+    /// The regressed rows (ratio above the configured slowdown).
+    pub fn regressions(&self) -> Vec<&CompareRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.ratio > self.max_slowdown)
+            .collect()
+    }
+
+    /// `true` when no compared case regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty()
+    }
+
+    /// Human-readable table plus verdict line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for r in &self.rows {
+            let verdict = if r.ratio > self.max_slowdown {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                s,
+                "{:<36} {:>12} -> {:>12} ns  ({:>5.2}x)  {}",
+                r.name, r.baseline_ns, r.current_ns, r.ratio, verdict
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{} case(s) compared, {} skipped, {} regression(s) at >{:.0}% slowdown",
+            self.rows.len(),
+            self.skipped,
+            self.regressions().len(),
+            (self.max_slowdown - 1.0) * 100.0
+        );
+        s
+    }
+}
+
+/// Compares the current run against a baseline (both as
+/// [`parse_gate_metric`] maps): a case regresses when
+/// `current > baseline * max_slowdown`. Cases present in only one file
+/// are skipped (quick and full runs legitimately carry different
+/// workload sizes for some suites), as are cases whose baseline value
+/// is below `min_baseline_ns` — sub-microsecond timings are timer noise
+/// on shared CI runners.
+pub fn compare(
+    baseline: &BTreeMap<String, u64>,
+    current: &BTreeMap<String, u64>,
+    max_slowdown: f64,
+    min_baseline_ns: u64,
+) -> Comparison {
+    let mut rows = Vec::new();
+    let mut skipped = 0usize;
+    for (name, &base) in baseline {
+        let Some(&cur) = current.get(name) else {
+            skipped += 1;
+            continue;
+        };
+        if base < min_baseline_ns {
+            skipped += 1;
+            continue;
+        }
+        rows.push(CompareRow {
+            name: name.clone(),
+            baseline_ns: base,
+            current_ns: cur,
+            ratio: cur as f64 / base as f64,
+        });
+    }
+    skipped += current
+        .keys()
+        .filter(|n| !baseline.contains_key(*n))
+        .count();
+    Comparison {
+        rows,
+        skipped,
+        max_slowdown,
+    }
 }
 
 /// Renders the cases as JSON, one case object per line. When `baseline`
@@ -272,8 +471,8 @@ pub fn to_json(cases: &[PerfCase], quick: bool, baseline: &BTreeMap<String, u64>
     for (i, c) in cases.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"suite\": \"{}\", \"name\": \"{}\", \"median_ns\": {}, \"samples\": {}, \"iters\": {}",
-            c.suite, c.name, c.median_ns, c.samples, c.iters
+            "    {{\"suite\": \"{}\", \"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"samples\": {}, \"iters\": {}",
+            c.suite, c.name, c.median_ns, c.min_ns, c.samples, c.iters
         );
         if let Some(&base) = baseline.get(c.name) {
             let speedup = base as f64 / c.median_ns.max(1) as f64;
@@ -301,6 +500,24 @@ pub fn parse_medians(json: &str) -> BTreeMap<String, u64> {
             continue;
         };
         out.insert(name.to_string(), median);
+    }
+    out
+}
+
+/// Extracts `name → min_ns` (falling back to `median_ns` for files
+/// written before the minimum was recorded). This is the map the CI
+/// regression gate compares: external load only ever inflates a sample,
+/// so minima are far more stable across runs and machines than medians.
+pub fn parse_gate_metric(json: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in json.lines() {
+        let Some(name) = field_str(line, "name") else {
+            continue;
+        };
+        let Some(value) = field_u64(line, "min_ns").or_else(|| field_u64(line, "median_ns")) else {
+            continue;
+        };
+        out.insert(name.to_string(), value);
     }
     out
 }
@@ -333,6 +550,7 @@ mod tests {
                 suite: "mono",
                 name: "mono/a",
                 median_ns: 120,
+                min_ns: 100,
                 samples: 7,
                 iters: 100,
             },
@@ -340,6 +558,7 @@ mod tests {
                 suite: "router",
                 name: "router/b",
                 median_ns: 3400,
+                min_ns: 3000,
                 samples: 3,
                 iters: 10,
             },
@@ -347,11 +566,17 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrips_medians() {
+    fn json_roundtrips_medians_and_minima() {
         let json = to_json(&sample_cases(), false, &BTreeMap::new());
         let medians = parse_medians(&json);
         assert_eq!(medians.get("mono/a"), Some(&120));
         assert_eq!(medians.get("router/b"), Some(&3400));
+        let gate = parse_gate_metric(&json);
+        assert_eq!(gate.get("mono/a"), Some(&100));
+        assert_eq!(gate.get("router/b"), Some(&3000));
+        // Files written before min_ns existed fall back to the median.
+        let legacy = "{\"name\": \"mono/a\", \"median_ns\": 777}";
+        assert_eq!(parse_gate_metric(legacy).get("mono/a"), Some(&777));
     }
 
     #[test]
@@ -368,11 +593,39 @@ mod tests {
     }
 
     #[test]
+    fn compare_flags_only_real_regressions() {
+        let mut base = BTreeMap::new();
+        base.insert("mono/a".to_string(), 1_000_000u64);
+        base.insert("place/b".to_string(), 2_000_000u64);
+        base.insert("tiny/noise".to_string(), 50u64); // below the floor
+        base.insert("gone/c".to_string(), 1_000u64); // not in current
+        let mut cur = BTreeMap::new();
+        cur.insert("mono/a".to_string(), 1_200_000u64); // 1.20x: ok
+        cur.insert("place/b".to_string(), 2_600_000u64); // 1.30x: regression
+        cur.insert("tiny/noise".to_string(), 5_000u64); // skipped (floor)
+        cur.insert("new/d".to_string(), 77u64); // not in baseline
+
+        let cmp = compare(&base, &cur, 1.25, 1_000);
+        assert_eq!(cmp.rows.len(), 2);
+        assert_eq!(cmp.skipped, 3);
+        assert!(!cmp.passed());
+        let regressed: Vec<&str> = cmp.regressions().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(regressed, ["place/b"]);
+        let text = cmp.render();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("1 regression(s)"), "{text}");
+
+        let lenient = compare(&base, &cur, 1.5, 1_000);
+        assert!(lenient.passed());
+    }
+
+    #[test]
     fn measure_reports_sane_medians() {
-        let (ns, samples, iters) = measure(true, || {
+        let (ns, min_ns, samples, iters) = measure(true, || {
             black_box((0..100).sum::<u64>());
         });
         assert!(ns > 0);
+        assert!(min_ns > 0 && min_ns <= ns);
         assert!(samples >= 1 && iters >= 1);
     }
 }

@@ -15,6 +15,13 @@
 //! search order. Enumeration can be capped at `k` results, which the placer
 //! uses with `k = 100` exactly as in §5.3.
 //!
+//! Searches can also run under a [`Budget`] (a node cap and/or wall-clock
+//! deadline): [`MonomorphismFinder::for_each_budgeted`] charges the meter
+//! one unit per visited search node and stops early with
+//! [`Outcome::BudgetExhausted`] — plus the deepest partial assignment
+//! found — once the meter trips. This is the kernel the anytime placement
+//! strategies in `qcp_place::strategy` build on.
+//!
 //! # Example
 //!
 //! ```
@@ -28,8 +35,138 @@
 //! ```
 
 use std::ops::ControlFlow;
+use std::time::Instant;
 
 use crate::{Graph, NodeId};
+
+/// How often the wall-clock deadline is polled, in visited search nodes.
+/// A search node costs well under a microsecond, so a stride of 1024 keeps
+/// the overshoot below a millisecond while keeping `Instant::now` calls off
+/// the hot path.
+const DEADLINE_STRIDE: u64 = 1024;
+
+/// A node/deadline budget for [`MonomorphismFinder::for_each_budgeted`].
+///
+/// The budget is a *meter*: it accumulates visited search nodes across
+/// every search it is threaded through, so one `Budget` can govern a whole
+/// placement request (workspace-extraction feasibility checks plus
+/// candidate enumeration). Node budgets are deterministic — the search
+/// visits the same nodes on every machine — while deadlines trade that
+/// determinism for a wall-clock guarantee.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    max_nodes: u64,
+    deadline: Option<Instant>,
+    nodes: u64,
+    exhausted: bool,
+}
+
+impl Budget {
+    /// A budget that never exhausts.
+    pub fn unlimited() -> Self {
+        Budget::new(None, None)
+    }
+
+    /// Caps the total number of visited search nodes (0 exhausts on the
+    /// first node).
+    pub fn max_nodes(n: u64) -> Self {
+        Budget::new(Some(n), None)
+    }
+
+    /// Exhausts once the wall clock passes `at`.
+    pub fn deadline(at: Instant) -> Self {
+        Budget::new(None, Some(at))
+    }
+
+    /// A budget from an optional node cap and an optional deadline.
+    pub fn new(max_nodes: Option<u64>, deadline: Option<Instant>) -> Self {
+        Budget {
+            max_nodes: max_nodes.unwrap_or(u64::MAX),
+            deadline,
+            nodes: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Total search nodes charged to this meter so far.
+    pub fn nodes_visited(&self) -> u64 {
+        self.nodes
+    }
+
+    /// Returns `true` once the budget has tripped; it never untrips.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Charges `n` units and polls the deadline immediately. Meant for
+    /// coarse-grained checkpoints outside the search kernel (one unit per
+    /// candidate scored, per annealing move, …), where each unit is far
+    /// more expensive than a search node. Returns `false` once exhausted.
+    pub fn consume(&mut self, n: u64) -> bool {
+        if self.exhausted || !self.poll_deadline() {
+            return false;
+        }
+        let next = self.nodes.saturating_add(n);
+        if n > 0 && next > self.max_nodes {
+            self.exhausted = true;
+            return false;
+        }
+        self.nodes = next;
+        true
+    }
+
+    /// The kernel-side charge: one search node, with the deadline polled
+    /// every [`DEADLINE_STRIDE`] nodes.
+    #[inline]
+    fn visit(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        if self.nodes >= self.max_nodes {
+            self.exhausted = true;
+            return false;
+        }
+        self.nodes += 1;
+        if self.nodes.is_multiple_of(DEADLINE_STRIDE) {
+            self.poll_deadline()
+        } else {
+            true
+        }
+    }
+
+    fn poll_deadline(&mut self) -> bool {
+        if let Some(at) = self.deadline {
+            if Instant::now() >= at {
+                self.exhausted = true;
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// How a budgeted search ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The search space was exhausted (or the visitor broke out).
+    Complete,
+    /// The budget tripped before the search space was covered.
+    BudgetExhausted,
+}
+
+/// The report of one [`MonomorphismFinder::for_each_budgeted`] call.
+#[derive(Clone, Debug)]
+pub struct BudgetedRun {
+    /// Whether the search completed or was cut by the budget.
+    pub outcome: Outcome,
+    /// Search nodes visited by this call (the meter itself accumulates
+    /// across calls).
+    pub nodes: u64,
+    /// The deepest partial assignment reached, as `(pattern, target)`
+    /// pairs in the internal variable order — the "best partial" a caller
+    /// can seed a heuristic with after [`Outcome::BudgetExhausted`].
+    pub best_partial: Vec<(NodeId, NodeId)>,
+}
 
 /// A subgraph-monomorphism search between a pattern and a target graph.
 ///
@@ -124,16 +261,79 @@ impl<'a> MonomorphismFinder<'a> {
         self.search(visit);
     }
 
+    /// Budget-aware [`for_each`](MonomorphismFinder::for_each): the search
+    /// charges one unit of `budget` per visited node and stops early —
+    /// with [`Outcome::BudgetExhausted`] and the best (deepest) partial
+    /// assignment found — once the meter trips. A search driven by an
+    /// already-exhausted (or deadline-expired) meter visits nothing and
+    /// reports [`Outcome::BudgetExhausted`] immediately, even for trivial
+    /// searches; a *live* meter on a search that needs zero nodes (empty
+    /// pattern, pattern wider than the target) completes truthfully.
+    ///
+    /// Solutions are visited in exactly the order of
+    /// [`for_each`](MonomorphismFinder::for_each); a budget only removes a
+    /// suffix of the enumeration, never reorders it.
+    pub fn for_each_budgeted(
+        &self,
+        budget: &mut Budget,
+        visit: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) -> BudgetedRun {
+        // Entry poll: honour exhaustion (and expired deadlines) before
+        // the trivial early exits in `run`, which never touch the probe.
+        if !budget.consume(0) {
+            return BudgetedRun {
+                outcome: Outcome::BudgetExhausted,
+                nodes: 0,
+                best_partial: Vec::new(),
+            };
+        }
+        let before = budget.nodes_visited();
+        let info = self.run(&mut *budget, visit);
+        BudgetedRun {
+            outcome: if info.budget_cut {
+                Outcome::BudgetExhausted
+            } else {
+                Outcome::Complete
+            },
+            nodes: budget.nodes_visited() - before,
+            best_partial: info.best_partial,
+        }
+    }
+
+    /// Budget-aware existence check: `Some(answer)` when the search
+    /// settled the question within budget, `None` when the budget tripped
+    /// first (the answer is unknown).
+    pub fn exists_budgeted(&self, budget: &mut Budget) -> Option<bool> {
+        let mut found = false;
+        let run = self.for_each_budgeted(budget, &mut |_| {
+            found = true;
+            ControlFlow::Break(())
+        });
+        match (found, run.outcome) {
+            (true, _) => Some(true),
+            (false, Outcome::Complete) => Some(false),
+            (false, Outcome::BudgetExhausted) => None,
+        }
+    }
+
     fn search(&self, visit: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>) {
+        let _ = self.run(Unlimited, visit);
+    }
+
+    fn run<P: Probe>(
+        &self,
+        probe: P,
+        visit: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) -> RunInfo {
         let pn = self.pattern.node_count();
         let tn = self.target.node_count();
         if pn > tn {
-            return;
+            return RunInfo::complete();
         }
         if pn == 0 {
             // The empty map is the unique monomorphism.
             let _ = visit(&[]);
-            return;
+            return RunInfo::complete();
         }
         let order = self.variable_order();
         let twpr = self.target.words_per_row().max(1);
@@ -181,6 +381,10 @@ impl<'a> MonomorphismFinder<'a> {
             cand_stack: vec![0; pn * twpr],
             twpr,
             image: vec![NodeId::new(0); pn],
+            probe,
+            budget_cut: false,
+            best_depth: 0,
+            best_partial: Vec::new(),
         };
         if small {
             // Targets of at most 64 nodes (every library molecule and
@@ -190,6 +394,10 @@ impl<'a> MonomorphismFinder<'a> {
             let _ = state.extend_small(0, all, visit);
         } else {
             let _ = state.extend(0, visit);
+        }
+        RunInfo {
+            budget_cut: state.budget_cut,
+            best_partial: state.best_partial,
         }
     }
 
@@ -230,7 +438,50 @@ impl<'a> MonomorphismFinder<'a> {
 
 const INVALID: u32 = u32::MAX;
 
-struct State<'a> {
+/// Internal report of one kernel run.
+struct RunInfo {
+    budget_cut: bool,
+    best_partial: Vec<(NodeId, NodeId)>,
+}
+
+impl RunInfo {
+    fn complete() -> Self {
+        RunInfo {
+            budget_cut: false,
+            best_partial: Vec::new(),
+        }
+    }
+}
+
+/// The per-node budget hook of the search kernels. The unbudgeted probe
+/// is a zero-sized no-op, so `for_each` and friends monomorphize to the
+/// exact pre-budget kernels.
+trait Probe {
+    /// Whether the kernel should record best-partial assignments.
+    const TRACK_PARTIAL: bool;
+    /// Charges one search node; `false` aborts the search.
+    fn visit(&mut self) -> bool;
+}
+
+struct Unlimited;
+
+impl Probe for Unlimited {
+    const TRACK_PARTIAL: bool = false;
+    #[inline]
+    fn visit(&mut self) -> bool {
+        true
+    }
+}
+
+impl Probe for &mut Budget {
+    const TRACK_PARTIAL: bool = true;
+    #[inline]
+    fn visit(&mut self) -> bool {
+        Budget::visit(self)
+    }
+}
+
+struct State<'a, P> {
     pattern: &'a Graph,
     target: &'a Graph,
     order: Vec<NodeId>,
@@ -252,9 +503,31 @@ struct State<'a> {
     /// Scratch buffer for rendering complete mappings, reused across
     /// solutions so the search allocates nothing per node visited.
     image: Vec<NodeId>,
+    /// Budget hook, charged once per visited search node.
+    probe: P,
+    /// Set when the probe aborted the search (distinguishes a budget cut
+    /// from a visitor break).
+    budget_cut: bool,
+    /// Deepest partial assignment seen (budgeted runs only).
+    best_depth: usize,
+    best_partial: Vec<(NodeId, NodeId)>,
 }
 
-impl State<'_> {
+impl<P: Probe> State<'_, P> {
+    /// Records the current prefix of the mapping as the best partial when
+    /// it is the deepest seen. Compiled out for unbudgeted probes.
+    #[inline]
+    fn note_depth(&mut self, depth: usize) {
+        if P::TRACK_PARTIAL && depth + 1 > self.best_depth {
+            self.best_depth = depth + 1;
+            self.best_partial.clear();
+            for d in 0..=depth {
+                let p = self.order[d];
+                self.best_partial
+                    .push((p, NodeId::new(self.mapping[p.index()] as usize)));
+            }
+        }
+    }
     /// Single-word variant of [`extend`](State::extend) for targets of at
     /// most 64 nodes: the unused set and every candidate set live in
     /// registers (`u64` arguments and locals), adjacency rows are single
@@ -266,6 +539,10 @@ impl State<'_> {
         unused: u64,
         visit: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
+        if !self.probe.visit() {
+            self.budget_cut = true;
+            return ControlFlow::Break(());
+        }
         if depth == self.order.len() {
             for (slot, &t) in self.image.iter_mut().zip(&self.mapping) {
                 *slot = NodeId::new(t as usize);
@@ -292,6 +569,7 @@ impl State<'_> {
                 continue;
             }
             self.mapping[p.index()] = w as u32;
+            self.note_depth(depth);
             let flow = self.extend_small(depth + 1, unused & !(1u64 << w), visit);
             self.mapping[p.index()] = INVALID;
             flow?;
@@ -317,6 +595,10 @@ impl State<'_> {
         depth: usize,
         visit: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
+        if !self.probe.visit() {
+            self.budget_cut = true;
+            return ControlFlow::Break(());
+        }
         if depth == self.order.len() {
             for (slot, &t) in self.image.iter_mut().zip(&self.mapping) {
                 *slot = NodeId::new(t as usize);
@@ -375,6 +657,7 @@ impl State<'_> {
                     }
                 }
                 self.mapping[p.index()] = w as u32;
+                self.note_depth(depth);
                 self.unused[w / 64] &= !(1u64 << (w % 64));
                 let flow = self.extend(depth + 1, visit);
                 self.unused[w / 64] |= 1u64 << (w % 64);
@@ -554,6 +837,157 @@ mod tests {
         let mut map = vec![None; p.node_count()];
         let mut used = vec![false; t.node_count()];
         rec(p, t, &mut map, &mut used, 0)
+    }
+
+    #[test]
+    fn zero_budget_exhausts_without_visiting() {
+        let p = generate::chain(3);
+        let t = generate::ring(4);
+        let mut budget = Budget::max_nodes(0);
+        let mut seen = 0usize;
+        let run = MonomorphismFinder::new(&p, &t).for_each_budgeted(&mut budget, &mut |_| {
+            seen += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(run.outcome, Outcome::BudgetExhausted);
+        assert_eq!(seen, 0);
+        assert_eq!(run.nodes, 0);
+        assert!(budget.is_exhausted());
+        // The exhausted meter short-circuits follow-up searches too.
+        assert_eq!(
+            MonomorphismFinder::new(&p, &t).exists_budgeted(&mut budget),
+            None
+        );
+    }
+
+    #[test]
+    fn budgeted_enumeration_is_a_prefix_of_the_unbudgeted_order() {
+        let p = generate::chain(3);
+        let t = generate::grid(3, 3);
+        let all = MonomorphismFinder::new(&p, &t).find_all();
+        assert!(all.len() > 4);
+        for cap in [1u64, 3, 7, 20, 1_000_000] {
+            let mut budget = Budget::max_nodes(cap);
+            let mut got: Vec<Vec<NodeId>> = Vec::new();
+            let run = MonomorphismFinder::new(&p, &t).for_each_budgeted(&mut budget, &mut |m| {
+                got.push(m.to_vec());
+                ControlFlow::Continue(())
+            });
+            assert_eq!(got, all[..got.len()], "cap {cap} reordered solutions");
+            if run.outcome == Outcome::Complete {
+                assert_eq!(got, all);
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_completes_and_counts_nodes() {
+        let p = generate::ring(4);
+        let t = generate::grid(3, 3);
+        let mut budget = Budget::unlimited();
+        let mut n = 0usize;
+        let run = MonomorphismFinder::new(&p, &t).for_each_budgeted(&mut budget, &mut |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(run.outcome, Outcome::Complete);
+        assert_eq!(n, MonomorphismFinder::new(&p, &t).count());
+        assert!(run.nodes > 0);
+        assert_eq!(budget.nodes_visited(), run.nodes);
+        assert!(!budget.is_exhausted());
+    }
+
+    #[test]
+    fn best_partial_is_a_valid_partial_monomorphism() {
+        // Cut the search mid-flight and check the recorded partial:
+        // injective, in range, and edge-preserving on the mapped prefix.
+        let p = generate::ring(6);
+        let t = generate::grid(4, 4);
+        let mut budget = Budget::max_nodes(5);
+        let run = MonomorphismFinder::new(&p, &t)
+            .for_each_budgeted(&mut budget, &mut |_| ControlFlow::Continue(()));
+        assert_eq!(run.outcome, Outcome::BudgetExhausted);
+        assert!(!run.best_partial.is_empty());
+        let mut used = std::collections::HashSet::new();
+        for &(pv, tv) in &run.best_partial {
+            assert!(pv.index() < p.node_count());
+            assert!(tv.index() < t.node_count());
+            assert!(used.insert(tv), "partial must be injective");
+        }
+        for &(a, ta) in &run.best_partial {
+            for &(b, tb) in &run.best_partial {
+                if p.has_edge(a, b) {
+                    assert!(t.has_edge(ta, tb), "mapped pattern edge must be preserved");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_searches_respect_an_exhausted_meter() {
+        let empty = Graph::new(0);
+        let t = generate::chain(3);
+        // Live zero-node budget: the empty map needs zero nodes, so the
+        // search completes truthfully.
+        let mut fresh = Budget::max_nodes(0);
+        let mut seen = 0usize;
+        let run = MonomorphismFinder::new(&empty, &t).for_each_budgeted(&mut fresh, &mut |_| {
+            seen += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(run.outcome, Outcome::Complete);
+        assert_eq!(seen, 1);
+        // Already-exhausted meter: nothing is visited, even for the
+        // trivial searches that skip the kernel.
+        let mut dead = Budget::max_nodes(1);
+        assert!(dead.consume(1));
+        assert!(!dead.consume(1));
+        for (p, tn) in [(Graph::new(0), 3usize), (generate::chain(4), 3)] {
+            let target = generate::chain(tn);
+            let mut visits = 0usize;
+            let run =
+                MonomorphismFinder::new(&p, &target).for_each_budgeted(&mut dead, &mut |_| {
+                    visits += 1;
+                    ControlFlow::Continue(())
+                });
+            assert_eq!(run.outcome, Outcome::BudgetExhausted);
+            assert_eq!(visits, 0);
+        }
+    }
+
+    #[test]
+    fn exists_budgeted_settles_or_returns_unknown() {
+        let tri = generate::complete(3);
+        let star = generate::star(6);
+        let chain = generate::chain(5);
+        let ring = generate::ring(6);
+        let mut budget = Budget::unlimited();
+        assert_eq!(
+            MonomorphismFinder::new(&tri, &star).exists_budgeted(&mut budget),
+            Some(false)
+        );
+        assert_eq!(
+            MonomorphismFinder::new(&chain, &ring).exists_budgeted(&mut budget),
+            Some(true)
+        );
+        let mut tiny = Budget::max_nodes(1);
+        assert_eq!(
+            MonomorphismFinder::new(&tri, &star).exists_budgeted(&mut tiny),
+            None
+        );
+    }
+
+    #[test]
+    fn consume_checkpoints_trip_the_meter() {
+        let mut budget = Budget::max_nodes(3);
+        assert!(budget.consume(1));
+        assert!(budget.consume(2));
+        assert!(!budget.consume(1), "cap reached");
+        assert!(budget.is_exhausted());
+        assert!(!budget.consume(0), "exhaustion is sticky");
+
+        let mut past = Budget::deadline(Instant::now());
+        assert!(!past.consume(0), "expired deadline trips on first poll");
     }
 
     #[test]

@@ -493,6 +493,48 @@ proptest! {
     }
 
     #[test]
+    fn vf2_budgeted_search_is_a_prefix_and_never_panics(
+        seed in any::<u64>(),
+        pn in 2usize..=5,
+        cap in 0u64..400,
+    ) {
+        use qcp_graph::vf2::{Budget, Outcome};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = generate::random_tree(pn, &mut rng);
+        let t = generate::random_connected(9, 4, &mut rng);
+        let all = MonomorphismFinder::new(&p, &t).find_all();
+        let mut budget = Budget::max_nodes(cap);
+        let mut got: Vec<Vec<NodeId>> = Vec::new();
+        let run = MonomorphismFinder::new(&p, &t).for_each_budgeted(&mut budget, &mut |m| {
+            got.push(m.to_vec());
+            std::ops::ControlFlow::Continue(())
+        });
+        // The budget removes a suffix of the enumeration, never reorders.
+        prop_assert_eq!(&got[..], &all[..got.len()]);
+        prop_assert!(run.nodes <= cap);
+        match run.outcome {
+            Outcome::Complete => prop_assert_eq!(got.len(), all.len()),
+            Outcome::BudgetExhausted => {
+                prop_assert!(budget.is_exhausted());
+                // Any recorded partial is injective and edge-preserving.
+                let mut used = std::collections::HashSet::new();
+                for &(pv, tv) in &run.best_partial {
+                    prop_assert!(used.insert(tv));
+                    prop_assert!(pv.index() < p.node_count());
+                    prop_assert!(tv.index() < t.node_count());
+                }
+                for &(a, ta) in &run.best_partial {
+                    for &(b, tb) in &run.best_partial {
+                        if p.has_edge(a, b) {
+                            prop_assert!(t.has_edge(ta, tb));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn induced_preserves_adjacency(g in arb_graph(12), seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let keep: Vec<NodeId> = g

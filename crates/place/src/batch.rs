@@ -48,6 +48,7 @@ use std::time::{Duration, Instant};
 use qcp_circuit::{Circuit, Time};
 use qcp_env::Environment;
 
+use crate::strategy::Resolution;
 use crate::{PlaceError, PlacementOutcome, Placer, PlacerConfig};
 
 /// One placement request: a circuit to run on an environment under a
@@ -93,6 +94,14 @@ pub struct BatchResult {
     pub outcome: Result<PlacementOutcome, PlaceError>,
     /// Wall-clock time this single request took on its worker.
     pub elapsed: Duration,
+}
+
+impl BatchResult {
+    /// How the placement was obtained (`None` for failed requests) —
+    /// exact, heuristic fallback, or budget-exhausted fallback.
+    pub fn resolution(&self) -> Option<Resolution> {
+        self.outcome.as_ref().ok().map(|o| o.resolution)
+    }
 }
 
 /// A parallel batch-placement driver.
@@ -274,6 +283,16 @@ impl BatchReport {
         self.results.len() - self.succeeded()
     }
 
+    /// Number of successful requests that resolved a particular way —
+    /// the per-request strategy outcome (exact vs fallback vs
+    /// budget-exhausted) instead of a collapsed success/failure count.
+    pub fn resolved(&self, resolution: Resolution) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.resolution() == Some(resolution))
+            .count()
+    }
+
     /// Sum of the placed circuits' physical runtimes.
     pub fn total_runtime(&self) -> Time {
         Time::from_units(
@@ -317,10 +336,12 @@ impl BatchReport {
     }
 
     /// An order-sensitive FNV-1a hash over every outcome: each result's
-    /// success flag, runtime bits, subcircuit count, swap count, and
-    /// initial placement. Two runs of the same requests must produce
-    /// equal fingerprints whatever their worker counts — the determinism
-    /// contract the property tests pin down.
+    /// success flag, strategy resolution, runtime bits, subcircuit count,
+    /// swap count, and initial placement. Two runs of the same requests
+    /// must produce equal fingerprints whatever their worker counts — the
+    /// determinism contract the property tests pin down. An exact and a
+    /// fallback placement that happen to coincide still fingerprint
+    /// differently: how an answer was obtained is part of the outcome.
     pub fn outcome_fingerprint(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         let mut mix = |x: u64| {
@@ -331,6 +352,11 @@ impl BatchReport {
             match &r.outcome {
                 Ok(outcome) => {
                     mix(1);
+                    mix(match outcome.resolution {
+                        Resolution::Exact => 10,
+                        Resolution::Fallback => 11,
+                        Resolution::BudgetExhausted => 12,
+                    });
                     mix(outcome.runtime.units().to_bits());
                     mix(outcome.subcircuit_count() as u64);
                     mix(outcome.swap_count() as u64);
@@ -372,16 +398,24 @@ impl fmt::Display for BatchReport {
             self.total_swaps(),
             self.median_elapsed().as_secs_f64() * 1e3,
         )?;
+        writeln!(
+            f,
+            "  resolutions: {} exact, {} fallback, {} budget-exhausted",
+            self.resolved(Resolution::Exact),
+            self.resolved(Resolution::Fallback),
+            self.resolved(Resolution::BudgetExhausted),
+        )?;
         for r in &self.results {
             match &r.outcome {
                 Ok(o) => writeln!(
                     f,
-                    "  [{:>3}] {}: runtime {}, {} stage(s), {} swap(s)",
+                    "  [{:>3}] {}: runtime {}, {} stage(s), {} swap(s) [{}]",
                     r.index,
                     r.label,
                     o.runtime,
                     o.subcircuit_count(),
-                    o.swap_count()
+                    o.swap_count(),
+                    o.resolution,
                 )?,
                 Err(e) => writeln!(f, "  [{:>3}] {}: FAILED: {e}", r.index, r.label)?,
             }
@@ -393,6 +427,7 @@ impl fmt::Display for BatchReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::{SearchBudget, Strategy};
     use qcp_circuit::library;
     use qcp_env::{molecules, topologies, Threshold};
 
@@ -468,6 +503,33 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("1 ok, 1 failed"), "{text}");
         assert!(text.contains("FAILED"), "{text}");
+    }
+
+    #[test]
+    fn resolutions_surface_in_report_and_fingerprint() {
+        let circuits = vec![library::qec3_encoder()];
+        let envs = vec![topologies::grid(2, 3, topologies::Delays::default())];
+
+        let exact = BatchPlacer::cross_auto(&circuits, &envs, &PlacerConfig::default()).run();
+        assert_eq!(exact.resolved(Resolution::Exact), 1);
+        assert_eq!(exact.results[0].resolution(), Some(Resolution::Exact));
+
+        let anneal_cfg = PlacerConfig::default().strategy(Strategy::Anneal);
+        let anneal = BatchPlacer::cross_auto(&circuits, &envs, &anneal_cfg).run();
+        assert_eq!(anneal.resolved(Resolution::Fallback), 1);
+        // The resolution is part of the fingerprint: the same requests
+        // answered a different way are a different outcome.
+        assert_ne!(exact.outcome_fingerprint(), anneal.outcome_fingerprint());
+
+        let hybrid0 = PlacerConfig::default()
+            .strategy(Strategy::Hybrid)
+            .budget(SearchBudget::nodes(0));
+        let report = BatchPlacer::cross_auto(&circuits, &envs, &hybrid0).run();
+        assert_eq!(report.failed(), 0);
+        assert_eq!(report.resolved(Resolution::BudgetExhausted), 1);
+        let text = report.to_string();
+        assert!(text.contains("1 budget-exhausted"), "{text}");
+        assert!(text.contains("[budget-exhausted]"), "{text}");
     }
 
     #[test]

@@ -4,10 +4,10 @@
 use qcp_circuit::Qubit;
 use qcp_env::PhysicalQubit;
 use qcp_graph::traversal::bfs_order;
-use qcp_graph::vf2::MonomorphismFinder;
+use qcp_graph::vf2::{self, MonomorphismFinder};
 use qcp_graph::{Graph, NodeId};
 
-use crate::{Placement, Result};
+use crate::{PlaceError, Placement, Result};
 
 /// Enumerates up to `k` total placements whose restriction to the
 /// workspace's interacting qubits is a monomorphism of `interaction` into
@@ -31,6 +31,31 @@ pub fn candidate_placements(
     fast: &Graph,
     previous: Option<&Placement>,
     k: usize,
+) -> Result<Vec<Placement>> {
+    candidate_placements_budgeted(
+        interaction,
+        fast,
+        previous,
+        k,
+        &mut vf2::Budget::unlimited(),
+    )
+}
+
+/// [`candidate_placements`] under a search budget: the monomorphism
+/// enumeration charges the shared `meter` per visited search node and the
+/// call fails with [`PlaceError::BudgetExhausted`] if the meter trips
+/// before the enumeration finishes (exactness is all-or-nothing; the
+/// anytime strategies catch the error and fall back).
+///
+/// # Errors
+///
+/// As [`candidate_placements`], plus [`PlaceError::BudgetExhausted`].
+pub fn candidate_placements_budgeted(
+    interaction: &Graph,
+    fast: &Graph,
+    previous: Option<&Placement>,
+    k: usize,
+    meter: &mut vf2::Budget,
 ) -> Result<Vec<Placement>> {
     let n = interaction.node_count();
     let m = fast.node_count();
@@ -69,7 +94,7 @@ pub fn candidate_placements(
     let mut scratch = CompletionScratch::new(n, m);
     let mut out = Vec::new();
     let mut failure: Option<crate::PlaceError> = None;
-    MonomorphismFinder::new(&pattern, fast).for_each(&mut |map| {
+    let run = MonomorphismFinder::new(&pattern, fast).for_each_budgeted(meter, &mut |map| {
         match scratch.complete(&constrained, map, fast, previous) {
             Ok(placement) => out.push(placement),
             Err(e) => {
@@ -85,6 +110,9 @@ pub fn candidate_placements(
     });
     match failure {
         Some(e) => Err(e),
+        None if run.outcome == vf2::Outcome::BudgetExhausted => Err(PlaceError::BudgetExhausted {
+            nodes: meter.nodes_visited(),
+        }),
         None => Ok(out),
     }
 }

@@ -43,6 +43,16 @@ pub enum PlaceError {
     },
     /// A logical qubit was missing from a placement.
     UnplacedQubit(Qubit),
+    /// The exact search ran out of its [`SearchBudget`] (node cap or
+    /// deadline) before committing a placement. The hybrid strategy
+    /// catches this and falls back to the greedy/annealing heuristic;
+    /// callers of the plain exact strategy see it directly.
+    ///
+    /// [`SearchBudget`]: crate::strategy::SearchBudget
+    BudgetExhausted {
+        /// Search nodes charged to the budget meter before it tripped.
+        nodes: u64,
+    },
 }
 
 impl fmt::Display for PlaceError {
@@ -73,6 +83,12 @@ impl fmt::Display for PlaceError {
                 )
             }
             PlaceError::UnplacedQubit(q) => write!(f, "logical qubit {q} has no placement"),
+            PlaceError::BudgetExhausted { nodes } => {
+                write!(
+                    f,
+                    "exact search exhausted its budget after {nodes} search node(s)"
+                )
+            }
         }
     }
 }

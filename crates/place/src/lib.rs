@@ -27,6 +27,13 @@
 //! N circuits × M environments — [`batch`] fans the work out across
 //! worker threads with deterministic, worker-count-independent outcomes.
 //!
+//! The pipeline above is *exact* and all-or-nothing; [`strategy`] makes
+//! placement **anytime**: a [`SearchBudget`] (node cap and/or deadline)
+//! bounds the exact search, and the [`Hybrid`] strategy falls back to a
+//! greedy + simulated-annealing heuristic — non-adjacent interactions
+//! routed through the SWAP router — so every request gets a valid
+//! placement within its budget.
+//!
 //! # Example
 //!
 //! ```
@@ -56,6 +63,7 @@ mod placement;
 pub mod placer;
 pub mod reduction;
 pub mod router;
+pub mod strategy;
 pub mod timeline;
 pub mod workspace;
 
@@ -65,6 +73,10 @@ pub use error::PlaceError;
 pub use placement::Placement;
 pub use placer::{PlacementOutcome, Placer, PlacerConfig, Stage};
 pub use router::{RouterConfig, SwapSchedule};
+pub use strategy::{
+    AnnealConfig, ExactVf2, GreedyAnneal, Hybrid, PlacementStrategy, Resolution, SearchBudget,
+    Strategy,
+};
 pub use timeline::{TimedGate, Timeline};
 
 /// Convenience result alias used throughout the crate.

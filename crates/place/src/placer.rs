@@ -5,13 +5,14 @@
 use qcp_circuit::{Circuit, Qubit, Time};
 use qcp_env::{Environment, Threshold};
 use qcp_graph::traversal::connected_components;
-use qcp_graph::Graph;
+use qcp_graph::{vf2, Graph};
 
 use crate::cost::{CostEngine, CostModel, Schedule};
-use crate::embed::candidate_placements;
+use crate::embed::candidate_placements_budgeted;
 use crate::finetune::fine_tune;
 use crate::router::{route_permutation, RouterConfig, SwapSchedule};
-use crate::workspace::{extract_workspaces_with, ExtractionOptions, Workspace};
+use crate::strategy::{strategy_for, AnnealConfig, Resolution, SearchBudget, Strategy};
+use crate::workspace::{extract_workspaces_budgeted, ExtractionOptions, Workspace};
 use crate::{PlaceError, Placement, Result};
 
 /// Placer configuration. The defaults mirror the paper's implementation:
@@ -35,6 +36,13 @@ pub struct PlacerConfig {
     /// Workspace-extraction options (§7 extensions: gate commutation and
     /// workspace-size balancing).
     pub extraction: ExtractionOptions,
+    /// Placement strategy: budgeted exact, greedy+anneal heuristic, or
+    /// the hybrid fallback chain.
+    pub strategy: Strategy,
+    /// Search budget (node cap and/or deadline) for the strategy.
+    pub budget: SearchBudget,
+    /// Annealing knobs for the heuristic strategies.
+    pub anneal: AnnealConfig,
 }
 
 impl Default for PlacerConfig {
@@ -47,6 +55,9 @@ impl Default for PlacerConfig {
             cost_model: CostModel::default(),
             router: RouterConfig::default(),
             extraction: ExtractionOptions::default(),
+            strategy: Strategy::default(),
+            budget: SearchBudget::unlimited(),
+            anneal: AnnealConfig::default(),
         }
     }
 }
@@ -94,6 +105,20 @@ impl PlacerConfig {
         self.extraction.max_gates = Some(cap.max(1));
         self
     }
+
+    /// Selects the placement strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the search budget for the strategy.
+    #[must_use]
+    pub fn budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
 }
 
 /// One committed stage of the placed computation: the SWAP circuit that
@@ -119,6 +144,9 @@ pub struct PlacementOutcome {
     pub schedule: Schedule,
     /// Total runtime under the configured cost model.
     pub runtime: Time,
+    /// How the placement was obtained: exact search, heuristic fallback,
+    /// or fallback forced by an exhausted search budget.
+    pub resolution: Resolution,
 }
 
 impl PlacementOutcome {
@@ -196,7 +224,7 @@ impl<'e> Placer<'e> {
     }
 
     /// The environment this placer targets.
-    pub fn environment(&self) -> &Environment {
+    pub fn environment(&self) -> &'e Environment {
         self.env
     }
 
@@ -205,7 +233,18 @@ impl<'e> Placer<'e> {
         &self.fast
     }
 
-    /// Places `circuit`, producing the staged computation and its runtime.
+    /// The routing graph: the fast graph plus any bridge couplings.
+    pub fn routing_graph(&self) -> &Graph {
+        &self.routing
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PlacerConfig {
+        &self.config
+    }
+
+    /// Places `circuit` with the configured [`Strategy`] and
+    /// [`SearchBudget`], producing the staged computation and its runtime.
     ///
     /// # Errors
     ///
@@ -214,8 +253,34 @@ impl<'e> Placer<'e> {
     /// * [`PlaceError::NoFastInteractions`] if the threshold disallows all
     ///   interactions but the circuit has two-qubit gates (Table 3's N/A);
     /// * [`PlaceError::RoutingImpossible`] if values cannot be moved
-    ///   between stages even via bridge couplings.
+    ///   between stages even via bridge couplings;
+    /// * [`PlaceError::BudgetExhausted`] if the budget trips under
+    ///   [`Strategy::Exact`] (the anytime strategies catch it instead).
     pub fn place(&self, circuit: &Circuit) -> Result<PlacementOutcome> {
+        strategy_for(self.config.strategy).place(self, circuit)
+    }
+
+    /// The budgeted exact pipeline, regardless of the configured strategy.
+    ///
+    /// # Errors
+    ///
+    /// As [`place`](Placer::place) under [`Strategy::Exact`].
+    pub fn place_exact(&self, circuit: &Circuit) -> Result<PlacementOutcome> {
+        let mut meter = self.config.budget.start();
+        self.place_exact_with(circuit, &mut meter)
+    }
+
+    /// The exact pipeline charging an externally owned budget meter (the
+    /// hybrid strategy shares one meter between the exact attempt and the
+    /// heuristic fallback).
+    pub(crate) fn place_exact_with(
+        &self,
+        circuit: &Circuit,
+        meter: &mut vf2::Budget,
+    ) -> Result<PlacementOutcome> {
+        if !meter.consume(1) {
+            return Err(budget_error(meter));
+        }
         let n = circuit.qubit_count();
         let m = self.env.qubit_count();
         if n > m {
@@ -224,7 +289,8 @@ impl<'e> Placer<'e> {
                 nuclei: m,
             });
         }
-        let workspaces = extract_workspaces_with(circuit, &self.fast, self.config.extraction)?;
+        let workspaces =
+            extract_workspaces_budgeted(circuit, &self.fast, self.config.extraction, meter)?;
 
         let mut engine = CostEngine::new(self.env, self.config.cost_model);
         // Fork arena: two scratch engines reset per scoring call instead
@@ -236,21 +302,21 @@ impl<'e> Placer<'e> {
         let mut stages: Vec<Stage> = Vec::new();
         let mut previous: Option<Placement> = None;
 
-        // Candidate sets are placement-independent (§5.3: "the sets of
-        // monomorphisms … are equal"), so the lookahead computes each
-        // workspace's raw candidates exactly once: 2k monomorphism calls.
-        let mut next_candidates: Option<Vec<Placement>> = None;
-
+        // The lookahead below enumerates workspace i+1's candidates at
+        // iteration i and again at iteration i+1: the *monomorphisms* are
+        // placement-independent (§5.3: "the sets of monomorphisms … are
+        // equal"), but their completions to total placements park idle
+        // qubits relative to the previous placement, which changes when
+        // workspace i commits — so the sets cannot be reused verbatim.
+        // Each enumeration charges the budget meter for the work it does.
         for (wi, ws) in workspaces.iter().enumerate() {
-            let candidates = match next_candidates.take() {
-                Some(c) => c,
-                None => candidate_placements(
-                    &ws.interaction,
-                    &self.fast,
-                    previous.as_ref(),
-                    self.config.max_candidates,
-                )?,
-            };
+            let candidates = candidate_placements_budgeted(
+                &ws.interaction,
+                &self.fast,
+                previous.as_ref(),
+                self.config.max_candidates,
+                meter,
+            )?;
             if candidates.is_empty() {
                 // extract_workspaces guarantees embeddability.
                 return Err(PlaceError::InvalidPlacement {
@@ -261,11 +327,12 @@ impl<'e> Placer<'e> {
             // Lookahead: raw candidates for the next workspace.
             let lookahead_set = if self.config.lookahead {
                 workspaces.get(wi + 1).map(|next| {
-                    candidate_placements(
+                    candidate_placements_budgeted(
                         &next.interaction,
                         &self.fast,
                         previous.as_ref(),
                         self.config.max_candidates,
+                        meter,
                     )
                 })
             } else {
@@ -277,9 +344,14 @@ impl<'e> Placer<'e> {
                 None => None,
             };
 
-            // Score every candidate.
+            // Score every candidate. Each scored continuation charges the
+            // budget meter — scoring is the other half of the exact
+            // pipeline's cost besides the VF2 search itself.
             let mut best: Option<(usize, f64, SwapSchedule)> = None;
             for (ci, cand) in candidates.iter().enumerate() {
+                if !meter.consume(1) {
+                    return Err(budget_error(meter));
+                }
                 let Ok((cost, swaps)) =
                     self.score_into(&engine, previous.as_ref(), cand, ws, &mut fork)
                 else {
@@ -293,6 +365,9 @@ impl<'e> Placer<'e> {
                         let next_ws = &workspaces[wi + 1];
                         let mut best_next = f64::INFINITY;
                         for next_cand in next_cands {
+                            if !meter.consume(1) {
+                                return Err(budget_error(meter));
+                            }
                             if let Ok((c2, _)) =
                                 self.score_into(&fork, Some(cand), next_cand, next_ws, &mut fork2)
                             {
@@ -327,13 +402,25 @@ impl<'e> Placer<'e> {
                     let result = fine_tune(
                         chosen,
                         &movable,
-                        |pl| match self.score_into(&engine, previous.as_ref(), pl, ws, &mut fork) {
-                            Ok((c, _)) => c,
-                            Err(_) => f64::INFINITY,
+                        |pl| {
+                            // An exhausted budget turns remaining probes
+                            // into instant infinities, so the sweep drains
+                            // quickly; the post-check below converts the
+                            // exhaustion into the strict exact failure.
+                            if !meter.consume(1) {
+                                return f64::INFINITY;
+                            }
+                            match self.score_into(&engine, previous.as_ref(), pl, ws, &mut fork) {
+                                Ok((c, _)) => c,
+                                Err(_) => f64::INFINITY,
+                            }
                         },
                         self.config.fine_tune_rounds,
                     );
                     chosen = result.placement;
+                    if meter.is_exhausted() {
+                        return Err(budget_error(meter));
+                    }
                 }
             }
 
@@ -357,6 +444,7 @@ impl<'e> Placer<'e> {
             stages,
             schedule,
             runtime,
+            resolution: Resolution::Exact,
         })
     }
 
@@ -385,6 +473,13 @@ impl<'e> Placer<'e> {
         fork.apply_swap_levels(swaps.levels());
         fork.apply_placed_circuit(&ws.circuit, cand);
         Ok((fork.makespan().units(), swaps))
+    }
+}
+
+/// The strict exact failure once a budget meter has tripped.
+fn budget_error(meter: &vf2::Budget) -> PlaceError {
+    PlaceError::BudgetExhausted {
+        nodes: meter.nodes_visited(),
     }
 }
 

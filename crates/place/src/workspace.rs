@@ -8,7 +8,7 @@
 //! next one. Single-qubit gates never break embeddability.
 
 use qcp_circuit::{Circuit, Gate};
-use qcp_graph::vf2::MonomorphismFinder;
+use qcp_graph::vf2::{self, MonomorphismFinder};
 use qcp_graph::{Graph, NodeId};
 
 use crate::{PlaceError, Result};
@@ -81,16 +81,33 @@ pub fn extract_workspaces_with(
     fast: &Graph,
     options: ExtractionOptions,
 ) -> Result<Vec<Workspace>> {
+    extract_workspaces_budgeted(circuit, fast, options, &mut vf2::Budget::unlimited())
+}
+
+/// [`extract_workspaces_with`] under a search budget: every embeddability
+/// check charges the shared `meter`, and extraction aborts with
+/// [`PlaceError::BudgetExhausted`] once it trips.
+///
+/// # Errors
+///
+/// As [`extract_workspaces`], plus [`PlaceError::BudgetExhausted`].
+pub fn extract_workspaces_budgeted(
+    circuit: &Circuit,
+    fast: &Graph,
+    options: ExtractionOptions,
+    meter: &mut vf2::Budget,
+) -> Result<Vec<Workspace>> {
     if options.commutation_aware {
-        return extract_commutation_aware(circuit, fast, options);
+        return extract_commutation_aware(circuit, fast, options, meter);
     }
-    extract_contiguous(circuit, fast, options)
+    extract_contiguous(circuit, fast, options, meter)
 }
 
 fn extract_contiguous(
     circuit: &Circuit,
     fast: &Graph,
     options: ExtractionOptions,
+    meter: &mut vf2::Budget,
 ) -> Result<Vec<Workspace>> {
     let n = circuit.qubit_count();
     let gates: Vec<Gate> = circuit.gates().cloned().collect();
@@ -139,14 +156,14 @@ fn extract_contiguous(
         }
         let mut tentative = edges.clone();
         tentative.push(key);
-        if embeds(&tentative, n, fast) {
+        if embeds(&tentative, n, fast, meter)? {
             edges = tentative;
             have_edge.insert(key);
             continue;
         }
         // The new edge breaks alignment. If the gate cannot even start a
         // fresh workspace, the threshold kills the computation.
-        if !embeds(&[key], n, fast) {
+        if !embeds(&[key], n, fast, meter)? {
             return Err(PlaceError::NoFastInteractions);
         }
         close(&mut out, start, i, &edges, &gates);
@@ -165,6 +182,7 @@ fn extract_commutation_aware(
     circuit: &Circuit,
     fast: &Graph,
     options: ExtractionOptions,
+    meter: &mut vf2::Budget,
 ) -> Result<Vec<Workspace>> {
     let n = circuit.qubit_count();
     let mut remaining: Vec<(usize, Gate)> = circuit.gates().cloned().enumerate().collect();
@@ -195,12 +213,12 @@ fn extract_commutation_aware(
                     }
                     let mut tentative = edges.clone();
                     tentative.push(key);
-                    if embeds(&tentative, n, fast) {
+                    if embeds(&tentative, n, fast, meter)? {
                         edges = tentative;
                         have_edge.insert(key);
                         current.push((idx, gate));
                     } else {
-                        if !embeds(&[key], n, fast) {
+                        if !embeds(&[key], n, fast, meter)? {
                             return Err(PlaceError::NoFastInteractions);
                         }
                         deferred.push((idx, gate));
@@ -244,10 +262,17 @@ fn extract_commutation_aware(
     Ok(out)
 }
 
-/// Does the interaction pattern embed into the fast graph?
-fn embeds(edges: &[(usize, usize)], n_qubits: usize, fast: &Graph) -> bool {
+/// Does the interaction pattern embed into the fast graph? Charges the
+/// budget meter; an exhausted meter makes the answer unknowable and the
+/// extraction fails with [`PlaceError::BudgetExhausted`].
+fn embeds(
+    edges: &[(usize, usize)],
+    n_qubits: usize,
+    fast: &Graph,
+    meter: &mut vf2::Budget,
+) -> Result<bool> {
     if edges.is_empty() {
-        return true;
+        return Ok(true);
     }
     // Relabel the touched qubits densely.
     let mut index = vec![usize::MAX; n_qubits];
@@ -261,7 +286,7 @@ fn embeds(edges: &[(usize, usize)], n_qubits: usize, fast: &Graph) -> bool {
         }
     }
     if count > fast.node_count() {
-        return false;
+        return Ok(false);
     }
     let mut pattern = Graph::new(count);
     for &(a, b) in edges {
@@ -269,7 +294,11 @@ fn embeds(edges: &[(usize, usize)], n_qubits: usize, fast: &Graph) -> bool {
             .add_edge(NodeId::new(index[a]), NodeId::new(index[b]), 1.0)
             .expect("edges are unique pairs");
     }
-    MonomorphismFinder::new(&pattern, fast).exists()
+    MonomorphismFinder::new(&pattern, fast)
+        .exists_budgeted(meter)
+        .ok_or(PlaceError::BudgetExhausted {
+            nodes: meter.nodes_visited(),
+        })
 }
 
 #[cfg(test)]

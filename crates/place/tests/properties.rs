@@ -12,7 +12,7 @@ use qcp_place::baselines::{exhaustive_placement, random_placement};
 use qcp_place::batch::BatchPlacer;
 use qcp_place::cost::{placed_runtime, CostModel};
 use qcp_place::router::{route_permutation, route_sequential, verify_schedule, RouterConfig};
-use qcp_place::{Placement, Placer, PlacerConfig};
+use qcp_place::{PlaceError, Placement, Placer, PlacerConfig, Resolution, SearchBudget, Strategy};
 
 /// A random circuit in the NMR basis on `n` qubits.
 fn random_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
@@ -270,6 +270,55 @@ proptest! {
     }
 
     #[test]
+    fn zero_budget_exact_never_panics_and_always_exhausts(seed in any::<u64>()) {
+        // The anytime contract's strict half: a 0-budget ExactVf2 never
+        // panics and always reports BudgetExhausted, whatever the
+        // circuit/environment pair looks like.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..7usize);
+        let circuit = random_circuit(n, rng.gen_range(1..30), seed ^ 31);
+        let env = random_env(n + rng.gen_range(0..3usize), seed ^ 32);
+        let t = env.connectivity_threshold().unwrap();
+        let config = PlacerConfig::with_threshold(t)
+            .strategy(Strategy::Exact)
+            .budget(SearchBudget::nodes(0));
+        let err = Placer::new(&env, config).place(&circuit).unwrap_err();
+        prop_assert!(matches!(err, PlaceError::BudgetExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_budget_hybrid_still_places(seed in any::<u64>()) {
+        // ... and the anytime half: hybrid under the same empty budget
+        // must still return a valid placement via the heuristic chain.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..7usize);
+        let circuit = random_circuit(n, rng.gen_range(1..30), seed ^ 41);
+        let env = random_env(n + rng.gen_range(0..3usize), seed ^ 42);
+        let t = env.connectivity_threshold().unwrap();
+        let config = PlacerConfig::with_threshold(t)
+            .strategy(Strategy::Hybrid)
+            .budget(SearchBudget::nodes(0));
+        let outcome = Placer::new(&env, config).place(&circuit).unwrap();
+        prop_assert_eq!(outcome.resolution, Resolution::BudgetExhausted);
+        prop_assert_eq!(
+            outcome.schedule.gate_count(),
+            circuit.gate_count() + outcome.swap_count()
+        );
+        // Every stage's interactions sit on fast couplings.
+        let fast = env.fast_graph(t);
+        for stage in &outcome.stages {
+            for g in stage.subcircuit.gates() {
+                if let Some((a, b)) = g.coupling() {
+                    prop_assert!(fast.has_edge(
+                        NodeId::new(stage.placement.physical(a).index()),
+                        NodeId::new(stage.placement.physical(b).index()),
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn workspace_interactions_always_embed(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = rng.gen_range(3..7usize);
@@ -294,6 +343,57 @@ proptest! {
                         .has_edge(NodeId::new(a.index()), NodeId::new(b.index())));
                 }
             }
+        }
+    }
+}
+
+/// The hybrid-equivalence half of the anytime contract: with an
+/// unlimited budget, `Hybrid` must be bit-identical to `ExactVf2` on the
+/// whole topology zoo (the exact attempt never exhausts, so the fallback
+/// never runs).
+#[test]
+fn hybrid_with_unlimited_budget_is_bit_identical_to_exact_on_the_zoo() {
+    let circuits = [
+        qcp_circuit::library::qec3_encoder(),
+        qcp_circuit::library::qft(4),
+        qcp_circuit::library::pseudo_cat(5),
+        qcp_circuit::library::qec5_benchmark(),
+    ];
+    let envs = [
+        topologies::line(6, Delays::default()),
+        topologies::ring(6, Delays::default()),
+        topologies::grid(2, 3, Delays::default()),
+        topologies::heavy_hex(3, Delays::default()),
+        topologies::star(6, Delays::default()),
+        molecules::trans_crotonic_acid(),
+    ];
+    let exact = BatchPlacer::cross_auto(&circuits, &envs, &PlacerConfig::default().candidates(30))
+        .jobs(1)
+        .run();
+    let hybrid = BatchPlacer::cross_auto(
+        &circuits,
+        &envs,
+        &PlacerConfig::default()
+            .candidates(30)
+            .strategy(Strategy::Hybrid),
+    )
+    .jobs(1)
+    .run();
+    assert_eq!(exact.results.len(), hybrid.results.len());
+    assert_eq!(exact.outcome_fingerprint(), hybrid.outcome_fingerprint());
+    for (a, b) in exact.results.iter().zip(&hybrid.results) {
+        match (&a.outcome, &b.outcome) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.resolution, Resolution::Exact, "{}", a.label);
+                assert_eq!(y.resolution, Resolution::Exact, "{}", b.label);
+                assert_eq!(x.runtime.units(), y.runtime.units());
+                assert_eq!(x.stages.len(), y.stages.len());
+                for (sx, sy) in x.stages.iter().zip(&y.stages) {
+                    assert!(sx.placement.same_assignment(&sy.placement));
+                }
+            }
+            (Err(x), Err(y)) => assert_eq!(x, y),
+            (x, y) => panic!("ok/err mismatch on {}: {x:?} vs {y:?}", a.label),
         }
     }
 }

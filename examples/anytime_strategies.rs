@@ -1,0 +1,78 @@
+//! Anytime placement: budgeted exact search with a heuristic fallback.
+//!
+//! Places the 6-qubit QFT on device backends with each strategy and
+//! shows what a latency budget buys: `exact` either finishes or fails,
+//! `anneal` is instant but approximate, and `hybrid` always returns a
+//! valid placement within the budget — falling back to greedy+anneal
+//! when the exact search exhausts it.
+//!
+//! Run with: `cargo run --release --example anytime_strategies`
+
+use std::time::Instant;
+
+use qcp::circuit::library;
+use qcp::env::topologies::{self, Delays};
+use qcp::prelude::*;
+
+fn main() {
+    let circuit = library::qft(6);
+
+    // A device where exact enumeration is comfortable (~hundreds of ms).
+    let hh3 = topologies::heavy_hex(3, Delays::default());
+    println!(
+        "== qft6 on {} ({} qubits) ==",
+        hh3.name(),
+        hh3.qubit_count()
+    );
+    for strategy in [Strategy::Exact, Strategy::Anneal, Strategy::Hybrid] {
+        run(&hh3, &circuit, strategy, SearchBudget::unlimited());
+    }
+
+    // A device where exact enumeration takes *seconds*: give each request
+    // a 50 ms deadline. Exact fails it; hybrid degrades gracefully.
+    let grid = topologies::grid(8, 8, Delays::default());
+    let budget = SearchBudget::from_millis(50);
+    println!(
+        "\n== qft6 on {} ({} qubits), 50 ms budget ==",
+        grid.name(),
+        grid.qubit_count()
+    );
+    for strategy in [Strategy::Exact, Strategy::Hybrid] {
+        run(&grid, &circuit, strategy, budget);
+    }
+
+    // Node budgets are the deterministic flavour: the same request does
+    // exactly the same work on every machine.
+    println!("\n== qft6 on {}, 2000-node budget ==", grid.name());
+    run(
+        &grid,
+        &circuit,
+        Strategy::Hybrid,
+        SearchBudget::nodes(2_000),
+    );
+}
+
+fn run(env: &Environment, circuit: &Circuit, strategy: Strategy, budget: SearchBudget) {
+    let t = env.connectivity_threshold().expect("connected device");
+    let config = PlacerConfig::with_threshold(t)
+        .strategy(strategy)
+        .budget(budget);
+    let placer = Placer::new(env, config);
+    let started = Instant::now();
+    match placer.place(circuit) {
+        Ok(outcome) => println!(
+            "  {:<6} -> {:<16} runtime {}, {} stage(s), {} swap(s), {:.1} ms",
+            strategy.to_string(),
+            format!("[{}]", outcome.resolution),
+            outcome.runtime,
+            outcome.subcircuit_count(),
+            outcome.swap_count(),
+            started.elapsed().as_secs_f64() * 1e3,
+        ),
+        Err(e) => println!(
+            "  {:<6} -> FAILED after {:.1} ms: {e}",
+            strategy.to_string(),
+            started.elapsed().as_secs_f64() * 1e3,
+        ),
+    }
+}

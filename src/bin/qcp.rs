@@ -5,6 +5,7 @@
 //! $ qcp circuits                          # list built-in circuits
 //! $ qcp place --circuit qft6 --env trans-crotonic-acid --threshold 200
 //! $ qcp place --circuit qft6 --topology grid:8x8
+//! $ qcp place --circuit qft6 --topology grid:8x8 --strategy hybrid --budget-ms 50
 //! $ qcp place --circuit my.qc --env my.mol --auto --gantt
 //! $ qcp batch --circuits qec3,qec5,qft6 \
 //!       --envs trans-crotonic-acid,grid:4x4,heavy_hex:3 --jobs 4
@@ -77,6 +78,9 @@ fn main() -> ExitCode {
                  \x20 --no-lookahead          greedy stage selection\n\
                  \x20 --fine-tune <rounds>    hill-climbing sweeps (default 2)\n\
                  \x20 --commutation           commutation-aware extraction\n\
+                 \x20 --strategy <s>          exact | anneal | hybrid (default exact)\n\
+                 \x20 --budget-ms <ms>        wall-clock search budget per request\n\
+                 \x20 --budget-nodes <n>      deterministic search-node budget\n\
                  \x20 --gantt                 print the timed pulse chart\n\
                  \x20 --exposure              print idle/coupling exposure\n\
                  batch options:\n\
@@ -85,7 +89,8 @@ fn main() -> ExitCode {
                  \x20 --jobs <k>              worker threads (default: all cores)\n\
                  \x20 --threshold <units>     fixed threshold (default: per-env auto)\n\
                  \x20 --coupling <units>      coupling delay for topology specs\n\
-                 \x20 --k/--no-lookahead/--fine-tune/--commutation as for place"
+                 \x20 --k/--no-lookahead/--fine-tune/--commutation as for place\n\
+                 \x20 --strategy/--budget-ms/--budget-nodes as for place"
             );
             ExitCode::FAILURE
         }
@@ -102,6 +107,8 @@ fn run_place(args: &[String]) -> Result<(), String> {
     let mut lookahead = true;
     let mut fine_tune = 2usize;
     let mut commutation = false;
+    let mut strategy = Strategy::Exact;
+    let mut budget = SearchBudget::unlimited();
     let mut gantt = false;
     let mut exposure = false;
 
@@ -133,6 +140,17 @@ fn run_place(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("bad rounds: {e}"))?
             }
             "--commutation" => commutation = true,
+            "--strategy" => strategy = value("--strategy")?.parse()?,
+            "--budget-ms" => {
+                budget = budget.with_deadline(parse_budget_ms(&value("--budget-ms")?)?)
+            }
+            "--budget-nodes" => {
+                budget = budget.with_nodes(
+                    value("--budget-nodes")?
+                        .parse()
+                        .map_err(|e| format!("bad node budget: {e}"))?,
+                )
+            }
             "--gantt" => gantt = true,
             "--exposure" => exposure = true,
             other => return Err(format!("unknown option `{other}`")),
@@ -160,9 +178,13 @@ fn run_place(args: &[String]) -> Result<(), String> {
         .candidates(k)
         .lookahead(lookahead)
         .fine_tuning(fine_tune)
-        .commutation_aware(commutation);
+        .commutation_aware(commutation)
+        .strategy(strategy)
+        .budget(budget);
     let placer = Placer::new(&env, config);
+    let started = std::time::Instant::now();
     let outcome = placer.place(&circuit).map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
 
     println!(
         "placed `{}` ({} qubits, {} gates) on `{}` ({} nuclei) at threshold {}",
@@ -174,13 +196,19 @@ fn run_place(args: &[String]) -> Result<(), String> {
         threshold
     );
     println!(
+        "strategy {strategy} resolved {} in {:.1} ms",
+        outcome.resolution,
+        elapsed.as_secs_f64() * 1e3
+    );
+    println!(
         "runtime {}  |  {} subcircuit(s), {} swap(s)",
         outcome.runtime,
         outcome.subcircuit_count(),
         outcome.swap_count()
     );
     let names = env.nucleus_names();
-    for (si, stage) in outcome.stages.iter().enumerate() {
+    const MAX_STAGES_SHOWN: usize = 16;
+    for (si, stage) in outcome.stages.iter().take(MAX_STAGES_SHOWN).enumerate() {
         let map: Vec<String> = (0..circuit.qubit_count())
             .map(|qi| {
                 let v = stage.placement.physical(Qubit::new(qi));
@@ -193,6 +221,12 @@ fn run_place(args: &[String]) -> Result<(), String> {
             stage.subcircuit.gate_count(),
             stage.swaps.depth(),
             map.join(", ")
+        );
+    }
+    if outcome.stages.len() > MAX_STAGES_SHOWN {
+        println!(
+            "… and {} more stage(s)",
+            outcome.stages.len() - MAX_STAGES_SHOWN
         );
     }
     if gantt || exposure {
@@ -222,6 +256,8 @@ fn run_batch(args: &[String]) -> Result<(), String> {
     let mut lookahead = true;
     let mut fine_tune = 2usize;
     let mut commutation = false;
+    let mut strategy = Strategy::Exact;
+    let mut budget = SearchBudget::unlimited();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -257,6 +293,17 @@ fn run_batch(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("bad rounds: {e}"))?
             }
             "--commutation" => commutation = true,
+            "--strategy" => strategy = value("--strategy")?.parse()?,
+            "--budget-ms" => {
+                budget = budget.with_deadline(parse_budget_ms(&value("--budget-ms")?)?)
+            }
+            "--budget-nodes" => {
+                budget = budget.with_nodes(
+                    value("--budget-nodes")?
+                        .parse()
+                        .map_err(|e| format!("bad node budget: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -277,7 +324,9 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         .candidates(k)
         .lookahead(lookahead)
         .fine_tuning(fine_tune)
-        .commutation_aware(commutation);
+        .commutation_aware(commutation)
+        .strategy(strategy)
+        .budget(budget);
     let batch = match threshold {
         Some(t) => {
             let config = PlacerConfig {
@@ -298,6 +347,11 @@ fn split_list(arg: &str) -> Vec<String> {
         .filter(|s| !s.is_empty())
         .map(String::from)
         .collect()
+}
+
+fn parse_budget_ms(text: &str) -> Result<std::time::Duration, String> {
+    let ms: u64 = text.parse().map_err(|e| format!("bad budget: {e}"))?;
+    Ok(std::time::Duration::from_millis(ms))
 }
 
 fn parse_coupling(text: &str) -> Result<f64, String> {

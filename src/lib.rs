@@ -18,7 +18,10 @@ pub mod prelude {
     pub use qcp_circuit::{Circuit, Gate, Qubit, Time};
     pub use qcp_env::{molecules, topologies, Environment, Threshold};
     pub use qcp_graph::{Graph, NodeId};
-    pub use qcp_place::{BatchPlacer, BatchReport, CostModel, Placement, Placer, PlacerConfig};
+    pub use qcp_place::{
+        BatchPlacer, BatchReport, CostModel, Placement, Placer, PlacerConfig, Resolution,
+        SearchBudget, Strategy,
+    };
 }
 
 // Compile and run every Rust snippet in GUIDE.md as a doc-test, so the
