@@ -1,8 +1,10 @@
 //! Machine-readable performance baseline (`perf` binary).
 //!
 //! Times the hot-path suites (subgraph monomorphism, SWAP routing,
-//! whole-circuit placement), the Table 4 chain workloads end-to-end, and
-//! the 32-request topology-zoo batch at 1 and 4 workers, and renders the
+//! whole-circuit placement), the Table 4 chain workloads end-to-end, the
+//! 32-request topology-zoo batch at 1 and 4 workers, and the OpenQASM
+//! ingestion path (parse+lower, and a full `--qasm`-style parse-and-place
+//! round), and renders the
 //! medians as JSON (`BENCH_PLACE.json` at the workspace root). Future
 //! PRs re-run the binary with `--baseline` pointing at the committed
 //! file to get per-case speedup factors, giving the repo a perf
@@ -34,7 +36,7 @@ use rand::SeedableRng;
 #[derive(Clone, Debug)]
 pub struct PerfCase {
     /// Suite the case belongs to (`mono`, `router`, `place`, `e2e`,
-    /// `batch`, `strategy`).
+    /// `batch`, `strategy`, `ingest`).
     pub suite: &'static str,
     /// Unique case name, prefixed by its suite.
     pub name: &'static str,
@@ -337,6 +339,30 @@ pub fn run_suites(quick: bool) -> Vec<PerfCase> {
         let placer = Placer::new(&sc.env, strat_config(&sc.env, sc.strategy, sc.budget));
         case("strategy", sc.name, &mut || {
             black_box(placer.place(&sc.circuit).expect("strategy workloads place"));
+        });
+    }
+
+    // --- OpenQASM ingestion (identical cases in quick and full mode so
+    // the regression gate covers the frontend): parse+lower of the
+    // largest committed corpus file, and the whole `--qasm` place path —
+    // source text in, placement out ---
+    const RANDOM_CNOT12: &str = include_str!("../../../tests/qasm/random_cnot12.qasm");
+    const QFT4: &str = include_str!("../../../tests/qasm/qft4.qasm");
+    case("ingest", "ingest/parse-random_cnot12", &mut || {
+        black_box(qcp_circuit::qasm::parse(RANDOM_CNOT12).expect("corpus parses"));
+    });
+    {
+        let grid44 = topologies::grid(4, 4, Delays::default());
+        let config =
+            PlacerConfig::with_threshold(grid44.connectivity_threshold().expect("connected"))
+                .candidates(30)
+                .strategy(Strategy::Hybrid);
+        let placer = Placer::new(&grid44, config);
+        case("ingest", "ingest/place-qasm-qft4-grid4x4", &mut || {
+            let circuit = qcp_circuit::qasm::parse(QFT4)
+                .expect("corpus parses")
+                .circuit;
+            black_box(placer.place(&circuit).expect("corpus places"));
         });
     }
 

@@ -5,6 +5,50 @@ use std::fmt;
 
 use crate::Qubit;
 
+/// A position in a parsed source text: one-based line and column.
+///
+/// Both the line-oriented [`text`](crate::text) format and the OpenQASM
+/// frontend ([`qasm`](crate::qasm)) report diagnostics through this type,
+/// so error messages render identically whichever parser produced them.
+/// Columns count Unicode scalar values (characters), not bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SourceSpan {
+    /// One-based line number.
+    pub line: usize,
+    /// One-based column number (in characters).
+    pub col: usize,
+}
+
+impl SourceSpan {
+    /// A span at `line`/`col` (both one-based).
+    pub fn new(line: usize, col: usize) -> Self {
+        SourceSpan { line, col }
+    }
+
+    /// The span of `token` within `line_text`, which must be a subslice of
+    /// it, on one-based line `line`.
+    ///
+    /// Uses pointer arithmetic on the subslice to recover the byte offset,
+    /// then counts characters, so callers can split a line however they
+    /// like and still report exact columns.
+    pub fn of_token(line: usize, line_text: &str, token: &str) -> Self {
+        let base = line_text.as_ptr() as usize;
+        let tok = token.as_ptr() as usize;
+        let mut byte_off = tok.saturating_sub(base).min(line_text.len());
+        while !line_text.is_char_boundary(byte_off) {
+            byte_off -= 1;
+        }
+        let col = line_text[..byte_off].chars().count() + 1;
+        SourceSpan { line, col }
+    }
+}
+
+impl fmt::Display for SourceSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// Errors returned by circuit construction, validation, and parsing.
 #[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
@@ -23,13 +67,23 @@ pub enum CircuitError {
         /// The qubit used twice.
         qubit: Qubit,
     },
-    /// Text-format parse failure.
+    /// Text- or QASM-format parse failure.
     Parse {
-        /// One-based line number.
-        line: usize,
+        /// Where in the source the problem was found.
+        span: SourceSpan,
         /// What went wrong.
         message: String,
     },
+}
+
+impl CircuitError {
+    /// Shorthand for a [`CircuitError::Parse`] at `span`.
+    pub fn parse_at(span: SourceSpan, message: impl Into<String>) -> Self {
+        CircuitError::Parse {
+            span,
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for CircuitError {
@@ -41,8 +95,8 @@ impl fmt::Display for CircuitError {
             CircuitError::LevelConflict { level, qubit } => {
                 write!(f, "level {level} uses qubit {qubit} in two gates")
             }
-            CircuitError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            CircuitError::Parse { span, message } => {
+                write!(f, "parse error at {span}: {message}")
             }
         }
     }
@@ -62,10 +116,38 @@ mod tests {
         };
         assert!(e.to_string().contains("q9"));
         let e = CircuitError::Parse {
-            line: 3,
+            span: SourceSpan::new(3, 7),
             message: "bad gate".into(),
         };
-        assert!(e.to_string().contains("line 3"));
+        assert_eq!(e.to_string(), "parse error at 3:7: bad gate");
+    }
+
+    #[test]
+    fn span_of_token_counts_characters() {
+        let line = "zz q0 q1 90";
+        let tok = &line[6..8];
+        assert_eq!(tok, "q1");
+        assert_eq!(SourceSpan::of_token(4, line, tok), SourceSpan::new(4, 7));
+        // Multi-byte characters before the token still count as one column.
+        let line = "zz μ0 q1 90";
+        let idx = line.find("q1").unwrap();
+        let tok = &line[idx..idx + 2];
+        assert_eq!(SourceSpan::of_token(1, line, tok), SourceSpan::new(1, 7));
+    }
+
+    #[test]
+    fn span_of_token_with_foreign_slice_saturates() {
+        // A token that is not a subslice must not panic; it pins to the
+        // line start or end instead.
+        let span = SourceSpan::of_token(2, "abc", "zzz");
+        assert_eq!(span.line, 2);
+        assert!(span.col >= 1);
+    }
+
+    #[test]
+    fn spans_order_by_position() {
+        assert!(SourceSpan::new(1, 9) < SourceSpan::new(2, 1));
+        assert!(SourceSpan::new(2, 1) < SourceSpan::new(2, 4));
     }
 
     #[test]

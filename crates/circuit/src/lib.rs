@@ -16,6 +16,11 @@
 //!   `cphase` are expanded into the `R_x/R_y/R_z/ZZ` basis exactly as an
 //!   NMR compiler would);
 //! * [`text`] — a small line-oriented serialization format;
+//! * [`qasm`] — an OpenQASM 2.0 frontend ([`qasm::parse`],
+//!   [`Circuit::from_qasm`], [`Circuit::to_qasm`]): hand-rolled lexer +
+//!   recursive-descent parser over the `qelib1.inc` standard gates, with
+//!   custom `gate` definitions inlined at parse time and a lowering pass
+//!   onto the NMR basis above;
 //! * [`library`] — every benchmark circuit used in the paper's evaluation
 //!   (Tables 1–4): the 3-qubit error-correction encoder of Fig. 2, the
 //!   5-qubit error-correction benchmark, phase estimation, (approximate)
@@ -42,12 +47,13 @@ mod circuit;
 mod error;
 mod gate;
 pub mod library;
+pub mod qasm;
 mod qubit;
 pub mod text;
 mod time;
 
 pub use circuit::{Circuit, CircuitBuilder, Level};
-pub use error::CircuitError;
+pub use error::{CircuitError, SourceSpan};
 pub use gate::Gate;
 pub use qubit::Qubit;
 pub use time::Time;

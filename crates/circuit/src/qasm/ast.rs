@@ -1,0 +1,392 @@
+//! Expression AST, parameter values, and gate-definition templates.
+//!
+//! Two design points matter here:
+//!
+//! * **Gate definitions are inlined at parse time.** A [`GateDef`] body is
+//!   flattened to a [`TemplateOp`] list over *native* gates only — applying
+//!   a composite gate inside another definition splices the callee's
+//!   template with its parameter expressions substituted, so applying a
+//!   gate at the top level never recurses.
+//! * **Parameter values track π symbolically.** A [`Value`] is
+//!   `num / den · π^pi`, with multiplication and division kept exact. This
+//!   lets [`Circuit::to_qasm`](crate::Circuit::to_qasm) emit angles as
+//!   `<degrees>*pi/180` and get the *bit-identical* degree value back when
+//!   re-parsed: the conversion is `num * (180/den)` with `den = 180`, and
+//!   `180/180 == 1.0` exactly. Plain radian literals in external files take
+//!   the ordinary (correctly-rounded) `×180/π` path.
+
+use std::f64::consts::PI;
+
+/// Binary operators of the OpenQASM expression grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+}
+
+/// Unary math functions allowed in parameter expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum MathFn {
+    Sin,
+    Cos,
+    Tan,
+    Exp,
+    Ln,
+    Sqrt,
+}
+
+impl MathFn {
+    /// Resolves a function name (`sin`, `cos`, …).
+    pub fn named(name: &str) -> Option<MathFn> {
+        Some(match name {
+            "sin" => MathFn::Sin,
+            "cos" => MathFn::Cos,
+            "tan" => MathFn::Tan,
+            "exp" => MathFn::Exp,
+            "ln" => MathFn::Ln,
+            "sqrt" => MathFn::Sqrt,
+            _ => return None,
+        })
+    }
+
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            MathFn::Sin => x.sin(),
+            MathFn::Cos => x.cos(),
+            MathFn::Tan => x.tan(),
+            MathFn::Exp => x.exp(),
+            MathFn::Ln => x.ln(),
+            MathFn::Sqrt => x.sqrt(),
+        }
+    }
+}
+
+/// A parameter expression. `Param(i)` refers to the `i`-th formal
+/// parameter of the enclosing gate definition (never present at the top
+/// level — applications substitute arguments before evaluation).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Expr {
+    Int(u64),
+    Real(f64),
+    Pi,
+    Param(usize),
+    Neg(Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Call(MathFn, Box<Expr>),
+}
+
+impl Expr {
+    /// Replaces every `Param(i)` with `args[i]` (used when a composite
+    /// gate application is spliced into the enclosing definition).
+    pub fn substitute(&self, args: &[Expr]) -> Expr {
+        match self {
+            Expr::Param(i) => args[*i].clone(),
+            Expr::Neg(e) => Expr::Neg(Box::new(e.substitute(args))),
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(a.substitute(args)),
+                Box::new(b.substitute(args)),
+            ),
+            Expr::Call(f, e) => Expr::Call(*f, Box::new(e.substitute(args))),
+            leaf => leaf.clone(),
+        }
+    }
+
+    /// Evaluates the expression with `env` supplying parameter values.
+    ///
+    /// # Errors
+    ///
+    /// A message (the caller attaches the span) when the result is not a
+    /// finite number.
+    pub fn eval(&self, env: &[Value]) -> Result<Value, String> {
+        let v = self.eval_inner(env);
+        if v.as_f64().is_finite() {
+            Ok(v)
+        } else {
+            Err("parameter expression does not evaluate to a finite number".into())
+        }
+    }
+
+    fn eval_inner(&self, env: &[Value]) -> Value {
+        match self {
+            Expr::Int(n) => Value::number(*n as f64),
+            Expr::Real(x) => Value::number(*x),
+            Expr::Pi => Value {
+                num: 1.0,
+                den: 1.0,
+                pi: 1,
+            },
+            Expr::Param(i) => env[*i],
+            Expr::Neg(e) => {
+                let v = e.eval_inner(env);
+                Value { num: -v.num, ..v }
+            }
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (a.eval_inner(env), b.eval_inner(env));
+                match op {
+                    BinOp::Mul => Value {
+                        num: a.num * b.num,
+                        den: a.den * b.den,
+                        pi: a.pi + b.pi,
+                    },
+                    BinOp::Div => Value {
+                        num: a.num * b.den,
+                        den: a.den * b.num,
+                        pi: a.pi - b.pi,
+                    },
+                    BinOp::Add => Value::number(a.as_f64() + b.as_f64()),
+                    BinOp::Sub => Value::number(a.as_f64() - b.as_f64()),
+                    BinOp::Pow => Value::number(a.as_f64().powf(b.as_f64())),
+                }
+            }
+            Expr::Call(f, e) => Value::number(f.apply(e.eval_inner(env).as_f64())),
+        }
+    }
+}
+
+/// A parameter value: `num / den · π^pi`, kept in factored form so that
+/// multiplying and dividing by π and by integers stays exact (see the
+/// module docs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct Value {
+    num: f64,
+    den: f64,
+    pi: i32,
+}
+
+impl Value {
+    /// A plain number (denominator 1, no π factor).
+    pub fn number(x: f64) -> Value {
+        Value {
+            num: x,
+            den: 1.0,
+            pi: 0,
+        }
+    }
+
+    /// Collapses to a plain `f64` (the value in radians when the
+    /// expression denotes an angle).
+    pub fn as_f64(self) -> f64 {
+        let base = self.num / self.den;
+        match self.pi {
+            0 => base,
+            p => base * PI.powi(p),
+        }
+    }
+
+    /// The value interpreted as radians, converted to degrees.
+    ///
+    /// For single-π expressions (`x*pi/180`) the conversion cancels the π
+    /// factor symbolically: `num * (180/den)`, which is exact whenever
+    /// `den` divides 180 in binary floating point — in particular for the
+    /// `*pi/180` form [`Circuit::to_qasm`](crate::Circuit::to_qasm) emits.
+    pub fn degrees(self) -> f64 {
+        if self.pi == 1 {
+            self.num * (180.0 / self.den)
+        } else {
+            self.as_f64() * (180.0 / PI)
+        }
+    }
+}
+
+/// One operation inside a flattened gate-definition body. Qubits are
+/// indices into the definition's formal argument list; parameters are
+/// expressions over the definition's formal parameters.
+#[derive(Clone, Debug)]
+pub(crate) enum TemplateOp {
+    /// A native-gate application.
+    Gate {
+        /// Which native gate.
+        native: NativeGate,
+        /// Parameter expressions (arity fixed by `native`).
+        params: Vec<Expr>,
+        /// Formal-argument indices (pairwise distinct).
+        qubits: Vec<usize>,
+    },
+    /// A barrier over a subset of the formal arguments.
+    Barrier {
+        /// Formal-argument indices.
+        qubits: Vec<usize>,
+    },
+}
+
+/// A user- or prelude-defined gate, flattened to native operations.
+#[derive(Clone, Debug)]
+pub(crate) struct GateDef {
+    /// Number of formal parameters.
+    pub n_params: usize,
+    /// Number of formal qubit arguments.
+    pub n_qubits: usize,
+    /// The inlined body.
+    pub template: Vec<TemplateOp>,
+}
+
+/// The gates the lowering pass understands directly. Everything else —
+/// user definitions and the composite `qelib1` gates — is inlined down to
+/// these at parse time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum NativeGate {
+    /// `U(θ,φ,λ)` / `u3` / `u`.
+    U3,
+    /// `u2(φ,λ) = U(π/2,φ,λ)`.
+    U2,
+    /// `u1(λ)` / `p(λ)` — a frame change.
+    U1,
+    Rx,
+    Ry,
+    Rz,
+    /// `id` — lowered to nothing.
+    Id,
+    /// `u0(γ)` — an identity wait cycle; lowered to nothing.
+    U0,
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    Sx,
+    Sxdg,
+    /// `CX` / `cx`.
+    Cx,
+    Cz,
+    /// `cp(λ)` / `cu1(λ)` — controlled phase.
+    Cp,
+    Swap,
+    /// `rzz(θ)` — maps 1:1 onto the NMR `ZZ` coupling.
+    Rzz,
+}
+
+impl NativeGate {
+    /// Resolves a native gate name to `(gate, n_params, n_qubits)`.
+    pub fn named(name: &str) -> Option<(NativeGate, usize, usize)> {
+        Some(match name {
+            "U" | "u3" | "u" => (NativeGate::U3, 3, 1),
+            "u2" => (NativeGate::U2, 2, 1),
+            "u1" | "p" => (NativeGate::U1, 1, 1),
+            "rx" => (NativeGate::Rx, 1, 1),
+            "ry" => (NativeGate::Ry, 1, 1),
+            "rz" => (NativeGate::Rz, 1, 1),
+            "id" => (NativeGate::Id, 0, 1),
+            "u0" => (NativeGate::U0, 1, 1),
+            "x" => (NativeGate::X, 0, 1),
+            "y" => (NativeGate::Y, 0, 1),
+            "z" => (NativeGate::Z, 0, 1),
+            "h" => (NativeGate::H, 0, 1),
+            "s" => (NativeGate::S, 0, 1),
+            "sdg" => (NativeGate::Sdg, 0, 1),
+            "t" => (NativeGate::T, 0, 1),
+            "tdg" => (NativeGate::Tdg, 0, 1),
+            "sx" => (NativeGate::Sx, 0, 1),
+            "sxdg" => (NativeGate::Sxdg, 0, 1),
+            "CX" | "cx" => (NativeGate::Cx, 0, 2),
+            "cz" => (NativeGate::Cz, 0, 2),
+            "cp" | "cu1" => (NativeGate::Cp, 1, 2),
+            "swap" => (NativeGate::Swap, 0, 2),
+            "rzz" => (NativeGate::Rzz, 1, 2),
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(e: &Expr) -> Value {
+        e.eval(&[]).unwrap()
+    }
+
+    #[test]
+    fn degree_emission_form_is_exact() {
+        // The `to_qasm` form: deg*pi/180 must round-trip bit-exactly.
+        for deg in [90.0, -45.5, 5.625, 0.3, 123.456789, -359.9999] {
+            let e = Expr::Bin(
+                BinOp::Div,
+                Box::new(Expr::Bin(
+                    BinOp::Mul,
+                    Box::new(Expr::Real(deg)),
+                    Box::new(Expr::Pi),
+                )),
+                Box::new(Expr::Int(180)),
+            );
+            let v = eval(&e);
+            assert_eq!(v.degrees(), deg, "degrees must survive exactly");
+            assert!((v.as_f64() - deg.to_radians()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn plain_radians_convert_approximately() {
+        let v = eval(&Expr::Real(std::f64::consts::FRAC_PI_2));
+        assert!((v.degrees() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_and_functions() {
+        // pi/2 + pi/2 == pi (collapses on addition).
+        let half_pi = Expr::Bin(BinOp::Div, Box::new(Expr::Pi), Box::new(Expr::Int(2)));
+        let sum = Expr::Bin(
+            BinOp::Add,
+            Box::new(half_pi.clone()),
+            Box::new(half_pi.clone()),
+        );
+        assert!((eval(&sum).as_f64() - PI).abs() < 1e-15);
+        // sin(pi/2) == 1.
+        let s = Expr::Call(MathFn::Sin, Box::new(half_pi));
+        assert!((eval(&s).as_f64() - 1.0).abs() < 1e-15);
+        // 2^10 == 1024.
+        let p = Expr::Bin(BinOp::Pow, Box::new(Expr::Int(2)), Box::new(Expr::Int(10)));
+        assert_eq!(eval(&p).as_f64(), 1024.0);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error_not_a_panic() {
+        let e = Expr::Bin(BinOp::Div, Box::new(Expr::Int(1)), Box::new(Expr::Int(0)));
+        assert!(e.eval(&[]).is_err());
+        let e = Expr::Call(MathFn::Ln, Box::new(Expr::Int(0)));
+        assert!(e.eval(&[]).is_err());
+    }
+
+    #[test]
+    fn substitution_replaces_params() {
+        // Param(0)/2 with arg pi → pi/2.
+        let body = Expr::Bin(BinOp::Div, Box::new(Expr::Param(0)), Box::new(Expr::Int(2)));
+        let inlined = body.substitute(&[Expr::Pi]);
+        assert_eq!(
+            inlined,
+            Expr::Bin(BinOp::Div, Box::new(Expr::Pi), Box::new(Expr::Int(2)))
+        );
+        assert!((eval(&inlined).as_f64() - PI / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn params_evaluate_exactly_through_env() {
+        // crz(x) lowers through u1(x/2): a degree-carrying Value divided
+        // by an integer must stay exact.
+        let arg = eval(&Expr::Bin(
+            BinOp::Div,
+            Box::new(Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::Real(45.0)),
+                Box::new(Expr::Pi),
+            )),
+            Box::new(Expr::Int(180)),
+        ));
+        let body = Expr::Bin(BinOp::Div, Box::new(Expr::Param(0)), Box::new(Expr::Int(2)));
+        assert_eq!(body.eval(&[arg]).unwrap().degrees(), 22.5);
+    }
+
+    #[test]
+    fn native_registry_arities() {
+        assert_eq!(NativeGate::named("U"), Some((NativeGate::U3, 3, 1)));
+        assert_eq!(NativeGate::named("cx"), Some((NativeGate::Cx, 0, 2)));
+        assert_eq!(NativeGate::named("rzz"), Some((NativeGate::Rzz, 1, 2)));
+        assert_eq!(NativeGate::named("ccx"), None); // composite, via prelude
+    }
+}

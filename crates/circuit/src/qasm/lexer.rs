@@ -1,0 +1,413 @@
+//! Tokenizer for OpenQASM 2.0 source text.
+//!
+//! Produces a flat token list with a [`SourceSpan`] per token; the parser
+//! never looks at raw text again, so every diagnostic downstream points at
+//! an exact line and column. Comments (`//` and `/* … */`) and whitespace
+//! are skipped here.
+
+use crate::{CircuitError, Result, SourceSpan};
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Token {
+    /// What the token is.
+    pub kind: Tok,
+    /// Where its first character sits in the source.
+    pub span: SourceSpan,
+}
+
+/// Token kinds of the OpenQASM 2.0 grammar.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Tok {
+    /// Identifier or keyword (`qreg`, `cx`, `pi`, …).
+    Ident(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    /// Real literal (`1.5`, `0.2e-3`).
+    Real(f64),
+    /// String literal (only used by `include`).
+    Str(String),
+    Semi,
+    Comma,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    /// `->` (measurement target).
+    Arrow,
+    /// `==` (classical condition).
+    EqEq,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+}
+
+impl Tok {
+    /// Human-readable rendering for "expected X, found Y" diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int(n) => format!("`{n}`"),
+            Tok::Real(x) => format!("`{x}`"),
+            Tok::Str(s) => format!("\"{s}\""),
+            Tok::Semi => "`;`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::Arrow => "`->`".into(),
+            Tok::EqEq => "`==`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Caret => "`^`".into(),
+        }
+    }
+}
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// [`CircuitError::Parse`] on characters outside the grammar, malformed
+/// numbers, unterminated strings or block comments.
+pub(crate) fn lex(source: &str) -> Result<Vec<Token>> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> SourceSpan {
+        SourceSpan::new(self.line, self.col)
+    }
+
+    fn error(&self, span: SourceSpan, message: impl Into<String>) -> CircuitError {
+        CircuitError::parse_at(span, message)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek() {
+            let span = self.span();
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '/' if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '/' if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => return Err(self.error(span, "unterminated block comment")),
+                        }
+                    }
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut ident = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            ident.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Token {
+                        kind: Tok::Ident(ident),
+                        span,
+                    });
+                }
+                c if c.is_ascii_digit()
+                    || (c == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) =>
+                {
+                    out.push(self.number(span)?);
+                }
+                '"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.peek() {
+                            Some('"') => {
+                                self.bump();
+                                break;
+                            }
+                            Some('\n') | None => {
+                                return Err(self.error(span, "unterminated string literal"))
+                            }
+                            Some(c) => {
+                                s.push(c);
+                                self.bump();
+                            }
+                        }
+                    }
+                    out.push(Token {
+                        kind: Tok::Str(s),
+                        span,
+                    });
+                }
+                '-' if self.peek2() == Some('>') => {
+                    self.bump();
+                    self.bump();
+                    out.push(Token {
+                        kind: Tok::Arrow,
+                        span,
+                    });
+                }
+                '=' if self.peek2() == Some('=') => {
+                    self.bump();
+                    self.bump();
+                    out.push(Token {
+                        kind: Tok::EqEq,
+                        span,
+                    });
+                }
+                _ => {
+                    let kind = match c {
+                        ';' => Tok::Semi,
+                        ',' => Tok::Comma,
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        '+' => Tok::Plus,
+                        '-' => Tok::Minus,
+                        '*' => Tok::Star,
+                        '/' => Tok::Slash,
+                        '^' => Tok::Caret,
+                        other => {
+                            return Err(self.error(span, format!("unexpected character `{other}`")))
+                        }
+                    };
+                    self.bump();
+                    out.push(Token { kind, span });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Lexes an integer or real literal starting at the current position.
+    fn number(&mut self, span: SourceSpan) -> Result<Token> {
+        let mut text = String::new();
+        let mut is_real = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek() == Some('.') {
+            is_real = true;
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            // Only an exponent when followed by digits (with optional sign);
+            // otherwise the `e` starts the next identifier token.
+            let next = self.peek2();
+            let digit_after_sign = matches!(next, Some('+' | '-'))
+                && self
+                    .chars
+                    .get(self.pos + 2)
+                    .is_some_and(|c| c.is_ascii_digit());
+            if next.is_some_and(|c| c.is_ascii_digit()) || digit_after_sign {
+                is_real = true;
+                text.push('e');
+                self.bump();
+                if matches!(self.peek(), Some('+' | '-')) {
+                    text.push(self.bump().expect("peeked"));
+                }
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        let kind = if is_real {
+            let value: f64 = text
+                .parse()
+                .map_err(|_| self.error(span, format!("malformed number `{text}`")))?;
+            Tok::Real(value)
+        } else {
+            let value: u64 = text
+                .parse()
+                .map_err(|_| self.error(span, format!("integer literal `{text}` out of range")))?;
+            Tok::Int(value)
+        };
+        Ok(Token { kind, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_representative_line() {
+        let toks = kinds("rx(-pi/2) q[0];");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("rx".into()),
+                Tok::LParen,
+                Tok::Minus,
+                Tok::Ident("pi".into()),
+                Tok::Slash,
+                Tok::Int(2),
+                Tok::RParen,
+                Tok::Ident("q".into()),
+                Tok::LBracket,
+                Tok::Int(0),
+                Tok::RBracket,
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_real_exponent() {
+        assert_eq!(
+            kinds("3 3.5 .5 2e3 1.5e-2"),
+            vec![
+                Tok::Int(3),
+                Tok::Real(3.5),
+                Tok::Real(0.5),
+                Tok::Real(2e3),
+                Tok::Real(1.5e-2),
+            ]
+        );
+        // `e` not followed by digits starts an identifier instead.
+        assert_eq!(kinds("2eggs"), vec![Tok::Int(2), Tok::Ident("eggs".into())]);
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        let toks = kinds("// header\ninclude \"qelib1.inc\"; /* mid */ qreg");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("include".into()),
+                Tok::Str("qelib1.inc".into()),
+                Tok::Semi,
+                Tok::Ident("qreg".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("h q;\n  cx q[0], q[1];").unwrap();
+        assert_eq!(toks[0].span, SourceSpan::new(1, 1));
+        assert_eq!(toks[1].span, SourceSpan::new(1, 3));
+        let cx = toks.iter().find(|t| t.kind == Tok::Ident("cx".into()));
+        assert_eq!(cx.unwrap().span, SourceSpan::new(2, 3));
+    }
+
+    #[test]
+    fn arrow_and_equality() {
+        assert_eq!(
+            kinds("measure q -> c; if (c == 1)"),
+            vec![
+                Tok::Ident("measure".into()),
+                Tok::Ident("q".into()),
+                Tok::Arrow,
+                Tok::Ident("c".into()),
+                Tok::Semi,
+                Tok::Ident("if".into()),
+                Tok::LParen,
+                Tok::Ident("c".into()),
+                Tok::EqEq,
+                Tok::Int(1),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_inputs_error_with_spans() {
+        let err = lex("h q; @").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "parse error at 1:6: unexpected character `@`"
+        );
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("99999999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Lowering: flat OpenQASM operations → the NMR-basis [`Circuit`].
+//!
+//! Every native gate decomposes onto the crate's `Rx`/`Ry`/`Rz`/`ZZ`/
+//! `SWAP` vocabulary exactly as the paper's compiler would (§2: "`ZZ(π/2)`
+//! is equivalent to CNOT up to single qubit rotations"), and the resulting
+//! gate stream is greedily ASAP-levelized — each gate lands in the
+//! earliest level after the previous uses of its qubits, with `barrier`
+//! forcing a synchronization point on its qubit subset. The interaction
+//! multigraph the placer consumes is therefore exactly the one the QASM
+//! two-qubit gates describe.
+
+use crate::qasm::ast::NativeGate;
+use crate::qasm::parser::{FlatOp, Program};
+use crate::{Circuit, Gate, Qubit, Result};
+
+/// Lowers a parsed program to a levelled circuit.
+pub(crate) fn lower(program: &Program) -> Result<Circuit> {
+    let n = program.n_qubits;
+    let mut lv = Leveler::new(n);
+    for op in &program.ops {
+        match op {
+            FlatOp::Gate {
+                native,
+                params,
+                qubits,
+            } => {
+                let q = |i: usize| Qubit::new(qubits[i]);
+                let deg = |i: usize| params[i].degrees();
+                match native {
+                    NativeGate::Id | NativeGate::U0 => {}
+                    NativeGate::U3 => lv.u3(q(0), deg(0), deg(1), deg(2)),
+                    NativeGate::U2 => lv.u3(q(0), 90.0, deg(0), deg(1)),
+                    NativeGate::U1 => lv.u3(q(0), 0.0, 0.0, deg(0)),
+                    NativeGate::Rx => lv.push(Gate::rx(q(0), deg(0))),
+                    NativeGate::Ry => lv.push(Gate::ry(q(0), deg(0))),
+                    NativeGate::Rz => lv.push(Gate::rz(q(0), deg(0))),
+                    NativeGate::X => lv.push(Gate::rx(q(0), 180.0)),
+                    NativeGate::Y => lv.push(Gate::ry(q(0), 180.0)),
+                    NativeGate::Z => lv.push(Gate::rz(q(0), 180.0)),
+                    NativeGate::H => {
+                        lv.push(Gate::ry(q(0), 90.0));
+                        lv.push(Gate::rz(q(0), 180.0));
+                    }
+                    NativeGate::S => lv.push(Gate::rz(q(0), 90.0)),
+                    NativeGate::Sdg => lv.push(Gate::rz(q(0), -90.0)),
+                    NativeGate::T => lv.push(Gate::rz(q(0), 45.0)),
+                    NativeGate::Tdg => lv.push(Gate::rz(q(0), -45.0)),
+                    NativeGate::Sx => lv.push(Gate::rx(q(0), 90.0)),
+                    NativeGate::Sxdg => lv.push(Gate::rx(q(0), -90.0)),
+                    NativeGate::Cx => lv.cnot(q(0), q(1)),
+                    NativeGate::Cz => lv.cphase(q(0), q(1), 180.0),
+                    NativeGate::Cp => lv.cphase(q(0), q(1), deg(0)),
+                    NativeGate::Swap => lv.push(Gate::swap(q(0), q(1))),
+                    NativeGate::Rzz => lv.push(Gate::zz(q(0), q(1), deg(0))),
+                }
+            }
+            FlatOp::Custom {
+                name,
+                weight,
+                qubits,
+            } => match qubits.as_slice() {
+                [a] => lv.push(Gate::custom1(Qubit::new(*a), *weight, name.clone())),
+                [a, b] => lv.push(Gate::custom2(
+                    Qubit::new(*a),
+                    Qubit::new(*b),
+                    *weight,
+                    name.clone(),
+                )),
+                _ => unreachable!("parser only emits 1- and 2-qubit customs"),
+            },
+            FlatOp::Barrier { qubits } => lv.barrier(qubits),
+        }
+    }
+    Circuit::from_levels(n, lv.levels)
+}
+
+/// ASAP levelizer with per-qubit-subset barriers (the crate's
+/// [`CircuitBuilder`](crate::CircuitBuilder) only has a global barrier).
+struct Leveler {
+    levels: Vec<Vec<Gate>>,
+    next_free: Vec<usize>,
+}
+
+impl Leveler {
+    fn new(n: usize) -> Self {
+        Leveler {
+            levels: Vec::new(),
+            next_free: vec![0; n],
+        }
+    }
+
+    fn push(&mut self, gate: Gate) {
+        let (a, b) = gate.qubits();
+        let mut level = self.next_free[a.index()];
+        if let Some(b) = b {
+            level = level.max(self.next_free[b.index()]);
+        }
+        if level == self.levels.len() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[level].push(gate);
+        self.next_free[a.index()] = level + 1;
+        if let Some(b) = b {
+            self.next_free[b.index()] = level + 1;
+        }
+    }
+
+    /// `U(θ,φ,λ) = Rz(φ)·Ry(θ)·Rz(λ)` up to global phase; zero-angle
+    /// factors are skipped so `u1(λ)` costs exactly one free `Rz`.
+    fn u3(&mut self, q: Qubit, theta: f64, phi: f64, lambda: f64) {
+        if lambda != 0.0 {
+            self.push(Gate::rz(q, lambda));
+        }
+        if theta != 0.0 {
+            self.push(Gate::ry(q, theta));
+        }
+        if phi != 0.0 {
+            self.push(Gate::rz(q, phi));
+        }
+    }
+
+    /// The standard NMR CNOT sequence (one coupling, two pulses, two free
+    /// frame changes) — identical to `CircuitBuilder::cnot`.
+    fn cnot(&mut self, c: Qubit, t: Qubit) {
+        self.push(Gate::ry(t, -90.0));
+        self.push(Gate::zz(c, t, -90.0));
+        self.push(Gate::rz(c, 90.0));
+        self.push(Gate::rz(t, 90.0));
+        self.push(Gate::ry(t, 90.0));
+    }
+
+    /// Controlled-phase of `angle` degrees — identical to
+    /// `CircuitBuilder::cphase`.
+    fn cphase(&mut self, a: Qubit, b: Qubit, angle: f64) {
+        self.push(Gate::zz(a, b, -angle / 2.0));
+        self.push(Gate::rz(a, angle / 2.0));
+        self.push(Gate::rz(b, angle / 2.0));
+    }
+
+    /// Barrier over a qubit subset: every listed qubit becomes free only
+    /// at the latest busy level among them.
+    fn barrier(&mut self, qubits: &[usize]) {
+        let sync = qubits.iter().map(|&q| self.next_free[q]).max().unwrap_or(0);
+        for &q in qubits {
+            self.next_free[q] = sync;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qasm;
+
+    fn circuit(src: &str) -> Circuit {
+        qasm::parse(src).unwrap().circuit
+    }
+
+    #[test]
+    fn cx_matches_builder_cnot() {
+        let c = circuit("OPENQASM 2.0;\nqreg q[2];\nCX q[0], q[1];\n");
+        let mut b = Circuit::builder(2);
+        b.cnot(Qubit::new(0), Qubit::new(1));
+        assert_eq!(c, b.build());
+    }
+
+    #[test]
+    fn h_matches_builder_hadamard() {
+        let c = circuit("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nh q[0];\n");
+        let mut b = Circuit::builder(1);
+        b.hadamard(Qubit::new(0));
+        assert_eq!(c, b.build());
+    }
+
+    #[test]
+    fn cz_and_cp_match_builder_cphase() {
+        let c = circuit("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncz q[0], q[1];\n");
+        let mut b = Circuit::builder(2);
+        b.cphase(Qubit::new(0), Qubit::new(1), 180.0);
+        assert_eq!(c, b.build());
+
+        let c = circuit(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncp(90*pi/180) q[0], q[1];\n",
+        );
+        let mut b = Circuit::builder(2);
+        b.cphase(Qubit::new(0), Qubit::new(1), 90.0);
+        assert_eq!(c, b.build());
+    }
+
+    #[test]
+    fn u_family_lowering() {
+        // u1 is a single free Rz.
+        let c = circuit("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nu1(pi) q[0];\n");
+        assert_eq!(c.gate_count(), 1);
+        assert!(matches!(c.gates().next().unwrap(), Gate::Rz { .. }));
+        // u2(φ,λ) always carries the Ry(90).
+        let c = circuit("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nu2(0,pi) q[0];\n");
+        assert_eq!(c.gate_count(), 2);
+        // Full u3.
+        let c = circuit(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nu3(pi/2,pi/2,pi/2) q[0];\n",
+        );
+        assert_eq!(c.gate_count(), 3);
+        // id and u0 lower to nothing.
+        let c =
+            circuit("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nid q[0];\nu0(1) q[0];\n");
+        assert_eq!(c.gate_count(), 0);
+    }
+
+    #[test]
+    fn swap_and_rzz_map_one_to_one() {
+        let c = circuit(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nswap q[0], q[1];\nrzz(90*pi/180) q[0], q[1];\n",
+        );
+        let gates: Vec<&Gate> = c.gates().collect();
+        assert_eq!(gates.len(), 2);
+        assert!(matches!(gates[0], Gate::Swap { .. }));
+        assert!(matches!(gates[1], Gate::Zz { angle, .. } if *angle == 90.0));
+    }
+
+    #[test]
+    fn asap_levelization_packs_disjoint_gates() {
+        let c = circuit(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\n\
+             rz(1) q[0];\nrz(1) q[1];\nrzz(1) q[2], q[3];\n",
+        );
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    fn barrier_splits_levels_per_subset() {
+        // Without the barrier the two x gates share level 0.
+        let free =
+            circuit("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nx q[0];\nx q[1];\n");
+        assert_eq!(free.depth(), 1);
+        let walled = circuit(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nx q[0];\nbarrier q;\nx q[1];\n",
+        );
+        assert_eq!(walled.depth(), 2);
+        // A barrier on an untouched subset does not move others.
+        let partial = circuit(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nx q[0];\nbarrier q[1], q[2];\nx q[1];\n",
+        );
+        assert_eq!(partial.depth(), 1);
+    }
+
+    #[test]
+    fn interaction_graph_comes_from_two_qubit_gates() {
+        let c = circuit(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncx q[0], q[1];\ncx q[1], q[2];\n",
+        );
+        let g = c.interaction_graph();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+    }
+}

@@ -1,0 +1,345 @@
+//! OpenQASM 2.0 frontend: ingest the workload class the placement
+//! literature actually benchmarks on.
+//!
+//! The pipeline is a hand-rolled lexer, a recursive-descent
+//! parser covering `qreg`/`creg`, the `qelib1.inc` standard gates, custom
+//! `gate` definitions (inlined at parse time), `barrier`, and the
+//! classical constructs (`measure`, `reset`, `if` — accepted and dropped
+//! with a [`Warning`] list), followed by a lowering pass that decomposes
+//! every gate onto the crate's NMR basis (`cx`/`cz` → `ZZ` plus
+//! rotations, `u1`/`u2`/`u3` → `Rx`/`Ry`/`Rz`, composite library gates via
+//! their definitions) and greedily ASAP-schedules the result into
+//! [`Circuit`] levels — preserving the interaction multigraph the placer
+//! consumes.
+//!
+//! ```
+//! use qcp_circuit::qasm;
+//!
+//! let bell = qasm::parse(r#"
+//!     OPENQASM 2.0;
+//!     include "qelib1.inc";
+//!     qreg q[2];
+//!     creg c[2];
+//!     h q[0];
+//!     cx q[0], q[1];
+//!     measure q -> c;
+//! "#)?;
+//! assert_eq!(bell.circuit.qubit_count(), 2);
+//! assert_eq!(bell.circuit.two_qubit_gate_count(), 1); // the CX coupling
+//! assert_eq!(bell.warnings.len(), 1);                 // the dropped measure
+//! # Ok::<(), qcp_circuit::CircuitError>(())
+//! ```
+//!
+//! # Round-tripping
+//!
+//! [`Circuit::to_qasm`] serializes a circuit back to OpenQASM. Angles are
+//! emitted as `<degrees>*pi/180` and evaluated with a symbolic π factor,
+//! so the degree values the crate stores survive the radian detour
+//! bit-exactly; opaque [`Gate::Custom1`]/[`Gate::Custom2`] gates travel
+//! through `opaque` declarations under the `qcp_c1_`/`qcp_c2_` naming
+//! convention. The round-trip is exact — `qasm::parse(&c.to_qasm())?
+//! .circuit == c` — for every circuit without gate-less levels whose
+//! custom-gate names use only identifier characters (`[A-Za-z0-9_]`;
+//! other characters are sanitized to `_` on emission, so such names
+//! come back altered and may collide). Level structures that ASAP
+//! levelization would not reproduce (the hand-levelled paper circuits,
+//! say) are emitted with `barrier` statements pinning their levels.
+
+mod ast;
+mod lexer;
+mod lower;
+mod parser;
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::{Circuit, Gate, Result, SourceSpan};
+
+/// A construct the frontend accepted but could not represent (measures,
+/// resets, classical conditions, unknown opaque gates).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Warning {
+    /// Where the dropped construct sits in the source.
+    pub span: SourceSpan,
+    /// What was dropped and why.
+    pub message: String,
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+/// One declared `qreg`, mapped onto a contiguous block of circuit wires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Register {
+    /// Register name.
+    pub name: String,
+    /// Number of qubits.
+    pub size: usize,
+    /// First circuit wire of the block (registers concatenate in
+    /// declaration order).
+    pub offset: usize,
+}
+
+/// The result of parsing an OpenQASM 2.0 program.
+#[derive(Clone, Debug)]
+pub struct QasmCircuit {
+    /// The lowered, ASAP-levelized circuit.
+    pub circuit: Circuit,
+    /// Constructs that were accepted but dropped, in source order.
+    pub warnings: Vec<Warning>,
+    /// The declared quantum registers (wire layout of
+    /// [`circuit`](QasmCircuit::circuit)).
+    pub registers: Vec<Register>,
+}
+
+/// Parses an OpenQASM 2.0 program and lowers it to a [`Circuit`].
+///
+/// # Errors
+///
+/// [`crate::CircuitError::Parse`] with an exact line/column on any
+/// lexical, syntactic, or semantic problem (unknown gates, arity
+/// mismatches, register overflows, non-finite parameters, …). Arbitrary
+/// input never panics.
+pub fn parse(source: &str) -> Result<QasmCircuit> {
+    let program = parser::parse_program(source)?;
+    let circuit = lower::lower(&program)?;
+    Ok(QasmCircuit {
+        circuit,
+        warnings: program.warnings,
+        registers: program.registers,
+    })
+}
+
+impl Circuit {
+    /// Parses an OpenQASM 2.0 program, discarding the warning list (use
+    /// [`qasm::parse`](parse) to keep it).
+    ///
+    /// # Errors
+    ///
+    /// As [`qasm::parse`](parse).
+    pub fn from_qasm(source: &str) -> Result<Circuit> {
+        Ok(parse(source)?.circuit)
+    }
+
+    /// Serializes the circuit as an OpenQASM 2.0 program over one
+    /// register `q[n]`.
+    ///
+    /// Rotations become `rx`/`ry`/`rz`, couplings become `rzz`, swaps
+    /// `swap`; opaque custom gates are declared `opaque qcp_c1_<name>(w)`
+    /// (resp. `qcp_c2_`) with the time weight as the parameter, which
+    /// [`parse`] maps back onto [`Gate::Custom1`]/[`Gate::Custom2`].
+    /// Angles are emitted as `<degrees>*pi/180` so they re-parse
+    /// bit-exactly, and level structures that ASAP levelization would
+    /// not reproduce are pinned with `barrier` statements — re-parsing
+    /// gives back an equal circuit, with two lossy exceptions:
+    /// gate-less levels are dropped, and custom-gate names are
+    /// sanitized to identifier characters (non-`[A-Za-z0-9_]` become
+    /// `_`, so such names come back altered and may collide).
+    pub fn to_qasm(&self) -> String {
+        let mut out = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+        if self.qubit_count() > 0 {
+            let _ = writeln!(out, "qreg q[{}];", self.qubit_count());
+        }
+        // Opaque declarations, in first-use order, one per (kind, name).
+        let mut declared: Vec<(bool, String)> = Vec::new();
+        for gate in self.gates() {
+            let (two, name) = match gate {
+                Gate::Custom1 { name, .. } => (false, sanitize(name)),
+                Gate::Custom2 { name, .. } => (true, sanitize(name)),
+                _ => continue,
+            };
+            let key = (two, name);
+            if !declared.contains(&key) {
+                let (prefix, args) = if key.0 {
+                    (parser::CUSTOM2_PREFIX, "a,b")
+                } else {
+                    (parser::CUSTOM1_PREFIX, "a")
+                };
+                let _ = writeln!(out, "opaque {prefix}{}(w) {args};", key.1);
+                declared.push(key);
+            }
+        }
+        // A circuit whose levels ASAP levelization would not reproduce
+        // (e.g. the hand-levelled paper circuits) gets a `barrier q;`
+        // between levels, pinning the exact level structure; ASAP-built
+        // circuits re-parse identically without them. (Gate-less levels
+        // are not representable and are dropped either way.)
+        let asap = Circuit::from_gates(self.qubit_count(), self.gates().cloned())
+            .expect("existing gates fit their own circuit");
+        let pin_levels = asap != *self;
+        for (li, level) in self.levels().iter().enumerate() {
+            if pin_levels && li > 0 {
+                out.push_str("barrier q;\n");
+            }
+            for gate in level.gates() {
+                match gate {
+                    Gate::Rx { qubit, angle } => {
+                        let _ = writeln!(out, "rx({angle}*pi/180) q[{}];", qubit.index());
+                    }
+                    Gate::Ry { qubit, angle } => {
+                        let _ = writeln!(out, "ry({angle}*pi/180) q[{}];", qubit.index());
+                    }
+                    Gate::Rz { qubit, angle } => {
+                        let _ = writeln!(out, "rz({angle}*pi/180) q[{}];", qubit.index());
+                    }
+                    Gate::Zz { a, b, angle } => {
+                        let _ = writeln!(
+                            out,
+                            "rzz({angle}*pi/180) q[{}], q[{}];",
+                            a.index(),
+                            b.index()
+                        );
+                    }
+                    Gate::Swap { a, b } => {
+                        let _ = writeln!(out, "swap q[{}], q[{}];", a.index(), b.index());
+                    }
+                    Gate::Custom1 {
+                        qubit,
+                        weight,
+                        name,
+                    } => {
+                        let _ = writeln!(
+                            out,
+                            "{}{}({weight}) q[{}];",
+                            parser::CUSTOM1_PREFIX,
+                            sanitize(name),
+                            qubit.index()
+                        );
+                    }
+                    Gate::Custom2 { a, b, weight, name } => {
+                        let _ = writeln!(
+                            out,
+                            "{}{}({weight}) q[{}], q[{}];",
+                            parser::CUSTOM2_PREFIX,
+                            sanitize(name),
+                            a.index(),
+                            b.index()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Maps a custom-gate name onto OpenQASM identifier characters.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{library, Qubit};
+
+    fn q(i: usize) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn roundtrip_every_gate_kind_exactly() {
+        let c = Circuit::from_gates(
+            4,
+            [
+                Gate::rx(q(0), 90.0),
+                Gate::ry(q(1), -45.5),
+                Gate::rz(q(2), 5.625),
+                Gate::zz(q(0), q(3), 22.5),
+                Gate::swap(q(1), q(2)),
+                Gate::custom1(q(0), 1.5, "pulse"),
+                Gate::custom2(q(2), q(3), 3.0, "entangler"),
+                Gate::rx(q(1), 0.123456789012345),
+            ],
+        )
+        .unwrap();
+        let text = c.to_qasm();
+        let back = parse(&text).unwrap();
+        assert_eq!(back.circuit, c, "round-trip must be exact:\n{text}");
+        assert!(back.warnings.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_library_circuits_exactly() {
+        for name in library::NAMES {
+            let c = library::named(name).unwrap();
+            let back = Circuit::from_qasm(&c.to_qasm()).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(back, c, "library circuit {name} must round-trip");
+        }
+    }
+
+    #[test]
+    fn bell_program_end_to_end() {
+        let src = r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[2];
+            creg c[2];
+            h q[0];
+            cx q[0], q[1];
+            measure q[0] -> c[0];
+            measure q[1] -> c[1];
+        "#;
+        let parsed = parse(src).unwrap();
+        assert_eq!(parsed.circuit.qubit_count(), 2);
+        assert_eq!(parsed.circuit.two_qubit_gate_count(), 1);
+        assert_eq!(parsed.warnings.len(), 2);
+        assert_eq!(parsed.registers.len(), 1);
+        assert_eq!(parsed.registers[0].name, "q");
+        // The warning display carries the span.
+        assert!(parsed.warnings[0].to_string().contains("measurement"));
+    }
+
+    #[test]
+    fn from_qasm_discards_warnings_but_keeps_errors() {
+        assert!(Circuit::from_qasm("OPENQASM 2.0;\nqreg q[1];\n").is_ok());
+        let err = Circuit::from_qasm("OPENQASM 2.0;\nqreg q[1];\nnope q[0];\n").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn custom_names_are_sanitized() {
+        let c = Circuit::from_gates(1, [Gate::custom1(q(0), 2.0, "my gate!")]).unwrap();
+        let text = c.to_qasm();
+        assert!(text.contains("qcp_c1_my_gate_"), "{text}");
+        let back = parse(&text).unwrap().circuit;
+        // The sanitized name is what survives.
+        assert!(matches!(
+            back.gates().next().unwrap(),
+            Gate::Custom1 { name, .. } if name == "my_gate_"
+        ));
+    }
+
+    #[test]
+    fn non_asap_levels_are_pinned_with_barriers() {
+        // A gate parked later than ASAP would put it: level 1 on an
+        // otherwise idle qubit.
+        let c = Circuit::from_levels(2, [vec![Gate::ry(q(0), 90.0)], vec![Gate::ry(q(1), 90.0)]])
+            .unwrap();
+        let text = c.to_qasm();
+        assert!(text.contains("barrier q;"), "{text}");
+        assert_eq!(parse(&text).unwrap().circuit, c);
+        // ASAP-built circuits stay barrier-free.
+        let c = Circuit::from_gates(2, [Gate::ry(q(0), 90.0), Gate::ry(q(1), 90.0)]).unwrap();
+        assert!(!c.to_qasm().contains("barrier"));
+    }
+
+    #[test]
+    fn empty_and_idle_circuits_roundtrip() {
+        let empty = Circuit::empty(0);
+        assert_eq!(parse(&empty.to_qasm()).unwrap().circuit, empty);
+        let idle = Circuit::empty(5);
+        assert_eq!(parse(&idle.to_qasm()).unwrap().circuit, idle);
+    }
+}

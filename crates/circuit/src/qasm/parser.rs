@@ -1,0 +1,1274 @@
+//! Recursive-descent parser for OpenQASM 2.0.
+//!
+//! The parser resolves registers, inlines every composite gate (user
+//! `gate` definitions and the `qelib1.inc` standard library) down to the
+//! native set of [`NativeGate`]s *at parse time*, and emits a flat,
+//! broadcast-expanded operation list ([`FlatOp`]) for the lowering pass.
+//! Measurements, resets, and classically-conditioned operations are
+//! accepted, dropped, and reported in the warning list — the placement
+//! pipeline only cares about the unitary interaction structure.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use crate::qasm::ast::{BinOp, Expr, GateDef, MathFn, NativeGate, TemplateOp, Value};
+use crate::qasm::lexer::{lex, Tok, Token};
+use crate::qasm::{Register, Warning};
+use crate::text::MAX_QUBITS;
+use crate::{CircuitError, Result, SourceSpan};
+
+/// Cap on the flat operation list: broadcast over registers and gate
+/// inlining amplify the input, so an explicit bound keeps adversarial
+/// files (huge registers, towers of nested definitions) from exhausting
+/// memory instead of erroring.
+const MAX_OPS: usize = 1 << 22;
+
+/// Cap on one definition's flattened template, for the same reason.
+const MAX_TEMPLATE_OPS: usize = 1 << 16;
+
+/// Maximum expression nesting depth (guards the recursive descent
+/// against `((((…` stack overflows on adversarial input).
+const MAX_EXPR_DEPTH: usize = 64;
+
+/// Prefixes that route an `opaque` gate application onto the circuit
+/// IR's opaque [`Gate::Custom1`](crate::Gate::Custom1) /
+/// [`Gate::Custom2`](crate::Gate::Custom2) gates, with the single
+/// parameter read as the time weight. `Circuit::to_qasm` emits these.
+pub(crate) const CUSTOM1_PREFIX: &str = "qcp_c1_";
+/// See [`CUSTOM1_PREFIX`].
+pub(crate) const CUSTOM2_PREFIX: &str = "qcp_c2_";
+
+/// The composite gates of `qelib1.inc`, expressed over the natively
+/// lowered set (see [`NativeGate`]). Parsed once per process and shared.
+const QELIB1_COMPOSITES: &str = r#"
+gate cy a,b { sdg b; cx a,b; s b; }
+gate ch a,b { h b; sdg b; cx a,b; h b; t b; cx a,b; t b; h b; s b; x b; s a; }
+gate ccx a,b,c { h c; cx b,c; tdg c; cx a,c; t c; cx b,c; tdg c; cx a,c; t b; t c; h c; cx a,b; t a; tdg b; cx a,b; }
+gate cswap a,b,c { cx c,b; ccx a,b,c; cx c,b; }
+gate crx(theta) a,b { u1(pi/2) b; cx a,b; u3(-theta/2,0,0) b; cx a,b; u3(theta/2,-pi/2,0) b; }
+gate cry(theta) a,b { ry(theta/2) b; cx a,b; ry(-theta/2) b; cx a,b; }
+gate crz(lambda) a,b { rz(lambda/2) b; cx a,b; rz(-lambda/2) b; cx a,b; }
+gate cu3(theta,phi,lambda) c,t { u1((lambda+phi)/2) c; u1((lambda-phi)/2) t; cx c,t; u3(-theta/2,0,-(phi+lambda)/2) t; cx c,t; u3(theta/2,phi,0) t; }
+gate rxx(theta) a,b { h a; h b; rzz(theta) a,b; h a; h b; }
+"#;
+
+fn prelude_defs() -> &'static HashMap<String, Arc<GateDef>> {
+    static PRELUDE: OnceLock<HashMap<String, Arc<GateDef>>> = OnceLock::new();
+    PRELUDE.get_or_init(|| {
+        let tokens = lex(QELIB1_COMPOSITES).expect("prelude lexes");
+        let mut parser = Parser::new(tokens, HashMap::new());
+        parser.run(false).expect("prelude parses");
+        parser.defs
+    })
+}
+
+/// One fully resolved operation: registers broadcast, composite gates
+/// inlined, parameters evaluated.
+#[derive(Clone, Debug)]
+pub(crate) enum FlatOp {
+    /// A native-gate application on global qubit indices.
+    Gate {
+        /// Which native gate.
+        native: NativeGate,
+        /// Evaluated parameters (arity fixed by `native`).
+        params: Vec<Value>,
+        /// Global qubit indices, pairwise distinct.
+        qubits: Vec<usize>,
+    },
+    /// An opaque custom gate (the `qcp_c1_`/`qcp_c2_` convention).
+    Custom {
+        /// Name with the routing prefix stripped.
+        name: String,
+        /// Time weight in 90°-pulse units (finite, non-negative).
+        weight: f64,
+        /// Global qubit indices (one or two, distinct).
+        qubits: Vec<usize>,
+    },
+    /// A barrier over a set of global qubit indices (empty = all).
+    Barrier {
+        /// Global qubit indices.
+        qubits: Vec<usize>,
+    },
+}
+
+/// A parsed, resolved, inlined OpenQASM program, ready for lowering.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Program {
+    /// Total qubit count (all `qreg`s concatenated in declaration order).
+    pub n_qubits: usize,
+    /// The declared quantum registers.
+    pub registers: Vec<Register>,
+    /// The flat operation list, in source order.
+    pub ops: Vec<FlatOp>,
+    /// Dropped-construct warnings, in source order.
+    pub warnings: Vec<Warning>,
+}
+
+/// Lexes and parses a full OpenQASM 2.0 program.
+pub(crate) fn parse_program(source: &str) -> Result<Program> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(tokens, prelude_defs().clone());
+    parser.run(true)?;
+    Ok(Program {
+        n_qubits: parser.n_qubits,
+        registers: parser.qregs,
+        ops: parser.ops,
+        warnings: parser.warnings,
+    })
+}
+
+/// How one qubit argument of an application resolved.
+#[derive(Clone, Copy, Debug)]
+enum ArgRef {
+    /// A whole register: `(offset, size)`.
+    Whole(usize, usize),
+    /// A single indexed qubit (global index).
+    One(usize),
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    defs: HashMap<String, Arc<GateDef>>,
+    opaques: HashMap<String, (usize, usize)>,
+    qregs: Vec<Register>,
+    cregs: HashMap<String, usize>,
+    n_qubits: usize,
+    ops: Vec<FlatOp>,
+    warnings: Vec<Warning>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>, defs: HashMap<String, Arc<GateDef>>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            defs,
+            opaques: HashMap::new(),
+            qregs: Vec::new(),
+            cregs: HashMap::new(),
+            n_qubits: 0,
+            ops: Vec::new(),
+            warnings: Vec::new(),
+        }
+    }
+
+    // --- token plumbing ---
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> SourceSpan {
+        self.peek().map_or_else(
+            || self.tokens.last().map_or(SourceSpan::new(1, 1), |t| t.span),
+            |t| t.span,
+        )
+    }
+
+    fn err(&self, span: SourceSpan, message: impl Into<String>) -> CircuitError {
+        CircuitError::parse_at(span, message)
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<SourceSpan> {
+        match self.bump() {
+            Some(t) if t.kind == *want => Ok(t.span),
+            Some(t) => Err(self.err(
+                t.span,
+                format!("expected {what}, found {}", t.kind.describe()),
+            )),
+            None => Err(self.err(self.here(), format!("expected {what}, found end of file"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, SourceSpan)> {
+        match self.bump() {
+            Some(Token {
+                kind: Tok::Ident(name),
+                span,
+            }) => Ok((name, span)),
+            Some(t) => Err(self.err(
+                t.span,
+                format!("expected {what}, found {}", t.kind.describe()),
+            )),
+            None => Err(self.err(self.here(), format!("expected {what}, found end of file"))),
+        }
+    }
+
+    fn expect_int(&mut self, what: &str) -> Result<(u64, SourceSpan)> {
+        match self.bump() {
+            Some(Token {
+                kind: Tok::Int(n),
+                span,
+            }) => Ok((n, span)),
+            Some(t) => Err(self.err(
+                t.span,
+                format!("expected {what}, found {}", t.kind.describe()),
+            )),
+            None => Err(self.err(self.here(), format!("expected {what}, found end of file"))),
+        }
+    }
+
+    // --- top level ---
+
+    fn run(&mut self, expect_header: bool) -> Result<()> {
+        if expect_header {
+            let (kw, span) = self.expect_ident("`OPENQASM 2.0;` header")?;
+            if kw != "OPENQASM" {
+                return Err(self.err(
+                    span,
+                    format!("expected `OPENQASM 2.0;` header, found `{kw}`"),
+                ));
+            }
+            match self.bump() {
+                Some(Token {
+                    kind: Tok::Real(v),
+                    span,
+                }) => {
+                    // Exact comparison on purpose: the only valid spelling
+                    // is the literal `2.0` (or integer `2` below).
+                    if v != 2.0 {
+                        return Err(self.err(span, format!("unsupported OPENQASM version `{v}`")));
+                    }
+                }
+                Some(Token {
+                    kind: Tok::Int(2), ..
+                }) => {}
+                Some(t) => {
+                    return Err(self.err(
+                        t.span,
+                        format!("unsupported OPENQASM version {}", t.kind.describe()),
+                    ))
+                }
+                None => return Err(self.err(span, "expected a version after OPENQASM")),
+            }
+            self.expect(&Tok::Semi, "`;` after the OPENQASM header")?;
+        }
+        while self.peek().is_some() {
+            self.statement()?;
+        }
+        Ok(())
+    }
+
+    fn statement(&mut self) -> Result<()> {
+        let (name, span) = self.expect_ident("a statement")?;
+        match name.as_str() {
+            "OPENQASM" => Err(self.err(span, "OPENQASM header must be the first statement")),
+            "include" => {
+                let t = self.bump();
+                match t {
+                    Some(Token {
+                        kind: Tok::Str(path),
+                        span,
+                    }) => {
+                        if path != "qelib1.inc" {
+                            return Err(self.err(
+                                span,
+                                format!(
+                                    "cannot include `{path}`: only \"qelib1.inc\" is available"
+                                ),
+                            ));
+                        }
+                        // The qelib1 gates are preloaded; the include is a no-op.
+                        self.expect(&Tok::Semi, "`;` after include")?;
+                        Ok(())
+                    }
+                    Some(t) => Err(self.err(
+                        t.span,
+                        format!(
+                            "expected a file string after include, found {}",
+                            t.kind.describe()
+                        ),
+                    )),
+                    None => Err(self.err(span, "expected a file string after include")),
+                }
+            }
+            "qreg" => self.reg_decl(true),
+            "creg" => self.reg_decl(false),
+            "gate" => self.gate_def(),
+            "opaque" => self.opaque_decl(),
+            "barrier" => {
+                let qubits = self.barrier_args()?;
+                self.push_op(FlatOp::Barrier { qubits }, span)
+            }
+            "measure" => {
+                self.measure(span)?;
+                Ok(())
+            }
+            "reset" => {
+                self.reset(span)?;
+                Ok(())
+            }
+            "if" => self.if_statement(span),
+            _ => self.application(&name, span),
+        }
+    }
+
+    fn reg_decl(&mut self, quantum: bool) -> Result<()> {
+        let (name, span) = self.expect_ident("a register name")?;
+        self.expect(&Tok::LBracket, "`[` in register declaration")?;
+        let (size, size_span) = self.expect_int("a register size")?;
+        self.expect(&Tok::RBracket, "`]` in register declaration")?;
+        self.expect(&Tok::Semi, "`;` after register declaration")?;
+        if size == 0 {
+            return Err(self.err(size_span, "register size must be at least 1"));
+        }
+        if self.qregs.iter().any(|r| r.name == name) || self.cregs.contains_key(&name) {
+            return Err(self.err(span, format!("register `{name}` is already declared")));
+        }
+        let size = usize::try_from(size).unwrap_or(usize::MAX);
+        if quantum {
+            if self.n_qubits.saturating_add(size) > MAX_QUBITS {
+                return Err(self.err(
+                    size_span,
+                    format!("program exceeds the {MAX_QUBITS}-qubit limit"),
+                ));
+            }
+            self.qregs.push(Register {
+                name,
+                size,
+                offset: self.n_qubits,
+            });
+            self.n_qubits += size;
+        } else {
+            if size > MAX_QUBITS {
+                return Err(self.err(
+                    size_span,
+                    format!("register exceeds the {MAX_QUBITS}-bit limit"),
+                ));
+            }
+            self.cregs.insert(name, size);
+        }
+        Ok(())
+    }
+
+    // --- gate definitions ---
+
+    fn gate_def(&mut self) -> Result<()> {
+        let (name, name_span) = self.expect_ident("a gate name")?;
+        self.check_fresh_gate_name(&name, name_span)?;
+
+        let params = self.ident_list_in_parens()?;
+        let mut param_idx = HashMap::new();
+        for (i, (p, span)) in params.iter().enumerate() {
+            if param_idx.insert(p.clone(), i).is_some() {
+                return Err(self.err(*span, format!("duplicate parameter `{p}`")));
+            }
+        }
+        let mut args = vec![self.expect_ident("a qubit argument")?];
+        while self.peek().map(|t| &t.kind) == Some(&Tok::Comma) {
+            self.bump();
+            args.push(self.expect_ident("a qubit argument")?);
+        }
+        let mut arg_idx = HashMap::new();
+        for (i, (a, span)) in args.iter().enumerate() {
+            if arg_idx.insert(a.clone(), i).is_some() {
+                return Err(self.err(*span, format!("duplicate qubit argument `{a}`")));
+            }
+        }
+        self.expect(&Tok::LBrace, "`{` opening the gate body")?;
+
+        let mut template: Vec<TemplateOp> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token {
+                    kind: Tok::RBrace, ..
+                }) => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let (stmt, span) = self.expect_ident("a gate-body statement")?;
+                    if stmt == "barrier" {
+                        let qubits = self.formal_args(&arg_idx)?;
+                        template.push(TemplateOp::Barrier { qubits });
+                        continue;
+                    }
+                    // A gate application over the formal arguments.
+                    let exprs = self.expr_list_in_parens(Some(&param_idx))?;
+                    let qubits = self.formal_args(&arg_idx)?;
+                    if qubits.is_empty() {
+                        return Err(self.err(span, format!("`{stmt}` needs qubit arguments")));
+                    }
+                    for (i, a) in qubits.iter().enumerate() {
+                        if qubits[..i].contains(a) {
+                            return Err(self.err(
+                                span,
+                                format!("`{stmt}` is applied to the same qubit twice"),
+                            ));
+                        }
+                    }
+                    self.splice_into_template(&mut template, &stmt, span, exprs, &qubits)?;
+                    if template.len() > MAX_TEMPLATE_OPS {
+                        return Err(self.err(
+                            name_span,
+                            format!(
+                                "gate `{name}` expands to more than {MAX_TEMPLATE_OPS} operations"
+                            ),
+                        ));
+                    }
+                }
+                None => return Err(self.err(self.here(), "unterminated gate body")),
+            }
+        }
+        self.defs.insert(
+            name,
+            Arc::new(GateDef {
+                n_params: params.len(),
+                n_qubits: args.len(),
+                template,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Appends the application of `callee` (native or previously defined)
+    /// to a template under construction, inlining composite callees.
+    fn splice_into_template(
+        &self,
+        template: &mut Vec<TemplateOp>,
+        callee: &str,
+        span: SourceSpan,
+        exprs: Vec<Expr>,
+        qubits: &[usize],
+    ) -> Result<()> {
+        if let Some((native, n_params, n_qubits)) = NativeGate::named(callee) {
+            self.check_arity(callee, span, n_params, exprs.len(), n_qubits, qubits.len())?;
+            template.push(TemplateOp::Gate {
+                native,
+                params: exprs,
+                qubits: qubits.to_vec(),
+            });
+            return Ok(());
+        }
+        if let Some(def) = self.defs.get(callee) {
+            self.check_arity(
+                callee,
+                span,
+                def.n_params,
+                exprs.len(),
+                def.n_qubits,
+                qubits.len(),
+            )?;
+            for op in &def.template {
+                template.push(match op {
+                    TemplateOp::Gate {
+                        native,
+                        params,
+                        qubits: formals,
+                    } => TemplateOp::Gate {
+                        native: *native,
+                        params: params.iter().map(|e| e.substitute(&exprs)).collect(),
+                        qubits: formals.iter().map(|&f| qubits[f]).collect(),
+                    },
+                    TemplateOp::Barrier { qubits: formals } => TemplateOp::Barrier {
+                        qubits: formals.iter().map(|&f| qubits[f]).collect(),
+                    },
+                });
+            }
+            return Ok(());
+        }
+        Err(self.err(span, format!("unknown gate `{callee}` in gate body")))
+    }
+
+    fn check_fresh_gate_name(&self, name: &str, span: SourceSpan) -> Result<()> {
+        if NativeGate::named(name).is_some()
+            || self.defs.contains_key(name)
+            || self.opaques.contains_key(name)
+        {
+            return Err(self.err(span, format!("gate `{name}` is already defined")));
+        }
+        Ok(())
+    }
+
+    fn check_arity(
+        &self,
+        name: &str,
+        span: SourceSpan,
+        want_params: usize,
+        got_params: usize,
+        want_qubits: usize,
+        got_qubits: usize,
+    ) -> Result<()> {
+        if want_params != got_params {
+            return Err(self.err(
+                span,
+                format!("gate `{name}` takes {want_params} parameter(s), got {got_params}"),
+            ));
+        }
+        if want_qubits != got_qubits {
+            return Err(self.err(
+                span,
+                format!("gate `{name}` acts on {want_qubits} qubit(s), got {got_qubits}"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn opaque_decl(&mut self) -> Result<()> {
+        let (name, span) = self.expect_ident("an opaque gate name")?;
+        self.check_fresh_gate_name(&name, span)?;
+        let params = self.ident_list_in_parens()?;
+        let mut n_args = 1;
+        self.expect_ident("a qubit argument")?;
+        while self.peek().map(|t| &t.kind) == Some(&Tok::Comma) {
+            self.bump();
+            self.expect_ident("a qubit argument")?;
+            n_args += 1;
+        }
+        self.expect(&Tok::Semi, "`;` after opaque declaration")?;
+        self.opaques.insert(name, (params.len(), n_args));
+        Ok(())
+    }
+
+    /// Parses `(a, b, …)` of identifiers; absent parens mean an empty list.
+    fn ident_list_in_parens(&mut self) -> Result<Vec<(String, SourceSpan)>> {
+        let mut out = Vec::new();
+        if self.peek().map(|t| &t.kind) != Some(&Tok::LParen) {
+            return Ok(out);
+        }
+        self.bump();
+        if self.peek().map(|t| &t.kind) == Some(&Tok::RParen) {
+            self.bump();
+            return Ok(out);
+        }
+        loop {
+            out.push(self.expect_ident("a parameter name")?);
+            match self.bump() {
+                Some(Token {
+                    kind: Tok::Comma, ..
+                }) => {}
+                Some(Token {
+                    kind: Tok::RParen, ..
+                }) => break,
+                Some(t) => {
+                    return Err(self.err(
+                        t.span,
+                        format!("expected `,` or `)`, found {}", t.kind.describe()),
+                    ))
+                }
+                None => return Err(self.err(self.here(), "unterminated parameter list")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses formal qubit arguments (`a, b`) inside a gate body, ending
+    /// at `;` (consumed).
+    fn formal_args(&mut self, arg_idx: &HashMap<String, usize>) -> Result<Vec<usize>> {
+        let mut out = Vec::new();
+        loop {
+            let (name, span) = self.expect_ident("a qubit argument")?;
+            let idx = *arg_idx
+                .get(&name)
+                .ok_or_else(|| self.err(span, format!("unknown qubit argument `{name}`")))?;
+            out.push(idx);
+            match self.bump() {
+                Some(Token {
+                    kind: Tok::Comma, ..
+                }) => {}
+                Some(Token {
+                    kind: Tok::Semi, ..
+                }) => break,
+                Some(t) => {
+                    return Err(self.err(
+                        t.span,
+                        format!("expected `,` or `;`, found {}", t.kind.describe()),
+                    ))
+                }
+                None => return Err(self.err(self.here(), "unterminated argument list")),
+            }
+        }
+        Ok(out)
+    }
+
+    // --- applications ---
+
+    fn application(&mut self, name: &str, span: SourceSpan) -> Result<()> {
+        let exprs = self.expr_list_in_parens(None)?;
+        let args = self.qarg_list()?;
+
+        // Evaluate parameters once; they are shared by every broadcast slot.
+        let mut values = Vec::with_capacity(exprs.len());
+        for e in &exprs {
+            values.push(self.eval_param(e, &[], span)?);
+        }
+
+        if let Some((native, n_params, n_qubits)) = NativeGate::named(name) {
+            self.check_arity(name, span, n_params, values.len(), n_qubits, args.len())?;
+            for qubits in self.broadcast(&args, span)? {
+                self.check_distinct(name, span, &qubits)?;
+                self.push_op(
+                    FlatOp::Gate {
+                        native,
+                        params: values.clone(),
+                        qubits,
+                    },
+                    span,
+                )?;
+            }
+            return Ok(());
+        }
+        if let Some(def) = self.defs.get(name).cloned() {
+            self.check_arity(
+                name,
+                span,
+                def.n_params,
+                values.len(),
+                def.n_qubits,
+                args.len(),
+            )?;
+            for qubits in self.broadcast(&args, span)? {
+                self.check_distinct(name, span, &qubits)?;
+                for op in &def.template {
+                    let flat = match op {
+                        TemplateOp::Gate {
+                            native,
+                            params,
+                            qubits: formals,
+                        } => {
+                            let mut evaled = Vec::with_capacity(params.len());
+                            for e in params {
+                                evaled.push(self.eval_param(e, &values, span)?);
+                            }
+                            FlatOp::Gate {
+                                native: *native,
+                                params: evaled,
+                                qubits: formals.iter().map(|&f| qubits[f]).collect(),
+                            }
+                        }
+                        TemplateOp::Barrier { qubits: formals } => FlatOp::Barrier {
+                            qubits: formals.iter().map(|&f| qubits[f]).collect(),
+                        },
+                    };
+                    self.push_op(flat, span)?;
+                }
+            }
+            return Ok(());
+        }
+        if let Some(&(n_params, n_qubits)) = self.opaques.get(name) {
+            self.check_arity(name, span, n_params, values.len(), n_qubits, args.len())?;
+            let custom = if let Some(stripped) = name.strip_prefix(CUSTOM1_PREFIX) {
+                (n_params == 1 && n_qubits == 1).then(|| stripped.to_string())
+            } else if let Some(stripped) = name.strip_prefix(CUSTOM2_PREFIX) {
+                (n_params == 1 && n_qubits == 2).then(|| stripped.to_string())
+            } else {
+                None
+            };
+            match custom {
+                Some(stripped) => {
+                    let weight = values[0].as_f64();
+                    if !(weight.is_finite() && weight >= 0.0) {
+                        return Err(self.err(
+                            span,
+                            format!("custom gate `{name}` needs a finite non-negative weight"),
+                        ));
+                    }
+                    for qubits in self.broadcast(&args, span)? {
+                        self.check_distinct(name, span, &qubits)?;
+                        self.push_op(
+                            FlatOp::Custom {
+                                name: stripped.clone(),
+                                weight,
+                                qubits,
+                            },
+                            span,
+                        )?;
+                    }
+                }
+                None => self.warn(
+                    span,
+                    format!("opaque gate `{name}` has unknown semantics; dropped"),
+                ),
+            }
+            return Ok(());
+        }
+        Err(self.err(span, format!("unknown gate `{name}`")))
+    }
+
+    /// Evaluates one parameter expression, requiring both the radian
+    /// value and its degree conversion to be finite (a finite radian
+    /// value near `f64::MAX` would overflow when scaled to degrees and
+    /// panic in the gate constructors otherwise).
+    fn eval_param(&self, e: &Expr, env: &[Value], span: SourceSpan) -> Result<Value> {
+        let v = e.eval(env).map_err(|m| self.err(span, m))?;
+        if !v.degrees().is_finite() {
+            return Err(self.err(
+                span,
+                "parameter expression does not evaluate to a finite number",
+            ));
+        }
+        Ok(v)
+    }
+
+    fn check_distinct(&self, name: &str, span: SourceSpan, qubits: &[usize]) -> Result<()> {
+        for (i, q) in qubits.iter().enumerate() {
+            if qubits[..i].contains(q) {
+                return Err(self.err(
+                    span,
+                    format!("gate `{name}` is applied to the same qubit twice"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn push_op(&mut self, op: FlatOp, span: SourceSpan) -> Result<()> {
+        if self.ops.len() >= MAX_OPS {
+            return Err(self.err(
+                span,
+                format!("program expands to more than {MAX_OPS} operations"),
+            ));
+        }
+        self.ops.push(op);
+        Ok(())
+    }
+
+    fn warn(&mut self, span: SourceSpan, message: String) {
+        self.warnings.push(Warning { span, message });
+    }
+
+    /// Expands register broadcast: every whole-register argument must have
+    /// the same length `L`, indexed arguments are repeated, and the
+    /// application becomes `L` (or 1) concrete operations.
+    fn broadcast(&self, args: &[ArgRef], span: SourceSpan) -> Result<Vec<Vec<usize>>> {
+        let mut len: Option<usize> = None;
+        for a in args {
+            if let ArgRef::Whole(_, size) = a {
+                match len {
+                    None => len = Some(*size),
+                    Some(l) if l == *size => {}
+                    Some(l) => {
+                        return Err(self.err(
+                            span,
+                            format!("register size mismatch in broadcast: {l} vs {size}"),
+                        ))
+                    }
+                }
+            }
+        }
+        let n = len.unwrap_or(1);
+        Ok((0..n)
+            .map(|i| {
+                args.iter()
+                    .map(|a| match a {
+                        ArgRef::Whole(offset, _) => offset + i,
+                        ArgRef::One(q) => *q,
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Parses the qubit arguments of a top-level application, ending at
+    /// `;` (consumed).
+    fn qarg_list(&mut self) -> Result<Vec<ArgRef>> {
+        let mut out = Vec::new();
+        loop {
+            out.push(self.qarg()?);
+            match self.bump() {
+                Some(Token {
+                    kind: Tok::Comma, ..
+                }) => {}
+                Some(Token {
+                    kind: Tok::Semi, ..
+                }) => break,
+                Some(t) => {
+                    return Err(self.err(
+                        t.span,
+                        format!("expected `,` or `;`, found {}", t.kind.describe()),
+                    ))
+                }
+                None => return Err(self.err(self.here(), "unterminated argument list")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses one quantum argument: `name` or `name[i]`.
+    fn qarg(&mut self) -> Result<ArgRef> {
+        let (name, span) = self.expect_ident("a register argument")?;
+        let reg = self
+            .qregs
+            .iter()
+            .find(|r| r.name == name)
+            .ok_or_else(|| self.err(span, format!("unknown quantum register `{name}`")))?;
+        let (offset, size) = (reg.offset, reg.size);
+        if self.peek().map(|t| &t.kind) == Some(&Tok::LBracket) {
+            self.bump();
+            let (idx, idx_span) = self.expect_int("a qubit index")?;
+            self.expect(&Tok::RBracket, "`]` after the qubit index")?;
+            let idx = usize::try_from(idx).unwrap_or(usize::MAX);
+            if idx >= size {
+                return Err(self.err(
+                    idx_span,
+                    format!("index {idx} out of range for `{name}[{size}]`"),
+                ));
+            }
+            Ok(ArgRef::One(offset + idx))
+        } else {
+            Ok(ArgRef::Whole(offset, size))
+        }
+    }
+
+    /// Parses one classical argument: `name` or `name[i]` over a `creg`.
+    fn carg(&mut self) -> Result<()> {
+        let (name, span) = self.expect_ident("a classical register")?;
+        let size = *self
+            .cregs
+            .get(&name)
+            .ok_or_else(|| self.err(span, format!("unknown classical register `{name}`")))?;
+        if self.peek().map(|t| &t.kind) == Some(&Tok::LBracket) {
+            self.bump();
+            let (idx, idx_span) = self.expect_int("a bit index")?;
+            self.expect(&Tok::RBracket, "`]` after the bit index")?;
+            if usize::try_from(idx).unwrap_or(usize::MAX) >= size {
+                return Err(self.err(
+                    idx_span,
+                    format!("index {idx} out of range for `{name}[{size}]`"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    // --- dropped constructs ---
+
+    fn measure(&mut self, span: SourceSpan) -> Result<()> {
+        self.qarg()?;
+        self.expect(&Tok::Arrow, "`->` in measurement")?;
+        self.carg()?;
+        self.expect(&Tok::Semi, "`;` after measurement")?;
+        self.warn(
+            span,
+            "measurement dropped (placement is unitary-only)".into(),
+        );
+        Ok(())
+    }
+
+    fn reset(&mut self, span: SourceSpan) -> Result<()> {
+        self.qarg()?;
+        self.expect(&Tok::Semi, "`;` after reset")?;
+        self.warn(span, "reset dropped (placement is unitary-only)".into());
+        Ok(())
+    }
+
+    fn if_statement(&mut self, span: SourceSpan) -> Result<()> {
+        self.expect(&Tok::LParen, "`(` after if")?;
+        let (name, name_span) = self.expect_ident("a classical register")?;
+        if !self.cregs.contains_key(&name) {
+            return Err(self.err(name_span, format!("unknown classical register `{name}`")));
+        }
+        self.expect(&Tok::EqEq, "`==` in if condition")?;
+        self.expect_int("a comparison value")?;
+        self.expect(&Tok::RParen, "`)` closing the if condition")?;
+        // Parse the conditioned operation normally, then drop whatever it
+        // produced: the placer has no classical control flow.
+        let ops_before = self.ops.len();
+        let warns_before = self.warnings.len();
+        let (inner, inner_span) = self.expect_ident("a quantum operation after if")?;
+        match inner.as_str() {
+            "measure" => self.measure(inner_span)?,
+            "reset" => self.reset(inner_span)?,
+            "if" | "barrier" | "gate" | "qreg" | "creg" | "include" | "opaque" => {
+                return Err(self.err(
+                    inner_span,
+                    format!("`{inner}` cannot be classically conditioned"),
+                ))
+            }
+            _ => self.application(&inner, inner_span)?,
+        }
+        self.ops.truncate(ops_before);
+        self.warnings.truncate(warns_before);
+        self.warn(
+            span,
+            "classically-conditioned operation dropped (placement is unitary-only)".into(),
+        );
+        Ok(())
+    }
+
+    /// Top-level barrier arguments: `;` alone means every qubit.
+    fn barrier_args(&mut self) -> Result<Vec<usize>> {
+        if self.peek().map(|t| &t.kind) == Some(&Tok::Semi) {
+            self.bump();
+            return Ok((0..self.n_qubits).collect());
+        }
+        let args = self.qarg_list()?;
+        let mut qubits = Vec::new();
+        for a in args {
+            match a {
+                ArgRef::Whole(offset, size) => qubits.extend(offset..offset + size),
+                ArgRef::One(q) => qubits.push(q),
+            }
+        }
+        Ok(qubits)
+    }
+
+    // --- expressions ---
+
+    /// Parses `(e1, e2, …)`; absent parens mean an empty list. `params`
+    /// supplies formal-parameter resolution inside gate bodies.
+    fn expr_list_in_parens(
+        &mut self,
+        params: Option<&HashMap<String, usize>>,
+    ) -> Result<Vec<Expr>> {
+        let mut out = Vec::new();
+        if self.peek().map(|t| &t.kind) != Some(&Tok::LParen) {
+            return Ok(out);
+        }
+        self.bump();
+        if self.peek().map(|t| &t.kind) == Some(&Tok::RParen) {
+            self.bump();
+            return Ok(out);
+        }
+        loop {
+            out.push(self.expr(params, 0)?);
+            match self.bump() {
+                Some(Token {
+                    kind: Tok::Comma, ..
+                }) => {}
+                Some(Token {
+                    kind: Tok::RParen, ..
+                }) => break,
+                Some(t) => {
+                    return Err(self.err(
+                        t.span,
+                        format!("expected `,` or `)`, found {}", t.kind.describe()),
+                    ))
+                }
+                None => return Err(self.err(self.here(), "unterminated parameter list")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn expr(&mut self, params: Option<&HashMap<String, usize>>, depth: usize) -> Result<Expr> {
+        if depth > MAX_EXPR_DEPTH {
+            return Err(self.err(self.here(), "expression nesting too deep"));
+        }
+        let mut lhs = self.term(params, depth + 1)?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term(params, depth + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self, params: Option<&HashMap<String, usize>>, depth: usize) -> Result<Expr> {
+        if depth > MAX_EXPR_DEPTH {
+            return Err(self.err(self.here(), "expression nesting too deep"));
+        }
+        let mut lhs = self.unary(params, depth + 1)?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary(params, depth + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self, params: Option<&HashMap<String, usize>>, depth: usize) -> Result<Expr> {
+        if depth > MAX_EXPR_DEPTH {
+            return Err(self.err(self.here(), "expression nesting too deep"));
+        }
+        if self.peek().map(|t| &t.kind) == Some(&Tok::Minus) {
+            self.bump();
+            return Ok(Expr::Neg(Box::new(self.unary(params, depth + 1)?)));
+        }
+        let base = self.atom(params, depth + 1)?;
+        if self.peek().map(|t| &t.kind) == Some(&Tok::Caret) {
+            self.bump();
+            let exp = self.unary(params, depth + 1)?;
+            return Ok(Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exp)));
+        }
+        Ok(base)
+    }
+
+    fn atom(&mut self, params: Option<&HashMap<String, usize>>, depth: usize) -> Result<Expr> {
+        match self.bump() {
+            Some(Token {
+                kind: Tok::Int(n), ..
+            }) => Ok(Expr::Int(n)),
+            Some(Token {
+                kind: Tok::Real(x), ..
+            }) => Ok(Expr::Real(x)),
+            Some(Token {
+                kind: Tok::LParen, ..
+            }) => {
+                let e = self.expr(params, depth + 1)?;
+                self.expect(&Tok::RParen, "`)` closing the expression")?;
+                Ok(e)
+            }
+            Some(Token {
+                kind: Tok::Ident(name),
+                span,
+            }) => {
+                if name == "pi" {
+                    return Ok(Expr::Pi);
+                }
+                if let Some(f) = MathFn::named(&name) {
+                    self.expect(&Tok::LParen, "`(` after a function name")?;
+                    let arg = self.expr(params, depth + 1)?;
+                    self.expect(&Tok::RParen, "`)` closing the function call")?;
+                    return Ok(Expr::Call(f, Box::new(arg)));
+                }
+                if let Some(idx) = params.and_then(|p| p.get(&name)) {
+                    return Ok(Expr::Param(*idx));
+                }
+                Err(self.err(span, format!("unknown identifier `{name}` in expression")))
+            }
+            Some(t) => Err(self.err(
+                t.span,
+                format!("expected an expression, found {}", t.kind.describe()),
+            )),
+            None => Err(self.err(self.here(), "expected an expression, found end of file")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        parse_program(src).unwrap()
+    }
+
+    fn parse_err(src: &str) -> String {
+        parse_program(src).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn minimal_program() {
+        let p = parse_ok("OPENQASM 2.0;\nqreg q[2];\nCX q[0], q[1];\n");
+        assert_eq!(p.n_qubits, 2);
+        assert_eq!(p.ops.len(), 1);
+        assert!(matches!(
+            &p.ops[0],
+            FlatOp::Gate {
+                native: NativeGate::Cx,
+                qubits,
+                ..
+            } if qubits == &[0, 1]
+        ));
+    }
+
+    #[test]
+    fn registers_concatenate_in_order() {
+        let p = parse_ok("OPENQASM 2.0;\nqreg a[2];\nqreg b[3];\nCX a[1], b[2];\n");
+        assert_eq!(p.n_qubits, 5);
+        assert_eq!(p.registers.len(), 2);
+        assert_eq!(p.registers[1].offset, 2);
+        assert!(matches!(
+            &p.ops[0],
+            FlatOp::Gate { qubits, .. } if qubits == &[1, 4]
+        ));
+    }
+
+    #[test]
+    fn broadcast_over_whole_registers() {
+        let p = parse_ok("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q;\n");
+        assert_eq!(p.ops.len(), 3);
+        let p =
+            parse_ok("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg a[2];\nqreg b[2];\ncx a, b;\n");
+        assert_eq!(p.ops.len(), 2);
+        assert!(matches!(&p.ops[1], FlatOp::Gate { qubits, .. } if qubits == &[1, 3]));
+        // Mixed: the indexed argument repeats.
+        let p = parse_ok(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg a[2];\nqreg b[2];\ncx a[0], b;\n",
+        );
+        assert!(matches!(&p.ops[0], FlatOp::Gate { qubits, .. } if qubits == &[0, 2]));
+        assert!(matches!(&p.ops[1], FlatOp::Gate { qubits, .. } if qubits == &[0, 3]));
+        assert!(parse_err(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg a[2];\nqreg b[3];\ncx a, b;\n"
+        )
+        .contains("size mismatch"));
+    }
+
+    #[test]
+    fn custom_gates_inline_at_parse_time() {
+        let p = parse_ok(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n\
+             gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }\n\
+             qreg q[3];\nmajority q[0], q[1], q[2];\n",
+        );
+        // 2 cx + ccx (15 native ops) = 17 flat ops.
+        assert_eq!(p.ops.len(), 17);
+    }
+
+    #[test]
+    fn qelib_composites_resolve() {
+        for app in [
+            "cy q[0], q[1];",
+            "ch q[0], q[1];",
+            "ccx q[0], q[1], q[2];",
+            "cswap q[0], q[1], q[2];",
+            "crx(pi/4) q[0], q[1];",
+            "cry(pi/4) q[0], q[1];",
+            "crz(pi/4) q[0], q[1];",
+            "cu3(pi/4, 0, pi) q[0], q[1];",
+            "rxx(pi/2) q[0], q[1];",
+            "cp(pi/4) q[0], q[1];",
+            "cu1(pi/4) q[0], q[1];",
+        ] {
+            let src = format!("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\n{app}\n");
+            let p = parse_program(&src).unwrap_or_else(|e| panic!("{app}: {e}"));
+            assert!(!p.ops.is_empty(), "{app} produced no ops");
+        }
+    }
+
+    #[test]
+    fn params_reach_inlined_bodies_exactly() {
+        let p = parse_ok(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncrz(90*pi/180) q[0], q[1];\n",
+        );
+        // crz(λ) = rz(λ/2) t; cx; rz(-λ/2) t; cx — four template ops.
+        assert_eq!(p.ops.len(), 4);
+        let FlatOp::Gate { native, params, .. } = &p.ops[0] else {
+            panic!("expected a gate");
+        };
+        assert_eq!(*native, NativeGate::Rz);
+        assert_eq!(params[0].degrees(), 45.0);
+    }
+
+    #[test]
+    fn dropped_constructs_warn_but_parse() {
+        let p = parse_ok(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n\
+             qreg q[2]; creg c[2];\n\
+             h q[0];\nmeasure q[0] -> c[0];\nreset q[1];\nif (c == 1) x q[1];\n",
+        );
+        assert_eq!(p.warnings.len(), 3);
+        assert!(p.warnings[0].message.contains("measurement"));
+        assert!(p.warnings[1].message.contains("reset"));
+        assert!(p.warnings[2].message.contains("conditioned"));
+        // Only the h survives (1 op: H).
+        assert_eq!(p.ops.len(), 1);
+    }
+
+    #[test]
+    fn opaque_custom_convention() {
+        let p = parse_ok(
+            "OPENQASM 2.0;\nqreg q[2];\n\
+             opaque qcp_c1_pulse(w) a;\nopaque qcp_c2_ent(w) a,b;\nopaque mystery a;\n\
+             qcp_c1_pulse(1.5) q[0];\nqcp_c2_ent(3) q[0], q[1];\nmystery q[1];\n",
+        );
+        assert_eq!(p.ops.len(), 2);
+        assert!(matches!(
+            &p.ops[0],
+            FlatOp::Custom { name, weight, qubits } if name == "pulse" && *weight == 1.5 && qubits == &[0]
+        ));
+        assert!(matches!(
+            &p.ops[1],
+            FlatOp::Custom { name, weight, qubits } if name == "ent" && *weight == 3.0 && qubits == &[0, 1]
+        ));
+        assert_eq!(p.warnings.len(), 1);
+        assert!(p.warnings[0].message.contains("mystery"));
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        assert_eq!(
+            parse_err("OPENQASM 2.0;\nqreg q[2];\nbogus q[0];\n"),
+            "parse error at 3:1: unknown gate `bogus`"
+        );
+        assert_eq!(
+            parse_err("OPENQASM 2.0;\nqreg q[2];\nCX q[0], q[5];\n"),
+            "parse error at 3:12: index 5 out of range for `q[2]`"
+        );
+        assert!(parse_err("qreg q[1];").contains("OPENQASM"));
+        assert!(parse_err("OPENQASM 3.0;\n").contains("unsupported"));
+        assert!(parse_err("OPENQASM 2.0;\ninclude \"other.inc\";").contains("other.inc"));
+        assert!(parse_err("OPENQASM 2.0;\nqreg q[0];").contains("at least 1"));
+        assert!(parse_err("OPENQASM 2.0;\nqreg q[2]; qreg q[2];").contains("already declared"));
+        assert!(
+            parse_err("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0], q[0];")
+                .contains("same qubit twice")
+        );
+        assert!(parse_err("OPENQASM 2.0;\nqreg q[99999999];").contains("limit"));
+    }
+
+    #[test]
+    fn aliasing_natives_and_redefinition_rejected() {
+        assert!(parse_err("OPENQASM 2.0;\ngate h a { U(0,0,0) a; }").contains("already defined"));
+        assert!(
+            parse_err("OPENQASM 2.0;\ngate f a { U(0,0,0) a; }\ngate f a { U(0,0,0) a; }")
+                .contains("already defined")
+        );
+        assert!(parse_err("OPENQASM 2.0;\ngate f a { g a; }").contains("unknown gate `g`"));
+        assert!(parse_err("OPENQASM 2.0;\ngate f a,b { CX a,a; }").contains("same qubit twice"));
+    }
+
+    #[test]
+    fn expression_grammar() {
+        let p = parse_ok(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\n\
+             rz(2*pi - pi/2) q[0];\nrz(-ln(exp(1))) q[0];\nrz(2^3 * 0.25) q[0];\n\
+             rz(sqrt(4)) q[0];\nrz(cos(0)) q[0];\nrz(tan(0)) q[0];\nrz(sin(0)) q[0];\n",
+        );
+        let deg = |i: usize| match &p.ops[i] {
+            FlatOp::Gate { params, .. } => params[0].as_f64(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!((deg(0) - 1.5 * std::f64::consts::PI).abs() < 1e-12);
+        assert!((deg(1) + 1.0).abs() < 1e-12);
+        assert_eq!(deg(2), 2.0);
+        assert_eq!(deg(3), 2.0);
+        assert_eq!(deg(4), 1.0);
+        assert_eq!(deg(5), 0.0);
+    }
+
+    #[test]
+    fn deep_expressions_error_not_overflow() {
+        let mut src = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nrz(");
+        src.push_str(&"(".repeat(5_000));
+        src.push('1');
+        src.push_str(&")".repeat(5_000));
+        src.push_str(") q[0];\n");
+        assert!(parse_err(&src).contains("nesting too deep"));
+    }
+
+    #[test]
+    fn barriers_parse_at_top_level_and_in_bodies() {
+        let p = parse_ok(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\n\
+             barrier q;\nbarrier q[0], q[2];\nbarrier;\n\
+             gate wall a,b { h a; barrier a,b; h b; }\nwall q[0], q[1];\n",
+        );
+        let barriers: Vec<&FlatOp> = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, FlatOp::Barrier { .. }))
+            .collect();
+        assert_eq!(barriers.len(), 4);
+        assert!(matches!(barriers[0], FlatOp::Barrier { qubits } if qubits == &[0, 1, 2]));
+        assert!(matches!(barriers[1], FlatOp::Barrier { qubits } if qubits == &[0, 2]));
+        assert!(matches!(barriers[2], FlatOp::Barrier { qubits } if qubits == &[0, 1, 2]));
+        assert!(matches!(barriers[3], FlatOp::Barrier { qubits } if qubits == &[0, 1]));
+    }
+
+    #[test]
+    fn version_2_int_accepted() {
+        let p = parse_ok("OPENQASM 2;\nqreg q[1];\n");
+        assert_eq!(p.n_qubits, 1);
+    }
+}

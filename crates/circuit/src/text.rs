@@ -22,7 +22,12 @@
 //! # Ok::<(), qcp_circuit::CircuitError>(())
 //! ```
 
-use crate::{Circuit, CircuitError, Gate, Qubit, Result};
+use crate::{Circuit, CircuitError, Gate, Qubit, Result, SourceSpan};
+
+/// Parsers in this crate refuse circuits wider than this, so a header
+/// like `qubits 99999999999` is a parse error instead of an allocation
+/// the size of the address space.
+pub(crate) const MAX_QUBITS: usize = 1 << 20;
 
 /// Serializes a circuit in the text format (one line per level).
 pub fn to_text(circuit: &Circuit) -> String {
@@ -55,9 +60,9 @@ fn gate_to_text(g: &Gate) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`CircuitError::Parse`] with a one-based line number on
-/// malformed input, and the usual construction errors if gates do not fit
-/// the declared width or collide within a level.
+/// Returns [`CircuitError::Parse`] with a one-based line *and column*
+/// ([`SourceSpan`]) on malformed input, and the usual construction errors
+/// if gates do not fit the declared width or collide within a level.
 pub fn parse(input: &str) -> Result<Circuit> {
     let mut width: Option<usize> = None;
     let mut levels: Vec<Vec<Gate>> = Vec::new();
@@ -71,51 +76,61 @@ pub fn parse(input: &str) -> Result<Circuit> {
             let mut parts = line.split_whitespace();
             match (parts.next(), parts.next(), parts.next()) {
                 (Some("qubits"), Some(n), None) => {
-                    let n: usize = n.parse().map_err(|_| CircuitError::Parse {
-                        line: lineno,
-                        message: format!("invalid qubit count `{n}`"),
+                    let parsed = n.parse::<usize>().ok().filter(|&n| n <= MAX_QUBITS);
+                    let n = parsed.ok_or_else(|| {
+                        CircuitError::parse_at(
+                            SourceSpan::of_token(lineno, raw, n),
+                            format!("invalid qubit count `{n}` (max {MAX_QUBITS})"),
+                        )
                     })?;
                     width = Some(n);
                 }
                 _ => {
-                    return Err(CircuitError::Parse {
-                        line: lineno,
-                        message: "expected header `qubits N`".into(),
-                    })
+                    return Err(CircuitError::parse_at(
+                        SourceSpan::of_token(lineno, raw, line),
+                        "expected header `qubits N`",
+                    ))
                 }
             }
             continue;
         }
         let mut level = Vec::new();
         for chunk in line.split(';') {
-            let chunk = chunk.trim();
-            if chunk.is_empty() {
+            let trimmed = chunk.trim();
+            if trimmed.is_empty() {
                 continue;
             }
-            level.push(parse_gate(chunk, lineno)?);
+            level.push(parse_gate(trimmed, raw, lineno)?);
         }
         levels.push(level);
     }
     let width = width.ok_or(CircuitError::Parse {
-        line: input.lines().count().max(1),
+        span: SourceSpan::new(input.lines().count().max(1), 1),
         message: "missing header `qubits N`".into(),
     })?;
     Circuit::from_levels(width, levels)
 }
 
-fn parse_gate(text: &str, line: usize) -> Result<Gate> {
-    let err = |message: String| CircuitError::Parse { line, message };
+/// Parses one gate. `raw` is the full source line `text` was cut from, so
+/// errors can point at the exact offending token.
+fn parse_gate(text: &str, raw: &str, line: usize) -> Result<Gate> {
+    let err = |tok: &str, message: String| {
+        CircuitError::parse_at(SourceSpan::of_token(line, raw, tok), message)
+    };
     let tokens: Vec<&str> = text.split_whitespace().collect();
     let parse_qubit = |tok: &str| -> Result<Qubit> {
         let idx = tok
             .strip_prefix('q')
             .and_then(|s| s.parse::<usize>().ok())
-            .ok_or_else(|| err(format!("invalid qubit `{tok}`")))?;
+            .filter(|&i| i < MAX_QUBITS)
+            .ok_or_else(|| err(tok, format!("invalid qubit `{tok}`")))?;
         Ok(Qubit::new(idx))
     };
     let parse_num = |tok: &str| -> Result<f64> {
         tok.parse::<f64>()
-            .map_err(|_| err(format!("invalid number `{tok}`")))
+            .ok()
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| err(tok, format!("invalid number `{tok}`")))
     };
     match tokens.as_slice() {
         ["rx", q, a] => Ok(Gate::rx(parse_qubit(q)?, parse_num(a)?)),
@@ -124,36 +139,39 @@ fn parse_gate(text: &str, line: usize) -> Result<Gate> {
         ["zz", a, b, ang] => {
             let (qa, qb) = (parse_qubit(a)?, parse_qubit(b)?);
             if qa == qb {
-                return Err(err(format!("zz needs distinct qubits, got {qa} twice")));
+                return Err(err(b, format!("zz needs distinct qubits, got {qa} twice")));
             }
             Ok(Gate::zz(qa, qb, parse_num(ang)?))
         }
         ["swap", a, b] => {
             let (qa, qb) = (parse_qubit(a)?, parse_qubit(b)?);
             if qa == qb {
-                return Err(err(format!("swap needs distinct qubits, got {qa} twice")));
+                return Err(err(
+                    b,
+                    format!("swap needs distinct qubits, got {qa} twice"),
+                ));
             }
             Ok(Gate::swap(qa, qb))
         }
         ["u1", q, w, name] => {
             let w = parse_num(w)?;
-            if !(w.is_finite() && w >= 0.0) {
-                return Err(err(format!("invalid weight `{w}`")));
+            if w < 0.0 {
+                return Err(err(tokens[2], format!("invalid weight `{w}`")));
             }
             Ok(Gate::custom1(parse_qubit(q)?, w, *name))
         }
         ["u2", a, b, w, name] => {
             let (qa, qb) = (parse_qubit(a)?, parse_qubit(b)?);
             if qa == qb {
-                return Err(err(format!("u2 needs distinct qubits, got {qa} twice")));
+                return Err(err(b, format!("u2 needs distinct qubits, got {qa} twice")));
             }
             let w = parse_num(w)?;
-            if !(w.is_finite() && w >= 0.0) {
-                return Err(err(format!("invalid weight `{w}`")));
+            if w < 0.0 {
+                return Err(err(tokens[3], format!("invalid weight `{w}`")));
             }
             Ok(Gate::custom2(qa, qb, w, *name))
         }
-        _ => Err(err(format!("unrecognized gate `{text}`"))),
+        _ => Err(err(text, format!("unrecognized gate `{text}`"))),
     }
 }
 
@@ -186,27 +204,76 @@ mod tests {
     #[test]
     fn missing_header_is_error() {
         let err = parse("ry q0 90\n").unwrap_err();
-        assert!(matches!(err, CircuitError::Parse { line: 1, .. }));
+        assert!(matches!(
+            err,
+            CircuitError::Parse {
+                span: SourceSpan { line: 1, .. },
+                ..
+            }
+        ));
         let err = parse("").unwrap_err();
         assert!(matches!(err, CircuitError::Parse { .. }));
     }
 
     #[test]
-    fn bad_tokens_are_reported_with_line() {
+    fn bad_tokens_are_reported_with_line_and_column() {
         let err = parse("qubits 2\nry q0 90\nfrobnicate q0\n").unwrap_err();
         match err {
-            CircuitError::Parse { line, message } => {
-                assert_eq!(line, 3);
+            CircuitError::Parse { span, message } => {
+                assert_eq!(span, SourceSpan::new(3, 1));
                 assert!(message.contains("frobnicate"));
             }
             other => panic!("unexpected {other:?}"),
+        }
+        // The column points at the offending token, not the line start.
+        let err = parse("qubits 2\nry q0 bogus\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "parse error at 2:7: invalid number `bogus`"
+        );
+        // Tokens after a `;` separator still get exact columns.
+        let err = parse("qubits 3\nry q0 90 ; rz qX 5\n").unwrap_err();
+        assert_eq!(err.to_string(), "parse error at 2:15: invalid qubit `qX`");
+    }
+
+    #[test]
+    fn header_errors_point_at_the_count() {
+        let err = parse("qubits lots\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "parse error at 1:8: invalid qubit count `lots` (max 1048576)"
+        );
+    }
+
+    #[test]
+    fn absurd_width_is_rejected_not_allocated() {
+        let err = parse("qubits 99999999999999\nry q0 90\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { .. }));
+        let err = parse("qubits 2\nry q99999999999999 90\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { .. }));
+    }
+
+    #[test]
+    fn non_finite_numbers_are_parse_errors() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let err = parse(&format!("qubits 2\nry q0 {bad}\n")).unwrap_err();
+            assert!(
+                matches!(err, CircuitError::Parse { .. }),
+                "{bad} must be rejected"
+            );
         }
     }
 
     #[test]
     fn duplicate_qubit_in_two_qubit_gate() {
         let err = parse("qubits 2\nzz q1 q1 90\n").unwrap_err();
-        assert!(matches!(err, CircuitError::Parse { line: 2, .. }));
+        assert!(matches!(
+            err,
+            CircuitError::Parse {
+                span: SourceSpan { line: 2, .. },
+                ..
+            }
+        ));
     }
 
     #[test]

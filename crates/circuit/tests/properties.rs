@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use qcp_circuit::{library, text, Circuit, Gate, Qubit};
+use qcp_circuit::{library, qasm, text, Circuit, Gate, Qubit};
 
 /// Strategy producing an arbitrary gate on `n` qubits.
 fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
@@ -31,6 +31,61 @@ fn arb_circuit() -> impl Strategy<Value = Circuit> {
             .prop_map(move |gates| Circuit::from_gates(n, gates).expect("gates fit width"))
     })
 }
+
+/// A valid program whose prefixes and mutations feed the structured
+/// no-panic fuzz below (ASCII, so byte truncation is char-safe).
+const QASM_SEED: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\ncreg c[4];\n\
+    gate foo(a) x,y { cx x,y; rz(a/2) x; barrier x,y; }\n\
+    opaque qcp_c1_pulse(w) a;\n\
+    h q[0];\ncx q[0], q[1];\nfoo(pi/2) q[2], q[3];\nqcp_c1_pulse(1.5) q[1];\n\
+    barrier q;\nmeasure q -> c;\nreset q[0];\nif (c == 3) x q[2];\n";
+
+/// Grammar fragments for the mutated tail.
+const QASM_TOKENS: &[&str] = &[
+    "qreg ",
+    "creg ",
+    "q",
+    "[",
+    "]",
+    "[2]",
+    ";",
+    "(",
+    ")",
+    "{",
+    "}",
+    ",",
+    " ",
+    "\n",
+    "pi",
+    "0.5",
+    "2",
+    "-",
+    "+",
+    "*",
+    "/",
+    "^",
+    "9999999999999",
+    "1e400",
+    "gate ",
+    "opaque ",
+    "barrier ",
+    "measure ",
+    "reset ",
+    "if ",
+    "==",
+    "->",
+    "cx ",
+    "u3",
+    "foo",
+    "include ",
+    "\"qelib1.inc\"",
+    "\"",
+    "e",
+    "_",
+    "qubits ",
+    "zz ",
+    "swap ",
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -80,6 +135,42 @@ proptest! {
         let s = text::to_text(&c);
         let back = text::parse(&s).unwrap();
         prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn qasm_roundtrip(c in arb_circuit()) {
+        // Exact: angles survive the degree→radian→degree detour through
+        // the `*pi/180` emission form, custom gates through the opaque
+        // convention, and ASAP-built level structures re-levelize
+        // identically.
+        let s = c.to_qasm();
+        let back = qasm::parse(&s).unwrap();
+        prop_assert_eq!(&back.circuit, &c, "qasm source:\n{}", s);
+        prop_assert!(back.warnings.is_empty());
+    }
+
+    #[test]
+    fn parsers_never_panic_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        // Ok or Err both fine — reaching the next line is the property.
+        let _ = text::parse(&input);
+        let _ = qasm::parse(&input);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_mutated_programs(
+        cut in 0usize..QASM_SEED.len(),
+        picks in prop::collection::vec(0usize..QASM_TOKENS.len(), 0..24),
+    ) {
+        // Structured fuzz: truncate a valid program mid-token and graft a
+        // random tail of grammar fragments, driving the parser through
+        // states random bytes rarely reach.
+        let mut src = QASM_SEED[..cut].to_string();
+        for p in picks {
+            src.push_str(QASM_TOKENS[p]);
+        }
+        let _ = qasm::parse(&src);
+        let _ = text::parse(&src);
     }
 
     #[test]
@@ -134,5 +225,18 @@ proptest! {
         for (a, b, _) in c.interaction_graph().edges() {
             prop_assert!(a.index().abs_diff(b.index()) <= band.max(1));
         }
+    }
+}
+
+#[test]
+fn library_circuits_roundtrip_both_formats() {
+    for name in library::NAMES {
+        let c = library::named(name).unwrap();
+        let text_back =
+            text::parse(&text::to_text(&c)).unwrap_or_else(|e| panic!("{name} text: {e}"));
+        assert_eq!(text_back, c, "{name} must round-trip through text");
+        let qasm_back = qasm::parse(&c.to_qasm()).unwrap_or_else(|e| panic!("{name} qasm: {e}"));
+        assert_eq!(qasm_back.circuit, c, "{name} must round-trip through qasm");
+        assert!(qasm_back.warnings.is_empty(), "{name} warns unexpectedly");
     }
 }

@@ -151,19 +151,68 @@ impl BatchPlacer {
         })
     }
 
+    /// Like [`cross`](BatchPlacer::cross), but with caller-supplied
+    /// circuit names: labels become `<name>@<env name>`. This is the
+    /// ingestion path for external circuit files (e.g. an OpenQASM corpus
+    /// directory), where the file stem makes the batch report readable.
+    pub fn cross_named(
+        circuits: &[(String, Circuit)],
+        environments: &[Environment],
+        config: &PlacerConfig,
+    ) -> Self {
+        Self::cross_named_with(circuits, environments, |_| config.clone())
+    }
+
+    /// [`cross_named`](BatchPlacer::cross_named) with the per-environment
+    /// automatic threshold of [`cross_auto`](BatchPlacer::cross_auto).
+    pub fn cross_named_auto(
+        circuits: &[(String, Circuit)],
+        environments: &[Environment],
+        base: &PlacerConfig,
+    ) -> Self {
+        Self::cross_named_with(circuits, environments, |env| {
+            let mut config = base.clone();
+            if let Some(t) = env.connectivity_threshold() {
+                config.threshold = t;
+            }
+            config
+        })
+    }
+
     fn cross_with(
         circuits: &[Circuit],
+        environments: &[Environment],
+        config_for: impl FnMut(&Environment) -> PlacerConfig,
+    ) -> Self {
+        // Synthetic `c<i>` labels; circuits are only cloned per request.
+        let named = circuits
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| (format!("c{ci}"), c));
+        Self::cross_pairs_with(named, environments, config_for)
+    }
+
+    fn cross_named_with(
+        circuits: &[(String, Circuit)],
+        environments: &[Environment],
+        config_for: impl FnMut(&Environment) -> PlacerConfig,
+    ) -> Self {
+        let named = circuits.iter().map(|(name, c)| (name.clone(), c));
+        Self::cross_pairs_with(named, environments, config_for)
+    }
+
+    fn cross_pairs_with<'a>(
+        circuits: impl IntoIterator<Item = (String, &'a Circuit)>,
         environments: &[Environment],
         mut config_for: impl FnMut(&Environment) -> PlacerConfig,
     ) -> Self {
         let configs: Vec<PlacerConfig> = environments.iter().map(&mut config_for).collect();
         let requests = circuits
-            .iter()
-            .enumerate()
-            .flat_map(|(ci, circuit)| {
+            .into_iter()
+            .flat_map(|(name, circuit)| {
                 environments.iter().zip(&configs).map(move |(env, config)| {
                     BatchRequest::new(
-                        format!("c{ci}@{}", env.name()),
+                        format!("{name}@{}", env.name()),
                         circuit.clone(),
                         env.clone(),
                         config.clone(),
@@ -461,6 +510,29 @@ mod tests {
         assert_eq!(batch.requests()[0].label, "c0@trans-crotonic acid");
         assert_eq!(batch.requests()[1].label, "c0@grid-2x3");
         assert_eq!(batch.requests()[3].label, "c1@trans-crotonic acid");
+    }
+
+    #[test]
+    fn cross_named_uses_caller_labels() {
+        let (circuits, envs) = zoo();
+        let named: Vec<(String, Circuit)> = ["qec3", "qft4", "cat5"]
+            .iter()
+            .zip(circuits)
+            .map(|(n, c)| (n.to_string(), c))
+            .collect();
+        let batch = BatchPlacer::cross_named(&named, &envs, &PlacerConfig::default());
+        assert_eq!(batch.requests().len(), 9);
+        assert_eq!(batch.requests()[0].label, "qec3@trans-crotonic acid");
+        assert_eq!(batch.requests()[4].label, "qft4@grid-2x3");
+        // Same requests through cross_named_auto: identical outcomes to
+        // the anonymous cross_auto (labels differ, fingerprints match
+        // because labels are not part of the outcome).
+        let a = BatchPlacer::cross_named_auto(&named, &envs, &PlacerConfig::default()).run();
+        let b = {
+            let circuits: Vec<Circuit> = named.iter().map(|(_, c)| c.clone()).collect();
+            BatchPlacer::cross_auto(&circuits, &envs, &PlacerConfig::default()).run()
+        };
+        assert_eq!(a.outcome_fingerprint(), b.outcome_fingerprint());
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! OpenQASM ingestion: parse circuits from the committed corpus under
+//! `tests/qasm/`, inspect what the frontend dropped, and place one file
+//! across the topology zoo — the external-workload pipeline end-to-end.
+//!
+//! Run with: `cargo run --release --example qasm_ingest`
+
+use std::path::Path;
+
+use qcp::circuit::qasm;
+use qcp::env::topologies::{Delays, TopologySpec};
+use qcp::place::batch::BatchPlacer;
+use qcp::prelude::*;
+
+fn main() {
+    let corpus = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/qasm");
+
+    // Ingest the whole corpus: every file parses, lowers to the NMR
+    // basis, and reports what it had to drop (measurements, resets,
+    // classical conditions).
+    let mut circuits: Vec<(String, Circuit)> = Vec::new();
+    let mut paths: Vec<_> = std::fs::read_dir(&corpus)
+        .expect("tests/qasm exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "qasm"))
+        .collect();
+    paths.sort();
+    println!(
+        "{:<15} {:>6} {:>6} {:>9} {:>6} {:>9}",
+        "file", "qubits", "gates", "couplings", "depth", "warnings"
+    );
+    for path in &paths {
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(path).expect("corpus file readable");
+        let parsed = qasm::parse(&text).unwrap_or_else(|e| panic!("{stem}: {e}"));
+        println!(
+            "{:<15} {:>6} {:>6} {:>9} {:>6} {:>9}",
+            stem,
+            parsed.circuit.qubit_count(),
+            parsed.circuit.gate_count(),
+            parsed.circuit.two_qubit_gate_count(),
+            parsed.circuit.depth(),
+            parsed.warnings.len(),
+        );
+        circuits.push((stem, parsed.circuit));
+    }
+
+    // One file in detail: qft4 on the zoo, exactly as
+    // `qcp place --qasm tests/qasm/qft4.qasm --topology <spec>` would.
+    let (_, qft4) = circuits
+        .iter()
+        .find(|(n, _)| n == "qft4")
+        .expect("qft4.qasm is part of the corpus");
+    println!("\nqft4.qasm across the zoo (hybrid strategy):");
+    for spec in ["line:16", "ring:12", "grid:4x4", "heavy_hex:3", "star:9"] {
+        let parsed: TopologySpec = spec.parse().expect("valid spec");
+        let env = parsed.build(Delays::default());
+        let t = env.connectivity_threshold().expect("connected");
+        let config = PlacerConfig::with_threshold(t)
+            .candidates(30)
+            .strategy(Strategy::Hybrid);
+        let outcome = Placer::new(&env, config)
+            .place(qft4)
+            .expect("hybrid always places");
+        println!(
+            "  {:<12} runtime {:>10}  {} stage(s), {} swap(s) [{}]",
+            spec,
+            outcome.runtime.to_string(),
+            outcome.subcircuit_count(),
+            outcome.swap_count(),
+            outcome.resolution,
+        );
+    }
+
+    // And the whole corpus as one named batch on grid:4x4 + heavy-hex.
+    let envs: Vec<Environment> = ["grid:4x4", "heavy_hex:3"]
+        .iter()
+        .map(|s| s.parse::<TopologySpec>().unwrap().build(Delays::default()))
+        .collect();
+    let config = PlacerConfig::default()
+        .candidates(30)
+        .strategy(Strategy::Hybrid);
+    let report = BatchPlacer::cross_named_auto(&circuits, &envs, &config).run();
+    println!("\n{report}");
+}

@@ -11,9 +11,16 @@
 //!       --envs trans-crotonic-acid,grid:4x4,heavy_hex:3 --jobs 4
 //! ```
 //!
+//! ```console
+//! $ qcp place --qasm tests/qasm/qft4.qasm --topology grid:4x4 --strategy hybrid
+//! $ qcp batch --qasm-dir tests/qasm --envs line:16,grid:4x4,heavy_hex:3 --jobs 4
+//! ```
+//!
 //! Circuits are looked up in the built-in library first, then read as
-//! files in the text format of `qcp_circuit::text`. Environments resolve
-//! as molecule names, then device-topology specs
+//! files: OpenQASM 2.0 for `--qasm` and `*.qasm` paths
+//! (`qcp_circuit::qasm`, warnings for dropped classical constructs go to
+//! stderr), the text format of `qcp_circuit::text` otherwise.
+//! Environments resolve as molecule names, then device-topology specs
 //! (`qcp_env::topologies::TopologySpec`, e.g. `grid:8x8`), then files in
 //! the `qcp_env::text` format.
 
@@ -67,7 +74,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: qcp <molecules|circuits|place|batch> [options]\n\
                  place options:\n\
-                 \x20 --circuit <name|file>   circuit (library name or text file)\n\
+                 \x20 --circuit <name|file>   circuit (library name, *.qasm, or text file)\n\
+                 \x20 --qasm <file>           circuit as an OpenQASM 2.0 file\n\
                  \x20 --env <name|spec|file>  environment (molecule, topology spec, or file)\n\
                  \x20 --topology <spec>       device backend (line:16, ring:12, grid:8x8,\n\
                  \x20                         heavy_hex:3, star:5); alternative to --env\n\
@@ -85,6 +93,7 @@ fn main() -> ExitCode {
                  \x20 --exposure              print idle/coupling exposure\n\
                  batch options:\n\
                  \x20 --circuits <a,b,...>    comma-separated circuits (names or files)\n\
+                 \x20 --qasm-dir <dir>        ingest every *.qasm file in a directory\n\
                  \x20 --envs <a,b,...>        comma-separated environments/topologies\n\
                  \x20 --jobs <k>              worker threads (default: all cores)\n\
                  \x20 --threshold <units>     fixed threshold (default: per-env auto)\n\
@@ -99,6 +108,7 @@ fn main() -> ExitCode {
 
 fn run_place(args: &[String]) -> Result<(), String> {
     let mut circuit_arg = None;
+    let mut qasm_arg = None;
     let mut env_arg = None;
     let mut topology_arg = None;
     let mut coupling = 10.0f64;
@@ -121,6 +131,7 @@ fn run_place(args: &[String]) -> Result<(), String> {
         };
         match a.as_str() {
             "--circuit" => circuit_arg = Some(value("--circuit")?),
+            "--qasm" => qasm_arg = Some(value("--qasm")?),
             "--env" => env_arg = Some(value("--env")?),
             "--topology" => topology_arg = Some(value("--topology")?),
             "--coupling" => coupling = parse_coupling(&value("--coupling")?)?,
@@ -157,7 +168,12 @@ fn run_place(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let circuit = load_circuit(&circuit_arg.ok_or("--circuit is required")?)?;
+    let circuit = match (circuit_arg, qasm_arg) {
+        (Some(_), Some(_)) => return Err("--circuit and --qasm are mutually exclusive".into()),
+        (None, None) => return Err("--circuit or --qasm is required".into()),
+        (Some(name), None) => load_circuit(&name)?,
+        (None, Some(path)) => load_qasm_file(&path)?,
+    };
     let env = match (env_arg, topology_arg) {
         (Some(_), Some(_)) => return Err("--env and --topology are mutually exclusive".into()),
         (None, None) => return Err("--env or --topology is required".into()),
@@ -248,6 +264,7 @@ fn run_place(args: &[String]) -> Result<(), String> {
 /// `qcp batch`: place every circuit on every environment in parallel.
 fn run_batch(args: &[String]) -> Result<(), String> {
     let mut circuits_arg = None;
+    let mut qasm_dir_arg = None;
     let mut envs_arg = None;
     let mut jobs = 0usize;
     let mut coupling = 10.0f64;
@@ -268,6 +285,7 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         };
         match a.as_str() {
             "--circuits" => circuits_arg = Some(value("--circuits")?),
+            "--qasm-dir" => qasm_dir_arg = Some(value("--qasm-dir")?),
             "--envs" => envs_arg = Some(value("--envs")?),
             "--jobs" => {
                 jobs = value("--jobs")?
@@ -308,16 +326,25 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let circuits: Vec<Circuit> = split_list(&circuits_arg.ok_or("--circuits is required")?)
-        .iter()
-        .map(|name| load_circuit(name))
-        .collect::<Result<_, _>>()?;
+    let mut circuits: Vec<(String, Circuit)> = Vec::new();
+    if let Some(arg) = &circuits_arg {
+        for name in split_list(arg) {
+            let circuit = load_circuit(&name)?;
+            circuits.push((name, circuit));
+        }
+    }
+    if let Some(dir) = &qasm_dir_arg {
+        circuits.extend(load_qasm_dir(dir)?);
+    }
+    if circuits_arg.is_none() && qasm_dir_arg.is_none() {
+        return Err("--circuits or --qasm-dir is required".into());
+    }
     let envs: Vec<Environment> = split_list(&envs_arg.ok_or("--envs is required")?)
         .iter()
         .map(|name| load_env(name, coupling))
         .collect::<Result<_, _>>()?;
     if circuits.is_empty() || envs.is_empty() {
-        return Err("--circuits and --envs must both be non-empty".into());
+        return Err("the circuit list and --envs must both be non-empty".into());
     }
 
     let base = PlacerConfig::default()
@@ -333,9 +360,9 @@ fn run_batch(args: &[String]) -> Result<(), String> {
                 threshold: t,
                 ..base
             };
-            BatchPlacer::cross(&circuits, &envs, &config)
+            BatchPlacer::cross_named(&circuits, &envs, &config)
         }
-        None => BatchPlacer::cross_auto(&circuits, &envs, &base),
+        None => BatchPlacer::cross_named_auto(&circuits, &envs, &base),
     };
     print!("{}", batch.jobs(jobs).run());
     Ok(())
@@ -377,9 +404,47 @@ fn load_circuit(arg: &str) -> Result<Circuit, String> {
     if let Some(c) = library::named(arg) {
         return Ok(c);
     }
+    if arg.ends_with(".qasm") {
+        return load_qasm_file(arg);
+    }
     let text = std::fs::read_to_string(arg)
         .map_err(|e| format!("`{arg}` is not a library circuit and cannot be read: {e}"))?;
     qcp::circuit::text::parse(&text).map_err(|e| format!("parsing `{arg}`: {e}"))
+}
+
+/// Reads and parses one OpenQASM 2.0 file; dropped-construct warnings go
+/// to stderr, prefixed with the file and source position.
+fn load_qasm_file(path: &str) -> Result<Circuit, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let parsed = qcp::circuit::qasm::parse(&text).map_err(|e| format!("parsing `{path}`: {e}"))?;
+    for w in &parsed.warnings {
+        eprintln!("warning: {path}:{w}");
+    }
+    Ok(parsed.circuit)
+}
+
+/// Ingests every `*.qasm` file in `dir` (sorted by file name); the file
+/// stem becomes the circuit's batch label.
+fn load_qasm_dir(dir: &str) -> Result<Vec<(String, Circuit)>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read `{dir}`: {e}"))?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "qasm"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("`{dir}` contains no .qasm files"));
+    }
+    paths
+        .into_iter()
+        .map(|p| {
+            let stem = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.display().to_string());
+            load_qasm_file(&p.display().to_string()).map(|c| (stem, c))
+        })
+        .collect()
 }
 
 /// Resolves an environment argument: a molecule name, then a topology

@@ -1,0 +1,33 @@
+// Cuccaro-style 2+2-bit ripple-carry adder built from user-defined
+// majority/unmajority gates — exercises custom `gate` definitions that
+// are inlined at parse time (each MAJ/UMA expands through cx and ccx).
+OPENQASM 2.0;
+include "qelib1.inc";
+
+gate maj a,b,c {
+  cx c, b;
+  cx c, a;
+  ccx a, b, c;
+}
+gate uma a,b,c {
+  ccx a, b, c;
+  cx c, a;
+  cx a, b;
+}
+
+qreg cin[1];
+qreg a[2];
+qreg b[2];
+qreg cout[1];
+creg sum[3];
+
+// b := a + b
+maj cin[0], b[0], a[0];
+maj a[0], b[1], a[1];
+cx a[1], cout[0];
+uma a[0], b[1], a[1];
+uma cin[0], b[0], a[0];
+
+measure b[0] -> sum[0];
+measure b[1] -> sum[1];
+measure cout[0] -> sum[2];

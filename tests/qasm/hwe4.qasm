@@ -1,0 +1,21 @@
+// Hardware-efficient variational ansatz on 4 qubits: Ry/Rz rotation
+// layers with plain radian literals, entangled by a CNOT ring.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+ry(0.1) q[0];
+ry(0.735) q[1];
+ry(1.25) q[2];
+ry(2.0) q[3];
+rz(0.42) q[0];
+rz(1.9) q[1];
+rz(0.07) q[2];
+rz(2.71) q[3];
+cx q[0], q[1];
+cx q[1], q[2];
+cx q[2], q[3];
+cx q[3], q[0];
+ry(0.5) q[0];
+ry(1.1) q[1];
+ry(0.9) q[2];
+ry(0.33) q[3];

@@ -1,0 +1,15 @@
+// One Trotter step of a 6-site transverse-field Ising ring: native ZZ
+// couplings (rzz maps 1:1 onto the NMR drift evolution), an rxx term,
+// and the transverse field as rx pulses.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+rx(pi/2) q;
+rzz(pi/4) q[0], q[1];
+rzz(pi/4) q[1], q[2];
+rzz(pi/4) q[2], q[3];
+rzz(pi/4) q[3], q[4];
+rzz(pi/4) q[4], q[5];
+rzz(pi/4) q[5], q[0];
+rxx(pi/8) q[0], q[3];
+rx(0.61) q;

@@ -1,0 +1,17 @@
+// 3-qubit bit-flip code: encode, a deliberate error, decode, and the
+// Toffoli correction (ccx inlines through its qelib1 definition).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[1];
+// encode |psi> q[0] into the codeword
+cx q[0], q[1];
+cx q[0], q[2];
+barrier q;
+x q[1];          // injected bit-flip
+barrier q;
+// decode and correct
+cx q[0], q[1];
+cx q[0], q[2];
+ccx q[2], q[1], q[0];
+measure q[0] -> c[0];

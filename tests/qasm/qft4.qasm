@@ -1,0 +1,18 @@
+// 4-qubit quantum Fourier transform: Hadamards, controlled phases with
+// dyadic angles, and the final qubit-reversal swaps. The interaction
+// graph is the complete graph K4, so grids force subcircuit stages.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+cu1(pi/2) q[1], q[0];
+cu1(pi/4) q[2], q[0];
+cu1(pi/8) q[3], q[0];
+h q[1];
+cu1(pi/2) q[2], q[1];
+cu1(pi/4) q[3], q[1];
+h q[2];
+cu1(pi/2) q[3], q[2];
+h q[3];
+swap q[0], q[3];
+swap q[1], q[2];

@@ -1,0 +1,31 @@
+// A fixed pseudo-random 12-qubit CNOT circuit (hand-written, committed —
+// no generator involved): mostly local pairs with a handful of
+// long-range couplings, the shape of the scalability workloads.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[12];
+h q;
+cx q[0], q[1];
+cx q[2], q[3];
+cx q[4], q[5];
+cx q[6], q[7];
+cx q[8], q[9];
+cx q[10], q[11];
+cx q[1], q[2];
+cx q[3], q[4];
+cx q[5], q[6];
+cx q[7], q[8];
+cx q[9], q[10];
+cx q[0], q[4];
+cx q[3], q[7];
+cx q[6], q[10];
+cx q[2], q[11];
+cx q[1], q[5];
+cx q[8], q[11];
+cx q[0], q[2];
+cx q[4], q[6];
+cx q[5], q[9];
+cx q[3], q[10];
+cx q[7], q[11];
+cx q[1], q[8];
+cx q[9], q[0];

@@ -1,0 +1,19 @@
+// Quantum teleportation of q[0] onto q[2]: entangle, Bell-measure,
+// classically correct. The measurements and conditioned corrections are
+// accepted and dropped (with warnings) — the placer sees the unitary
+// interaction structure only.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c0[1];
+creg c1[1];
+u3(0.3, 0.2, 0.1) q[0];   // the state to teleport
+h q[1];
+cx q[1], q[2];
+barrier q;
+cx q[0], q[1];
+h q[0];
+measure q[0] -> c0[0];
+measure q[1] -> c1[0];
+if (c1 == 1) x q[2];
+if (c0 == 1) z q[2];

@@ -1,0 +1,30 @@
+// Standard-gate showcase: every qelib1 single-qubit gate plus the
+// composite controlled family, so the whole lowering table is exercised
+// by one corpus file.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+u1(pi/8) q[0];
+u2(0, pi) q[1];
+u3(pi/2, 0.1, -0.1) q[2];
+p(pi/16) q[3];
+x q[0];
+y q[1];
+z q[2];
+h q[3];
+s q[0];
+sdg q[1];
+t q[2];
+tdg q[3];
+sx q[0];
+sxdg q[1];
+id q[2];
+u0(1) q[3];
+cy q[0], q[1];
+ch q[1], q[2];
+crx(pi/4) q[2], q[3];
+cry(pi/4) q[3], q[0];
+crz(pi/4) q[0], q[2];
+cu3(pi/2, 0, pi) q[1], q[3];
+cz q[0], q[1];
+cswap q[0], q[2], q[3];

@@ -1,0 +1,169 @@
+//! Golden corpus tests: place every committed `tests/qasm/*.qasm` file on
+//! the three reference topologies with the hybrid strategy and compare
+//! against committed outcome fingerprints.
+//!
+//! The fingerprint ([`BatchReport::outcome_fingerprint`]) hashes the
+//! resolution, runtime bits, stage count, swap count, and every placement
+//! assignment, so *any* drift in the QASM frontend (lexer, parser,
+//! lowering, levelization) or in the placement pipeline shows up as a
+//! diff in this table instead of a silent behavior change.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```console
+//! $ QCP_GOLDEN_PRINT=1 cargo test --test qasm_golden -- --nocapture
+//! ```
+//!
+//! and paste the printed table over `GOLDEN` below (review the diff — a
+//! wholesale change you did not expect is a regression, not a refresh).
+
+use qcp::circuit::qasm;
+use qcp::place::batch::{BatchPlacer, BatchRequest};
+use qcp::prelude::*;
+use qcp_env::topologies::{Delays, TopologySpec};
+
+/// The reference topology specs, parsed exactly as the CLI parses
+/// `--topology` arguments.
+const TOPOLOGIES: [&str; 3] = ["line:16", "grid:4x4", "heavy_hex:3"];
+
+/// `(file stem, [fingerprint on line:16, grid:4x4, heavy_hex:3])`.
+const GOLDEN: [(&str, [u64; 3]); 10] = [
+    (
+        "adder4",
+        [0xb0340895ffd63096, 0x7f613e80e3ec7200, 0x362a9d4e9213679c],
+    ),
+    (
+        "bell",
+        [0x4734f061273ead54, 0x4734f061273ead54, 0x4734f061273ead54],
+    ),
+    (
+        "ghz8",
+        [0x3fe46238c60c02bf, 0x580935d358758e47, 0x397c8da3d96602e7],
+    ),
+    (
+        "hwe4",
+        [0xce9f67bfca9238cb, 0x6997e2157096f64e, 0xce9f67bfca9238cb],
+    ),
+    (
+        "ising6",
+        [0x6145160ad3d5ae55, 0xd494f63e71ed756d, 0xd7766bd2d152b8f9],
+    ),
+    (
+        "qec3",
+        [0xa3af6d0379f5fb1d, 0x9d6918fb346b47c9, 0xf9bfc6d180682f95],
+    ),
+    (
+        "qft4",
+        [0x6b1a9573815df76d, 0xd46a37392941d687, 0x74549f63a86eebe2],
+    ),
+    (
+        "random_cnot12",
+        [0xff9ab0ea53687949, 0x4c04c256f1f784ba, 0x51572760778b1284],
+    ),
+    (
+        "teleport3",
+        [0x676acb15af808922, 0x5ec4b015aa9b636e, 0x5ec4a715aa9b5423],
+    ),
+    (
+        "ugates4",
+        [0xf93d95d9ad8edd15, 0xab36833ec0b70d08, 0x928e0f7c89ab3d91],
+    ),
+];
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/qasm")
+}
+
+fn load(stem: &str) -> Circuit {
+    let path = corpus_dir().join(format!("{stem}.qasm"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    qasm::parse(&text)
+        .unwrap_or_else(|e| panic!("{stem}.qasm does not parse: {e}"))
+        .circuit
+}
+
+fn build_env(spec: &str) -> Environment {
+    let parsed: TopologySpec = spec
+        .parse()
+        .unwrap_or_else(|e| panic!("spec `{spec}`: {e}"));
+    parsed.build(Delays::default())
+}
+
+/// The golden configuration: hybrid strategy, unlimited budget (every
+/// corpus case resolves exactly — asserted below — so no heuristic
+/// fallback can wobble the fingerprints), trimmed candidate count to keep
+/// the unoptimized test binary quick.
+fn golden_config(env: &Environment) -> PlacerConfig {
+    let threshold = env
+        .connectivity_threshold()
+        .expect("reference topologies are connected");
+    PlacerConfig::with_threshold(threshold)
+        .candidates(30)
+        .strategy(Strategy::Hybrid)
+}
+
+fn fingerprint(stem: &str, circuit: &Circuit, spec: &str) -> u64 {
+    let env = build_env(spec);
+    let config = golden_config(&env);
+    let request = BatchRequest::new(format!("{stem}@{spec}"), circuit.clone(), env, config);
+    let report = BatchPlacer::new(vec![request]).run();
+    assert_eq!(report.failed(), 0, "{stem}@{spec} must place");
+    assert_eq!(
+        report.results[0].resolution(),
+        Some(Resolution::Exact),
+        "{stem}@{spec} must resolve exactly (fingerprints would otherwise \
+         depend on the heuristic fallback)"
+    );
+    report.outcome_fingerprint()
+}
+
+#[test]
+fn corpus_is_complete_and_in_sync() {
+    // Every committed file appears in the golden table and vice versa.
+    let mut on_disk: Vec<String> = std::fs::read_dir(corpus_dir())
+        .expect("tests/qasm exists")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let p = e.path();
+            (p.extension()? == "qasm")
+                .then(|| p.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    on_disk.sort();
+    let in_table: Vec<&str> = GOLDEN.iter().map(|(stem, _)| *stem).collect();
+    assert_eq!(on_disk, in_table, "tests/qasm and GOLDEN disagree");
+}
+
+#[test]
+fn golden_fingerprints_match() {
+    let print = std::env::var_os("QCP_GOLDEN_PRINT").is_some();
+    let mut failures = Vec::new();
+    for (stem, expected) in GOLDEN {
+        let circuit = load(stem);
+        let got: Vec<u64> = TOPOLOGIES
+            .iter()
+            .map(|spec| fingerprint(stem, &circuit, spec))
+            .collect();
+        if print {
+            println!(
+                "    (\"{stem}\", [{:#018x}, {:#018x}, {:#018x}]),",
+                got[0], got[1], got[2]
+            );
+            continue;
+        }
+        for (i, (&want, &have)) in expected.iter().zip(&got).enumerate() {
+            if want != have {
+                failures.push(format!(
+                    "{stem}@{}: expected {want:#018x}, got {have:#018x}",
+                    TOPOLOGIES[i]
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden fingerprints drifted (QCP_GOLDEN_PRINT=1 regenerates):\n{}",
+        failures.join("\n")
+    );
+}
