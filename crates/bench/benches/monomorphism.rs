@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Criterion benches for the VF2 monomorphism search — the paper's stated
 //! bottleneck ("the bottleneck of the entire implementation is the
 //! efficiency of computing a solution to the subgraph monomorphism
@@ -17,7 +18,7 @@ fn bench_paths_into_chains(c: &mut Criterion) {
         let pattern = generate::chain(n / 2);
         let target = generate::chain(n);
         group.bench_with_input(BenchmarkId::new("exists", n), &n, |b, _| {
-            b.iter(|| MonomorphismFinder::new(&pattern, &target).exists())
+            b.iter(|| MonomorphismFinder::new(&pattern, &target).exists());
         });
     }
     group.finish();
@@ -34,7 +35,7 @@ fn bench_interactions_into_molecules(c: &mut Criterion) {
             MonomorphismFinder::new(&pattern, &target)
                 .limit(100)
                 .find_all()
-        })
+        });
     });
     // The qec5 caterpillar into the crotonic bond graph (Table 2 row 2).
     let crotonic = molecules::trans_crotonic_acid();
@@ -45,7 +46,7 @@ fn bench_interactions_into_molecules(c: &mut Criterion) {
             MonomorphismFinder::new(&pattern, &target2)
                 .limit(100)
                 .find_all()
-        })
+        });
     });
     group.finish();
 }
@@ -66,7 +67,7 @@ fn bench_grid_ring_targets(c: &mut Criterion) {
                 MonomorphismFinder::new(pattern, target)
                     .limit(100)
                     .find_all()
-            })
+            });
         });
     }
     let ring24 = generate::ring(24);
@@ -76,7 +77,7 @@ fn bench_grid_ring_targets(c: &mut Criterion) {
             MonomorphismFinder::new(&chain12, &ring24)
                 .limit(100)
                 .find_all()
-        })
+        });
     });
     group.finish();
 }
@@ -92,7 +93,7 @@ fn bench_enumeration_caps(c: &mut Criterion) {
                 MonomorphismFinder::new(&pattern, &target)
                     .limit(k)
                     .find_all()
-            })
+            });
         });
     }
     group.finish();

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Criterion benches for the placement pipeline — one group per paper
 //! table.
 
@@ -16,11 +17,11 @@ fn bench_tables_1_2(c: &mut Criterion) {
     let acetyl = molecules::acetyl_chloride();
     let qec3 = library::qec3_encoder();
     group.bench_function("exhaustive/qec3-acetyl", |b| {
-        b.iter(|| exhaustive_placement(&qec3, &acetyl, &CostModel::overlapped(), 1e4).unwrap())
+        b.iter(|| exhaustive_placement(&qec3, &acetyl, &CostModel::overlapped(), 1e4).unwrap());
     });
     group.bench_function("placer/qec3-acetyl", |b| {
         let placer = Placer::new(&acetyl, PlacerConfig::with_threshold(Threshold::new(100.0)));
-        b.iter(|| placer.place(&qec3).unwrap())
+        b.iter(|| placer.place(&qec3).unwrap());
     });
 
     let crotonic = molecules::trans_crotonic_acid();
@@ -28,7 +29,7 @@ fn bench_tables_1_2(c: &mut Criterion) {
     group.bench_function("placer/qec5-crotonic", |b| {
         let t = crotonic.connectivity_threshold().unwrap();
         let placer = Placer::new(&crotonic, PlacerConfig::with_threshold(t));
-        b.iter(|| placer.place(&qec5).unwrap())
+        b.iter(|| placer.place(&qec5).unwrap());
     });
 
     let histidine = molecules::histidine();
@@ -41,7 +42,7 @@ fn bench_tables_1_2(c: &mut Criterion) {
                 .candidates(50)
                 .lookahead(false),
         );
-        b.iter(|| placer.place(&cat).unwrap())
+        b.iter(|| placer.place(&cat).unwrap());
     });
     group.finish();
 }
@@ -58,7 +59,7 @@ fn bench_table_3(c: &mut Criterion) {
                 &env,
                 PlacerConfig::with_threshold(Threshold::new(t)).candidates(100),
             );
-            b.iter(|| placer.place(&qft6).unwrap())
+            b.iter(|| placer.place(&qft6).unwrap());
         });
     }
     let histidine = molecules::histidine();
@@ -68,7 +69,7 @@ fn bench_table_3(c: &mut Criterion) {
             &histidine,
             PlacerConfig::with_threshold(Threshold::new(500.0)).candidates(100),
         );
-        b.iter(|| placer.place(&phaseest).unwrap())
+        b.iter(|| placer.place(&phaseest).unwrap());
     });
     group.finish();
 }
@@ -89,7 +90,7 @@ fn bench_table_4(c: &mut Criterion) {
                     .lookahead(false)
                     .fine_tuning(0),
             );
-            b.iter(|| placer.place(&staged.circuit).unwrap())
+            b.iter(|| placer.place(&staged.circuit).unwrap());
         });
     }
     group.finish();

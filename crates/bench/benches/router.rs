@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Criterion benches for the SWAP router (§5.2): depth/throughput of the
 //! recursive-bisection router vs the sequential baseline.
 
@@ -23,11 +24,11 @@ fn bench_chains(c: &mut Criterion) {
         let g = generate::chain(n);
         let t = targets_for(n, 42);
         group.bench_with_input(BenchmarkId::new("bisection", n), &n, |b, _| {
-            b.iter(|| route_permutation(&g, &t, &RouterConfig::default()).unwrap())
+            b.iter(|| route_permutation(&g, &t, &RouterConfig::default()).unwrap());
         });
         if n <= 128 {
             group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
-                b.iter(|| route_sequential(&g, &t).unwrap())
+                b.iter(|| route_sequential(&g, &t).unwrap());
             });
         }
     }
@@ -43,7 +44,7 @@ fn bench_molecule_graphs(c: &mut Criterion) {
     for (name, g) in cases {
         let t = targets_for(g.node_count(), 7);
         group.bench_function(BenchmarkId::new("bisection", name), |b| {
-            b.iter(|| route_permutation(&g, &t, &RouterConfig::default()).unwrap())
+            b.iter(|| route_permutation(&g, &t, &RouterConfig::default()).unwrap());
         });
     }
     group.finish();
@@ -63,7 +64,7 @@ fn bench_grids_and_trees(c: &mut Criterion) {
     for (name, g) in cases {
         let t = targets_for(g.node_count(), 13);
         group.bench_function(BenchmarkId::new("bisection", name), |b| {
-            b.iter(|| route_permutation(&g, &t, &RouterConfig::default()).unwrap())
+            b.iter(|| route_permutation(&g, &t, &RouterConfig::default()).unwrap());
         });
     }
     group.finish();

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Ablates the §5 design choices (lookahead, fine tuning, candidate cap,
 //! leaf override) and compares the two routers.
 

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Regenerates Figure 1: the acetyl chloride environment.
 
 fn main() {

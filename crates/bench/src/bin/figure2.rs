@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Regenerates Figure 2: the 3-qubit error-correction encoder.
 
 fn main() {

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Regenerates Figure 3 / Example 4: routing the 7-spin permutation on
 //! trans-crotonic acid with the water/air narrative.
 

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! `perf` — runs the hot-path suites and writes `BENCH_PLACE.json`, or
 //! gates a fresh run against the committed baseline.
 //!
@@ -65,7 +66,10 @@ fn run_compare(args: &[String]) {
     let positional: Vec<&String> = args[..split].iter().collect();
     let flagged: Vec<String> = args[split..].to_vec();
     let [baseline_path, current_path] = positional[..] else {
-        eprintln!("usage: perf compare <baseline.json> <current.json> [--max-slowdown 1.25] [--min-ns 1000]");
+        eprintln!(
+            "usage: perf compare <baseline.json> <current.json> \
+             [--max-slowdown 1.25] [--min-ns 1000] [--max-scaling-ratio 1.10]"
+        );
         std::process::exit(2);
     };
     let max_slowdown: f64 = flag_value(&flagged, "--max-slowdown")
@@ -79,10 +83,21 @@ fn run_compare(args: &[String]) {
     let current = read_metric(current_path, perf::parse_gate_metric);
     let cmp = perf::compare(&baseline, &current, max_slowdown, min_ns);
     print!("{}", cmp.render());
-    if !cmp.passed() {
+    // Batch scaling honesty: on a multi-core host the jobs4 runs must
+    // actually beat (or at least match) jobs1; on a single-core host the
+    // ratios are reported but not asserted — 4 workers there time thread
+    // overhead by construction.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let max_ratio: f64 = flag_value(&flagged, "--max-scaling-ratio").map_or(1.10, |v| {
+        v.parse().expect("--max-scaling-ratio needs a number")
+    });
+    let scaling = perf::scaling_check(&current, cores, max_ratio);
+    print!("{}", scaling.render());
+    let regressions = cmp.regressions().len();
+    let not_scaling = scaling.violations().len();
+    if regressions > 0 || not_scaling > 0 {
         eprintln!(
-            "perf compare: FAILED ({} regression(s))",
-            cmp.regressions().len()
+            "perf compare: FAILED ({regressions} regression(s), {not_scaling} scaling violation(s))"
         );
         std::process::exit(1);
     }

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Demonstrates the §4 NP-completeness reduction.
 
 fn main() {

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Compares the anytime placement strategies (exact, budgeted exact,
 //! hybrid, anneal) on large device topologies — the EXPERIMENTS.md
 //! strategy table.
@@ -8,9 +9,8 @@
 //! ```
 
 fn main() {
-    let budget_ms = std::env::args()
-        .nth(1)
-        .map(|a| a.parse().expect("budget must be a millisecond count"))
-        .unwrap_or(50);
+    let budget_ms = std::env::args().nth(1).map_or(50, |a| {
+        a.parse().expect("budget must be a millisecond count")
+    });
     print!("{}", qcp_bench::experiments::strategies_text(budget_ms));
 }

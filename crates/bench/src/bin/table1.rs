@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Regenerates Table 1 / Example 3: the runtime trace of the 3-qubit
 //! encoder on acetyl chloride and the optimal mapping.
 

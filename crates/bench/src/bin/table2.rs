@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Regenerates Table 2: re-placing the experimentally executed circuits.
 
 fn main() {

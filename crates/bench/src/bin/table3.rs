@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Regenerates Table 3: the threshold sweep over molecules × circuits.
 //!
 //! This is the heaviest table; run with `--release`.

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Regenerates Table 4: the scalability study over LNN chains.
 //!
 //! By default runs chain lengths 8..=256; pass `--full` for 512 and 1024

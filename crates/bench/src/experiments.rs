@@ -348,10 +348,7 @@ pub fn table3_text() -> String {
             [r.environment.clone(), r.circuit.clone()]
                 .into_iter()
                 .chain(r.cells.iter().map(Table3Cell::render))
-                .chain([r
-                    .whole
-                    .map(fmt_seconds)
-                    .unwrap_or_else(|| "N/A".to_string())]),
+                .chain([r.whole.map_or_else(|| "N/A".to_string(), fmt_seconds)]),
         );
     }
     format!(

@@ -8,6 +8,13 @@
 //! See `EXPERIMENTS.md` at the workspace root for paper-vs-measured
 //! comparisons.
 
+#![forbid(unsafe_code)]
+// Bench-harness support crate: it exists to feed the experiment binaries
+// and Criterion benches, where aborting on a malformed experiment is the
+// right behaviour — so the workspace unwrap/expect denies are relaxed
+// crate-wide (the placement library crates keep them).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod experiments;
 pub mod perf;
 pub mod table;

@@ -479,6 +479,123 @@ pub fn compare(
     }
 }
 
+/// One batch scaling pair: the same workload timed at 1 and 4 workers.
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// Shared case prefix (the name minus its `-jobsN` suffix).
+    pub name: String,
+    /// Nanoseconds per iteration at 1 worker.
+    pub jobs1_ns: u64,
+    /// Nanoseconds per iteration at 4 workers.
+    pub jobs4_ns: u64,
+    /// `jobs4 / jobs1` — below 1.0 means the workers actually help.
+    pub ratio: f64,
+}
+
+/// Result of the batch scaling honesty gate (see [`scaling_check`]).
+#[derive(Clone, Debug)]
+pub struct ScalingCheck {
+    /// Every `-jobs1`/`-jobs4` pair found in the run.
+    pub rows: Vec<ScalingRow>,
+    /// The core count the verdict was made under.
+    pub cores: usize,
+    /// Largest acceptable `jobs4 / jobs1` ratio when the gate is armed.
+    pub max_ratio: f64,
+    /// `false` on a single-core host: the ratios are still reported,
+    /// but thread overhead is the *expected* outcome there, so nothing
+    /// is asserted.
+    pub enforced: bool,
+}
+
+impl ScalingCheck {
+    /// The rows that violate the ratio bound (always empty when the
+    /// gate is not enforced).
+    pub fn violations(&self) -> Vec<&ScalingRow> {
+        if !self.enforced {
+            return Vec::new();
+        }
+        self.rows
+            .iter()
+            .filter(|r| r.ratio > self.max_ratio)
+            .collect()
+    }
+
+    /// `true` when the gate holds (vacuously on single-core hosts).
+    pub fn passed(&self) -> bool {
+        self.violations().is_empty()
+    }
+
+    /// Human-readable ratio table plus verdict line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for r in &self.rows {
+            let verdict = if self.enforced && r.ratio > self.max_ratio {
+                "NOT SCALING"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                s,
+                "{:<36} jobs1 {:>12} ns, jobs4 {:>12} ns  ({:>5.2}x)  {}",
+                r.name, r.jobs1_ns, r.jobs4_ns, r.ratio, verdict
+            );
+        }
+        if self.enforced {
+            let _ = writeln!(
+                s,
+                "scaling gate: {} pair(s) at <= {:.2}x on {} cores, {} violation(s)",
+                self.rows.len(),
+                self.max_ratio,
+                self.cores,
+                self.violations().len()
+            );
+        } else {
+            let _ = writeln!(
+                s,
+                "scaling gate: skipped ({} pair(s) reported; single-core host times \
+                 thread overhead, not scaling)",
+                self.rows.len()
+            );
+        }
+        s
+    }
+}
+
+/// The batch scaling honesty gate: pairs every `<case>-jobs1` metric
+/// with its `<case>-jobs4` sibling and, when the host actually has
+/// cores to scale onto (`cores > 1`), requires
+/// `jobs4 <= jobs1 * max_ratio`. On a single-core host the pairs are
+/// reported but nothing is asserted — there, 4 workers measure thread
+/// overhead by construction, and gating on it would institutionalize a
+/// misleading baseline (the ROADMAP's perf-honesty problem).
+pub fn scaling_check(
+    current: &BTreeMap<String, u64>,
+    cores: usize,
+    max_ratio: f64,
+) -> ScalingCheck {
+    let mut rows = Vec::new();
+    for (name, &ns1) in current {
+        let Some(prefix) = name.strip_suffix("-jobs1") else {
+            continue;
+        };
+        let Some(&ns4) = current.get(&format!("{prefix}-jobs4")) else {
+            continue;
+        };
+        rows.push(ScalingRow {
+            name: prefix.to_string(),
+            jobs1_ns: ns1,
+            jobs4_ns: ns4,
+            ratio: ns4 as f64 / ns1.max(1) as f64,
+        });
+    }
+    ScalingCheck {
+        rows,
+        cores,
+        max_ratio,
+        enforced: cores > 1,
+    }
+}
+
 /// Renders the cases as JSON, one case object per line. When `baseline`
 /// has a median for a case (keyed by name), the object also carries
 /// `baseline_ns` and `speedup` (baseline / current).
@@ -619,6 +736,45 @@ mod tests {
     }
 
     #[test]
+    fn scaling_gate_skipped_on_single_core() {
+        let mut cur = BTreeMap::new();
+        cur.insert("batch/zoo32-jobs1".to_string(), 1_000_000u64);
+        cur.insert("batch/zoo32-jobs4".to_string(), 2_200_000u64); // overhead
+        let check = scaling_check(&cur, 1, 1.10);
+        assert_eq!(check.rows.len(), 1);
+        assert!((check.rows[0].ratio - 2.2).abs() < 1e-9);
+        assert!(!check.enforced);
+        assert!(check.passed(), "single core must not gate on overhead");
+        assert!(check.render().contains("skipped"));
+    }
+
+    #[test]
+    fn scaling_gate_armed_on_multi_core() {
+        let mut cur = BTreeMap::new();
+        cur.insert("batch/zoo32-jobs1".to_string(), 1_000_000u64);
+        cur.insert("batch/zoo32-jobs4".to_string(), 2_200_000u64); // violation
+        cur.insert("batch/zoo8-jobs1".to_string(), 400_000u64);
+        cur.insert("batch/zoo8-jobs4".to_string(), 150_000u64); // scales
+        cur.insert("place/qft6-grid".to_string(), 3_000_000u64); // unpaired
+        let check = scaling_check(&cur, 4, 1.10);
+        assert_eq!(check.rows.len(), 2);
+        assert!(check.enforced);
+        assert!(!check.passed());
+        let bad: Vec<&str> = check.violations().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(bad, ["batch/zoo32"]);
+        assert!(check.render().contains("NOT SCALING"));
+    }
+
+    #[test]
+    fn scaling_gate_ignores_orphan_jobs1() {
+        let mut cur = BTreeMap::new();
+        cur.insert("batch/zoo8-jobs1".to_string(), 400_000u64);
+        let check = scaling_check(&cur, 8, 1.10);
+        assert!(check.rows.is_empty());
+        assert!(check.passed());
+    }
+
+    #[test]
     fn compare_flags_only_real_regressions() {
         let mut base = BTreeMap::new();
         base.insert("mono/a".to_string(), 1_000_000u64);
@@ -647,8 +803,15 @@ mod tests {
 
     #[test]
     fn measure_reports_sane_medians() {
+        // `black_box` every loop index so release codegen cannot
+        // const-fold the whole workload to zero time (a 0 ns median
+        // would fail the sanity assertions below).
         let (ns, min_ns, samples, iters) = measure(true, || {
-            black_box((0..100).sum::<u64>());
+            let mut acc = 0u64;
+            for i in 0..1_000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(acc);
         });
         assert!(ns > 0);
         assert!(min_ns > 0 && min_ns <= ns);

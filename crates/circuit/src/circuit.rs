@@ -184,7 +184,9 @@ impl Circuit {
                     qcp_graph::NodeId::new(b.index()),
                 );
                 if !g.has_edge(na, nb) {
-                    g.add_edge(na, nb, 1.0).expect("validated gate qubits");
+                    // Gate qubits were range-checked when pushed and the
+                    // guard above rules out duplicates, so this cannot fail.
+                    let _ = g.add_edge(na, nb, 1.0);
                 }
             }
         }
@@ -306,8 +308,9 @@ impl CircuitBuilder {
     /// Panics if the gate uses a qubit outside the circuit width. Use
     /// [`try_gate`](CircuitBuilder::try_gate) for a fallible version.
     pub fn gate(&mut self, gate: Gate) -> &mut Self {
-        self.try_gate(gate)
-            .expect("gate qubits must fit the declared width");
+        if let Err(e) = self.try_gate(gate) {
+            panic!("gate qubits must fit the declared width: {e}");
+        }
         self
     }
 

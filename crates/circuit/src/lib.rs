@@ -41,6 +41,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
+// Unit tests may unwrap freely; library code must not (workspace lints).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 mod circuit;

@@ -78,7 +78,7 @@ mod tests {
     #[test]
     fn target_interactions_come_first() {
         let c = phase_estimation();
-        let first_pair = c.gates().find_map(|g| g.coupling()).unwrap();
+        let first_pair = c.gates().find_map(crate::gate::Gate::coupling).unwrap();
         assert_eq!(first_pair.1.index(), 4);
     }
 }

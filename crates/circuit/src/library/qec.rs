@@ -29,7 +29,8 @@ pub fn qec3_encoder() -> Circuit {
     // Explicit levels (rather than ASAP levelization) so the flattened
     // gate order is exactly the Table 1 column order:
     // Ya90, ZZab90, Yc90, ZZbc90, Yb90 with the free Rz gates in between.
-    Circuit::from_levels(
+    #[allow(clippy::expect_used)]
+    let encoder = Circuit::from_levels(
         3,
         [
             vec![Gate::ry(a, 90.0)],
@@ -40,7 +41,8 @@ pub fn qec3_encoder() -> Circuit {
             vec![Gate::ry(b, 90.0)],
         ],
     )
-    .expect("figure 2 levels are disjoint")
+    .expect("invariant: the Figure 2 levels are disjoint");
+    encoder
 }
 
 /// The 5-qubit error-correction benchmark (Table 2; modelled on the

@@ -277,13 +277,14 @@ impl Lexer {
                 && self
                     .chars
                     .get(self.pos + 2)
-                    .is_some_and(|c| c.is_ascii_digit());
+                    .is_some_and(char::is_ascii_digit);
             if next.is_some_and(|c| c.is_ascii_digit()) || digit_after_sign {
                 is_real = true;
                 text.push('e');
                 self.bump();
-                if matches!(self.peek(), Some('+' | '-')) {
-                    text.push(self.bump().expect("peeked"));
+                if let Some(sign @ ('+' | '-')) = self.peek() {
+                    text.push(sign);
+                    self.bump();
                 }
                 while let Some(c) = self.peek() {
                     if c.is_ascii_digit() {

@@ -81,6 +81,37 @@ pub struct Register {
     /// First circuit wire of the block (registers concatenate in
     /// declaration order).
     pub offset: usize,
+    /// Where the register is declared (the name token of the `qreg`
+    /// statement).
+    pub span: SourceSpan,
+}
+
+impl Register {
+    /// Renders global wire `index` in register notation (`name[i]`), or
+    /// `None` if the wire lies outside this register's block.
+    #[must_use]
+    pub fn wire_name(&self, index: usize) -> Option<String> {
+        (index >= self.offset && index < self.offset + self.size)
+            .then(|| format!("{}[{}]", self.name, index - self.offset))
+    }
+}
+
+/// One `barrier` statement, as written in the source. Barriers only
+/// constrain ASAP levelization during lowering — they are not
+/// represented in the resulting [`Circuit`] — so static analysis of the
+/// barriers themselves (e.g. redundancy checks) works off this record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BarrierStmt {
+    /// Where the `barrier` keyword sits in the source.
+    pub span: SourceSpan,
+    /// Global wire indices the barrier spans (a bare `barrier;` covers
+    /// every declared qubit). Sorted, deduplicated.
+    pub qubits: Vec<usize>,
+    /// How many circuit operations (gate/custom applications, not
+    /// barriers) precede this barrier in the flat, inlined program.
+    /// Two barriers with equal `ops_before` are adjacent in the source
+    /// with no operation between them.
+    pub ops_before: usize,
 }
 
 /// The result of parsing an OpenQASM 2.0 program.
@@ -93,6 +124,22 @@ pub struct QasmCircuit {
     /// The declared quantum registers (wire layout of
     /// [`circuit`](QasmCircuit::circuit)).
     pub registers: Vec<Register>,
+    /// The `barrier` statements of the program, in source order (they
+    /// constrain levelization but are not part of the circuit itself).
+    pub barriers: Vec<BarrierStmt>,
+}
+
+impl QasmCircuit {
+    /// Renders global wire `index` in declared-register notation
+    /// (`name[i]`), falling back to the bare index when the wire lies
+    /// outside every register (unreachable for parser output).
+    #[must_use]
+    pub fn wire_name(&self, index: usize) -> String {
+        self.registers
+            .iter()
+            .find_map(|r| r.wire_name(index))
+            .unwrap_or_else(|| format!("q{index}"))
+    }
 }
 
 /// Parses an OpenQASM 2.0 program and lowers it to a [`Circuit`].
@@ -110,6 +157,7 @@ pub fn parse(source: &str) -> Result<QasmCircuit> {
         circuit,
         warnings: program.warnings,
         registers: program.registers,
+        barriers: program.barriers,
     })
 }
 
@@ -167,8 +215,9 @@ impl Circuit {
         // between levels, pinning the exact level structure; ASAP-built
         // circuits re-parse identically without them. (Gate-less levels
         // are not representable and are dropped either way.)
+        #[allow(clippy::expect_used)]
         let asap = Circuit::from_gates(self.qubit_count(), self.gates().cloned())
-            .expect("existing gates fit their own circuit");
+            .expect("invariant: existing gates fit their own circuit");
         let pin_levels = asap != *self;
         for (li, level) in self.levels().iter().enumerate() {
             if pin_levels && li > 0 {

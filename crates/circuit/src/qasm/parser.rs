@@ -13,7 +13,7 @@ use std::sync::{Arc, OnceLock};
 
 use crate::qasm::ast::{BinOp, Expr, GateDef, MathFn, NativeGate, TemplateOp, Value};
 use crate::qasm::lexer::{lex, Tok, Token};
-use crate::qasm::{Register, Warning};
+use crate::qasm::{BarrierStmt, Register, Warning};
 use crate::text::MAX_QUBITS;
 use crate::{CircuitError, Result, SourceSpan};
 
@@ -52,6 +52,9 @@ gate cu3(theta,phi,lambda) c,t { u1((lambda+phi)/2) c; u1((lambda-phi)/2) t; cx 
 gate rxx(theta) a,b { h a; h b; rzz(theta) a,b; h a; h b; }
 "#;
 
+// The prelude is a compile-time constant exercised by every parser test;
+// failing to lex or parse it is a build defect, not a runtime condition.
+#[allow(clippy::expect_used)]
 fn prelude_defs() -> &'static HashMap<String, Arc<GateDef>> {
     static PRELUDE: OnceLock<HashMap<String, Arc<GateDef>>> = OnceLock::new();
     PRELUDE.get_or_init(|| {
@@ -102,6 +105,9 @@ pub(crate) struct Program {
     pub ops: Vec<FlatOp>,
     /// Dropped-construct warnings, in source order.
     pub warnings: Vec<Warning>,
+    /// Barrier statements with spans and flat-op positions, for static
+    /// analysis (barriers are consumed by levelization, not lowered).
+    pub barriers: Vec<BarrierStmt>,
 }
 
 /// Lexes and parses a full OpenQASM 2.0 program.
@@ -114,6 +120,7 @@ pub(crate) fn parse_program(source: &str) -> Result<Program> {
         registers: parser.qregs,
         ops: parser.ops,
         warnings: parser.warnings,
+        barriers: parser.barriers,
     })
 }
 
@@ -136,6 +143,8 @@ struct Parser {
     n_qubits: usize,
     ops: Vec<FlatOp>,
     warnings: Vec<Warning>,
+    barriers: Vec<BarrierStmt>,
+    gate_ops: usize,
 }
 
 impl Parser {
@@ -150,6 +159,8 @@ impl Parser {
             n_qubits: 0,
             ops: Vec::new(),
             warnings: Vec::new(),
+            barriers: Vec::new(),
+            gate_ops: 0,
         }
     }
 
@@ -336,6 +347,7 @@ impl Parser {
                 name,
                 size,
                 offset: self.n_qubits,
+                span,
             });
             self.n_qubits += size;
         } else {
@@ -727,6 +739,19 @@ impl Parser {
                 span,
                 format!("program expands to more than {MAX_OPS} operations"),
             ));
+        }
+        match &op {
+            FlatOp::Barrier { qubits } => {
+                let mut qubits = qubits.clone();
+                qubits.sort_unstable();
+                qubits.dedup();
+                self.barriers.push(BarrierStmt {
+                    span,
+                    qubits,
+                    ops_before: self.gate_ops,
+                });
+            }
+            FlatOp::Gate { .. } | FlatOp::Custom { .. } => self.gate_ops += 1,
         }
         self.ops.push(op);
         Ok(())

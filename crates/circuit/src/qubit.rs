@@ -27,7 +27,10 @@ impl Qubit {
     /// Panics if `index` exceeds `u32::MAX`.
     #[inline]
     pub fn new(index: usize) -> Self {
-        Qubit(u32::try_from(index).expect("qubit index exceeds u32::MAX"))
+        match u32::try_from(index) {
+            Ok(i) => Qubit(i),
+            Err(_) => panic!("qubit index {index} exceeds u32::MAX"),
+        }
     }
 
     /// Returns the dense wire index.

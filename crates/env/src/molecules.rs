@@ -24,6 +24,11 @@
 //! [`EnvironmentBuilder::fill_remote_couplings`]:
 //! crate::EnvironmentBuilder::fill_remote_couplings
 
+// This module builds fixed molecules from literal nucleus/bond/coupling
+// tables; every `expect` documents that those tables are valid by
+// construction (scoped allow per the workspace unwrap/expect policy).
+#![allow(clippy::expect_used)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

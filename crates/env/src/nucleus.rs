@@ -27,7 +27,10 @@ impl PhysicalQubit {
     /// Panics if `index` exceeds `u32::MAX`.
     #[inline]
     pub fn new(index: usize) -> Self {
-        PhysicalQubit(u32::try_from(index).expect("physical qubit index exceeds u32::MAX"))
+        match u32::try_from(index) {
+            Ok(i) => PhysicalQubit(i),
+            Err(_) => panic!("physical qubit index {index} exceeds u32::MAX"),
+        }
     }
 
     /// Returns the dense index.

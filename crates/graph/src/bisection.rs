@@ -93,7 +93,7 @@ pub fn balanced_connected_bisection(graph: &Graph) -> Result<Bisection> {
         let tree = RootedTree::bfs(graph, root)?;
         // Subtree sizes via reverse BFS order.
         let mut size = vec![1usize; n];
-        for &v in tree.bottom_up().iter() {
+        for v in tree.bottom_up() {
             if let Some(p) = tree.parent(v) {
                 size[p.index()] += size[v.index()];
             }
@@ -113,7 +113,8 @@ pub fn balanced_connected_bisection(graph: &Graph) -> Result<Bisection> {
         }
     }
 
-    let (_, subtree) = best.expect("connected graph with n >= 2 has a tree edge");
+    #[allow(clippy::expect_used)]
+    let (_, subtree) = best.expect("invariant: a connected graph with n >= 2 yields a tree cut");
     let mut in_sub = vec![false; n];
     for &v in &subtree {
         in_sub[v.index()] = true;

@@ -55,23 +55,21 @@ pub fn to_dot(graph: &Graph, options: &DotOptions) -> String {
     } else {
         &options.name
     };
-    writeln!(out, "graph {name} {{").expect("writing to String cannot fail");
+    // fmt::Write into a String is infallible; results are ignored.
+    let _ = writeln!(out, "graph {name} {{");
     for v in graph.nodes() {
         let label = options
             .labels
             .get(v.index())
             .cloned()
             .unwrap_or_else(|| format!("v{}", v.index()));
-        writeln!(out, "  n{} [label=\"{}\"];", v.index(), escape(&label))
-            .expect("writing to String cannot fail");
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", v.index(), escape(&label));
     }
     for (a, b, w) in graph.edges() {
         if options.show_weights {
-            writeln!(out, "  n{} -- n{} [label=\"{}\"];", a.index(), b.index(), w)
-                .expect("writing to String cannot fail");
+            let _ = writeln!(out, "  n{} -- n{} [label=\"{}\"];", a.index(), b.index(), w);
         } else {
-            writeln!(out, "  n{} -- n{};", a.index(), b.index())
-                .expect("writing to String cannot fail");
+            let _ = writeln!(out, "  n{} -- n{};", a.index(), b.index());
         }
     }
     out.push_str("}\n");

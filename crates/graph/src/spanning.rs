@@ -47,16 +47,15 @@ impl RootedTree {
         let mut order = Vec::new();
         let mut queue = VecDeque::new();
         depth[root.index()] = Some(0);
-        queue.push_back(root);
-        while let Some(v) = queue.pop_front() {
+        queue.push_back((root, 0u32));
+        while let Some((v, d)) = queue.pop_front() {
             order.push(v);
-            let d = depth[v.index()].expect("queued nodes have depth");
             for u in graph.neighbors(v) {
                 if depth[u.index()].is_none() {
                     depth[u.index()] = Some(d + 1);
                     parent[u.index()] = Some(v);
                     children[v.index()].push(u);
-                    queue.push_back(u);
+                    queue.push_back((u, d + 1));
                 }
             }
         }

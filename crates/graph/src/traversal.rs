@@ -37,13 +37,12 @@ pub fn bfs_distances(graph: &Graph, start: NodeId) -> Vec<Option<u32>> {
     let mut dist = vec![None; graph.node_count()];
     let mut queue = VecDeque::new();
     dist[start.index()] = Some(0);
-    queue.push_back(start);
-    while let Some(v) = queue.pop_front() {
-        let d = dist[v.index()].expect("queued nodes have distances");
+    queue.push_back((start, 0u32));
+    while let Some((v, d)) = queue.pop_front() {
         for u in graph.neighbors(v) {
             if dist[u.index()].is_none() {
                 dist[u.index()] = Some(d + 1);
-                queue.push_back(u);
+                queue.push_back((u, d + 1));
             }
         }
     }
@@ -64,15 +63,14 @@ pub fn multi_source_distances(graph: &Graph, starts: &[NodeId]) -> Vec<Option<u3
     for &s in starts {
         if dist[s.index()].is_none() {
             dist[s.index()] = Some(0);
-            queue.push_back(s);
+            queue.push_back((s, 0u32));
         }
     }
-    while let Some(v) = queue.pop_front() {
-        let d = dist[v.index()].expect("queued nodes have distances");
+    while let Some((v, d)) = queue.pop_front() {
         for u in graph.neighbors(v) {
             if dist[u.index()].is_none() {
                 dist[u.index()] = Some(d + 1);
-                queue.push_back(u);
+                queue.push_back((u, d + 1));
             }
         }
     }

@@ -366,7 +366,10 @@ impl<'a> MonomorphismFinder<'a> {
             .iter()
             .map(|&p| {
                 let pdeg = self.pattern.degree(p);
-                distinct.iter().position(|&d| d == pdeg).expect("present") as u32
+                // `distinct` was built from exactly these degrees, so the
+                // lookup cannot miss; falling back to mask 0 (the loosest
+                // filter) keeps the search correct even if it did.
+                distinct.iter().position(|&d| d == pdeg).unwrap_or(0) as u32
             })
             .collect();
         let small = twpr == 1 && self.target.words_per_row() == 1;

@@ -64,14 +64,16 @@ pub fn exhaustive_placement(
     let mut assignment: Vec<usize> = Vec::with_capacity(n);
     let mut used = vec![false; m];
     visit(&mut assignment, &mut used, n, m, &mut |assign| {
+        #[allow(clippy::expect_used)]
         let placement = Placement::new(assign.iter().map(|&v| PhysicalQubit::new(v)).collect(), m)
-            .expect("assignments are injective");
+            .expect("invariant: enumerated assignments are injective");
         let cost = placed_runtime(circuit, env, &placement, model).units();
         if best.as_ref().is_none_or(|(_, bc)| cost < *bc) {
             best = Some((placement, cost));
         }
     });
-    let (placement, cost) = best.expect("at least one assignment exists");
+    #[allow(clippy::expect_used)]
+    let (placement, cost) = best.expect("invariant: n <= m admits at least one assignment");
     Ok((placement, Time::from_units(cost)))
 }
 

@@ -274,6 +274,7 @@ impl BatchPlacer {
                         })
                     })
                     .collect();
+                #[allow(clippy::expect_used)]
                 workers
                     .into_iter()
                     .flat_map(|w| w.join().expect("batch worker panicked"))
@@ -299,6 +300,13 @@ fn place_one((index, request): (usize, &BatchRequest)) -> BatchResult {
     // shared between in-flight placements.
     let placer = Placer::new(&request.environment, request.config.clone());
     let outcome = placer.place(&request.circuit);
+    // Debug builds re-check every successful outcome before it leaves the
+    // worker, so a broken invariant fails the batch loudly and close to
+    // its origin instead of surfacing in aggregated reports.
+    #[cfg(debug_assertions)]
+    if let Ok(o) = &outcome {
+        crate::strategy::debug_check_outcome(&placer, &request.circuit, o);
+    }
     BatchResult {
         index,
         label: request.label.clone(),
@@ -358,7 +366,7 @@ impl BatchReport {
         self.results
             .iter()
             .filter_map(|r| r.outcome.as_ref().ok())
-            .map(|o| o.swap_count())
+            .map(PlacementOutcome::swap_count)
             .sum()
     }
 

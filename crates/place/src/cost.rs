@@ -304,7 +304,17 @@ impl<'a> CostEngine<'a> {
                     }
                 };
                 let start = self.times[i].max(self.times[j]);
-                let finish = start + self.env.weight_units(gate.a, b) * effective;
+                let delay = self.env.weight_units(gate.a, b);
+                // An uncoupled pair can never host a coupling gate — not
+                // even a reuse-capped continuation whose `effective` is
+                // 0: `∞ × 0` is NaN, which `f64::max` silently drops
+                // from the makespan, making impossible placements look
+                // free to the hill-climbing refiners.
+                let finish = if delay.is_finite() {
+                    start + delay * effective
+                } else {
+                    f64::INFINITY
+                };
                 self.times[i] = finish;
                 self.times[j] = finish;
                 self.last_pair[i] = Some(key);
@@ -443,6 +453,25 @@ mod tests {
         let lev = s.runtime(&env, &CostModel::leveled());
         assert_eq!(over.units(), 10.0, "disjoint pairs overlap");
         assert_eq!(lev.units(), 20.0, "levels serialize");
+    }
+
+    #[test]
+    fn uncoupled_pair_is_infinite_even_past_the_reuse_cap() {
+        // Regression: once the reuse cap zeroed `effective`, a coupling
+        // gate on an uncoupled pair cost `∞ × 0 = NaN`, which the
+        // makespan's `f64::max` fold silently dropped — impossible
+        // placements then looked *free* to fine tuning and annealing.
+        let env = qcp_env::molecules::lnn_chain(3, 10.0); // 0–1, 1–2 only
+        let mut s = Schedule::new();
+        for _ in 0..5 {
+            s.push_level(vec![PlacedGate::two(p(0), p(2), 1.0)]);
+        }
+        let capped = s.runtime(&env, &CostModel::overlapped()).units();
+        assert!(capped.is_infinite(), "got {capped}");
+        let uncapped = s
+            .runtime(&env, &CostModel::overlapped().without_reuse_cap())
+            .units();
+        assert!(uncapped.is_infinite(), "got {uncapped}");
     }
 
     #[test]

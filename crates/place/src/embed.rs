@@ -79,13 +79,12 @@ pub fn candidate_placements_budgeted(
     }
     let mut pattern = Graph::new(constrained.len());
     for (a, b, _) in interaction.edges() {
-        pattern
-            .add_edge(
-                NodeId::new(index[a.index()]),
-                NodeId::new(index[b.index()]),
-                1.0,
-            )
-            .expect("interaction edges are unique");
+        // `Graph` stores simple edges, so each pair arrives exactly once.
+        let _ = pattern.add_edge(
+            NodeId::new(index[a.index()]),
+            NodeId::new(index[b.index()]),
+            1.0,
+        );
     }
 
     // Stream monomorphisms straight out of the search, completing each
@@ -155,6 +154,7 @@ impl CompletionScratch {
                 continue;
             }
             let prev_pos = previous.map(|p| p.physical(Qubit::new(q)).index());
+            #[allow(clippy::expect_used)]
             let choice = match prev_pos {
                 Some(home) if !self.taken[home] => home,
                 Some(home) => bfs_order(fast, NodeId::new(home))
@@ -162,21 +162,21 @@ impl CompletionScratch {
                     .map(NodeId::index)
                     .find(|&v| !self.taken[v])
                     .or_else(|| (0..m).find(|&v| !self.taken[v]))
-                    .expect("n <= m leaves a free nucleus"),
+                    .expect("invariant: n <= m leaves a free nucleus"),
                 None => (0..m)
                     .find(|&v| !self.taken[v])
-                    .expect("n <= m leaves a free nucleus"),
+                    .expect("invariant: n <= m leaves a free nucleus"),
             };
             *slot = Some(PhysicalQubit::new(choice));
             self.taken[choice] = true;
         }
-        Placement::new(
-            self.to_phys
-                .iter()
-                .map(|v| v.expect("all assigned"))
-                .collect(),
-            m,
-        )
+        #[allow(clippy::expect_used)]
+        let to_phys: Vec<PhysicalQubit> = self
+            .to_phys
+            .iter()
+            .map(|v| v.expect("invariant: the loop above assigns every qubit"))
+            .collect();
+        Placement::new(to_phys, m)
     }
 }
 

@@ -16,7 +16,7 @@
 use qcp_circuit::Time;
 use qcp_env::{Environment, PhysicalQubit};
 
-use crate::timeline::Timeline;
+use crate::timeline::{TimedGate, Timeline};
 
 /// Idle/coupling exposure of one timed placement.
 #[derive(Clone, Debug)]
@@ -61,7 +61,7 @@ impl ExposureReport {
                     .events()
                     .iter()
                     .filter(|e| (e.a == a && e.b == Some(b)) || (e.a == b && e.b == Some(a)))
-                    .map(|e| e.duration())
+                    .map(TimedGate::duration)
                     .sum();
                 coupling_exposure.push((a, b, makespan - joint));
             }

@@ -167,8 +167,13 @@ impl PlacementOutcome {
     ///
     /// Panics if the outcome has no stages (placing an empty circuit still
     /// yields one stage).
+    #[allow(clippy::expect_used)]
     pub fn initial_placement(&self) -> &Placement {
-        &self.stages.first().expect("at least one stage").placement
+        &self
+            .stages
+            .first()
+            .expect("invariant: outcomes carry at least one stage")
+            .placement
     }
 
     /// The final placement after the last stage.
@@ -176,8 +181,13 @@ impl PlacementOutcome {
     /// # Panics
     ///
     /// Panics if the outcome has no stages.
+    #[allow(clippy::expect_used)]
     pub fn final_placement(&self) -> &Placement {
-        &self.stages.last().expect("at least one stage").placement
+        &self
+            .stages
+            .last()
+            .expect("invariant: outcomes carry at least one stage")
+            .placement
     }
 }
 
@@ -528,9 +538,9 @@ fn bridge_components(env: &Environment, fast: &Graph) -> Graph {
         let (ri, rj) = (find(&mut parent, comp_of[i]), find(&mut parent, comp_of[j]));
         if ri != rj {
             parent[ri] = rj;
-            routing
-                .add_edge(qcp_graph::NodeId::new(i), qcp_graph::NodeId::new(j), w)
-                .expect("bridge edges are new");
+            // The union-find guard means this edge joins two components,
+            // so it cannot already be present.
+            let _ = routing.add_edge(qcp_graph::NodeId::new(i), qcp_graph::NodeId::new(j), w);
         }
     }
     routing

@@ -548,7 +548,11 @@ pub fn route_sequential(graph: &Graph, targets: &[Option<usize>]) -> Result<Swap
         free.sort_unstable();
         for &v in comp {
             if dest[v.index()].is_none() {
-                dest[v.index()] = Some(free.pop().expect("counts match"));
+                #[allow(clippy::expect_used)]
+                let slot = free
+                    .pop()
+                    .expect("invariant: free slots match unassigned values per component");
+                dest[v.index()] = Some(slot);
             }
         }
     }
@@ -582,24 +586,30 @@ pub fn route_sequential(graph: &Graph, targets: &[Option<usize>]) -> Result<Swap
             for &v in tree.nodes() {
                 visited[v.index()] = true;
             }
-            let l = *tree.nodes().last().expect("non-empty tree");
+            #[allow(clippy::expect_used)]
+            let l = *tree
+                .nodes()
+                .last()
+                .expect("invariant: BFS trees are non-empty");
             leaf = Some(back[l.index()].index());
             break;
         }
-        let d = leaf.expect("alive set non-empty");
+        #[allow(clippy::expect_used)]
+        let d = leaf.expect("invariant: the alive set is non-empty until every target is routed");
         // Which value must end at d?
         let holder = (0..n).find(|&v| alive[v] && dest[v] == Some(d));
         if let Some(h) = holder {
             if h != d {
+                #[allow(clippy::expect_used)]
                 let (sh, sd) = (
                     alive_ids
                         .iter()
                         .position(|&x| x.index() == h)
-                        .expect("alive"),
+                        .expect("invariant: holder is alive"),
                     alive_ids
                         .iter()
                         .position(|&x| x.index() == d)
-                        .expect("alive"),
+                        .expect("invariant: destination is alive"),
                 );
                 let path = shortest_path(&sub, NodeId::new(sh), NodeId::new(sd)).ok_or(
                     PlaceError::RoutingImpossible {

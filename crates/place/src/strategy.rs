@@ -235,7 +235,10 @@ impl PlacementStrategy for ExactVf2 {
     }
 
     fn place(&self, placer: &Placer<'_>, circuit: &Circuit) -> Result<PlacementOutcome> {
-        placer.place_exact(circuit)
+        let outcome = placer.place_exact(circuit)?;
+        #[cfg(debug_assertions)]
+        debug_check_outcome(placer, circuit, &outcome);
+        Ok(outcome)
     }
 }
 
@@ -254,7 +257,10 @@ impl PlacementStrategy for GreedyAnneal {
 
     fn place(&self, placer: &Placer<'_>, circuit: &Circuit) -> Result<PlacementOutcome> {
         let mut meter = placer.config().budget.start();
-        greedy_anneal(placer, circuit, &mut meter, Resolution::Fallback)
+        let outcome = greedy_anneal(placer, circuit, &mut meter, Resolution::Fallback)?;
+        #[cfg(debug_assertions)]
+        debug_check_outcome(placer, circuit, &outcome);
+        Ok(outcome)
     }
 }
 
@@ -271,7 +277,7 @@ impl PlacementStrategy for Hybrid {
 
     fn place(&self, placer: &Placer<'_>, circuit: &Circuit) -> Result<PlacementOutcome> {
         let mut meter = placer.config().budget.start();
-        match placer.place_exact_with(circuit, &mut meter) {
+        let outcome = match placer.place_exact_with(circuit, &mut meter) {
             Ok(outcome) => Ok(outcome),
             Err(PlaceError::BudgetExhausted { .. }) => {
                 // The whole point of the chain: whatever budget remains
@@ -288,7 +294,10 @@ impl PlacementStrategy for Hybrid {
                 greedy_anneal(placer, circuit, &mut meter, Resolution::Fallback)
             }
             Err(e) => Err(e),
-        }
+        }?;
+        #[cfg(debug_assertions)]
+        debug_check_outcome(placer, circuit, &outcome);
+        Ok(outcome)
     }
 }
 
@@ -299,6 +308,92 @@ pub fn strategy_for(strategy: Strategy) -> &'static dyn PlacementStrategy {
         Strategy::Anneal => &GreedyAnneal,
         Strategy::Hybrid => &Hybrid,
     }
+}
+
+/// Debug-build invariant sweep over a freshly produced outcome — a
+/// lightweight in-crate cousin of the independent `qcp_verify::certify`
+/// checker (which depends on this crate and therefore cannot be called
+/// from here). Every strategy runs it on success; release builds compile
+/// it away entirely. The checks are the structural subset of the
+/// certificate: stage widths, injectivity, coupling coverage, swap-stage
+/// consistency, and schedule gate accounting — cost recomputation stays
+/// exclusive to the external checker.
+#[cfg(debug_assertions)]
+pub(crate) fn debug_check_outcome(
+    placer: &Placer<'_>,
+    circuit: &Circuit,
+    outcome: &PlacementOutcome,
+) {
+    let env = placer.environment();
+    let n = circuit.qubit_count();
+    let m = env.qubit_count();
+    assert!(
+        !outcome.stages.is_empty(),
+        "invariant: outcomes carry at least one stage"
+    );
+    let mut subcircuit_gates = 0usize;
+    for (si, stage) in outcome.stages.iter().enumerate() {
+        let slots = stage.placement.as_slice();
+        assert_eq!(
+            slots.len(),
+            n,
+            "stage {si}: placement width != circuit width"
+        );
+        assert_eq!(
+            stage.placement.physical_count(),
+            m,
+            "stage {si}: placement codomain != environment size"
+        );
+        let mut owner = vec![false; m];
+        for &v in slots {
+            assert!(
+                !owner[v.index()],
+                "stage {si}: placement maps two qubits to {v:?}"
+            );
+            owner[v.index()] = true;
+        }
+        // Interactions must land on physically coupled pairs. Fast-edge
+        // coverage is NOT asserted: fine tuning (§5.1) and the annealer
+        // may legally trade a gate onto a slow coupled pair when that
+        // lowers total runtime.
+        for gate in stage.subcircuit.gates() {
+            if let Some((a, b)) = gate.coupling() {
+                let (pa, pb) = (stage.placement.physical(a), stage.placement.physical(b));
+                let w = env.weight_units(pa, pb);
+                assert!(
+                    w.is_finite(),
+                    "stage {si}: two-qubit gate routed to uncoupled pair {pa:?}-{pb:?}"
+                );
+            }
+        }
+        if si == 0 {
+            assert!(
+                stage.swaps.is_empty(),
+                "stage 0 must start from the initial placement, not swaps"
+            );
+        } else {
+            let prev = outcome.stages[si - 1].placement.as_slice();
+            let pos = stage.swaps.simulate(m);
+            for (q, (&src, &dst)) in prev.iter().zip(slots).enumerate() {
+                assert_eq!(
+                    pos[src.index()],
+                    dst.index(),
+                    "stage {si}: the swap schedule moves qubit {q} to the wrong nucleus"
+                );
+            }
+        }
+        subcircuit_gates += stage.subcircuit.gate_count();
+    }
+    // The flat schedule replays every subcircuit gate plus one placed
+    // gate per routed SWAP.
+    let placed: usize = outcome.schedule.levels().iter().map(Vec::len).sum();
+    assert_eq!(
+        placed,
+        subcircuit_gates + outcome.swap_count(),
+        "schedule holds {placed} gates but the stages account for \
+         {subcircuit_gates} circuit gates + {} swaps",
+        outcome.swap_count()
+    );
 }
 
 /// A circuit gate flattened to indices for the routed cost simulation.
@@ -491,11 +586,12 @@ fn greedy_seed(
     let mut placed: Vec<Option<u32>> = vec![None; n];
     let mut taken = vec![false; m];
     // Free node of maximum fast degree (component seeds and idle qubits).
+    #[allow(clippy::expect_used)]
     let hub = |taken: &[bool]| -> usize {
         (0..m)
             .filter(|&v| !taken[v])
             .max_by_key(|&v| (fast.degree(NodeId::new(v)), std::cmp::Reverse(v)))
-            .expect("n <= m leaves a free nucleus")
+            .expect("invariant: n <= m leaves a free nucleus")
     };
     for _ in 0..n {
         // Next qubit: most interaction weight to already-placed qubits,
@@ -547,13 +643,14 @@ fn greedy_seed(
         placed[next] = Some(choice as u32);
         taken[choice] = true;
     }
-    Placement::new(
-        placed
-            .into_iter()
-            .map(|v| PhysicalQubit::new(v.expect("all placed") as usize))
-            .collect(),
-        m,
-    )
+    #[allow(clippy::expect_used)]
+    let to_phys: Vec<PhysicalQubit> = placed
+        .into_iter()
+        .map(
+            |v| PhysicalQubit::new(v.expect("invariant: the loop above fills every slot") as usize),
+        )
+        .collect();
+    Placement::new(to_phys, m)
 }
 
 /// The heuristic pipeline: greedy seed → budgeted simulated annealing
@@ -674,7 +771,9 @@ fn build_routed_outcome(
                        placement: &Placement,
                        swaps: SwapSchedule,
                        gates: &mut Vec<Gate>| {
-        let sub = Circuit::from_gates(n, gates.drain(..)).expect("stage gates fit the width");
+        #[allow(clippy::expect_used)]
+        let sub = Circuit::from_gates(n, gates.drain(..))
+            .expect("invariant: stage gates fit the declared width");
         schedule.extend(&swaps.to_schedule());
         schedule.extend(&Schedule::from_placed_circuit(&sub, placement));
         stages.push(Stage {

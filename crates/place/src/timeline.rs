@@ -143,7 +143,7 @@ impl Timeline {
             out.push_str(&format!(
                 "{:>6} |{}|\n",
                 name,
-                String::from_utf8(row).expect("ascii")
+                String::from_utf8_lossy(&row)
             ));
         }
         out.push_str(&format!("makespan: {}\n", self.makespan));

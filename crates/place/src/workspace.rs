@@ -122,13 +122,13 @@ fn extract_contiguous(
                  end: usize,
                  edges: &[(usize, usize)],
                  gates: &[Gate]| {
+        #[allow(clippy::expect_used)]
         let sub = Circuit::from_gates(n, gates[start..end].iter().cloned())
-            .expect("subcircuit gates fit the parent width");
+            .expect("invariant: subcircuit gates fit the parent width");
         let mut interaction = Graph::new(n);
         for &(a, b) in edges {
-            interaction
-                .add_edge(NodeId::new(a), NodeId::new(b), 1.0)
-                .expect("edges deduplicated");
+            // The edge list was deduplicated as it was collected.
+            let _ = interaction.add_edge(NodeId::new(a), NodeId::new(b), 1.0);
         }
         out.push(Workspace {
             circuit: sub,
@@ -232,15 +232,16 @@ fn extract_commutation_aware(
             // this cannot happen — defend anyway.
             return Err(PlaceError::NoFastInteractions);
         }
-        let first = current.iter().map(|&(i, _)| i).min().expect("non-empty");
-        let last = current.iter().map(|&(i, _)| i).max().expect("non-empty") + 1;
+        // `current` was checked non-empty above.
+        let first = current.iter().map(|&(i, _)| i).min().unwrap_or(0);
+        let last = current.iter().map(|&(i, _)| i).max().unwrap_or(0) + 1;
+        #[allow(clippy::expect_used)]
         let sub = Circuit::from_gates(n, current.iter().map(|(_, g)| g.clone()))
-            .expect("subcircuit gates fit the parent width");
+            .expect("invariant: subcircuit gates fit the parent width");
         let mut interaction = Graph::new(n);
         for &(a, b) in &edges {
-            interaction
-                .add_edge(NodeId::new(a), NodeId::new(b), 1.0)
-                .expect("edges deduplicated");
+            // The edge list was deduplicated as it was collected.
+            let _ = interaction.add_edge(NodeId::new(a), NodeId::new(b), 1.0);
         }
         out.push(Workspace {
             circuit: sub,
@@ -290,9 +291,8 @@ fn embeds(
     }
     let mut pattern = Graph::new(count);
     for &(a, b) in edges {
-        pattern
-            .add_edge(NodeId::new(index[a]), NodeId::new(index[b]), 1.0)
-            .expect("edges are unique pairs");
+        // Each interaction pair appears once in the deduplicated list.
+        let _ = pattern.add_edge(NodeId::new(index[a]), NodeId::new(index[b]), 1.0);
     }
     MonomorphismFinder::new(&pattern, fast)
         .exists_budgeted(meter)

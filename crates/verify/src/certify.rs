@@ -1,0 +1,867 @@
+//! The independent placement-certificate checker.
+//!
+//! Everything here recomputes from primitive data — the raw assignment
+//! slices, the environment's per-pair delays, the staged subcircuits —
+//! and never calls into the search, routing, or costing machinery whose
+//! output it judges.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use qcp_circuit::{Circuit, Time};
+use qcp_env::{Environment, Threshold};
+use qcp_place::{
+    CostModel, ExecutionModel, PlacedGate, PlacementOutcome, PlacerConfig, Resolution, SearchBudget,
+};
+
+/// What the checker needs to know about the request that produced an
+/// outcome: the fast-interaction threshold, the cost model the reported
+/// runtime claims to follow, and the search budget the resolution claims
+/// to have respected.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyOptions {
+    /// Fast-interaction threshold in force for computational gates.
+    pub threshold: Threshold,
+    /// Cost model the reported runtime was computed under.
+    pub cost_model: CostModel,
+    /// Search budget the resolution is accounted against.
+    pub budget: SearchBudget,
+    /// Relative tolerance for the cost comparison. The checker's dynamic
+    /// program applies the same delay sums in the same order as the
+    /// engine, so the default is essentially exact; it only absorbs
+    /// legitimate float-noise from future evaluation-order changes.
+    pub tolerance: f64,
+    /// Require every subcircuit interaction to run on a *fast* coupling
+    /// (delay within the threshold), not merely a finite one.
+    ///
+    /// The pipeline only guarantees fast-edge coverage for the initial
+    /// monomorphism: both refinement passes — fine tuning (§5.1) and the
+    /// simulated-annealing heuristic — may legally trade a gate onto a
+    /// slower coupled pair when that lowers the total runtime, which the
+    /// recomputed-cost check then accounts for exactly. The universal
+    /// invariant, checked unconditionally, is that every interaction runs
+    /// on a pair with a finite coupling delay. Enable this stricter check
+    /// only when the configuration forgoes refinement (or the topology is
+    /// uniform, where fast and coupled coincide).
+    pub require_fast_edges: bool,
+}
+
+impl VerifyOptions {
+    /// Options for a threshold, with the default cost model, an
+    /// unlimited budget, and the default tolerance.
+    #[must_use]
+    pub fn new(threshold: Threshold) -> Self {
+        VerifyOptions {
+            threshold,
+            cost_model: CostModel::default(),
+            budget: SearchBudget::unlimited(),
+            tolerance: 1e-9,
+            require_fast_edges: false,
+        }
+    }
+
+    /// Enables or disables the strict fast-edge coverage check (see
+    /// [`VerifyOptions::require_fast_edges`]).
+    #[must_use]
+    pub fn require_fast_edges(mut self, on: bool) -> Self {
+        self.require_fast_edges = on;
+        self
+    }
+
+    /// Extracts the verification-relevant slice of a placer
+    /// configuration.
+    #[must_use]
+    pub fn from_config(config: &PlacerConfig) -> Self {
+        VerifyOptions {
+            threshold: config.threshold,
+            cost_model: config.cost_model,
+            budget: config.budget,
+            tolerance: 1e-9,
+            // Fine tuning (on by default) may legally move interactions
+            // onto slow-but-coupled pairs; only the finite-coupling
+            // invariant is universal.
+            require_fast_edges: false,
+        }
+    }
+}
+
+/// A machine-readable invariant breach found by [`certify`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// The outcome has no stages (even an empty circuit yields one).
+    NoStages,
+    /// A stage's placement or subcircuit width disagrees with the
+    /// circuit, or its physical side disagrees with the environment.
+    WidthMismatch {
+        /// Stage index.
+        stage: usize,
+        /// What is mismatched (`placement`, `subcircuit`, `environment`).
+        what: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Size found in the outcome.
+        found: usize,
+    },
+    /// A stage maps a logical qubit outside the environment.
+    TargetOutOfRange {
+        /// Stage index.
+        stage: usize,
+        /// Logical qubit.
+        qubit: usize,
+        /// Claimed nucleus index.
+        nucleus: usize,
+        /// Environment size.
+        env_size: usize,
+    },
+    /// A stage maps two logical qubits onto one nucleus.
+    DuplicateTarget {
+        /// Stage index.
+        stage: usize,
+        /// The shared nucleus.
+        nucleus: usize,
+        /// First logical qubit mapped there.
+        first: usize,
+        /// Second logical qubit mapped there.
+        second: usize,
+    },
+    /// A computational interaction lands on a pair with no physical
+    /// coupling at all (infinite delay) — no refinement pass may do
+    /// this; the gate could never execute.
+    UncoupledInteraction {
+        /// Stage index.
+        stage: usize,
+        /// Logical endpoints of the gate.
+        qubits: (usize, usize),
+        /// Physical endpoints the stage runs the gate on.
+        nuclei: (usize, usize),
+    },
+    /// A computational interaction lands on a coupled pair slower than
+    /// the configured threshold. Only reported under
+    /// [`VerifyOptions::require_fast_edges`]: refinement may legally
+    /// accept such placements when they lower the total runtime.
+    SlowInteraction {
+        /// Stage index.
+        stage: usize,
+        /// Logical endpoints of the gate.
+        qubits: (usize, usize),
+        /// Physical endpoints the stage runs the gate on.
+        nuclei: (usize, usize),
+        /// The raw delay of that pair, in units (∞ = no coupling).
+        delay_units: f64,
+        /// The threshold in force, in units.
+        threshold_units: f64,
+    },
+    /// The concatenated stage subcircuits do not contain exactly the
+    /// gates of the input circuit (as a multiset).
+    GateMultisetMismatch {
+        /// Debug renderings of circuit gates missing from the stages.
+        missing: Vec<String>,
+        /// Debug renderings of stage gates not present in the circuit.
+        extra: Vec<String>,
+    },
+    /// The first stage carries a swap program (nothing precedes it).
+    UnexpectedInitialSwaps {
+        /// Number of swaps found.
+        count: usize,
+    },
+    /// A swap is degenerate, out of range, or overlaps another swap in
+    /// the same level.
+    BadSwap {
+        /// Stage index.
+        stage: usize,
+        /// Swap level within the stage.
+        level: usize,
+        /// The offending pair.
+        pair: (usize, usize),
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// A swap pair has no physical coupling at all (infinite delay).
+    UncoupledSwap {
+        /// Stage index.
+        stage: usize,
+        /// Swap level within the stage.
+        level: usize,
+        /// The offending pair.
+        pair: (usize, usize),
+    },
+    /// Simulating a stage's swap program does not carry the previous
+    /// stage's placement into the stage's own placement.
+    RoutingMismatch {
+        /// Stage index (of the later stage).
+        stage: usize,
+        /// Logical qubit whose value went astray.
+        qubit: usize,
+        /// Nucleus the stage's placement claims.
+        expected: usize,
+        /// Nucleus the swap simulation actually delivers the value to.
+        found: usize,
+    },
+    /// The flat schedule does not match the one the stages describe.
+    ScheduleMismatch {
+        /// First level that diverges (or the level count if lengths
+        /// differ).
+        level: usize,
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
+    /// A schedule gate addresses the same nucleus twice or an index
+    /// outside the environment.
+    BadScheduleGate {
+        /// Schedule level.
+        level: usize,
+        /// Gate index within the level.
+        index: usize,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// The reported runtime disagrees with the independently recomputed
+    /// one.
+    CostMismatch {
+        /// Runtime the outcome reports, in units.
+        reported_units: f64,
+        /// Runtime recomputed from raw delays, in units.
+        recomputed_units: f64,
+        /// Relative tolerance applied.
+        tolerance: f64,
+    },
+    /// The resolution is inconsistent with the configured budget.
+    BudgetInconsistent {
+        /// The claimed resolution.
+        resolution: Resolution,
+        /// Why it cannot be true under the configured budget.
+        reason: &'static str,
+    },
+}
+
+impl Violation {
+    /// Stable machine-readable code for this violation kind.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            Violation::NoStages => "no-stages",
+            Violation::WidthMismatch { .. } => "width-mismatch",
+            Violation::TargetOutOfRange { .. } => "target-out-of-range",
+            Violation::DuplicateTarget { .. } => "duplicate-target",
+            Violation::UncoupledInteraction { .. } => "uncoupled-interaction",
+            Violation::SlowInteraction { .. } => "slow-interaction",
+            Violation::GateMultisetMismatch { .. } => "gate-multiset-mismatch",
+            Violation::UnexpectedInitialSwaps { .. } => "unexpected-initial-swaps",
+            Violation::BadSwap { .. } => "bad-swap",
+            Violation::UncoupledSwap { .. } => "uncoupled-swap",
+            Violation::RoutingMismatch { .. } => "routing-mismatch",
+            Violation::ScheduleMismatch { .. } => "schedule-mismatch",
+            Violation::BadScheduleGate { .. } => "bad-schedule-gate",
+            Violation::CostMismatch { .. } => "cost-mismatch",
+            Violation::BudgetInconsistent { .. } => "budget-inconsistent",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NoStages => write!(f, "outcome has no stages"),
+            Violation::WidthMismatch {
+                stage,
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "stage {stage}: {what} size {found} (expected {expected})"
+            ),
+            Violation::TargetOutOfRange {
+                stage,
+                qubit,
+                nucleus,
+                env_size,
+            } => write!(
+                f,
+                "stage {stage}: qubit q{qubit} mapped to nucleus p{nucleus} outside the \
+                 {env_size}-nucleus environment"
+            ),
+            Violation::DuplicateTarget {
+                stage,
+                nucleus,
+                first,
+                second,
+            } => write!(
+                f,
+                "stage {stage}: qubits q{first} and q{second} both mapped to nucleus p{nucleus}"
+            ),
+            Violation::UncoupledInteraction {
+                stage,
+                qubits,
+                nuclei,
+            } => write!(
+                f,
+                "stage {stage}: interaction q{}–q{} runs on p{}–p{} which has no physical \
+                 coupling",
+                qubits.0, qubits.1, nuclei.0, nuclei.1
+            ),
+            Violation::SlowInteraction {
+                stage,
+                qubits,
+                nuclei,
+                delay_units,
+                threshold_units,
+            } => write!(
+                f,
+                "stage {stage}: interaction q{}–q{} runs on p{}–p{} with delay {delay_units} \
+                 above the fast threshold {threshold_units}",
+                qubits.0, qubits.1, nuclei.0, nuclei.1
+            ),
+            Violation::GateMultisetMismatch { missing, extra } => write!(
+                f,
+                "stages do not conserve the circuit's gates ({} missing, {} extra)",
+                missing.len(),
+                extra.len()
+            ),
+            Violation::UnexpectedInitialSwaps { count } => {
+                write!(f, "first stage carries {count} swap(s)")
+            }
+            Violation::BadSwap {
+                stage,
+                level,
+                pair,
+                reason,
+            } => write!(
+                f,
+                "stage {stage} swap level {level}: swap p{}–p{} is {reason}",
+                pair.0, pair.1
+            ),
+            Violation::UncoupledSwap { stage, level, pair } => write!(
+                f,
+                "stage {stage} swap level {level}: swap p{}–p{} has no physical coupling",
+                pair.0, pair.1
+            ),
+            Violation::RoutingMismatch {
+                stage,
+                qubit,
+                expected,
+                found,
+            } => write!(
+                f,
+                "stage {stage}: swaps deliver q{qubit} to p{found}, placement claims p{expected}"
+            ),
+            Violation::ScheduleMismatch { level, detail } => {
+                write!(f, "schedule level {level}: {detail}")
+            }
+            Violation::BadScheduleGate {
+                level,
+                index,
+                reason,
+            } => write!(f, "schedule level {level} gate {index}: {reason}"),
+            Violation::CostMismatch {
+                reported_units,
+                recomputed_units,
+                tolerance,
+            } => write!(
+                f,
+                "reported runtime {reported_units} != recomputed {recomputed_units} \
+                 (tolerance {tolerance})"
+            ),
+            Violation::BudgetInconsistent { resolution, reason } => {
+                write!(f, "resolution `{resolution}` inconsistent: {reason}")
+            }
+        }
+    }
+}
+
+/// Proof that an outcome re-validated from first principles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Certificate {
+    /// Number of stages checked.
+    pub stages: usize,
+    /// Computational gates conserved across the stages.
+    pub gates: usize,
+    /// SWAP gates validated.
+    pub swaps: usize,
+    /// Schedule levels re-derived and compared.
+    pub schedule_levels: usize,
+    /// The independently recomputed runtime (equal to the reported one
+    /// within [`VerifyOptions::tolerance`]).
+    pub recomputed_runtime: Time,
+    /// The resolution whose budget accounting was checked.
+    pub resolution: Resolution,
+}
+
+/// Re-validates `outcome` as an answer for placing `circuit` on `env`
+/// under `options`, from first principles.
+///
+/// Returns a [`Certificate`] describing what was checked, or every
+/// [`Violation`] found (the checker does not stop at the first).
+///
+/// # Errors
+///
+/// `Err` carries the non-empty violation list.
+pub fn certify(
+    circuit: &Circuit,
+    env: &Environment,
+    options: &VerifyOptions,
+    outcome: &PlacementOutcome,
+) -> Result<Certificate, Vec<Violation>> {
+    let mut violations = Vec::new();
+    let n = circuit.qubit_count();
+    let m = env.qubit_count();
+
+    if outcome.stages.is_empty() {
+        violations.push(Violation::NoStages);
+    }
+
+    // --- stage-local checks: widths, injectivity, edge coverage ---
+    for (si, stage) in outcome.stages.iter().enumerate() {
+        let assignment = stage.placement.as_slice();
+        if assignment.len() != n {
+            violations.push(Violation::WidthMismatch {
+                stage: si,
+                what: "placement",
+                expected: n,
+                found: assignment.len(),
+            });
+        }
+        if stage.placement.physical_count() != m {
+            violations.push(Violation::WidthMismatch {
+                stage: si,
+                what: "environment",
+                expected: m,
+                found: stage.placement.physical_count(),
+            });
+        }
+        if stage.subcircuit.qubit_count() != n {
+            violations.push(Violation::WidthMismatch {
+                stage: si,
+                what: "subcircuit",
+                expected: n,
+                found: stage.subcircuit.qubit_count(),
+            });
+        }
+        // Injectivity by direct occupancy marking on the raw slice.
+        let mut owner: Vec<Option<usize>> = vec![None; m];
+        for (q, &p) in assignment.iter().enumerate() {
+            let v = p.index();
+            if v >= m {
+                violations.push(Violation::TargetOutOfRange {
+                    stage: si,
+                    qubit: q,
+                    nucleus: v,
+                    env_size: m,
+                });
+                continue;
+            }
+            if let Some(first) = owner[v] {
+                violations.push(Violation::DuplicateTarget {
+                    stage: si,
+                    nucleus: v,
+                    first,
+                    second: q,
+                });
+            } else {
+                owner[v] = Some(q);
+            }
+        }
+        // Edge coverage: every interaction of the stage's subcircuit runs
+        // on a physically coupled pair (finite delay) — and, under the
+        // strict option, on one whose raw delay passes the fast
+        // threshold. Refinement (fine tuning, annealing) may legally
+        // leave a gate on a slow coupled pair, which the recomputed cost
+        // then prices exactly; it may never leave one on an uncoupled
+        // pair.
+        for gate in stage.subcircuit.gates() {
+            let Some((a, b)) = gate.coupling() else {
+                continue;
+            };
+            let (Some(&pa), Some(&pb)) = (assignment.get(a.index()), assignment.get(b.index()))
+            else {
+                continue; // width mismatch already reported
+            };
+            if pa.index() >= m || pb.index() >= m || pa == pb {
+                continue; // range/injectivity breach already reported
+            }
+            let delay = env.weight_units(pa, pb);
+            if delay.is_infinite() {
+                violations.push(Violation::UncoupledInteraction {
+                    stage: si,
+                    qubits: (a.index(), b.index()),
+                    nuclei: (pa.index(), pb.index()),
+                });
+            } else if options.require_fast_edges && !options.threshold.is_fast(delay) {
+                violations.push(Violation::SlowInteraction {
+                    stage: si,
+                    qubits: (a.index(), b.index()),
+                    nuclei: (pa.index(), pb.index()),
+                    delay_units: delay,
+                    threshold_units: options.threshold.units(),
+                });
+            }
+        }
+    }
+
+    // --- gate conservation across stages (multiset equality) ---
+    let mut counts: HashMap<String, i64> = HashMap::new();
+    for gate in circuit.gates() {
+        *counts.entry(format!("{gate:?}")).or_insert(0) += 1;
+    }
+    for stage in &outcome.stages {
+        for gate in stage.subcircuit.gates() {
+            *counts.entry(format!("{gate:?}")).or_insert(0) -= 1;
+        }
+    }
+    let mut missing: Vec<String> = Vec::new();
+    let mut extra: Vec<String> = Vec::new();
+    for (key, count) in &counts {
+        for _ in 0..count.unsigned_abs().min(8) {
+            if *count > 0 {
+                missing.push(key.clone());
+            } else if *count < 0 {
+                extra.push(key.clone());
+            }
+        }
+    }
+    if !missing.is_empty() || !extra.is_empty() {
+        missing.sort();
+        extra.sort();
+        violations.push(Violation::GateMultisetMismatch { missing, extra });
+    }
+
+    // --- routing: swap programs are legal and realize the permutation ---
+    let mut swap_total = 0usize;
+    for (si, stage) in outcome.stages.iter().enumerate() {
+        let swaps = stage.swaps.levels();
+        swap_total += swaps.iter().map(Vec::len).sum::<usize>();
+        if si == 0 {
+            let count = swaps.iter().map(Vec::len).sum();
+            if count > 0 {
+                violations.push(Violation::UnexpectedInitialSwaps { count });
+            }
+            continue;
+        }
+        // Token-passing simulation, written here from scratch:
+        // token_at[v] is the original home of the value now at v.
+        let mut token_at: Vec<usize> = (0..m).collect();
+        let mut legal = true;
+        for (li, level) in swaps.iter().enumerate() {
+            let mut used = vec![false; m];
+            for &(a, b) in level {
+                let (va, vb) = (a.index(), b.index());
+                if va >= m || vb >= m {
+                    violations.push(Violation::BadSwap {
+                        stage: si,
+                        level: li,
+                        pair: (va, vb),
+                        reason: "out of range",
+                    });
+                    legal = false;
+                    continue;
+                }
+                if va == vb {
+                    violations.push(Violation::BadSwap {
+                        stage: si,
+                        level: li,
+                        pair: (va, vb),
+                        reason: "degenerate",
+                    });
+                    legal = false;
+                    continue;
+                }
+                if used[va] || used[vb] {
+                    violations.push(Violation::BadSwap {
+                        stage: si,
+                        level: li,
+                        pair: (va, vb),
+                        reason: "overlapping another swap in its level",
+                    });
+                    legal = false;
+                }
+                used[va] = true;
+                used[vb] = true;
+                if !env.weight_units(a, b).is_finite() {
+                    violations.push(Violation::UncoupledSwap {
+                        stage: si,
+                        level: li,
+                        pair: (va, vb),
+                    });
+                }
+                token_at.swap(va, vb);
+            }
+        }
+        if !legal {
+            continue; // permutation check would only echo the breakage
+        }
+        let mut final_pos = vec![0usize; m];
+        for (v, &t) in token_at.iter().enumerate() {
+            final_pos[t] = v;
+        }
+        let prev = outcome.stages[si - 1].placement.as_slice();
+        let here = stage.placement.as_slice();
+        for (q, (&src, &dst)) in prev.iter().zip(here.iter()).enumerate() {
+            if src.index() >= m || dst.index() >= m {
+                continue;
+            }
+            if final_pos[src.index()] != dst.index() {
+                violations.push(Violation::RoutingMismatch {
+                    stage: si,
+                    qubit: q,
+                    expected: dst.index(),
+                    found: final_pos[src.index()],
+                });
+            }
+        }
+    }
+
+    // --- schedule faithfulness: rebuild it from the stages ---
+    let mut expected: Vec<Vec<PlacedGate>> = Vec::new();
+    for stage in &outcome.stages {
+        for level in stage.swaps.levels() {
+            expected.push(
+                level
+                    .iter()
+                    .map(|&(a, b)| PlacedGate {
+                        a,
+                        b: Some(b),
+                        weight: 3.0,
+                    })
+                    .collect(),
+            );
+        }
+        for level in stage.subcircuit.levels() {
+            expected.push(
+                level
+                    .gates()
+                    .iter()
+                    .map(|g| {
+                        let (a, b) = g.qubits();
+                        PlacedGate {
+                            a: stage.placement.physical(a),
+                            b: b.map(|q| stage.placement.physical(q)),
+                            weight: g.time_weight(),
+                        }
+                    })
+                    .collect(),
+            );
+        }
+    }
+    let actual = outcome.schedule.levels();
+    if actual.len() != expected.len() {
+        violations.push(Violation::ScheduleMismatch {
+            level: actual.len().min(expected.len()),
+            detail: format!(
+                "schedule has {} level(s), stages describe {}",
+                actual.len(),
+                expected.len()
+            ),
+        });
+    } else {
+        'levels: for (li, (got, want)) in actual.iter().zip(expected.iter()).enumerate() {
+            if got.len() != want.len() {
+                violations.push(Violation::ScheduleMismatch {
+                    level: li,
+                    detail: format!("{} gate(s), stages describe {}", got.len(), want.len()),
+                });
+                break;
+            }
+            for (gi, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                if g != w {
+                    violations.push(Violation::ScheduleMismatch {
+                        level: li,
+                        detail: format!("gate {gi} is {g:?}, stages describe {w:?}"),
+                    });
+                    break 'levels;
+                }
+            }
+        }
+    }
+
+    // Structural sanity of the flat schedule itself, independent of the
+    // stage comparison (catches injected degenerate gates even when the
+    // stage rebuild is also corrupted).
+    for (li, level) in actual.iter().enumerate() {
+        for (gi, gate) in level.iter().enumerate() {
+            if gate.a.index() >= m || gate.b.is_some_and(|b| b.index() >= m) {
+                violations.push(Violation::BadScheduleGate {
+                    level: li,
+                    index: gi,
+                    reason: "nucleus index outside the environment",
+                });
+            }
+            if gate.b == Some(gate.a) {
+                violations.push(Violation::BadScheduleGate {
+                    level: li,
+                    index: gi,
+                    reason: "two-qubit gate addresses one nucleus twice",
+                });
+            }
+        }
+    }
+
+    // --- cost recomputation from raw delays ---
+    let recomputed = recompute_runtime(env, &options.cost_model, actual);
+    let reported = outcome.runtime.units();
+    let scale = reported.abs().max(recomputed.abs()).max(1.0);
+    // Written as a negated `<=` so a NaN on either side counts as a
+    // mismatch rather than slipping through a `>` comparison.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !((reported - recomputed).abs() <= options.tolerance * scale) {
+        violations.push(Violation::CostMismatch {
+            reported_units: reported,
+            recomputed_units: recomputed,
+            tolerance: options.tolerance,
+        });
+    }
+
+    // --- budget accounting consistency ---
+    match outcome.resolution {
+        Resolution::Exact => {
+            if options.budget.max_nodes == Some(0) {
+                violations.push(Violation::BudgetInconsistent {
+                    resolution: Resolution::Exact,
+                    reason: "exact search cannot complete under a zero-node budget",
+                });
+            }
+        }
+        Resolution::BudgetExhausted => {
+            if options.budget.is_unlimited() {
+                violations.push(Violation::BudgetInconsistent {
+                    resolution: Resolution::BudgetExhausted,
+                    reason: "an unlimited budget cannot exhaust",
+                });
+            }
+        }
+        Resolution::Fallback => {}
+    }
+
+    if violations.is_empty() {
+        Ok(Certificate {
+            stages: outcome.stages.len(),
+            gates: circuit.gate_count(),
+            swaps: swap_total,
+            schedule_levels: actual.len(),
+            recomputed_runtime: Time::from_units(recomputed),
+            resolution: outcome.resolution,
+        })
+    } else {
+        Err(violations)
+    }
+}
+
+/// The from-scratch busy-time dynamic program: per-nucleus finish times,
+/// the §6 reuse cap on consecutive couplings of one pair (runs survive
+/// free Rz pulses, break on costed ones), and the leveled/overlapped
+/// barrier rule — recomputed from raw [`Environment::weight_units`]
+/// delays without touching `CostEngine`.
+fn recompute_runtime(env: &Environment, model: &CostModel, levels: &[Vec<PlacedGate>]) -> f64 {
+    let m = env.qubit_count();
+    let mut busy = vec![0.0f64; m];
+    let mut partner: Vec<Option<(usize, usize)>> = vec![None; m];
+    let mut runs: HashMap<(usize, usize), f64> = HashMap::new();
+    for level in levels {
+        if model.execution == ExecutionModel::Leveled {
+            let wall = busy.iter().copied().fold(0.0, f64::max);
+            busy.iter_mut().for_each(|t| *t = wall);
+        }
+        for gate in level {
+            let i = gate.a.index();
+            if i >= m {
+                continue; // reported as BadScheduleGate by the caller
+            }
+            match gate.b {
+                None => {
+                    busy[i] += env.weight_units(gate.a, gate.a) * gate.weight;
+                    if gate.weight > 0.0 {
+                        partner[i] = None;
+                    }
+                }
+                Some(b) => {
+                    let j = b.index();
+                    if j >= m || i == j {
+                        continue;
+                    }
+                    let key = (i.min(j), i.max(j));
+                    let effective = match model.reuse_cap {
+                        None => gate.weight,
+                        Some(cap) => {
+                            let continuing = partner[i] == Some(key) && partner[j] == Some(key);
+                            let prev = if continuing {
+                                runs.get(&key).copied().unwrap_or(0.0)
+                            } else {
+                                0.0
+                            };
+                            let total = prev + gate.weight;
+                            runs.insert(key, total);
+                            total.min(cap) - prev.min(cap)
+                        }
+                    };
+                    let start = busy[i].max(busy[j]);
+                    // Mirrors the engine: an uncoupled pair is infinitely
+                    // expensive even when the reuse cap zeroes `effective`
+                    // (`∞ × 0` would be NaN, not ∞).
+                    let delay = env.weight_units(gate.a, b);
+                    let finish = if delay.is_finite() {
+                        start + delay * effective
+                    } else {
+                        f64::INFINITY
+                    };
+                    busy[i] = finish;
+                    busy[j] = finish;
+                    partner[i] = Some(key);
+                    partner[j] = Some(key);
+                }
+            }
+        }
+    }
+    busy.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_circuit::library;
+    use qcp_env::{molecules, topologies};
+
+    fn check(env: &Environment, config: &PlacerConfig, circuit: &Circuit) -> Certificate {
+        let placer = qcp_place::Placer::new(env, config.clone());
+        let outcome = placer.place(circuit).expect("places");
+        certify(circuit, env, &VerifyOptions::from_config(config), &outcome)
+            .unwrap_or_else(|v| panic!("fresh outcome must certify: {v:?}"))
+    }
+
+    #[test]
+    fn fresh_outcomes_certify_across_strategies() {
+        let env = topologies::grid(3, 3, topologies::Delays::default());
+        let t = env.connectivity_threshold().unwrap();
+        for strategy in qcp_place::Strategy::ALL {
+            let config = PlacerConfig::with_threshold(t).strategy(strategy);
+            let cert = check(&env, &config, &library::qft(5));
+            assert!(cert.stages >= 1);
+            assert_eq!(cert.gates, library::qft(5).gate_count());
+        }
+    }
+
+    #[test]
+    fn molecule_outcome_certifies_and_runtime_matches() {
+        let env = molecules::acetyl_chloride();
+        let config = PlacerConfig::with_threshold(Threshold::new(100.0));
+        let cert = check(&env, &config, &library::qec3_encoder());
+        assert_eq!(cert.recomputed_runtime.units(), 136.0);
+    }
+
+    #[test]
+    fn cost_perturbation_is_rejected() {
+        let env = molecules::acetyl_chloride();
+        let config = PlacerConfig::with_threshold(Threshold::new(100.0));
+        let circuit = library::qec3_encoder();
+        let placer = qcp_place::Placer::new(&env, config.clone());
+        let mut outcome = placer.place(&circuit).unwrap();
+        outcome.runtime = Time::from_units(outcome.runtime.units() + 1.0);
+        let violations = certify(
+            &circuit,
+            &env,
+            &VerifyOptions::from_config(&config),
+            &outcome,
+        )
+        .unwrap_err();
+        assert!(violations.iter().any(|v| v.code() == "cost-mismatch"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Independent result verification and static circuit analysis for the
+//! qcp placement stack.
+//!
+//! The placement engine's answers are only as trustworthy as the checks
+//! that stand *outside* it. Following the result-checking argument of
+//! Burgholzer–Schneider–Wille (once aggressive pruning and symmetry
+//! tricks enter a mapping search, an independent checker is the only
+//! thing that can catch the search lying), this crate re-validates every
+//! [`PlacementOutcome`](qcp_place::PlacementOutcome) from first
+//! principles and deliberately shares no machinery with the VF2 bitset
+//! kernels, the SWAP router, or the cost engine:
+//!
+//! * **Injectivity and range** of every stage's qubit map, checked
+//!   directly on the raw assignment slice;
+//! * **Edge coverage**: every computational interaction lands on a pair
+//!   with a finite coupling delay, checked by direct
+//!   [`Environment`](qcp_env::Environment) lookups (strict fast-edge
+//!   coverage is opt-in — refinement may legally trade gates onto slow
+//!   coupled pairs);
+//! * **Routing validity**: every SWAP stage is a legal parallel swap
+//!   program (disjoint per level, along finite couplings) whose
+//!   token-passing simulation transforms each stage's placement into the
+//!   next — the logical-to-physical tracking model of the *String
+//!   Abstractions for Qubit Mapping* line of work;
+//! * **Schedule faithfulness**: the flat schedule is rebuilt gate by
+//!   gate from the stages and compared exactly;
+//! * **Cost recomputation**: the reported runtime is recomputed from raw
+//!   per-edge delays by a from-scratch busy-time dynamic program and
+//!   compared within an exact tolerance;
+//! * **Budget accounting**: `resolution == Exact` is inconsistent with a
+//!   zero search budget, and `BudgetExhausted` with an unlimited one.
+//!
+//! The entry point is [`certify`]; [`lint`] adds a pre-flight static
+//! analyzer for QASM/text circuits (unused qubits, placement-irrelevant
+//! qubits, redundant barriers, interaction-graph statistics).
+//!
+//! ```
+//! use qcp_circuit::library;
+//! use qcp_env::molecules;
+//! use qcp_place::{Placer, PlacerConfig};
+//! use qcp_env::Threshold;
+//! use qcp_verify::{certify, VerifyOptions};
+//!
+//! let env = molecules::acetyl_chloride();
+//! let config = PlacerConfig::with_threshold(Threshold::new(100.0));
+//! let placer = Placer::new(&env, config.clone());
+//! let circuit = library::qec3_encoder();
+//! let outcome = placer.place(&circuit)?;
+//! let cert = certify(&circuit, &env, &VerifyOptions::from_config(&config), &outcome)
+//!     .expect("a fresh outcome certifies");
+//! assert_eq!(cert.recomputed_runtime, outcome.runtime);
+//! # Ok::<(), qcp_place::PlaceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+mod certify;
+pub mod lint;
+
+pub use certify::{certify, Certificate, VerifyOptions, Violation};
+pub use lint::{lint_circuit, lint_qasm, CircuitStats, LintFinding, LintReport};

@@ -1,0 +1,371 @@
+//! Static circuit analysis: the pre-flight pass a placement service runs
+//! before spending search budget.
+//!
+//! [`lint_circuit`] works on any [`Circuit`]; [`lint_qasm`] adds the
+//! source-level context an OpenQASM frontend provides — register names
+//! and declaration spans for wire findings, and the recorded `barrier`
+//! statements (which lowering consumes) for redundancy checks.
+//!
+//! Findings carry stable machine-readable codes:
+//!
+//! * `unused-qubit` — a declared wire no gate ever touches; it widens
+//!   the placement problem for nothing.
+//! * `non-interacting-qubit` — a wire with single-qubit gates but no
+//!   couplings; it contributes no interaction-graph weight, so its
+//!   placement is irrelevant (any free nucleus does).
+//! * `redundant-barrier` — a barrier adjacent to another barrier that
+//!   already covers its qubits; it cannot constrain levelization further.
+
+use std::fmt;
+
+use qcp_circuit::qasm::QasmCircuit;
+use qcp_circuit::{Circuit, SourceSpan};
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Stable machine-readable code (`unused-qubit`, …).
+    pub code: &'static str,
+    /// Source position, when the input came with spans (QASM).
+    pub span: Option<SourceSpan>,
+    /// The wire the finding is about, when it is about one.
+    pub wire: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "{span}: warning[{}]: {}", self.code, self.message),
+            None => write!(f, "warning[{}]: {}", self.code, self.message),
+        }
+    }
+}
+
+/// Width/depth/interaction-graph statistics of a circuit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Declared wires.
+    pub qubits: usize,
+    /// Total gates.
+    pub gates: usize,
+    /// Two-qubit (coupling) gates.
+    pub two_qubit_gates: usize,
+    /// Circuit depth in levels.
+    pub depth: usize,
+    /// Distinct interacting wire pairs (interaction-graph edges).
+    pub interaction_pairs: usize,
+    /// Maximum interaction-graph degree over all wires.
+    pub max_degree: usize,
+    /// Connected components of the interaction graph, counting only
+    /// wires that interact (0 for a coupling-free circuit).
+    pub components: usize,
+    /// Wires no gate touches at all.
+    pub unused_qubits: usize,
+    /// Wires with gates but no couplings.
+    pub non_interacting_qubits: usize,
+}
+
+/// The result of linting one circuit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// Findings, in deterministic (wire, then source) order.
+    pub findings: Vec<LintFinding>,
+    /// Structural statistics.
+    pub stats: CircuitStats,
+}
+
+impl LintReport {
+    /// Returns `true` when no findings were raised.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// An order-sensitive FNV-1a hash over the findings (code, wire,
+    /// span), for pinning expected lint output in tests and CI.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for f in &self.findings {
+            for byte in f.code.bytes() {
+                mix(u64::from(byte));
+            }
+            mix(f.wire.map_or(u64::MAX, |w| w as u64));
+            match f.span {
+                Some(span) => {
+                    mix(span.line as u64);
+                    mix(span.col as u64);
+                }
+                None => mix(0),
+            }
+        }
+        h
+    }
+}
+
+/// Folds one finding stream and the shared statistics out of a circuit.
+/// `name_of` renders a wire for messages; `span_of` attaches a source
+/// position when the frontend has one.
+fn lint_wires(
+    circuit: &Circuit,
+    name_of: &dyn Fn(usize) -> String,
+    span_of: &dyn Fn(usize) -> Option<SourceSpan>,
+) -> LintReport {
+    let n = circuit.qubit_count();
+    let mut touched = vec![false; n];
+    let mut coupled = vec![false; n];
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut gates = 0usize;
+    let mut two_qubit_gates = 0usize;
+    for gate in circuit.gates() {
+        gates += 1;
+        let (a, b) = gate.qubits();
+        touched[a.index()] = true;
+        if let Some(b) = b {
+            touched[b.index()] = true;
+        }
+        if let Some((a, b)) = gate.coupling() {
+            two_qubit_gates += 1;
+            coupled[a.index()] = true;
+            coupled[b.index()] = true;
+            let (x, y) = (a.index().min(b.index()), a.index().max(b.index()));
+            pairs.push((x, y));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+
+    // Interaction-graph degree and components (union-find over pairs).
+    let mut degree = vec![0usize; n];
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for &(a, b) in &pairs {
+        degree[a] += 1;
+        degree[b] += 1;
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let mut roots: Vec<usize> = (0..n)
+        .filter(|&v| coupled[v])
+        .map(|v| find(&mut parent, v))
+        .collect();
+    roots.sort_unstable();
+    roots.dedup();
+
+    let mut findings = Vec::new();
+    let mut unused = 0usize;
+    let mut non_interacting = 0usize;
+    for v in 0..n {
+        if !touched[v] {
+            unused += 1;
+            findings.push(LintFinding {
+                code: "unused-qubit",
+                span: span_of(v),
+                wire: Some(v),
+                message: format!(
+                    "qubit {} is declared but never used; it widens the placement problem \
+                     for nothing",
+                    name_of(v)
+                ),
+            });
+        } else if !coupled[v] {
+            non_interacting += 1;
+            findings.push(LintFinding {
+                code: "non-interacting-qubit",
+                span: span_of(v),
+                wire: Some(v),
+                message: format!(
+                    "qubit {} never interacts; its gates carry no placement-relevant weight \
+                     (any free nucleus hosts it equally well)",
+                    name_of(v)
+                ),
+            });
+        }
+    }
+
+    LintReport {
+        findings,
+        stats: CircuitStats {
+            qubits: n,
+            gates,
+            two_qubit_gates,
+            depth: circuit.levels().len(),
+            interaction_pairs: pairs.len(),
+            max_degree: degree.iter().copied().max().unwrap_or(0),
+            components: roots.len(),
+            unused_qubits: unused,
+            non_interacting_qubits: non_interacting,
+        },
+    }
+}
+
+/// Lints a bare circuit (no source spans).
+#[must_use]
+pub fn lint_circuit(circuit: &Circuit) -> LintReport {
+    lint_wires(circuit, &|v| format!("q{v}"), &|_| None)
+}
+
+/// Lints a parsed OpenQASM program: wire findings gain register names
+/// and declaration spans, and the recorded `barrier` statements are
+/// checked for redundancy.
+#[must_use]
+pub fn lint_qasm(qasm: &QasmCircuit) -> LintReport {
+    let mut report = lint_wires(&qasm.circuit, &|v| qasm.wire_name(v), &|v| {
+        qasm.registers
+            .iter()
+            .find(|r| r.wire_name(v).is_some())
+            .map(|r| r.span)
+    });
+
+    // Redundant adjacent barriers: within a run of barriers with no
+    // operation between them, a barrier whose qubits another barrier of
+    // the run already covers adds no levelization constraint.
+    let barriers = &qasm.barriers;
+    for (j, b) in barriers.iter().enumerate() {
+        let redundant_to = barriers.iter().enumerate().find(|&(i, other)| {
+            i != j
+                && other.ops_before == b.ops_before
+                && b.qubits.iter().all(|q| other.qubits.contains(q))
+                && (other.qubits.len() > b.qubits.len() || i < j)
+        });
+        if let Some((_, other)) = redundant_to {
+            report.findings.push(LintFinding {
+                code: "redundant-barrier",
+                span: Some(b.span),
+                wire: None,
+                message: format!(
+                    "barrier is redundant: the adjacent barrier at {} already covers its \
+                     {} qubit(s)",
+                    other.span,
+                    b.qubits.len()
+                ),
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcp_circuit::qasm;
+
+    fn parse(src: &str) -> QasmCircuit {
+        qasm::parse(src).expect("test program parses")
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let qc =
+            parse("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0], q[1];\n");
+        let report = lint_qasm(&qc);
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.stats.qubits, 2);
+        assert_eq!(report.stats.interaction_pairs, 1);
+        assert_eq!(report.stats.components, 1);
+    }
+
+    #[test]
+    fn unused_and_non_interacting_qubits_are_reported() {
+        let qc =
+            parse("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\nh q[1];\ncx q[2], q[3];\n");
+        let report = lint_qasm(&qc);
+        let codes: Vec<(&str, Option<usize>)> =
+            report.findings.iter().map(|f| (f.code, f.wire)).collect();
+        assert_eq!(
+            codes,
+            vec![
+                ("unused-qubit", Some(0)),
+                ("non-interacting-qubit", Some(1)),
+            ]
+        );
+        assert!(report.findings[0].message.contains("q[0]"));
+        assert_eq!(report.findings[0].span.map(|s| s.line), Some(3));
+        assert_eq!(report.stats.unused_qubits, 1);
+        assert_eq!(report.stats.non_interacting_qubits, 1);
+    }
+
+    #[test]
+    fn redundant_adjacent_barriers_are_reported() {
+        let qc = parse(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\n\
+             cx q[0], q[1];\nbarrier q;\nbarrier q[0], q[1];\ncx q[1], q[2];\n",
+        );
+        let report = lint_qasm(&qc);
+        let redundant: Vec<&LintFinding> = report
+            .findings
+            .iter()
+            .filter(|f| f.code == "redundant-barrier")
+            .collect();
+        assert_eq!(redundant.len(), 1);
+        assert_eq!(redundant[0].span.map(|s| s.line), Some(6));
+    }
+
+    #[test]
+    fn equal_adjacent_barriers_flag_the_second() {
+        let qc = parse(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\n\
+             cx q[0], q[1];\nbarrier q;\nbarrier q;\ncx q[0], q[1];\n",
+        );
+        let report = lint_qasm(&qc);
+        let redundant: Vec<&LintFinding> = report
+            .findings
+            .iter()
+            .filter(|f| f.code == "redundant-barrier")
+            .collect();
+        assert_eq!(redundant.len(), 1);
+        assert_eq!(redundant[0].span.map(|s| s.line), Some(6));
+    }
+
+    #[test]
+    fn separated_barriers_are_not_redundant() {
+        let qc = parse(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\n\
+             barrier q;\ncx q[0], q[1];\nbarrier q;\ncx q[0], q[1];\n",
+        );
+        let report = lint_qasm(&qc);
+        assert!(
+            report
+                .findings
+                .iter()
+                .all(|f| f.code != "redundant-barrier"),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive_and_stable() {
+        let qc =
+            parse("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\nh q[1];\ncx q[2], q[3];\n");
+        let a = lint_qasm(&qc).fingerprint();
+        let b = lint_qasm(&qc).fingerprint();
+        assert_eq!(a, b);
+        let clean = parse("OPENQASM 2.0;\nqreg q[1];\nh q[0];\n");
+        assert_ne!(a, lint_qasm(&clean).fingerprint());
+    }
+
+    #[test]
+    fn bare_circuit_lint_uses_plain_wire_names() {
+        let c = Circuit::from_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[0];\n").unwrap();
+        let report = lint_circuit(&c);
+        assert_eq!(report.findings.len(), 2);
+        assert!(report.findings[0].span.is_none());
+        assert!(report.findings[0].message.contains("q0"));
+        assert_eq!(report.findings[1].code, "unused-qubit");
+    }
+}

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Anytime placement: budgeted exact search with a heuristic fallback.
 //!
 //! Places the 6-qubit QFT on device backends with each strategy and

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Define your own physical environment from a text description, place a
 //! circuit on it, and export the fast graph for visualization.
 //!

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! The §4 NP-completeness reduction, run forwards: decide Hamiltonicity
 //! by asking for a zero-runtime placement of a cycle circuit.
 //!

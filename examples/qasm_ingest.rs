@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! OpenQASM ingestion: parse circuits from the committed corpus under
 //! `tests/qasm/`, inspect what the frontend dropped, and place one file
 //! across the topology zoo — the external-workload pipeline end-to-end.

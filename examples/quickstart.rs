@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Quickstart: place the 3-qubit error-correction encoder (paper Fig. 2)
 //! onto acetyl chloride (paper Fig. 1) and print what the placer decided.
 //!

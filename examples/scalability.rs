@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Scalability (a Table 4 slice): hidden-stage circuits on 1 kHz LNN
 //! chains. The placer must rediscover the hidden stages: one subcircuit
 //! per stage, connected by SWAP stages.

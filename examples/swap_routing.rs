@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! SWAP routing (paper Example 4 / Fig. 3): realize a 7-spin permutation
 //! on the chemical-bond graph of trans-crotonic acid with parallel levels
 //! of SWAP gates.

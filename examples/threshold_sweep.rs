@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Threshold sweep (a Table 3 slice): map the 6-qubit QFT onto
 //! trans-crotonic acid for each threshold and watch the trade-off between
 //! few-but-slow whole placements and many-but-fast subcircuits.

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Topology zoo: place a suite of benchmark circuits on every device
 //! backend — line, ring, grid, heavy-hex, star, and two NMR molecules —
 //! and print the per-device results plus the parallel batch report.

@@ -24,12 +24,15 @@
 //! (`qcp_env::topologies::TopologySpec`, e.g. `grid:8x8`), then files in
 //! the `qcp_env::text` format.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::process::ExitCode;
 
 use qcp::place::batch::BatchPlacer;
 use qcp::place::fidelity::ExposureReport;
 use qcp::place::timeline::Timeline;
 use qcp::prelude::*;
+use qcp::verify::{certify, lint_circuit, lint_qasm, LintReport, VerifyOptions};
 use qcp_circuit::library;
 use qcp_env::molecules;
 use qcp_env::topologies::{Delays, TopologySpec};
@@ -70,9 +73,16 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("lint") => match run_lint(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
         _ => {
             eprintln!(
-                "usage: qcp <molecules|circuits|place|batch> [options]\n\
+                "usage: qcp <molecules|circuits|place|batch|lint> [options]\n\
                  place options:\n\
                  \x20 --circuit <name|file>   circuit (library name, *.qasm, or text file)\n\
                  \x20 --qasm <file>           circuit as an OpenQASM 2.0 file\n\
@@ -91,6 +101,7 @@ fn main() -> ExitCode {
                  \x20 --budget-nodes <n>      deterministic search-node budget\n\
                  \x20 --gantt                 print the timed pulse chart\n\
                  \x20 --exposure              print idle/coupling exposure\n\
+                 \x20 --verify                independently certify the outcome\n\
                  batch options:\n\
                  \x20 --circuits <a,b,...>    comma-separated circuits (names or files)\n\
                  \x20 --qasm-dir <dir>        ingest every *.qasm file in a directory\n\
@@ -99,7 +110,12 @@ fn main() -> ExitCode {
                  \x20 --threshold <units>     fixed threshold (default: per-env auto)\n\
                  \x20 --coupling <units>      coupling delay for topology specs\n\
                  \x20 --k/--no-lookahead/--fine-tune/--commutation as for place\n\
-                 \x20 --strategy/--budget-ms/--budget-nodes as for place"
+                 \x20 --strategy/--budget-ms/--budget-nodes as for place\n\
+                 \x20 --verify                certify every successful outcome\n\
+                 lint options:\n\
+                 \x20 qcp lint <input>... [--qasm-dir <dir>] [--deny]\n\
+                 \x20 inputs are *.qasm files (span-aware), library names, or\n\
+                 \x20 text-format circuit files; --deny fails on any finding"
             );
             ExitCode::FAILURE
         }
@@ -121,6 +137,7 @@ fn run_place(args: &[String]) -> Result<(), String> {
     let mut budget = SearchBudget::unlimited();
     let mut gantt = false;
     let mut exposure = false;
+    let mut verify = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -140,7 +157,7 @@ fn run_place(args: &[String]) -> Result<(), String> {
                     value("--threshold")?
                         .parse::<f64>()
                         .map_err(|e| format!("bad threshold: {e}"))?,
-                )
+                );
             }
             "--auto" => threshold = None,
             "--k" => k = value("--k")?.parse().map_err(|e| format!("bad k: {e}"))?,
@@ -148,22 +165,23 @@ fn run_place(args: &[String]) -> Result<(), String> {
             "--fine-tune" => {
                 fine_tune = value("--fine-tune")?
                     .parse()
-                    .map_err(|e| format!("bad rounds: {e}"))?
+                    .map_err(|e| format!("bad rounds: {e}"))?;
             }
             "--commutation" => commutation = true,
             "--strategy" => strategy = value("--strategy")?.parse()?,
             "--budget-ms" => {
-                budget = budget.with_deadline(parse_budget_ms(&value("--budget-ms")?)?)
+                budget = budget.with_deadline(parse_budget_ms(&value("--budget-ms")?)?);
             }
             "--budget-nodes" => {
                 budget = budget.with_nodes(
                     value("--budget-nodes")?
                         .parse()
                         .map_err(|e| format!("bad node budget: {e}"))?,
-                )
+                );
             }
             "--gantt" => gantt = true,
             "--exposure" => exposure = true,
+            "--verify" => verify = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -197,10 +215,33 @@ fn run_place(args: &[String]) -> Result<(), String> {
         .commutation_aware(commutation)
         .strategy(strategy)
         .budget(budget);
-    let placer = Placer::new(&env, config);
+    let placer = Placer::new(&env, config.clone());
     let started = std::time::Instant::now();
     let outcome = placer.place(&circuit).map_err(|e| e.to_string())?;
     let elapsed = started.elapsed();
+
+    if verify {
+        match certify(
+            &circuit,
+            &env,
+            &VerifyOptions::from_config(&config),
+            &outcome,
+        ) {
+            Ok(cert) => println!(
+                "certified: {} stage(s), {} gate(s), {} swap(s); runtime recomputed {}",
+                cert.stages, cert.gates, cert.swaps, cert.recomputed_runtime
+            ),
+            Err(violations) => {
+                for v in &violations {
+                    eprintln!("verify: [{}] {v}", v.code());
+                }
+                return Err(format!(
+                    "placement failed verification with {} violation(s)",
+                    violations.len()
+                ));
+            }
+        }
+    }
 
     println!(
         "placed `{}` ({} qubits, {} gates) on `{}` ({} nuclei) at threshold {}",
@@ -275,6 +316,7 @@ fn run_batch(args: &[String]) -> Result<(), String> {
     let mut commutation = false;
     let mut strategy = Strategy::Exact;
     let mut budget = SearchBudget::unlimited();
+    let mut verify = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -290,7 +332,7 @@ fn run_batch(args: &[String]) -> Result<(), String> {
             "--jobs" => {
                 jobs = value("--jobs")?
                     .parse()
-                    .map_err(|e| format!("bad job count: {e}"))?
+                    .map_err(|e| format!("bad job count: {e}"))?;
             }
             "--coupling" => coupling = parse_coupling(&value("--coupling")?)?,
             "--threshold" => {
@@ -308,20 +350,21 @@ fn run_batch(args: &[String]) -> Result<(), String> {
             "--fine-tune" => {
                 fine_tune = value("--fine-tune")?
                     .parse()
-                    .map_err(|e| format!("bad rounds: {e}"))?
+                    .map_err(|e| format!("bad rounds: {e}"))?;
             }
             "--commutation" => commutation = true,
             "--strategy" => strategy = value("--strategy")?.parse()?,
             "--budget-ms" => {
-                budget = budget.with_deadline(parse_budget_ms(&value("--budget-ms")?)?)
+                budget = budget.with_deadline(parse_budget_ms(&value("--budget-ms")?)?);
             }
             "--budget-nodes" => {
                 budget = budget.with_nodes(
                     value("--budget-nodes")?
                         .parse()
                         .map_err(|e| format!("bad node budget: {e}"))?,
-                )
+                );
             }
+            "--verify" => verify = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -364,8 +407,125 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         }
         None => BatchPlacer::cross_named_auto(&circuits, &envs, &base),
     };
-    print!("{}", batch.jobs(jobs).run());
+    let batch = batch.jobs(jobs);
+    let report = batch.run();
+    print!("{report}");
+    if verify {
+        let mut certified = 0usize;
+        let mut bad = 0usize;
+        for result in &report.results {
+            let request = &batch.requests()[result.index];
+            let Ok(outcome) = &result.outcome else {
+                continue;
+            };
+            let options = VerifyOptions::from_config(&request.config);
+            match certify(&request.circuit, &request.environment, &options, outcome) {
+                Ok(_) => certified += 1,
+                Err(violations) => {
+                    bad += 1;
+                    for v in &violations {
+                        eprintln!("verify: {}: [{}] {v}", result.label, v.code());
+                    }
+                }
+            }
+        }
+        if bad > 0 {
+            return Err(format!("{bad} placement(s) failed verification"));
+        }
+        println!("verified: {certified} placement(s) certified");
+    }
     Ok(())
+}
+
+/// `qcp lint`: static circuit analysis — structural warnings plus
+/// width/depth/interaction statistics, with source spans for QASM inputs.
+fn run_lint(args: &[String]) -> Result<(), String> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut deny = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--qasm-dir" => {
+                let dir = it.next().ok_or("--qasm-dir needs a value")?;
+                let entries =
+                    std::fs::read_dir(dir).map_err(|e| format!("cannot read `{dir}`: {e}"))?;
+                let mut paths: Vec<std::path::PathBuf> = entries
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|ext| ext == "qasm"))
+                    .collect();
+                paths.sort();
+                if paths.is_empty() {
+                    return Err(format!("`{dir}` contains no .qasm files"));
+                }
+                inputs.extend(paths.into_iter().map(|p| p.display().to_string()));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
+            input => inputs.push(input.to_string()),
+        }
+    }
+    if inputs.is_empty() {
+        return Err("qcp lint needs at least one input (file, library name, or --qasm-dir)".into());
+    }
+
+    let mut total_findings = 0usize;
+    // Combined fingerprint: FNV-1a over the per-file report fingerprints in
+    // input order, so CI can pin the whole corpus with one value.
+    let mut combined: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |fp: u64| {
+        for byte in fp.to_le_bytes() {
+            combined ^= u64::from(byte);
+            combined = combined.wrapping_mul(0x0100_0000_01b3);
+        }
+    };
+
+    for input in &inputs {
+        let report = lint_input(input)?;
+        let s = &report.stats;
+        println!(
+            "{input}: {} qubits, {} gates ({} two-qubit), depth {}, \
+             {} interaction pair(s), max degree {}, {} component(s)",
+            s.qubits,
+            s.gates,
+            s.two_qubit_gates,
+            s.depth,
+            s.interaction_pairs,
+            s.max_degree,
+            s.components
+        );
+        for finding in &report.findings {
+            println!("{input}:{finding}");
+        }
+        total_findings += report.findings.len();
+        fold(report.fingerprint());
+    }
+
+    println!(
+        "lint: {total_findings} finding(s) in {} file(s) [fingerprint {combined:#018x}]",
+        inputs.len()
+    );
+    if deny && total_findings > 0 {
+        return Err(format!("--deny: {total_findings} finding(s)"));
+    }
+    Ok(())
+}
+
+/// Lints one input: `*.qasm` files keep their source spans and barrier
+/// structure; everything else resolves like `--circuit` does.
+fn lint_input(input: &str) -> Result<LintReport, String> {
+    if input.ends_with(".qasm") {
+        let text =
+            std::fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
+        let parsed =
+            qcp::circuit::qasm::parse(&text).map_err(|e| format!("parsing `{input}`: {e}"))?;
+        for w in &parsed.warnings {
+            eprintln!("warning: {input}:{w}");
+        }
+        return Ok(lint_qasm(&parsed));
+    }
+    let circuit = load_circuit(input)?;
+    Ok(lint_circuit(&circuit))
 }
 
 fn split_list(arg: &str) -> Vec<String> {
@@ -438,10 +598,10 @@ fn load_qasm_dir(dir: &str) -> Result<Vec<(String, Circuit)>, String> {
     paths
         .into_iter()
         .map(|p| {
-            let stem = p
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or_else(|| p.display().to_string());
+            let stem = p.file_stem().map_or_else(
+                || p.display().to_string(),
+                |s| s.to_string_lossy().into_owned(),
+            );
             load_qasm_file(&p.display().to_string()).map(|c| (stem, c))
         })
         .collect()

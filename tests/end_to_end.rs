@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! End-to-end integration: every library circuit on every molecule that
 //! fits, with schedule-consistency checks.
 

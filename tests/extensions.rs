@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Integration tests for the §7 future-work extensions: gate commutation
 //! and workspace-size balancing.
 

@@ -1,0 +1,8 @@
+// Fully clean fixture: every wire interacts, no redundant barriers.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+barrier q;
+cx q[1],q[0];

@@ -1,0 +1,14 @@
+// Deliberately imperfect circuit: exercises every lint finding class.
+// q[3] is declared but never touched (unused-qubit); q[2] only sees
+// single-qubit gates (non-interacting-qubit); the two adjacent barriers
+// over the same wires have no gates between them (redundant-barrier).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+h q[2];
+barrier q;
+barrier q;
+cx q[1],q[0];

@@ -1,0 +1,104 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+//! Lint corpus pins: the committed QASM placement corpus must stay
+//! lint-clean with a stable combined fingerprint, and the deliberately
+//! imperfect fixtures under `tests/lint/` must keep producing exactly
+//! the expected findings.
+//!
+//! The combined fingerprint folds each file's
+//! [`LintReport::fingerprint`] in sorted-filename order with the same
+//! FNV-1a step the per-report hash uses — matching what
+//! `qcp lint --qasm-dir` prints, so CI can assert the CLI summary
+//! against this constant.
+
+use qcp::circuit::qasm;
+use qcp::verify::{lint_qasm, LintReport};
+
+/// Lints every `*.qasm` under `dir` (sorted), returning
+/// `(file stem, report)` pairs.
+fn lint_dir(dir: &str) -> Vec<(String, LintReport)> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(dir);
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(&root)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", root.display()))
+        .filter_map(std::result::Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "qasm"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path).unwrap();
+            let parsed = qasm::parse(&text)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+            let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+            (stem, lint_qasm(&parsed))
+        })
+        .collect()
+}
+
+/// The `qcp lint` combined fingerprint: FNV-1a over each per-file
+/// fingerprint's little-endian bytes, in input order.
+fn combined_fingerprint(reports: &[(String, LintReport)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (_, report) in reports {
+        for byte in report.fingerprint().to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[test]
+fn placement_corpus_is_lint_clean() {
+    let reports = lint_dir("tests/qasm");
+    assert_eq!(reports.len(), 10, "tests/qasm corpus changed size");
+    for (stem, report) in &reports {
+        assert!(
+            report.is_clean(),
+            "{stem}.qasm grew lint findings: {:?}",
+            report.findings
+        );
+    }
+    // Pinned: the fingerprint of ten clean reports. Matches the summary
+    // `qcp lint --qasm-dir tests/qasm` prints. A clean report hashes to
+    // the FNV offset basis, so this only moves if the corpus size or the
+    // fingerprint scheme changes — both worth a conscious diff.
+    assert_eq!(
+        combined_fingerprint(&reports),
+        0x7be4_8df5_ef21_76a5,
+        "combined lint fingerprint drifted"
+    );
+}
+
+#[test]
+fn warned_fixture_produces_every_finding_class() {
+    let reports = lint_dir("tests/lint");
+    let clean = &reports
+        .iter()
+        .find(|(stem, _)| stem == "clean")
+        .expect("tests/lint/clean.qasm exists")
+        .1;
+    assert!(clean.is_clean(), "clean fixture: {:?}", clean.findings);
+
+    let warned = &reports
+        .iter()
+        .find(|(stem, _)| stem == "warned")
+        .expect("tests/lint/warned.qasm exists")
+        .1;
+    let codes: Vec<&str> = warned.findings.iter().map(|f| f.code).collect();
+    assert_eq!(
+        codes,
+        ["non-interacting-qubit", "unused-qubit", "redundant-barrier"],
+        "warned fixture findings drifted: {:?}",
+        warned.findings
+    );
+    // Spans survive the QASM frontend into the findings.
+    assert!(
+        warned.findings.iter().all(|f| f.span.is_some()),
+        "every finding should carry a source span: {:?}",
+        warned.findings
+    );
+    assert_eq!(warned.stats.unused_qubits, 1);
+    assert_eq!(warned.stats.non_interacting_qubits, 1);
+}

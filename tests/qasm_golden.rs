@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Golden corpus tests: place every committed `tests/qasm/*.qasm` file on
 //! the three reference topologies with the hybrid strategy and compare
 //! against committed outcome fingerprints.
@@ -107,7 +108,8 @@ fn fingerprint(stem: &str, circuit: &Circuit, spec: &str) -> u64 {
     let env = build_env(spec);
     let config = golden_config(&env);
     let request = BatchRequest::new(format!("{stem}@{spec}"), circuit.clone(), env, config);
-    let report = BatchPlacer::new(vec![request]).run();
+    let batch = BatchPlacer::new(vec![request]);
+    let report = batch.run();
     assert_eq!(report.failed(), 0, "{stem}@{spec} must place");
     assert_eq!(
         report.results[0].resolution(),
@@ -115,6 +117,16 @@ fn fingerprint(stem: &str, circuit: &Circuit, spec: &str) -> u64 {
         "{stem}@{spec} must resolve exactly (fingerprints would otherwise \
          depend on the heuristic fallback)"
     );
+    // Every golden outcome must also carry an independent certificate:
+    // the fingerprints pin the bits, the certificate pins the meaning.
+    let request = &batch.requests()[0];
+    let outcome = report.results[0]
+        .outcome
+        .as_ref()
+        .expect("failed() == 0 above");
+    let options = qcp::verify::VerifyOptions::from_config(&request.config);
+    qcp::verify::certify(&request.circuit, &request.environment, &options, outcome)
+        .unwrap_or_else(|v| panic!("{stem}@{spec} fails certification: {v:?}"));
     report.outcome_fingerprint()
 }
 
@@ -123,7 +135,7 @@ fn corpus_is_complete_and_in_sync() {
     // Every committed file appears in the golden table and vice versa.
     let mut on_disk: Vec<String> = std::fs::read_dir(corpus_dir())
         .expect("tests/qasm exists")
-        .filter_map(|e| e.ok())
+        .filter_map(std::result::Result::ok)
         .filter_map(|e| {
             let p = e.path();
             (p.extension()? == "qasm")

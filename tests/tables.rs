@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Integration tests pinning the paper's tables (the values our library
 //! must reproduce exactly, and the phenomena it must reproduce in shape).
 

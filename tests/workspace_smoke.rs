@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 //! Workspace smoke test: the facade crate re-exports the whole stack and
 //! every packaged molecule is usable out of the box.
 

@@ -11,6 +11,9 @@
 //! body runs exactly once as a smoke check, keeping `cargo test` fast.
 
 #![forbid(unsafe_code)]
+// Vendored shim: panicking on internal misuse is acceptable here, and the
+// code deliberately mirrors upstream idiom rather than workspace policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

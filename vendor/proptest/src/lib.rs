@@ -12,6 +12,9 @@
 //! failures always reproduce.
 
 #![forbid(unsafe_code)]
+// Vendored shim: panicking on internal misuse is acceptable here, and the
+// code deliberately mirrors upstream idiom rather than workspace policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod strategy {
     //! Strategies: composable recipes for generating test values.

@@ -11,6 +11,9 @@
 //! on determinism for a fixed seed, never on specific upstream values.
 
 #![forbid(unsafe_code)]
+// Vendored shim: panicking on internal misuse is acceptable here, and the
+// code deliberately mirrors upstream idiom rather than workspace policy.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::ops::{Range, RangeInclusive};
 
