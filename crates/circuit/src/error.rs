@@ -84,6 +84,29 @@ impl CircuitError {
             message: message.into(),
         }
     }
+
+    /// The stable wire token for this error, used by the CLI exit-code
+    /// taxonomy and the `qcp serve` JSON error bodies (`parse`,
+    /// `qubit-out-of-range`, `level-conflict`). Every circuit error is an
+    /// *input*-class failure: the request was malformed, not the system.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CircuitError::QubitOutOfRange { .. } => "qubit-out-of-range",
+            CircuitError::LevelConflict { .. } => "level-conflict",
+            CircuitError::Parse { .. } => "parse",
+        }
+    }
+
+    /// The source position of a parse failure (`None` for structural
+    /// errors that have no source text). Batch ingestion and the server
+    /// use this to report `path:line:column` diagnostics without string
+    /// matching on [`Display`](fmt::Display) output.
+    pub fn span(&self) -> Option<SourceSpan> {
+        match self {
+            CircuitError::Parse { span, .. } => Some(*span),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CircuitError {
@@ -148,6 +171,19 @@ mod tests {
     fn spans_order_by_position() {
         assert!(SourceSpan::new(1, 9) < SourceSpan::new(2, 1));
         assert!(SourceSpan::new(2, 1) < SourceSpan::new(2, 4));
+    }
+
+    #[test]
+    fn wire_codes_and_spans() {
+        let e = CircuitError::parse_at(SourceSpan::new(3, 7), "bad gate");
+        assert_eq!(e.code(), "parse");
+        assert_eq!(e.span(), Some(SourceSpan::new(3, 7)));
+        let e = CircuitError::QubitOutOfRange {
+            qubit: Qubit::new(9),
+            width: 4,
+        };
+        assert_eq!(e.code(), "qubit-out-of-range");
+        assert_eq!(e.span(), None);
     }
 
     #[test]

@@ -43,7 +43,13 @@ use crate::{Graph, NodeId};
 /// A search node costs well under a microsecond, so a stride of 1024 keeps
 /// the overshoot below a millisecond while keeping `Instant::now` calls off
 /// the hot path.
-const DEADLINE_STRIDE: u64 = 1024;
+///
+/// Public because it is the *poll quantum* that service-level latency math
+/// builds on: a [`Budget`] deadline can be overshot by at most one stride
+/// of kernel nodes (plus whatever single coarse-grained
+/// [`Budget::consume`] checkpoint is in flight) before the search stops.
+/// The deadline-fidelity property tests in `qcp_place` pin this bound.
+pub const DEADLINE_STRIDE: u64 = 1024;
 
 /// A node/deadline budget for [`MonomorphismFinder::for_each_budgeted`].
 ///

@@ -16,6 +16,13 @@
 //! clock changes. [`BatchReport::outcome_fingerprint`] condenses that
 //! guarantee into one comparable hash.
 //!
+//! Jobs are **panic-isolated**: every placement runs under
+//! `catch_unwind` on its worker, so one poisoned request (a placement
+//! bug, a tripped debug assertion) surfaces as a per-job
+//! [`PlaceError::Internal`] result while the other jobs — and the worker
+//! thread itself — carry on. This is the same failure domain the
+//! `qcp serve` daemon builds on.
+//!
 //! # Example
 //!
 //! ```
@@ -294,19 +301,46 @@ impl BatchPlacer {
     }
 }
 
+/// Test seam for the panic-isolation contract: a request whose label
+/// matches the poisoned label panics inside the worker. Only compiled in
+/// test builds; production placements never consult it.
+#[cfg(test)]
+static CHAOS_POISONED_LABEL: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+
 fn place_one((index, request): (usize, &BatchRequest)) -> BatchResult {
     let t0 = Instant::now();
-    // One placer (and thus one cost-engine arena) per request; nothing is
-    // shared between in-flight placements.
-    let placer = Placer::new(&request.environment, request.config.clone());
-    let outcome = placer.place(&request.circuit);
-    // Debug builds re-check every successful outcome before it leaves the
-    // worker, so a broken invariant fails the batch loudly and close to
-    // its origin instead of surfacing in aggregated reports.
-    #[cfg(debug_assertions)]
-    if let Ok(o) = &outcome {
-        crate::strategy::debug_check_outcome(&placer, &request.circuit, o);
-    }
+    // Panic isolation: a poisoned request (a placement bug, a tripped
+    // debug assertion, an adversarial circuit that finds a hole) must
+    // cost exactly one result, not the whole batch. The unwind is caught
+    // at the job boundary and surfaced as `PlaceError::Internal`; no
+    // shared state crosses this boundary (each job owns its placer and
+    // cost arenas), so the catch cannot observe broken invariants of its
+    // siblings.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        #[cfg(test)]
+        {
+            let poisoned = CHAOS_POISONED_LABEL
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if poisoned.as_deref() == Some(request.label.as_str()) {
+                panic!("chaos: poisoned batch request `{}`", request.label);
+            }
+        }
+        // One placer (and thus one cost-engine arena) per request; nothing
+        // is shared between in-flight placements.
+        let placer = Placer::new(&request.environment, request.config.clone());
+        let outcome = placer.place(&request.circuit);
+        // Debug builds re-check every successful outcome before it leaves
+        // the worker, so a broken invariant fails this *request* loudly
+        // and close to its origin instead of surfacing in aggregated
+        // reports (the unwind is converted to a per-job Internal error).
+        #[cfg(debug_assertions)]
+        if let Ok(o) = &outcome {
+            crate::strategy::debug_check_outcome(&placer, &request.circuit, o);
+        }
+        outcome
+    }))
+    .unwrap_or_else(|payload| Err(PlaceError::from_panic(payload.as_ref())));
     BatchResult {
         index,
         label: request.label.clone(),
@@ -610,6 +644,55 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("1 budget-exhausted"), "{text}");
         assert!(text.contains("[budget-exhausted]"), "{text}");
+    }
+
+    #[test]
+    fn one_poisoned_request_of_32_still_yields_31_results() {
+        // 32 copies of a fast request; poison exactly one by label. The
+        // poisoned job must come back as a per-request Internal error with
+        // the panic payload preserved — and the other 31 as ordinary
+        // successes, whatever the worker count.
+        let circuit = library::qec3_encoder();
+        let env = topologies::grid(2, 3, topologies::Delays::default());
+        let config =
+            PlacerConfig::with_threshold(env.connectivity_threshold().expect("grid connects"));
+        let requests: Vec<BatchRequest> = (0..32)
+            .map(|i| {
+                BatchRequest::new(
+                    format!("poison-test-{i}"),
+                    circuit.clone(),
+                    env.clone(),
+                    config.clone(),
+                )
+            })
+            .collect();
+        *CHAOS_POISONED_LABEL
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some("poison-test-17".to_string());
+        let report = BatchPlacer::new(requests).jobs(4).run();
+        *CHAOS_POISONED_LABEL
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+
+        assert_eq!(report.results.len(), 32);
+        assert_eq!(report.succeeded(), 31);
+        assert_eq!(report.failed(), 1);
+        let failed = &report.results[17];
+        assert_eq!(failed.label, "poison-test-17");
+        match &failed.outcome {
+            Err(PlaceError::Internal { message }) => {
+                assert!(message.contains("poisoned batch request"), "{message}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        // The report renders the failure without aborting.
+        let text = report.to_string();
+        assert!(text.contains("31 ok, 1 failed"), "{text}");
+        assert!(
+            text.contains("FAILED: internal placement failure"),
+            "{text}"
+        );
     }
 
     #[test]

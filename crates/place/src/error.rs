@@ -53,6 +53,87 @@ pub enum PlaceError {
         /// Search nodes charged to the budget meter before it tripped.
         nodes: u64,
     },
+    /// A placement job panicked and the panic was contained at a worker
+    /// boundary ([`crate::batch::BatchPlacer`] or a serving layer above
+    /// it). The panic payload is preserved as text; the job that died
+    /// tells the caller *which* request was poisoned without taking the
+    /// process — or its siblings — down with it.
+    Internal {
+        /// The stringified panic payload (or invariant-breach report).
+        message: String,
+    },
+}
+
+/// The coarse failure taxonomy shared by every delivery surface (CLI exit
+/// codes, batch reports, and the `qcp serve` HTTP error bodies): every
+/// [`PlaceError`] is an *input* problem, a *budget* problem, or an
+/// *internal* defect. The CLI maps these to exit codes 2 / 3 / 5 and the
+/// server to HTTP 400 / 504 / 500 — one vocabulary, documented in
+/// GUIDE.md §9.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The request itself cannot be satisfied (circuit too large, no fast
+    /// interactions, unroutable topology, malformed placement input).
+    Input,
+    /// A configured search limit tripped before an answer was committed
+    /// (wall-clock/node budget, search-space cap).
+    Budget,
+    /// An invariant breach or contained panic — a bug, not a bad request.
+    Internal,
+}
+
+impl FailureClass {
+    /// The stable wire token (`input`, `budget-exhausted`, `internal`)
+    /// used in JSON error bodies.
+    pub fn wire_code(self) -> &'static str {
+        match self {
+            FailureClass::Input => "input",
+            FailureClass::Budget => "budget-exhausted",
+            FailureClass::Internal => "internal",
+        }
+    }
+
+    /// The process exit code the CLI taxonomy assigns this class
+    /// (2 input, 3 budget, 5 internal; 0 and 4 are not failure classes of
+    /// the placement pipeline itself).
+    pub fn exit_code(self) -> u8 {
+        match self {
+            FailureClass::Input => 2,
+            FailureClass::Budget => 3,
+            FailureClass::Internal => 5,
+        }
+    }
+}
+
+impl PlaceError {
+    /// Classifies this error for the shared CLI/server failure taxonomy.
+    pub fn class(&self) -> FailureClass {
+        match self {
+            PlaceError::CircuitTooLarge { .. }
+            | PlaceError::NoFastInteractions
+            | PlaceError::RoutingImpossible { .. } => FailureClass::Input,
+            PlaceError::SearchSpaceTooLarge { .. } | PlaceError::BudgetExhausted { .. } => {
+                FailureClass::Budget
+            }
+            PlaceError::InvalidPlacement { .. }
+            | PlaceError::UnplacedQubit(_)
+            | PlaceError::Internal { .. } => FailureClass::Internal,
+        }
+    }
+
+    /// Converts a caught panic payload (from `std::panic::catch_unwind`)
+    /// into a [`PlaceError::Internal`], preserving `&str`/`String`
+    /// payloads verbatim.
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "placement worker panicked (non-string payload)".to_string()
+        };
+        PlaceError::Internal { message }
+    }
 }
 
 impl fmt::Display for PlaceError {
@@ -89,6 +170,9 @@ impl fmt::Display for PlaceError {
                     "exact search exhausted its budget after {nodes} search node(s)"
                 )
             }
+            PlaceError::Internal { message } => {
+                write!(f, "internal placement failure: {message}")
+            }
         }
     }
 }
@@ -115,5 +199,41 @@ mod tests {
     fn send_sync() {
         fn assert_traits<T: Error + Send + Sync>() {}
         assert_traits::<PlaceError>();
+    }
+
+    #[test]
+    fn failure_classes_cover_the_taxonomy() {
+        assert_eq!(PlaceError::NoFastInteractions.class(), FailureClass::Input);
+        assert_eq!(
+            PlaceError::BudgetExhausted { nodes: 7 }.class(),
+            FailureClass::Budget
+        );
+        assert_eq!(
+            PlaceError::Internal {
+                message: "boom".into()
+            }
+            .class(),
+            FailureClass::Internal
+        );
+        assert_eq!(FailureClass::Input.exit_code(), 2);
+        assert_eq!(FailureClass::Budget.exit_code(), 3);
+        assert_eq!(FailureClass::Internal.exit_code(), 5);
+        assert_eq!(FailureClass::Budget.wire_code(), "budget-exhausted");
+    }
+
+    #[test]
+    fn from_panic_preserves_string_payloads() {
+        let caught = std::panic::catch_unwind(|| panic!("chaos: {}", 42)).unwrap_err();
+        let e = PlaceError::from_panic(caught.as_ref());
+        assert_eq!(
+            e,
+            PlaceError::Internal {
+                message: "chaos: 42".into()
+            }
+        );
+        assert!(e.to_string().contains("internal placement failure"));
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(7u32)).unwrap_err();
+        let e = PlaceError::from_panic(caught.as_ref());
+        assert!(matches!(e, PlaceError::Internal { .. }));
     }
 }

@@ -71,7 +71,7 @@ pub mod workspace;
 
 pub use batch::{BatchPlacer, BatchReport, BatchRequest, BatchResult};
 pub use cost::{CostModel, ExecutionModel, PlacedGate, Schedule};
-pub use error::PlaceError;
+pub use error::{FailureClass, PlaceError};
 pub use placement::Placement;
 pub use placer::{PlacementOutcome, Placer, PlacerConfig, Stage};
 pub use router::{RouterConfig, SwapSchedule};

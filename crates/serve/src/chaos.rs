@@ -1,0 +1,159 @@
+//! Fault-injection clients for the `serve_faults` harness.
+//!
+//! These are deliberately *raw-socket* helpers — no HTTP library on
+//! either side — so the tests can speak byte-exact malformed, truncated,
+//! oversized, and slowloris requests that a well-behaved client type
+//! would refuse to construct. Server-side faults (worker panics, slow
+//! jobs) are injected through the `x-qcp-chaos` header, honored only when
+//! [`crate::ServeConfig::chaos`] is enabled.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed daemon reply: status code plus the (JSON) body.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The HTTP status code from the status line.
+    pub status: u16,
+    /// The response body (everything after the blank line).
+    pub body: String,
+}
+
+/// Writes `raw` bytes verbatim and reads the reply to EOF (the daemon
+/// answers one request per connection and closes).
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures; `InvalidData` when the reply
+/// has no parseable status line.
+pub fn send_raw(addr: SocketAddr, raw: &[u8], read_timeout: Duration) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    stream.write_all(raw)?;
+    stream.flush()?;
+    read_reply(&mut stream)
+}
+
+/// Reads a full reply (to EOF) from an already-open stream and parses the
+/// status line. Useful after hand-feeding a partial request.
+///
+/// # Errors
+///
+/// Propagates read failures; `InvalidData` when the status line is
+/// missing or malformed.
+pub fn read_reply(stream: &mut TcpStream) -> std::io::Result<Response> {
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    let text = String::from_utf8_lossy(&buf);
+    parse_reply(&text).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("no HTTP status line in reply: {text:?}"),
+        )
+    })
+}
+
+fn parse_reply(text: &str) -> Option<Response> {
+    let status_line = text.lines().next()?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") {
+        return None;
+    }
+    let status: u16 = parts.next()?.parse().ok()?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Some(Response { status, body })
+}
+
+/// Sends a well-formed `GET` and returns the reply.
+///
+/// # Errors
+///
+/// See [`send_raw`].
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
+    let raw = format!("GET {path} HTTP/1.1\r\nhost: qcp\r\n\r\n");
+    send_raw(addr, raw.as_bytes(), Duration::from_secs(30))
+}
+
+/// Sends a well-formed `POST` with optional extra headers and a body,
+/// and returns the reply.
+///
+/// # Errors
+///
+/// See [`send_raw`].
+pub fn post(
+    addr: SocketAddr,
+    path_query: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<Response> {
+    let mut raw = format!(
+        "POST {path_query} HTTP/1.1\r\nhost: qcp\r\ncontent-length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in headers {
+        raw.push_str(name);
+        raw.push_str(": ");
+        raw.push_str(value);
+        raw.push_str("\r\n");
+    }
+    raw.push_str("\r\n");
+    raw.push_str(body);
+    send_raw(addr, raw.as_bytes(), Duration::from_secs(30))
+}
+
+/// Opens a connection, sends only a *partial* request head, and holds the
+/// socket open without further bytes — the classic slowloris shape. The
+/// daemon's absolute read deadline should answer `408` on its own; this
+/// helper then reads that reply.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures. A server that (incorrectly)
+/// slams the connection instead of answering surfaces as `InvalidData`
+/// or an empty-reply read error.
+pub fn slowloris(addr: SocketAddr, read_timeout: Duration) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    // A plausible prefix, never completed: no terminating blank line.
+    stream.write_all(b"POST /place?circuit=qec3&env=grid:2x3 HTTP/1.1\r\nhost: qcp\r\n")?;
+    stream.flush()?;
+    read_reply(&mut stream)
+}
+
+/// Sends a request whose `content-length` promises more bytes than are
+/// ever delivered, then half-closes the write side — a truncated upload.
+///
+/// # Errors
+///
+/// See [`send_raw`].
+pub fn truncated_post(addr: SocketAddr, path_query: &str) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let raw = format!(
+        "POST {path_query} HTTP/1.1\r\nhost: qcp\r\ncontent-length: 64\r\n\r\nOPENQASM 2.0;"
+    );
+    stream.write_all(raw.as_bytes())?;
+    stream.flush()?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    read_reply(&mut stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_parsing_extracts_status_and_body() {
+        let r = parse_reply("HTTP/1.1 429 Too Many Requests\r\na: b\r\n\r\n{\"ok\":false}")
+            .expect("parse");
+        assert_eq!(r.status, 429);
+        assert_eq!(r.body, "{\"ok\":false}");
+        assert!(parse_reply("garbage").is_none());
+        assert!(parse_reply("").is_none());
+    }
+}

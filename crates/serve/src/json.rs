@@ -1,0 +1,159 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The workspace is offline (no serde), and the server only ever *writes*
+//! JSON — request bodies are QASM/text circuits, not JSON — so a tiny
+//! escaping writer is all the dependency surface we need. Emission is
+//! strict: strings are escaped per RFC 8259, and non-finite floats (which
+//! JSON cannot represent) are emitted as `null` rather than producing
+//! invalid documents.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An append-only JSON object writer.
+///
+/// ```
+/// use qcp_serve::json::Obj;
+/// let mut o = Obj::new();
+/// o.str("kind", "parse").u64("line", 3).bool("ok", false);
+/// assert_eq!(o.finish(), r#"{"kind":"parse","line":3,"ok":false}"#);
+/// ```
+#[derive(Debug)]
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Obj::new()
+    }
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) -> &mut Self {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{}\":", escape(name));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field (`null` for non-finite values, which JSON
+    /// cannot carry).
+    pub fn f64(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, name: &str, value: bool) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object, array, …) verbatim.
+    pub fn raw(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Closes the object and returns the document.
+    pub fn finish(&self) -> String {
+        let mut out = self.buf.clone();
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a `usize` slice as a JSON array (`[3,1,2]`).
+pub fn array_usize(items: impl IntoIterator<Item = usize>) -> String {
+    let mut out = String::from("[");
+    for (i, v) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("π≈3"), "π≈3");
+    }
+
+    #[test]
+    fn object_builder_produces_valid_documents() {
+        let mut o = Obj::new();
+        o.str("s", "x\"y")
+            .u64("n", 42)
+            .f64("f", 1.5)
+            .f64("inf", f64::INFINITY)
+            .bool("b", true)
+            .raw("a", &array_usize([1, 2, 3]));
+        assert_eq!(
+            o.finish(),
+            r#"{"s":"x\"y","n":42,"f":1.5,"inf":null,"b":true,"a":[1,2,3]}"#
+        );
+        assert_eq!(Obj::new().finish(), "{}");
+        assert_eq!(array_usize([]), "[]");
+    }
+}

@@ -1,0 +1,72 @@
+//! `qcp serve` — placement as a long-lived, fault-tolerant service.
+//!
+//! The ROADMAP's north star is a placement service that survives heavy,
+//! adversarial traffic. Exact mapping is worst-case exponential, QASM
+//! input arrives from untrusted hands, and a long-lived process gets to
+//! see every failure mode eventually — so *robustness is the product*
+//! here, not an afterthought:
+//!
+//! * **Panic-isolated workers** — every placement job runs under
+//!   `catch_unwind` on a fixed worker pool with poison-free shared state
+//!   (atomics and lock-free-on-panic queues only). A poisoned request
+//!   costs one structured `500`; the worker, its siblings, and the
+//!   process live on.
+//! * **Deadlines** — each request gets a wall-clock deadline threaded
+//!   into the existing [`qcp_place::SearchBudget`], so the hybrid
+//!   strategy degrades to an annealed answer instead of queueing to
+//!   death. Under load the effective deadline shrinks with queue
+//!   occupancy (graceful degradation before shedding).
+//! * **Load shedding** — the accept queue is bounded; overflow is
+//!   answered with an explicit `429` instead of unbounded buffering, and
+//!   oversized payloads are rejected with `413` before their bodies are
+//!   read.
+//! * **Slow-client defense** — header and body reads run under absolute
+//!   deadlines, so a slowloris half-request costs one worker at most a
+//!   read-timeout, answered with `408`.
+//! * **Graceful drain** — a drain signal (the `POST /admin/drain`
+//!   endpoint or [`Server::drain`]) stops the acceptor, finishes every
+//!   queued and in-flight job, flushes, and lets [`Server::join`] return.
+//!
+//! The protocol is hand-rolled HTTP/1.1 over std TCP — the workspace is
+//! offline, so no tokio/hyper — one request per connection
+//! (`Connection: close`), JSON responses throughout. See GUIDE.md §8 for
+//! the request vocabulary and DESIGN.md's *service & failure domains*
+//! section for the shed/degrade/drain state machine.
+//!
+//! The [`chaos`] module is the fault-injection harness the
+//! `serve_faults` integration suite drives: raw-socket clients for
+//! malformed, truncated, oversized, and slowloris requests, plus
+//! server-side panic/sleep injection behind [`ServeConfig::chaos`].
+//!
+//! # Example
+//!
+//! ```
+//! use qcp_serve::{chaos, ServeConfig, Server};
+//!
+//! let server = Server::start(ServeConfig::default().addr("127.0.0.1:0").workers(2))?;
+//! let reply = chaos::post(
+//!     server.local_addr(),
+//!     "/place?circuit=qec3&env=grid:2x3&strategy=hybrid&budget_ms=500",
+//!     &[],
+//!     "",
+//! )?;
+//! assert_eq!(reply.status, 200);
+//! assert!(reply.body.contains("\"resolution\""));
+//! server.drain();
+//! server.join();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+// Unit tests may unwrap freely; library code must not (workspace lints).
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use server::{DrainHandle, ServeConfig, Server, StatsSnapshot};
+pub use wire::ErrorKind;

@@ -1,0 +1,194 @@
+//! The service error taxonomy: one vocabulary shared by HTTP status
+//! codes, JSON error bodies, and the CLI exit codes.
+//!
+//! Every failure the daemon can hand a client maps to exactly one
+//! [`ErrorKind`]; the kind decides the HTTP status, the stable
+//! machine-readable `kind` token in the JSON body, and — for the kinds
+//! that also exist as CLI outcomes — the process exit code documented in
+//! GUIDE.md §9 (0 ok, 2 parse/input, 3 budget-exhausted, 4 verify-reject,
+//! 5 internal). The placement pipeline side of the mapping lives in
+//! [`qcp_place::FailureClass`]; this module adds the transport-only kinds
+//! (shedding, slow clients, drain) a CLI run can never see.
+
+use qcp_place::{FailureClass, PlaceError};
+
+use crate::json::Obj;
+
+/// Every way a request can fail, from the client's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// The request body or parameters could not be parsed (malformed
+    /// QASM/text circuit, bad topology spec, unknown option).
+    Parse,
+    /// The request is well-formed but cannot be satisfied (circuit larger
+    /// than the device, threshold kills every interaction, …).
+    Input,
+    /// No such endpoint.
+    NotFound,
+    /// Endpoint exists, method is wrong.
+    Method,
+    /// The client fed bytes too slowly (slowloris) and tripped the read
+    /// deadline.
+    SlowClient,
+    /// The declared or actual body size exceeds the configured cap; the
+    /// body is not read.
+    Oversize,
+    /// The request head exceeded the header-size cap.
+    HeadersTooLarge,
+    /// The bounded queue is full: explicit load shedding, retry later.
+    Overload,
+    /// The search budget (deadline or node cap) tripped before the
+    /// strategy committed an answer (only reachable with `strategy=exact`;
+    /// hybrid degrades instead).
+    BudgetExhausted,
+    /// An outcome failed independent certification (reserved for parity
+    /// with the CLI taxonomy; the daemon does not re-certify by default).
+    VerifyReject,
+    /// The server is draining and no longer accepts work.
+    Draining,
+    /// A worker panicked or an invariant broke: a bug, not a bad request.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The HTTP status code this kind is answered with.
+    pub fn status(self) -> u16 {
+        match self {
+            ErrorKind::Parse | ErrorKind::Input => 400,
+            ErrorKind::NotFound => 404,
+            ErrorKind::Method => 405,
+            ErrorKind::SlowClient => 408,
+            ErrorKind::Oversize => 413,
+            ErrorKind::Overload => 429,
+            ErrorKind::HeadersTooLarge => 431,
+            ErrorKind::VerifyReject => 422,
+            ErrorKind::Internal => 500,
+            ErrorKind::Draining => 503,
+            ErrorKind::BudgetExhausted => 504,
+        }
+    }
+
+    /// The HTTP reason phrase for [`status`](ErrorKind::status).
+    pub fn reason(self) -> &'static str {
+        match self {
+            ErrorKind::Parse | ErrorKind::Input => "Bad Request",
+            ErrorKind::NotFound => "Not Found",
+            ErrorKind::Method => "Method Not Allowed",
+            ErrorKind::SlowClient => "Request Timeout",
+            ErrorKind::Oversize => "Payload Too Large",
+            ErrorKind::Overload => "Too Many Requests",
+            ErrorKind::HeadersTooLarge => "Request Header Fields Too Large",
+            ErrorKind::VerifyReject => "Unprocessable Entity",
+            ErrorKind::Internal => "Internal Server Error",
+            ErrorKind::Draining => "Service Unavailable",
+            ErrorKind::BudgetExhausted => "Gateway Timeout",
+        }
+    }
+
+    /// The stable machine-readable token carried in JSON error bodies.
+    pub fn wire_code(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Input => "input",
+            ErrorKind::NotFound => "not-found",
+            ErrorKind::Method => "method-not-allowed",
+            ErrorKind::SlowClient => "slow-client",
+            ErrorKind::Oversize => "oversize",
+            ErrorKind::HeadersTooLarge => "headers-too-large",
+            ErrorKind::Overload => "overload",
+            ErrorKind::BudgetExhausted => "budget-exhausted",
+            ErrorKind::VerifyReject => "verify-reject",
+            ErrorKind::Draining => "draining",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// The CLI exit code of the equivalent batch/place failure, where one
+    /// exists (`None` for transport-only kinds a CLI run cannot hit).
+    /// Keeping this mapping next to the wire codes is what guarantees
+    /// scripts and the daemon share one error vocabulary.
+    pub fn exit_code(self) -> Option<u8> {
+        match self {
+            ErrorKind::Parse | ErrorKind::Input => Some(2),
+            ErrorKind::BudgetExhausted => Some(3),
+            ErrorKind::VerifyReject => Some(4),
+            ErrorKind::Internal => Some(5),
+            _ => None,
+        }
+    }
+
+    /// Classifies a placement-pipeline error into its service kind.
+    pub fn from_place_error(e: &PlaceError) -> Self {
+        match e.class() {
+            FailureClass::Input => ErrorKind::Input,
+            FailureClass::Budget => ErrorKind::BudgetExhausted,
+            FailureClass::Internal => ErrorKind::Internal,
+        }
+    }
+}
+
+/// Renders the canonical JSON error body for `kind`:
+/// `{"ok":false,"error":{"kind":…,"status":…,"exit_code":…,"message":…}}`.
+pub fn error_body(kind: ErrorKind, message: &str) -> String {
+    let mut inner = Obj::new();
+    inner
+        .str("kind", kind.wire_code())
+        .u64("status", u64::from(kind.status()));
+    if let Some(code) = kind.exit_code() {
+        inner.u64("exit_code", u64::from(code));
+    }
+    inner.str("message", message);
+    let mut outer = Obj::new();
+    outer.bool("ok", false).raw("error", &inner.finish());
+    outer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_and_codes_are_stable() {
+        assert_eq!(ErrorKind::Parse.status(), 400);
+        assert_eq!(ErrorKind::Overload.status(), 429);
+        assert_eq!(ErrorKind::Oversize.status(), 413);
+        assert_eq!(ErrorKind::SlowClient.status(), 408);
+        assert_eq!(ErrorKind::Internal.status(), 500);
+        assert_eq!(ErrorKind::BudgetExhausted.status(), 504);
+        assert_eq!(ErrorKind::Parse.exit_code(), Some(2));
+        assert_eq!(ErrorKind::BudgetExhausted.exit_code(), Some(3));
+        assert_eq!(ErrorKind::VerifyReject.exit_code(), Some(4));
+        assert_eq!(ErrorKind::Internal.exit_code(), Some(5));
+        assert_eq!(ErrorKind::Overload.exit_code(), None);
+    }
+
+    #[test]
+    fn place_errors_map_through_failure_classes() {
+        assert_eq!(
+            ErrorKind::from_place_error(&PlaceError::NoFastInteractions),
+            ErrorKind::Input
+        );
+        assert_eq!(
+            ErrorKind::from_place_error(&PlaceError::BudgetExhausted { nodes: 1 }),
+            ErrorKind::BudgetExhausted
+        );
+        assert_eq!(
+            ErrorKind::from_place_error(&PlaceError::Internal {
+                message: "x".into()
+            }),
+            ErrorKind::Internal
+        );
+    }
+
+    #[test]
+    fn error_bodies_are_structured() {
+        let body = error_body(ErrorKind::Parse, "bad `gate` at 3:7");
+        assert!(body.starts_with("{\"ok\":false,"));
+        assert!(body.contains("\"kind\":\"parse\""));
+        assert!(body.contains("\"exit_code\":2"));
+        assert!(body.contains("3:7"));
+        let body = error_body(ErrorKind::Overload, "queue full");
+        assert!(!body.contains("exit_code"));
+    }
+}

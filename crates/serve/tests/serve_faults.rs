@@ -1,0 +1,354 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+//! Fault-injection suite for the serve daemon.
+//!
+//! One long-lived server per test absorbs a battery of faults — worker
+//! panics, malformed and truncated QASM, oversized payloads, slowloris
+//! half-requests, deadline-exhausting circuits, queue overflow — and must
+//! answer every one with the documented taxonomy kind, then serve a
+//! correct placement on the very next request. The process never dies:
+//! the final drain/join returning at all is the liveness proof.
+
+use std::time::{Duration, Instant};
+
+use qcp_serve::{chaos, ServeConfig, Server};
+
+fn chaos_server(config: ServeConfig) -> Server {
+    Server::start(config.addr("127.0.0.1:0").chaos(true)).expect("bind 127.0.0.1:0")
+}
+
+/// A known-good request the recovery probes reuse between faults.
+const GOOD: &str = "/place?circuit=qec3&env=grid:2x3&strategy=hybrid&budget_ms=500";
+
+fn assert_recovered(server: &Server) {
+    let reply = chaos::post(server.local_addr(), GOOD, &[], "").expect("recovery probe");
+    assert_eq!(reply.status, 200, "recovery probe failed: {}", reply.body);
+    assert!(reply.body.contains("\"resolution\""), "{}", reply.body);
+}
+
+#[test]
+fn panicking_job_costs_one_500_and_nothing_else() {
+    let server = chaos_server(ServeConfig::default().workers(2));
+    let addr = server.local_addr();
+
+    for round in 0..3 {
+        let reply = chaos::post(addr, GOOD, &[("x-qcp-chaos", "panic")], "").expect("post");
+        assert_eq!(reply.status, 500, "round {round}: {}", reply.body);
+        assert!(
+            reply.body.contains("\"kind\":\"internal\""),
+            "{}",
+            reply.body
+        );
+        assert!(reply.body.contains("\"exit_code\":5"), "{}", reply.body);
+        assert!(
+            reply.body.contains("injected worker panic"),
+            "{}",
+            reply.body
+        );
+        // The worker that just unwound must serve the next request.
+        assert_recovered(&server);
+    }
+
+    server.drain();
+    let stats = server.join();
+    assert_eq!(stats.panics, 3);
+    assert_eq!(stats.served_ok, 3);
+}
+
+#[test]
+fn chaos_headers_are_inert_without_opt_in() {
+    let server =
+        Server::start(ServeConfig::default().addr("127.0.0.1:0").workers(1)).expect("bind");
+    let reply =
+        chaos::post(server.local_addr(), GOOD, &[("x-qcp-chaos", "panic")], "").expect("post");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    server.drain();
+    assert_eq!(server.join().panics, 0);
+}
+
+#[test]
+fn malformed_and_truncated_qasm_are_parse_errors_with_positions() {
+    let server = chaos_server(ServeConfig::default().workers(2));
+    let addr = server.local_addr();
+
+    // Malformed QASM: bogus statement on line 3.
+    let bad_qasm = "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n";
+    let reply = chaos::post(addr, "/place?env=grid:2x3", &[], bad_qasm).expect("post");
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    assert!(reply.body.contains("\"kind\":\"parse\""), "{}", reply.body);
+    assert!(reply.body.contains("\"exit_code\":2"), "{}", reply.body);
+    assert!(
+        reply.body.contains("3:"),
+        "no line position: {}",
+        reply.body
+    );
+    assert_recovered(&server);
+
+    // QASM cut off mid-statement (complete HTTP request, broken payload).
+    let cut = "OPENQASM 2.0;\nqreg q[2];\ncx q[0],";
+    let reply = chaos::post(addr, "/place?env=grid:2x3", &[], cut).expect("post");
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    assert!(reply.body.contains("\"kind\":\"parse\""), "{}", reply.body);
+    assert_recovered(&server);
+
+    // Non-UTF-8 body.
+    let raw = "POST /place?env=grid:2x3 HTTP/1.1\r\nhost: qcp\r\ncontent-length: 4\r\n\r\n";
+    let mut bytes = raw.as_bytes().to_vec();
+    bytes.extend_from_slice(&[0xff, 0xfe, 0x00, 0x80]);
+    let reply = chaos::send_raw(addr, &bytes, Duration::from_secs(30)).expect("send");
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    assert!(reply.body.contains("UTF-8"), "{}", reply.body);
+    assert_recovered(&server);
+
+    server.drain();
+    server.join();
+}
+
+#[test]
+fn oversized_payloads_are_rejected_before_the_body_is_read() {
+    let server = chaos_server(ServeConfig::default().workers(1).max_body_bytes(1024));
+    let addr = server.local_addr();
+
+    // Declared oversize: the daemon must answer 413 from the declaration
+    // alone — we never send the body, so anything else would hang.
+    let head = "POST /place?env=grid:2x3 HTTP/1.1\r\nhost: qcp\r\ncontent-length: 1048576\r\n\r\n";
+    let reply = chaos::send_raw(addr, head.as_bytes(), Duration::from_secs(30)).expect("send");
+    assert_eq!(reply.status, 413, "{}", reply.body);
+    assert!(
+        reply.body.contains("\"kind\":\"oversize\""),
+        "{}",
+        reply.body
+    );
+    assert_recovered(&server);
+
+    server.drain();
+    let stats = server.join();
+    assert_eq!(stats.oversize, 1);
+}
+
+#[test]
+fn slowloris_half_requests_cost_one_read_window_at_most() {
+    let server = chaos_server(
+        ServeConfig::default()
+            .workers(2)
+            .read_timeout(Duration::from_millis(300)),
+    );
+    let addr = server.local_addr();
+
+    let t0 = Instant::now();
+    let reply = chaos::slowloris(addr, Duration::from_secs(30)).expect("slowloris reply");
+    let held = t0.elapsed();
+    assert_eq!(reply.status, 408, "{}", reply.body);
+    assert!(
+        reply.body.contains("\"kind\":\"slow-client\""),
+        "{}",
+        reply.body
+    );
+    // The absolute deadline bounds how long the worker was held hostage.
+    assert!(held < Duration::from_secs(5), "held {held:?}");
+    assert_recovered(&server);
+
+    // With two workers, a slowloris in flight must not block honest
+    // traffic on the other worker.
+    let handle = std::thread::spawn(move || chaos::slowloris(addr, Duration::from_secs(30)));
+    std::thread::sleep(Duration::from_millis(30));
+    assert_recovered(&server);
+    let reply = handle.join().expect("thread").expect("reply");
+    assert_eq!(reply.status, 408);
+
+    // A truncated upload (body shorter than content-length, then FIN)
+    // must resolve as a 400, not a hang.
+    let reply = chaos::truncated_post(addr, "/place?env=grid:2x3").expect("truncated");
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    assert_recovered(&server);
+
+    server.drain();
+    let stats = server.join();
+    assert_eq!(stats.slow_clients, 2);
+}
+
+#[test]
+fn deadline_exhaustion_degrades_hybrid_and_faults_exact() {
+    let server = chaos_server(ServeConfig::default().workers(2));
+    let addr = server.local_addr();
+
+    // qft6 on grid:8x8 takes many seconds of exact search unbudgeted. A
+    // hybrid request with a tight deadline must still answer 200 — just
+    // with a degraded resolution label — and within bounded wall clock.
+    let t0 = Instant::now();
+    let reply = chaos::post(
+        addr,
+        "/place?circuit=qft6&env=grid:8x8&strategy=hybrid&budget_ms=300",
+        &[],
+        "",
+    )
+    .expect("post");
+    let elapsed = t0.elapsed();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(
+        reply.body.contains("\"resolution\":\"fallback\"")
+            || reply.body.contains("\"resolution\":\"budget-exhausted\""),
+        "expected a degraded resolution: {}",
+        reply.body
+    );
+    assert!(elapsed < Duration::from_secs(10), "took {elapsed:?}");
+
+    // The same circuit with strategy=exact has no fallback: the budget
+    // trips and the taxonomy says so (504 / exit 3).
+    let reply = chaos::post(
+        addr,
+        "/place?circuit=qft6&env=grid:8x8&strategy=exact&budget_ms=100",
+        &[],
+        "",
+    )
+    .expect("post");
+    assert_eq!(reply.status, 504, "{}", reply.body);
+    assert!(
+        reply.body.contains("\"kind\":\"budget-exhausted\""),
+        "{}",
+        reply.body
+    );
+    assert!(reply.body.contains("\"exit_code\":3"), "{}", reply.body);
+    assert_recovered(&server);
+
+    server.drain();
+    let stats = server.join();
+    assert!(stats.budget_exhausted >= 1);
+}
+
+#[test]
+fn queue_overflow_sheds_with_429_and_recovers() {
+    let server = chaos_server(ServeConfig::default().workers(1).queue_depth(1));
+    let addr = server.local_addr();
+
+    // Occupy the single worker with a slow job, then pile on: queue depth
+    // one means the pile must overflow into explicit 429s.
+    let slow =
+        std::thread::spawn(move || chaos::post(addr, GOOD, &[("x-qcp-chaos", "sleep:800")], ""));
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The pile-on must be concurrent — a sequential client would wait
+    // for each reply and never overflow the queue.
+    let pile: Vec<_> = (0..6)
+        .map(|_| std::thread::spawn(move || chaos::post(addr, GOOD, &[], "")))
+        .collect();
+    let mut sheds = 0;
+    for handle in pile {
+        let reply = handle.join().expect("thread").expect("pile-on");
+        match reply.status {
+            429 => {
+                assert!(
+                    reply.body.contains("\"kind\":\"overload\""),
+                    "{}",
+                    reply.body
+                );
+                sheds += 1;
+            }
+            200 => {}
+            other => panic!("unexpected status {other}: {}", reply.body),
+        }
+    }
+    assert!(sheds >= 1, "no request was shed under overload");
+
+    let slow_reply = slow.join().expect("thread").expect("slow reply");
+    assert_eq!(slow_reply.status, 200, "{}", slow_reply.body);
+
+    // Once the pile drains, service is healthy again.
+    assert_recovered(&server);
+    server.drain();
+    let stats = server.join();
+    assert!(stats.shed >= 1);
+    assert_eq!(stats.panics, 0);
+}
+
+#[test]
+fn graceful_drain_finishes_queued_work_then_exits() {
+    let server = chaos_server(ServeConfig::default().workers(1));
+    let addr = server.local_addr();
+
+    // Park a slow job, then queue a second one behind it, so the drain
+    // request observably overlaps both in-flight and queued work.
+    let slow =
+        std::thread::spawn(move || chaos::post(addr, GOOD, &[("x-qcp-chaos", "sleep:400")], ""));
+    std::thread::sleep(Duration::from_millis(100));
+    let queued = std::thread::spawn(move || chaos::post(addr, GOOD, &[], ""));
+    std::thread::sleep(Duration::from_millis(50));
+
+    let reply = chaos::post(addr, "/admin/drain", &[], "").expect("drain");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(reply.body.contains("\"draining\":true"), "{}", reply.body);
+
+    // Both the in-flight and the queued job still complete correctly.
+    let slow_reply = slow.join().expect("thread").expect("slow reply");
+    assert_eq!(slow_reply.status, 200, "{}", slow_reply.body);
+    let queued_reply = queued.join().expect("thread").expect("queued reply");
+    assert_eq!(queued_reply.status, 200, "{}", queued_reply.body);
+
+    // join() returning is the drain guarantee; the counters confirm no
+    // job was dropped on the floor.
+    let stats = server.join();
+    assert!(stats.served_ok >= 2, "{stats:?}");
+    assert_eq!(stats.panics, 0);
+}
+
+#[test]
+fn full_gauntlet_one_process_survives_every_fault_class() {
+    // Every fault class against a single server instance, interleaved
+    // with recovery probes: the closest thing to the acceptance criterion
+    // "the daemon serves a correct subsequent request after every fault
+    // and never exits".
+    let server = chaos_server(
+        ServeConfig::default()
+            .workers(2)
+            .max_body_bytes(4096)
+            .read_timeout(Duration::from_millis(400)),
+    );
+    let addr = server.local_addr();
+
+    // 1. Garbage request line.
+    let reply = chaos::send_raw(addr, b"NOT HTTP\r\n\r\n", Duration::from_secs(30)).expect("raw");
+    assert_eq!(reply.status, 400);
+    assert_recovered(&server);
+
+    // 2. Worker panic.
+    let reply = chaos::post(addr, GOOD, &[("x-qcp-chaos", "panic")], "").expect("post");
+    assert_eq!(reply.status, 500);
+    assert_recovered(&server);
+
+    // 3. Malformed QASM.
+    let reply =
+        chaos::post(addr, "/place?env=grid:2x3", &[], "OPENQASM 2.0;\nnope;\n").expect("post");
+    assert_eq!(reply.status, 400);
+    assert_recovered(&server);
+
+    // 4. Oversized declaration.
+    let head = "POST /place?env=grid:2x3 HTTP/1.1\r\nhost: qcp\r\ncontent-length: 999999\r\n\r\n";
+    let reply = chaos::send_raw(addr, head.as_bytes(), Duration::from_secs(30)).expect("raw");
+    assert_eq!(reply.status, 413);
+    assert_recovered(&server);
+
+    // 5. Slowloris.
+    let reply = chaos::slowloris(addr, Duration::from_secs(30)).expect("slowloris");
+    assert_eq!(reply.status, 408);
+    assert_recovered(&server);
+
+    // 6. Deadline-exhausting circuit, degraded not dead.
+    let reply = chaos::post(
+        addr,
+        "/place?circuit=qft6&env=grid:8x8&strategy=hybrid&budget_ms=250",
+        &[],
+        "",
+    )
+    .expect("post");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_recovered(&server);
+
+    let health = chaos::get(addr, "/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"ok\":true"), "{}", health.body);
+    assert!(health.body.contains("\"panics\":1"), "{}", health.body);
+
+    server.drain();
+    let stats = server.join();
+    assert_eq!(stats.panics, 1);
+    assert!(stats.served_ok >= 7, "{stats:?}");
+}

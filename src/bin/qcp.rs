@@ -14,6 +14,7 @@
 //! ```console
 //! $ qcp place --qasm tests/qasm/qft4.qasm --topology grid:4x4 --strategy hybrid
 //! $ qcp batch --qasm-dir tests/qasm --envs line:16,grid:4x4,heavy_hex:3 --jobs 4
+//! $ qcp serve --addr 127.0.0.1:7878 --workers 4
 //! ```
 //!
 //! Circuits are looked up in the built-in library first, then read as
@@ -23,6 +24,11 @@
 //! Environments resolve as molecule names, then device-topology specs
 //! (`qcp_env::topologies::TopologySpec`, e.g. `grid:8x8`), then files in
 //! the `qcp_env::text` format.
+//!
+//! Exit codes follow a fixed taxonomy (GUIDE.md §9): 0 success, 2
+//! parse/input error, 3 search budget exhausted, 4 verification reject
+//! (including `lint --deny`), 5 internal error (a contained panic or
+//! broken invariant).
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
@@ -32,12 +38,77 @@ use qcp::place::batch::BatchPlacer;
 use qcp::place::fidelity::ExposureReport;
 use qcp::place::timeline::Timeline;
 use qcp::prelude::*;
+use qcp::serve::{ServeConfig, Server};
 use qcp::verify::{certify, lint_circuit, lint_qasm, LintReport, VerifyOptions};
 use qcp_circuit::library;
 use qcp_env::molecules;
 use qcp_env::topologies::{Delays, TopologySpec};
 
+/// A CLI failure carrying its taxonomy exit code (GUIDE.md §9).
+struct CliError {
+    exit: u8,
+    message: String,
+}
+
+impl CliError {
+    /// Exit 2: the input (arguments, circuit, environment) is at fault.
+    fn input(message: impl Into<String>) -> Self {
+        CliError {
+            exit: 2,
+            message: message.into(),
+        }
+    }
+
+    /// Exit 4: a placement or circuit failed verification/lint policy.
+    fn verify(message: impl Into<String>) -> Self {
+        CliError {
+            exit: 4,
+            message: message.into(),
+        }
+    }
+
+    /// Maps a placement-pipeline error through its failure class
+    /// (input → 2, budget → 3, internal → 5).
+    fn from_place(e: &qcp::place::PlaceError) -> Self {
+        CliError {
+            exit: e.class().exit_code(),
+            message: e.to_string(),
+        }
+    }
+}
+
+// Untyped string errors from helpers and argument parsing are input
+// errors: the user can fix them.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::input(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::input(message)
+    }
+}
+
 fn main() -> ExitCode {
+    // The same panic containment the daemon gives its workers: a bug
+    // anywhere below answers with the documented exit 5 instead of an
+    // abort-style 101. The `QCP_CHAOS` seam lets the exit-code test suite
+    // drive this path deliberately.
+    match std::panic::catch_unwind(run) {
+        Ok(code) => code,
+        Err(_) => {
+            eprintln!("error: internal panic (exit 5); this is a bug");
+            ExitCode::from(5)
+        }
+    }
+}
+
+fn run() -> ExitCode {
+    if std::env::var_os("QCP_CHAOS").is_some_and(|v| v == "panic") {
+        panic!("chaos: injected CLI panic");
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("molecules") => {
@@ -59,27 +130,10 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Some("place") => match run_place(&args[1..]) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(message) => {
-                eprintln!("error: {message}");
-                ExitCode::FAILURE
-            }
-        },
-        Some("batch") => match run_batch(&args[1..]) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(message) => {
-                eprintln!("error: {message}");
-                ExitCode::FAILURE
-            }
-        },
-        Some("lint") => match run_lint(&args[1..]) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(message) => {
-                eprintln!("error: {message}");
-                ExitCode::FAILURE
-            }
-        },
+        Some("place") => finish(run_place(&args[1..])),
+        Some("batch") => finish(run_batch(&args[1..])),
+        Some("lint") => finish(run_lint(&args[1..])),
+        Some("serve") => finish(run_serve(&args[1..])),
         _ => {
             eprintln!(
                 "usage: qcp <molecules|circuits|place|batch|lint> [options]\n\
@@ -115,14 +169,35 @@ fn main() -> ExitCode {
                  lint options:\n\
                  \x20 qcp lint <input>... [--qasm-dir <dir>] [--deny]\n\
                  \x20 inputs are *.qasm files (span-aware), library names, or\n\
-                 \x20 text-format circuit files; --deny fails on any finding"
+                 \x20 text-format circuit files; --deny fails on any finding (exit 4)\n\
+                 serve options:\n\
+                 \x20 --addr <host:port>      bind address (default 127.0.0.1:7878)\n\
+                 \x20 --workers <n>           worker threads (default: one per core)\n\
+                 \x20 --queue-depth <n>       bounded accept queue; overflow gets 429\n\
+                 \x20 --budget-ms <ms>        default placement deadline (default 2000)\n\
+                 \x20 --max-budget-ms <ms>    ceiling on requested deadlines\n\
+                 \x20 --max-body-kb <kb>      request body cap (413 beyond it)\n\
+                 \x20 --chaos                 honor x-qcp-chaos fault-injection headers\n\
+                 \x20 --no-admin              disable POST /admin/drain\n\
+                 exit codes: 0 ok, 2 parse/input, 3 budget exhausted,\n\
+                 \x20          4 verify reject, 5 internal"
             );
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
 
-fn run_place(args: &[String]) -> Result<(), String> {
+fn finish(result: Result<(), CliError>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.exit)
+        }
+    }
+}
+
+fn run_place(args: &[String]) -> Result<(), CliError> {
     let mut circuit_arg = None;
     let mut qasm_arg = None;
     let mut env_arg = None;
@@ -182,7 +257,7 @@ fn run_place(args: &[String]) -> Result<(), String> {
             "--gantt" => gantt = true,
             "--exposure" => exposure = true,
             "--verify" => verify = true,
-            other => return Err(format!("unknown option `{other}`")),
+            other => return Err(format!("unknown option `{other}`").into()),
         }
     }
 
@@ -200,7 +275,7 @@ fn run_place(args: &[String]) -> Result<(), String> {
     };
     let threshold = match threshold {
         Some(units) if units < 0.0 || units.is_nan() => {
-            return Err(format!("--threshold must be non-negative, got {units}"))
+            return Err(format!("--threshold must be non-negative, got {units}").into())
         }
         Some(units) => Threshold::new(units),
         None => env
@@ -217,7 +292,9 @@ fn run_place(args: &[String]) -> Result<(), String> {
         .budget(budget);
     let placer = Placer::new(&env, config.clone());
     let started = std::time::Instant::now();
-    let outcome = placer.place(&circuit).map_err(|e| e.to_string())?;
+    let outcome = placer
+        .place(&circuit)
+        .map_err(|e| CliError::from_place(&e))?;
     let elapsed = started.elapsed();
 
     if verify {
@@ -235,10 +312,10 @@ fn run_place(args: &[String]) -> Result<(), String> {
                 for v in &violations {
                     eprintln!("verify: [{}] {v}", v.code());
                 }
-                return Err(format!(
+                return Err(CliError::verify(format!(
                     "placement failed verification with {} violation(s)",
                     violations.len()
-                ));
+                )));
             }
         }
     }
@@ -303,7 +380,7 @@ fn run_place(args: &[String]) -> Result<(), String> {
 }
 
 /// `qcp batch`: place every circuit on every environment in parallel.
-fn run_batch(args: &[String]) -> Result<(), String> {
+fn run_batch(args: &[String]) -> Result<(), CliError> {
     let mut circuits_arg = None;
     let mut qasm_dir_arg = None;
     let mut envs_arg = None;
@@ -340,7 +417,7 @@ fn run_batch(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad threshold: {e}"))?;
                 if units < 0.0 || units.is_nan() {
-                    return Err(format!("--threshold must be non-negative, got {units}"));
+                    return Err(format!("--threshold must be non-negative, got {units}").into());
                 }
                 threshold = Some(Threshold::new(units));
             }
@@ -365,11 +442,12 @@ fn run_batch(args: &[String]) -> Result<(), String> {
                 );
             }
             "--verify" => verify = true,
-            other => return Err(format!("unknown option `{other}`")),
+            other => return Err(format!("unknown option `{other}`").into()),
         }
     }
 
     let mut circuits: Vec<(String, Circuit)> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
     if let Some(arg) = &circuits_arg {
         for name in split_list(arg) {
             let circuit = load_circuit(&name)?;
@@ -377,7 +455,9 @@ fn run_batch(args: &[String]) -> Result<(), String> {
         }
     }
     if let Some(dir) = &qasm_dir_arg {
-        circuits.extend(load_qasm_dir(dir)?);
+        let load = load_qasm_dir(dir)?;
+        circuits.extend(load.circuits);
+        skipped = load.skipped;
     }
     if circuits_arg.is_none() && qasm_dir_arg.is_none() {
         return Err("--circuits or --qasm-dir is required".into());
@@ -430,16 +510,24 @@ fn run_batch(args: &[String]) -> Result<(), String> {
             }
         }
         if bad > 0 {
-            return Err(format!("{bad} placement(s) failed verification"));
+            return Err(CliError::verify(format!(
+                "{bad} placement(s) failed verification"
+            )));
         }
         println!("verified: {certified} placement(s) certified");
+    }
+    if !skipped.is_empty() {
+        return Err(CliError::input(format!(
+            "skipped {} malformed QASM file(s); the rest of the batch ran to completion",
+            skipped.len()
+        )));
     }
     Ok(())
 }
 
 /// `qcp lint`: static circuit analysis — structural warnings plus
 /// width/depth/interaction statistics, with source spans for QASM inputs.
-fn run_lint(args: &[String]) -> Result<(), String> {
+fn run_lint(args: &[String]) -> Result<(), CliError> {
     let mut inputs: Vec<String> = Vec::new();
     let mut deny = false;
 
@@ -457,11 +545,11 @@ fn run_lint(args: &[String]) -> Result<(), String> {
                     .collect();
                 paths.sort();
                 if paths.is_empty() {
-                    return Err(format!("`{dir}` contains no .qasm files"));
+                    return Err(format!("`{dir}` contains no .qasm files").into());
                 }
                 inputs.extend(paths.into_iter().map(|p| p.display().to_string()));
             }
-            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
+            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`").into()),
             input => inputs.push(input.to_string()),
         }
     }
@@ -506,8 +594,109 @@ fn run_lint(args: &[String]) -> Result<(), String> {
         inputs.len()
     );
     if deny && total_findings > 0 {
-        return Err(format!("--deny: {total_findings} finding(s)"));
+        return Err(CliError::verify(format!(
+            "--deny: {total_findings} finding(s)"
+        )));
     }
+    Ok(())
+}
+
+/// `qcp serve`: run the fault-tolerant placement daemon until drained
+/// (`POST /admin/drain`, or EOF / `drain` on an interactive stdin).
+fn run_serve(args: &[String]) -> Result<(), CliError> {
+    use std::io::IsTerminal;
+
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?;
+            }
+            "--queue-depth" => {
+                let depth: usize = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad queue depth: {e}"))?;
+                config = config.queue_depth(depth);
+            }
+            "--budget-ms" => {
+                config.default_budget_ms = value("--budget-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad budget: {e}"))?;
+            }
+            "--max-budget-ms" => {
+                config.max_budget_ms = value("--max-budget-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad budget ceiling: {e}"))?;
+            }
+            "--max-body-kb" => {
+                let kb: usize = value("--max-body-kb")?
+                    .parse()
+                    .map_err(|e| format!("bad body cap: {e}"))?;
+                config.max_body_bytes = kb.saturating_mul(1024);
+            }
+            "--chaos" => config.chaos = true,
+            "--no-admin" => config.admin = false,
+            other => return Err(CliError::input(format!("unknown option `{other}`"))),
+        }
+    }
+
+    let server = Server::start(config)
+        .map_err(|e| CliError::input(format!("cannot start the server: {e}")))?;
+    println!(
+        "qcp serve: listening on http://{} ({} worker(s))",
+        server.local_addr(),
+        server.worker_count()
+    );
+    println!(
+        "qcp serve: POST /place?circuit=<name>&env=<spec>[&strategy=…&budget_ms=…], \
+         GET /healthz, POST /admin/drain to stop"
+    );
+
+    // Interactive runs can also drain from the keyboard; a daemonized
+    // process (stdin is /dev/null or a pipe) must NOT watch stdin, or it
+    // would drain instantly on EOF.
+    if std::io::stdin().is_terminal() {
+        let handle = server.drain_handle();
+        std::thread::spawn(move || {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match std::io::stdin().read_line(&mut line) {
+                    Ok(0) | Err(_) => {
+                        handle.drain();
+                        break;
+                    }
+                    Ok(_) if matches!(line.trim(), "drain" | "quit" | "exit") => {
+                        handle.drain();
+                        break;
+                    }
+                    Ok(_) => {}
+                }
+            }
+        });
+    }
+
+    let stats = server.join();
+    println!(
+        "qcp serve: drained; ok={} client_errors={} shed={} oversize={} \
+         slow_clients={} panics={} budget_exhausted={}",
+        stats.served_ok,
+        stats.client_errors,
+        stats.shed,
+        stats.oversize,
+        stats.slow_clients,
+        stats.panics,
+        stats.budget_exhausted
+    );
     Ok(())
 }
 
@@ -576,16 +765,31 @@ fn load_circuit(arg: &str) -> Result<Circuit, String> {
 /// to stderr, prefixed with the file and source position.
 fn load_qasm_file(path: &str) -> Result<Circuit, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let parsed = qcp::circuit::qasm::parse(&text).map_err(|e| format!("parsing `{path}`: {e}"))?;
+    // Diagnostics carry the source position in the standard
+    // `path:line:col` shape so editors and CI log scrapers can jump to it.
+    let parsed = qcp::circuit::qasm::parse(&text).map_err(|e| match e.span() {
+        Some(span) => format!("{path}:{}:{}: {e}", span.line, span.col),
+        None => format!("parsing `{path}`: {e}"),
+    })?;
     for w in &parsed.warnings {
         eprintln!("warning: {path}:{w}");
     }
     Ok(parsed.circuit)
 }
 
+/// The result of scanning a QASM directory: the circuits that parsed,
+/// plus a `path:line:col: message` diagnostic per malformed file.
+struct QasmDirLoad {
+    circuits: Vec<(String, Circuit)>,
+    skipped: Vec<String>,
+}
+
 /// Ingests every `*.qasm` file in `dir` (sorted by file name); the file
-/// stem becomes the circuit's batch label.
-fn load_qasm_dir(dir: &str) -> Result<Vec<(String, Circuit)>, String> {
+/// stem becomes the circuit's batch label. A malformed file is skipped —
+/// with a per-file diagnostic on stderr carrying the source position —
+/// instead of sinking the whole batch; only a directory with *no*
+/// parseable file at all is an error.
+fn load_qasm_dir(dir: &str) -> Result<QasmDirLoad, String> {
     let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read `{dir}`: {e}"))?;
     let mut paths: Vec<std::path::PathBuf> = entries
         .filter_map(|e| e.ok().map(|e| e.path()))
@@ -595,16 +799,31 @@ fn load_qasm_dir(dir: &str) -> Result<Vec<(String, Circuit)>, String> {
     if paths.is_empty() {
         return Err(format!("`{dir}` contains no .qasm files"));
     }
-    paths
-        .into_iter()
-        .map(|p| {
-            let stem = p.file_stem().map_or_else(
-                || p.display().to_string(),
-                |s| s.to_string_lossy().into_owned(),
-            );
-            load_qasm_file(&p.display().to_string()).map(|c| (stem, c))
-        })
-        .collect()
+    let total = paths.len();
+    let mut load = QasmDirLoad {
+        circuits: Vec::new(),
+        skipped: Vec::new(),
+    };
+    for p in paths {
+        let path = p.display().to_string();
+        let stem = p
+            .file_stem()
+            .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+        match load_qasm_file(&path) {
+            Ok(circuit) => load.circuits.push((stem, circuit)),
+            Err(message) => {
+                eprintln!("warning: skipping malformed `{path}`: {message}");
+                load.skipped.push(message);
+            }
+        }
+    }
+    if load.circuits.is_empty() {
+        return Err(format!(
+            "all {total} .qasm file(s) in `{dir}` are malformed; first: {}",
+            load.skipped.first().map_or("", String::as_str)
+        ));
+    }
+    Ok(load)
 }
 
 /// Resolves an environment argument: a molecule name, then a topology

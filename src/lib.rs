@@ -12,6 +12,7 @@ pub use qcp_circuit as circuit;
 pub use qcp_env as env;
 pub use qcp_graph as graph;
 pub use qcp_place as place;
+pub use qcp_serve as serve;
 pub use qcp_verify as verify;
 
 /// The most commonly used items, for glob import.
