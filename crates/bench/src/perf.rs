@@ -28,7 +28,10 @@ use qcp_env::{molecules, Threshold};
 use qcp_graph::vf2::MonomorphismFinder;
 use qcp_graph::{generate, Graph};
 use qcp_place::router::{route_permutation, RouterConfig};
-use qcp_place::{BatchPlacer, Placer, PlacerConfig, Resolution, SearchBudget, Strategy};
+use qcp_place::{
+    execute, execute_with, BatchPlacer, CanonicalCircuit, PlaceRequest, PlacementCache, Placer,
+    PlacerConfig, Resolution, SearchBudget, Strategy,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,7 +39,7 @@ use rand::SeedableRng;
 #[derive(Clone, Debug)]
 pub struct PerfCase {
     /// Suite the case belongs to (`mono`, `router`, `place`, `e2e`,
-    /// `batch`, `strategy`, `ingest`).
+    /// `batch`, `strategy`, `ingest`, `cache`).
     pub suite: &'static str,
     /// Unique case name, prefixed by its suite.
     pub name: &'static str,
@@ -364,6 +367,45 @@ pub fn run_suites(quick: bool) -> Vec<PerfCase> {
                 .circuit;
             black_box(placer.place(&circuit).expect("corpus places"));
         });
+    }
+
+    // --- canonicalization-keyed result cache (identical cases in quick
+    // and full mode): the canonicalization pass on the densest corpus
+    // circuit, then the same placement problem cold (cache bypassed
+    // every iteration) vs warm (every iteration after the first is a
+    // hit) — the committed numbers back EXPERIMENTS.md's cold/warm
+    // table, and the warm case is the one serve answers from ---
+    {
+        let cnot12 = qcp_circuit::qasm::parse(RANDOM_CNOT12)
+            .expect("corpus parses")
+            .circuit;
+        case("cache", "cache/canonicalize-random_cnot12", &mut || {
+            black_box(CanonicalCircuit::of(&cnot12));
+        });
+
+        let grid44 = topologies::grid(4, 4, Delays::default());
+        let config =
+            PlacerConfig::with_threshold(grid44.connectivity_threshold().expect("connected"))
+                .candidates(30)
+                .strategy(Strategy::Hybrid);
+        let qft4 = qcp_circuit::qasm::parse(QFT4)
+            .expect("corpus parses")
+            .circuit;
+        {
+            let config = config.clone();
+            case("cache", "cache/place-qft4-grid4x4-cold", &mut || {
+                let request = PlaceRequest::new(&qft4, &grid44).config(config.clone());
+                black_box(execute(&request).expect("corpus places"));
+            });
+        }
+        {
+            let cache = PlacementCache::new(64);
+            case("cache", "cache/place-qft4-grid4x4-warm", &mut || {
+                let request = PlaceRequest::new(&qft4, &grid44).config(config.clone());
+                let report = execute_with(&request, Some(&cache), None).expect("corpus places");
+                black_box(report);
+            });
+        }
     }
 
     out

@@ -1,0 +1,463 @@
+//! Graph canonicalization: iterated degree (colour) refinement, orbit
+//! partitioning, and a stable [`CanonicalFingerprint`].
+//!
+//! The placement pipeline of Maslov–Falconer–Mosca treats a circuit as
+//! its interaction graph and an environment as its fast-interaction
+//! graph; two requests whose graphs are isomorphic are *the same
+//! placement problem* (the monomorphism formulation of §5 is blind to
+//! vertex labels). This module computes a canonical form so equal
+//! problems can be recognised in O(poly n) and their results shared —
+//! the canonicalization-keyed result cache of `qcp_place::cache` is the
+//! consumer.
+//!
+//! The algorithm is the classic individualization–refinement scheme:
+//!
+//! 1. **Refinement** ([`refine`]): iterated Weisfeiler–Leman colour
+//!    refinement seeded with degrees. Each round recolours every node by
+//!    the sorted multiset of its neighbours' `(colour, weight)` pairs;
+//!    colour ids are assigned by *rank* of the signature (not by hash),
+//!    so they are isomorphism-invariant and collision-free by
+//!    construction. The fixed point partitions nodes into refinement
+//!    cells — the orbit partition reported by [`orbits`].
+//! 2. **Individualization** ([`canonical_form`]): while some cell has
+//!    more than one member, one member of the first such cell is given a
+//!    fresh colour and refinement re-runs. At these sizes (device
+//!    topologies and circuit interaction graphs, tens of nodes)
+//!    refinement separates everything that is not genuinely symmetric,
+//!    so tied nodes are automorphic images of each other and any
+//!    tie-break yields the same certificate.
+//!
+//! The certificate — node count, and each canonical node's weighted
+//! adjacency written in canonical indices — is hashed into a 128-bit
+//! [`CanonicalFingerprint`]. Equal fingerprints on refinement-
+//! distinguishable graphs mean isomorphic graphs; callers needing an
+//! *exact* guarantee (the placement cache) layer a structure-complete
+//! encoding on top and use the canonical order only as the witness.
+
+use std::fmt;
+
+use crate::{Graph, NodeId};
+
+/// A 128-bit FNV-1a fingerprint of a canonical certificate.
+///
+/// 128 bits instead of the workspace's usual 64: fingerprints key a
+/// result *cache*, where a collision would silently serve one circuit
+/// another circuit's placement — so the collision budget is set far
+/// below any realistic request volume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalFingerprint(u128);
+
+impl CanonicalFingerprint {
+    /// The raw 128-bit value.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// Folds the fingerprint to 64 bits (for mixing into other hashes).
+    pub fn fold64(self) -> u64 {
+        (self.0 as u64) ^ ((self.0 >> 64) as u64)
+    }
+}
+
+impl fmt::Display for CanonicalFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Streaming 128-bit FNV-1a hasher used to build fingerprints.
+#[derive(Clone, Debug)]
+pub struct FingerprintHasher(u128);
+
+impl Default for FingerprintHasher {
+    fn default() -> Self {
+        // FNV-1a 128-bit offset basis.
+        FingerprintHasher(0x6c62_272e_07bb_0142_62b8_2175_6295_c58d)
+    }
+}
+
+impl FingerprintHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mixes one 64-bit word (byte by byte, FNV-1a).
+    pub fn mix(&mut self, word: u64) -> &mut Self {
+        // FNV-1a 128-bit prime.
+        const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+        for byte in word.to_le_bytes() {
+            self.0 ^= u128::from(byte);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Mixes raw bytes (for names and other variable-length payloads).
+    pub fn mix_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.mix(bytes.len() as u64);
+        const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+        for &byte in bytes {
+            self.0 ^= u128::from(byte);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(&self) -> CanonicalFingerprint {
+        CanonicalFingerprint(self.0)
+    }
+}
+
+/// Edge weights enter signatures through their bit patterns; collapse
+/// `-0.0` onto `0.0` so the two spellings of zero cannot split a cell.
+fn weight_bits(w: f64) -> u64 {
+    if w == 0.0 { 0.0f64 } else { w }.to_bits()
+}
+
+/// One round of colour refinement: recolours every node by
+/// `(old colour, sorted neighbour (colour, weight) pairs)` and assigns
+/// new dense colour ids by signature *rank*. Returns the new colours and
+/// the number of distinct colours.
+fn refine_round(graph: &Graph, colors: &[u64]) -> (Vec<u64>, usize) {
+    let n = graph.node_count();
+    let mut signatures: Vec<(Vec<u64>, usize)> = Vec::with_capacity(n);
+    for v in graph.nodes() {
+        let mut sig: Vec<u64> = Vec::with_capacity(2 * graph.degree(v) + 1);
+        sig.push(colors[v.index()]);
+        let mut nbrs: Vec<(u64, u64)> = graph
+            .neighbors(v)
+            .map(|u| {
+                let w = graph.weight(v, u).unwrap_or(f64::INFINITY);
+                (colors[u.index()], weight_bits(w))
+            })
+            .collect();
+        nbrs.sort_unstable();
+        for (c, w) in nbrs {
+            sig.push(c);
+            sig.push(w);
+        }
+        signatures.push((sig, v.index()));
+    }
+    // Rank-based colour ids: sort the distinct signatures and use each
+    // signature's rank as its node's new colour. Ranks are invariant
+    // under relabelling because the signatures themselves are.
+    let mut sorted: Vec<&(Vec<u64>, usize)> = signatures.iter().collect();
+    sorted.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let mut new_colors = vec![0u64; n];
+    let mut next = 0u64;
+    let mut previous: Option<&[u64]> = None;
+    for entry in sorted {
+        if previous != Some(entry.0.as_slice()) {
+            previous = Some(entry.0.as_slice());
+            next += 1;
+        }
+        new_colors[entry.1] = next - 1;
+    }
+    (new_colors, next as usize)
+}
+
+/// Iterated colour refinement from the given seed colours to a fixed
+/// point. The seed must itself be isomorphism-invariant (degrees, or a
+/// previous refinement plus one individualized node) for the result to
+/// be.
+pub fn refine_seeded(graph: &Graph, seed: &[u64]) -> Vec<u64> {
+    let n = graph.node_count();
+    debug_assert_eq!(seed.len(), n);
+    let (mut colors, mut classes) = refine_round(graph, seed);
+    // A strictly refining sequence of partitions on n nodes has length
+    // at most n; the loop is bounded even without the fixed-point test.
+    for _ in 0..n {
+        let (next, next_classes) = refine_round(graph, &colors);
+        if next_classes == classes {
+            return next;
+        }
+        colors = next;
+        classes = next_classes;
+    }
+    colors
+}
+
+/// Stable Weisfeiler–Leman colours seeded with degrees: nodes with
+/// different colours are in different orbits of the automorphism group
+/// (the converse holds for every refinement-distinguishable graph —
+/// which includes all the trees, grids, rings and molecule graphs this
+/// workspace handles).
+pub fn refine(graph: &Graph) -> Vec<u64> {
+    let seed: Vec<u64> = graph.nodes().map(|v| graph.degree(v) as u64).collect();
+    if seed.is_empty() {
+        return seed;
+    }
+    refine_seeded(graph, &seed)
+}
+
+/// The refinement-cell partition as dense orbit ids (one per node, ids
+/// contiguous from 0 in colour order).
+pub fn orbits(graph: &Graph) -> Vec<usize> {
+    refine(graph).iter().map(|&c| c as usize).collect()
+}
+
+/// A canonical form: the fingerprint plus the canonical node order that
+/// witnesses it.
+#[derive(Clone, Debug)]
+pub struct CanonicalForm {
+    /// Fingerprint of the canonical adjacency certificate.
+    pub fingerprint: CanonicalFingerprint,
+    /// `order[i]` is the original node occupying canonical position `i`.
+    pub order: Vec<NodeId>,
+    /// Number of refinement cells (orbits) before individualization.
+    pub orbit_count: usize,
+}
+
+/// Ceiling on discrete colourings examined per [`canonical_form`] call.
+/// Real workloads (interaction graphs and device topologies, tens of
+/// nodes, symmetry groups generated by a few reflections/rotations) need
+/// well under a hundred leaves; the backstop only matters for
+/// adversarially symmetric WL-hard graphs, where the search degrades to
+/// a deterministic (but possibly labelling-dependent) certificate.
+const LEAF_BUDGET: usize = 512;
+
+/// Min-certificate individualization–refinement search state.
+struct CanonicalSearch<'g> {
+    graph: &'g Graph,
+    /// Best (lexicographically smallest) certificate and its witness.
+    best: Option<(Vec<u64>, Vec<NodeId>)>,
+    leaves: usize,
+}
+
+impl CanonicalSearch<'_> {
+    /// Recursively individualizes the first non-singleton cell. Branches
+    /// on one member per *twin class* (two cell members whose
+    /// neighbourhoods coincide off each other are swapped by an
+    /// automorphism, so their branches yield equal certificates) and
+    /// keeps the minimum certificate over all explored leaves.
+    fn explore(&mut self, colors: Vec<u64>) {
+        if self.leaves >= LEAF_BUDGET {
+            return;
+        }
+        let n = colors.len();
+        if distinct(&colors) == n {
+            self.leaves += 1;
+            let leaf = self.certificate(&colors);
+            if self.best.as_ref().is_none_or(|(b, _)| leaf.0 < *b) {
+                self.best = Some(leaf);
+            }
+            return;
+        }
+        let mut counts = vec![0usize; n];
+        for &c in &colors {
+            counts[c as usize] += 1;
+        }
+        let target = counts.iter().position(|&k| k > 1).unwrap_or(0) as u64;
+        let members: Vec<usize> = (0..n).filter(|&v| colors[v] == target).collect();
+        let mut skip = vec![false; members.len()];
+        for i in 0..members.len() {
+            if skip[i] {
+                continue;
+            }
+            for j in (i + 1)..members.len() {
+                if !skip[j] && self.twins(members[i], members[j]) {
+                    skip[j] = true;
+                }
+            }
+            let mut seed: Vec<u64> = colors.iter().map(|&c| c * 2).collect();
+            seed[members[i]] += 1;
+            self.explore(refine_seeded(self.graph, &seed));
+        }
+    }
+
+    /// Whether the transposition of `u` and `v` is an automorphism:
+    /// their weighted neighbourhoods agree once each is removed from the
+    /// other's. Catches the interchangeable-vertex pathologies (empty,
+    /// complete, complete multipartite cells) that would otherwise make
+    /// the branch tree factorial.
+    fn twins(&self, u: usize, v: usize) -> bool {
+        let side = |a: usize, other: usize| -> Vec<(usize, u64)> {
+            let mut nbrs: Vec<(usize, u64)> = self
+                .graph
+                .neighbors(NodeId::new(a))
+                .filter(|x| x.index() != other)
+                .map(|x| {
+                    let w = self
+                        .graph
+                        .weight(NodeId::new(a), x)
+                        .unwrap_or(f64::INFINITY);
+                    (x.index(), weight_bits(w))
+                })
+                .collect();
+            nbrs.sort_unstable();
+            nbrs
+        };
+        side(u, v) == side(v, u)
+    }
+
+    /// The certificate of a discrete colouring: node count, edge count,
+    /// then each canonical node's sorted weighted adjacency written in
+    /// canonical indices. Lexicographic comparison of these word
+    /// sequences picks the canonical leaf.
+    fn certificate(&self, colors: &[u64]) -> (Vec<u64>, Vec<NodeId>) {
+        let n = colors.len();
+        let mut order: Vec<NodeId> = self.graph.nodes().collect();
+        order.sort_unstable_by_key(|v| colors[v.index()]);
+        let mut canonical_index = vec![0usize; n];
+        for (i, v) in order.iter().enumerate() {
+            canonical_index[v.index()] = i;
+        }
+        let mut words = Vec::with_capacity(2 + n + 4 * self.graph.edge_count());
+        words.push(n as u64);
+        words.push(self.graph.edge_count() as u64);
+        for &v in &order {
+            let mut nbrs: Vec<(u64, u64)> = self
+                .graph
+                .neighbors(v)
+                .map(|u| {
+                    let w = self.graph.weight(v, u).unwrap_or(f64::INFINITY);
+                    (canonical_index[u.index()] as u64, weight_bits(w))
+                })
+                .collect();
+            nbrs.sort_unstable();
+            words.push(nbrs.len() as u64);
+            for (ci, w) in nbrs {
+                words.push(ci);
+                words.push(w);
+            }
+        }
+        (words, order)
+    }
+}
+
+/// Computes the canonical form by min-certificate
+/// individualization–refinement: every member of the first non-singleton
+/// refinement cell is individualized in turn (one representative per
+/// automorphic twin class), the search recurses to a discrete colouring,
+/// and the lexicographically smallest certificate over all explored
+/// leaves wins. Branching over the whole cell — rather than picking one
+/// member — is what makes the certificate relabelling-invariant even on
+/// regular graphs whose refinement partition is a single cell.
+pub fn canonical_form(graph: &Graph) -> CanonicalForm {
+    let colors = refine(graph);
+    let orbit_count = distinct(&colors);
+    let mut search = CanonicalSearch {
+        graph,
+        best: None,
+        leaves: 0,
+    };
+    search.explore(colors);
+    let (words, order) = search.best.unwrap_or_else(|| (vec![0, 0], Vec::new()));
+    let mut hasher = FingerprintHasher::new();
+    for word in words {
+        hasher.mix(word);
+    }
+    CanonicalForm {
+        fingerprint: hasher.finish(),
+        order,
+        orbit_count,
+    }
+}
+
+/// The canonical fingerprint alone (see [`canonical_form`]).
+pub fn fingerprint(graph: &Graph) -> CanonicalFingerprint {
+    canonical_form(graph).fingerprint
+}
+
+fn distinct(colors: &[u64]) -> usize {
+    let mut sorted = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    /// Relabels a graph through the permutation `perm` (`perm[old] = new`).
+    fn relabel(graph: &Graph, perm: &[usize]) -> Graph {
+        let edges: Vec<(usize, usize, f64)> = graph
+            .edges()
+            .map(|(a, b, w)| (perm[a.index()], perm[b.index()], w))
+            .collect();
+        Graph::from_weighted_edges(graph.node_count(), edges).expect("relabel")
+    }
+
+    #[test]
+    fn fingerprint_invariant_under_relabeling() {
+        for graph in [
+            generate::chain(9),
+            generate::ring(12),
+            generate::grid(3, 4),
+            generate::star(7),
+        ] {
+            let n = graph.node_count();
+            let base = fingerprint(&graph);
+            // A fixed non-trivial permutation plus a rotation.
+            let reversed: Vec<usize> = (0..n).rev().collect();
+            let rotated: Vec<usize> = (0..n).map(|i| (i + 3) % n).collect();
+            for perm in [reversed, rotated] {
+                assert_eq!(fingerprint(&relabel(&graph, &perm)), base);
+            }
+        }
+    }
+
+    #[test]
+    fn near_misses_have_distinct_fingerprints() {
+        let chain = generate::chain(8);
+        let ring = generate::ring(8);
+        assert_ne!(fingerprint(&chain), fingerprint(&ring));
+        // One added edge changes the certificate.
+        let mut plus = chain.clone();
+        plus.add_edge(NodeId::new(0), NodeId::new(4), 1.0).unwrap();
+        assert_ne!(fingerprint(&chain), fingerprint(&plus));
+        // Different weights on the same topology are different problems.
+        let light = Graph::from_weighted_edges(3, [(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let heavy = Graph::from_weighted_edges(3, [(0, 1, 1.0), (1, 2, 2.0)]).unwrap();
+        assert_ne!(fingerprint(&light), fingerprint(&heavy));
+    }
+
+    #[test]
+    fn orbit_partition_matches_symmetry() {
+        // A chain of 5 has 3 orbits: ends, their neighbours, the centre.
+        let orbit_ids = orbits(&generate::chain(5));
+        assert_eq!(
+            distinct(&orbit_ids.iter().map(|&o| o as u64).collect::<Vec<_>>()),
+            3
+        );
+        assert_eq!(orbit_ids[0], orbit_ids[4]);
+        assert_eq!(orbit_ids[1], orbit_ids[3]);
+        // Rings and complete graphs are vertex-transitive: one orbit.
+        assert_eq!(orbits(&generate::ring(6)), vec![0; 6]);
+        // A star has two orbits: hub and leaves.
+        let star = orbits(&generate::star(5));
+        assert_eq!(star.iter().filter(|&&o| o != star[0]).count(), 5 - 1);
+    }
+
+    #[test]
+    fn canonical_order_is_a_permutation() {
+        let graph = generate::grid(3, 3);
+        let form = canonical_form(&graph);
+        let mut seen = [false; 9];
+        for v in &form.order {
+            assert!(!seen[v.index()]);
+            seen[v.index()] = true;
+        }
+        assert!(form.orbit_count >= 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let empty = Graph::new(0);
+        let one = Graph::new(1);
+        assert_ne!(fingerprint(&empty), fingerprint(&one));
+        assert_eq!(canonical_form(&empty).order.len(), 0);
+        assert_eq!(canonical_form(&one).order.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_display_is_hex() {
+        let fp = fingerprint(&generate::chain(3));
+        assert_eq!(fp.to_string().len(), 32);
+        assert_eq!(fp.fold64(), fp.fold64());
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod bisection;
+pub mod canonical;
 pub mod dot;
 mod error;
 pub mod generate;

@@ -9,7 +9,7 @@ use qcp_graph::bisection::{balanced_connected_bisection, worst_recursive_ratio};
 use qcp_graph::hamiltonian::{find_hamiltonian_cycle, is_hamiltonian_cycle};
 use qcp_graph::traversal::{bfs_distances, connected_components, is_connected, shortest_path};
 use qcp_graph::vf2::{is_monomorphism, MonomorphismFinder};
-use qcp_graph::{generate, Graph, NodeId};
+use qcp_graph::{canonical, generate, Graph, NodeId};
 
 /// Naive adjacency model the CSR + bitset [`Graph`] must agree with.
 struct NaiveGraph {
@@ -552,4 +552,110 @@ proptest! {
             }
         }
     }
+}
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates).
+fn random_permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rand::Rng::gen_range(rng, 0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Relabels a graph through `perm` (`perm[old] = new`).
+fn relabel(g: &Graph, perm: &[usize]) -> Graph {
+    let edges: Vec<(usize, usize, f64)> = g
+        .edges()
+        .map(|(a, b, w)| (perm[a.index()], perm[b.index()], w))
+        .collect();
+    Graph::from_weighted_edges(g.node_count(), edges).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // The cache-keying soundness half: isomorphic relabellings can never
+    // split a canonical fingerprint, on arbitrary G(n, p) graphs.
+    #[test]
+    fn canonical_fingerprint_is_relabeling_invariant(g in arb_graph(12), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = canonical::fingerprint(&g);
+        for _ in 0..3 {
+            let perm = random_permutation(g.node_count(), &mut rng);
+            prop_assert_eq!(canonical::fingerprint(&relabel(&g, &perm)), base);
+        }
+    }
+
+    // The discrimination half: toggling one edge (a near-miss, not an
+    // isomorph) must move the fingerprint.
+    #[test]
+    fn canonical_fingerprint_separates_single_edge_toggles(
+        g in arb_graph(10),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = g.node_count();
+        if n < 2 {
+            return Ok(());
+        }
+        let a = rand::Rng::gen_range(&mut rng, 0..n);
+        let b = (a + 1 + rand::Rng::gen_range(&mut rng, 0..n - 1)) % n;
+        let (a, b) = (a.min(b), a.max(b));
+        let had = g.has_edge(NodeId::new(a), NodeId::new(b));
+        let edges: Vec<(usize, usize, f64)> = if had {
+            g.edges()
+                .filter(|&(x, y, _)| (x.index(), y.index()) != (a, b) && (y.index(), x.index()) != (a, b))
+                .map(|(x, y, w)| (x.index(), y.index(), w))
+                .collect()
+        } else {
+            g.edges()
+                .map(|(x, y, w)| (x.index(), y.index(), w))
+                .chain(std::iter::once((a, b, 1.0)))
+                .collect()
+        };
+        let toggled = Graph::from_weighted_edges(n, edges).unwrap();
+        prop_assert_ne!(
+            canonical::fingerprint(&toggled),
+            canonical::fingerprint(&g),
+            "toggling edge ({a},{b}) (had={had}) left the fingerprint unchanged"
+        );
+    }
+
+    // Orbit ids are a dense partition labelling (one id per node,
+    // contiguous from 0), and relabelling permutes the partition without
+    // changing its cell-size multiset.
+    #[test]
+    fn canonical_orbits_are_dense_and_relabeling_stable(g in arb_graph(12), seed in any::<u64>()) {
+        let orbits = canonical::orbits(&g);
+        prop_assert_eq!(orbits.len(), g.node_count());
+        let mut ids = orbits.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids, (0..ids_len(&orbits)).collect::<Vec<usize>>());
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let perm = random_permutation(g.node_count(), &mut rng);
+        let relabelled = canonical::orbits(&relabel(&g, &perm));
+        prop_assert_eq!(cell_sizes(&orbits), cell_sizes(&relabelled));
+    }
+}
+
+/// Number of distinct orbit ids.
+fn ids_len(orbits: &[usize]) -> usize {
+    let mut ids = orbits.to_vec();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.len()
+}
+
+/// The sorted multiset of orbit-cell sizes.
+fn cell_sizes(orbits: &[usize]) -> Vec<usize> {
+    let mut counts = vec![0usize; ids_len(orbits)];
+    for &id in orbits {
+        counts[id] += 1;
+    }
+    counts.sort_unstable();
+    counts
 }

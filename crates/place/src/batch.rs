@@ -48,6 +48,8 @@
 //! assert_eq!(report.outcome_fingerprint(), serial.outcome_fingerprint());
 //! ```
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -55,8 +57,10 @@ use std::time::{Duration, Instant};
 use qcp_circuit::{Circuit, Time};
 use qcp_env::Environment;
 
+use crate::cache::{cache_key, remap_outcome, CanonicalCircuit};
+use crate::request::PlaceRequest;
 use crate::strategy::Resolution;
-use crate::{PlaceError, PlacementOutcome, Placer, PlacerConfig};
+use crate::{PlaceError, PlacementOutcome, PlacerConfig};
 
 /// One placement request: a circuit to run on an environment under a
 /// placer configuration.
@@ -121,12 +125,17 @@ impl BatchResult {
 pub struct BatchPlacer {
     requests: Vec<BatchRequest>,
     jobs: usize,
+    dedup: bool,
 }
 
 impl BatchPlacer {
     /// A driver over an explicit request list.
     pub fn new(requests: Vec<BatchRequest>) -> Self {
-        BatchPlacer { requests, jobs: 0 }
+        BatchPlacer {
+            requests,
+            jobs: 0,
+            dedup: true,
+        }
     }
 
     /// The N × M cross product: every circuit on every environment, all
@@ -239,6 +248,23 @@ impl BatchPlacer {
         self
     }
 
+    /// Enables or disables cross-batch deduplication (on by default).
+    ///
+    /// With dedup on, requests sharing a [`PlaceRequest::cache_key`]
+    /// (canonically identical circuit × same environment × same
+    /// configuration) are placed once: the first occurrence is the
+    /// *representative*, and every follower receives the
+    /// representative's outcome rewritten onto its own qubit labels by
+    /// the canonical witness remap. Grouping happens serially before
+    /// any worker starts, so outcomes stay deterministic and
+    /// worker-count independent. [`BatchReport::deduped`] counts the
+    /// requests served by remap.
+    #[must_use]
+    pub fn dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
     /// The requests this driver will run, in result order.
     pub fn requests(&self) -> &[BatchRequest] {
         &self.requests
@@ -253,29 +279,54 @@ impl BatchPlacer {
     /// finished what when.
     pub fn run(&self) -> BatchReport {
         let n = self.requests.len();
+        let started = Instant::now();
+
+        // Cross-batch dedup (serial, before any worker starts): group
+        // requests by the unified cache key; only group representatives
+        // — first occurrence wins — are actually placed.
+        let mut follower_of: Vec<Option<usize>> = vec![None; n];
+        let mut canon: Vec<Option<CanonicalCircuit>> = vec![None; n];
+        if self.dedup {
+            let mut rep_for: HashMap<u128, usize> = HashMap::new();
+            for (i, request) in self.requests.iter().enumerate() {
+                let canonical = CanonicalCircuit::of(&request.circuit);
+                let key = cache_key(&canonical, &request.environment, &request.config);
+                canon[i] = Some(canonical);
+                match rep_for.entry(key.as_u128()) {
+                    Entry::Occupied(rep) => follower_of[i] = Some(*rep.get()),
+                    Entry::Vacant(slot) => {
+                        slot.insert(i);
+                    }
+                }
+            }
+        }
+        let deduped = follower_of.iter().filter(|f| f.is_some()).count();
+        let reps: Vec<usize> = (0..n).filter(|&i| follower_of[i].is_none()).collect();
+
         let jobs = match self.jobs {
             0 => std::thread::available_parallelism().map_or(1, usize::from),
             j => j,
         }
-        .clamp(1, n.max(1));
-        let started = Instant::now();
+        .clamp(1, reps.len().max(1));
 
-        let mut results: Vec<BatchResult> = if jobs == 1 {
+        let rep_results: Vec<BatchResult> = if jobs == 1 {
             // Exactly the sequential loop: no spawn overhead for --jobs 1.
-            self.requests.iter().enumerate().map(place_one).collect()
+            reps.iter()
+                .map(|&i| place_one((i, &self.requests[i])))
+                .collect()
         } else {
             let cursor = AtomicUsize::new(0);
-            let mut collected = std::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let workers: Vec<_> = (0..jobs)
                     .map(|_| {
                         scope.spawn(|| {
                             let mut mine = Vec::new();
                             loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(request) = self.requests.get(i) else {
+                                let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(&i) = reps.get(slot) else {
                                     break;
                                 };
-                                mine.push(place_one((i, request)));
+                                mine.push(place_one((i, &self.requests[i])));
                             }
                             mine
                         })
@@ -286,10 +337,60 @@ impl BatchPlacer {
                     .into_iter()
                     .flat_map(|w| w.join().expect("batch worker panicked"))
                     .collect::<Vec<_>>()
-            });
-            collected.sort_by_key(|r| r.index);
-            collected
+            })
         };
+
+        // Scatter representative results, then serve every follower by
+        // witness-remapping its representative's outcome — deterministic
+        // and independent of worker scheduling.
+        let mut slots: Vec<Option<BatchResult>> = (0..n).map(|_| None).collect();
+        for result in rep_results {
+            let index = result.index;
+            slots[index] = Some(result);
+        }
+        for i in 0..n {
+            let Some(rep) = follower_of[i] else { continue };
+            let t0 = Instant::now();
+            let outcome = match slots[rep].as_ref().map(|r| &r.outcome) {
+                Some(Ok(outcome)) => {
+                    let stored = canon[rep].as_ref().map(|c| c.order.as_slice());
+                    let requested = canon[i].as_ref().map(|c| c.order.as_slice());
+                    match (stored, requested) {
+                        (Some(stored), Some(requested)) => {
+                            remap_outcome(outcome, stored, requested).ok_or_else(|| {
+                                PlaceError::Internal {
+                                    message: "dedup witness remap failed".to_string(),
+                                }
+                            })
+                        }
+                        _ => Err(PlaceError::Internal {
+                            message: "dedup lost a canonical witness".to_string(),
+                        }),
+                    }
+                }
+                Some(Err(e)) => Err(e.clone()),
+                None => Err(PlaceError::Internal {
+                    message: "dedup representative produced no result".to_string(),
+                }),
+            };
+            #[cfg(debug_assertions)]
+            if let Ok(o) = &outcome {
+                // Re-check remapped outcomes exactly like fresh ones, so
+                // a remap bug fails loudly at its origin in debug builds.
+                let placer = crate::Placer::new(
+                    &self.requests[i].environment,
+                    self.requests[i].config.clone(),
+                );
+                crate::strategy::debug_check_outcome(&placer, &self.requests[i].circuit, o);
+            }
+            slots[i] = Some(BatchResult {
+                index: i,
+                label: self.requests[i].label.clone(),
+                outcome,
+                elapsed: t0.elapsed(),
+            });
+        }
+        let mut results: Vec<BatchResult> = slots.into_iter().flatten().collect();
         debug_assert!(results.iter().enumerate().all(|(i, r)| r.index == i));
         results.shrink_to_fit();
 
@@ -297,6 +398,7 @@ impl BatchPlacer {
             results,
             wall_time: started.elapsed(),
             jobs,
+            deduped,
         }
     }
 }
@@ -326,16 +428,19 @@ fn place_one((index, request): (usize, &BatchRequest)) -> BatchResult {
                 panic!("chaos: poisoned batch request `{}`", request.label);
             }
         }
-        // One placer (and thus one cost-engine arena) per request; nothing
-        // is shared between in-flight placements.
-        let placer = Placer::new(&request.environment, request.config.clone());
-        let outcome = placer.place(&request.circuit);
+        // The unified executor — the same entry point the CLI and the
+        // serve daemon use; nothing is shared between in-flight
+        // placements (each executes its own placer and cost arenas).
+        let place_request = PlaceRequest::new(&request.circuit, &request.environment)
+            .config(request.config.clone());
+        let outcome = crate::request::execute(&place_request).map(|report| report.outcome);
         // Debug builds re-check every successful outcome before it leaves
         // the worker, so a broken invariant fails this *request* loudly
         // and close to its origin instead of surfacing in aggregated
         // reports (the unwind is converted to a per-job Internal error).
         #[cfg(debug_assertions)]
         if let Ok(o) = &outcome {
+            let placer = crate::Placer::new(&request.environment, request.config.clone());
             crate::strategy::debug_check_outcome(&placer, &request.circuit, o);
         }
         outcome
@@ -360,6 +465,9 @@ pub struct BatchReport {
     pub wall_time: Duration,
     /// Number of workers actually used.
     pub jobs: usize,
+    /// Requests served by witness remap from a canonically identical
+    /// representative instead of being placed (0 when dedup is off).
+    pub deduped: usize,
 }
 
 impl BatchReport {
@@ -496,6 +604,14 @@ impl fmt::Display for BatchReport {
             self.resolved(Resolution::Fallback),
             self.resolved(Resolution::BudgetExhausted),
         )?;
+        if self.deduped > 0 {
+            writeln!(
+                f,
+                "  deduped: {} of {} request(s) served by witness remap",
+                self.deduped,
+                self.results.len(),
+            )?;
+        }
         for r in &self.results {
             match &r.outcome {
                 Ok(o) => writeln!(
@@ -670,7 +786,10 @@ mod tests {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner) =
             Some("poison-test-17".to_string());
-        let report = BatchPlacer::new(requests).jobs(4).run();
+        // Dedup off: the point is that every request runs (and exactly
+        // one panics); with dedup on the 32 identical requests would
+        // collapse to one placement and the seam would never fire.
+        let report = BatchPlacer::new(requests).jobs(4).dedup(false).run();
         *CHAOS_POISONED_LABEL
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
@@ -693,6 +812,68 @@ mod tests {
             text.contains("FAILED: internal placement failure"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn dedup_collapses_identical_requests_with_identical_outcomes() {
+        // 32 copies of one request (zoo32-style repetition): dedup places
+        // one representative and serves 31 followers by identity remap —
+        // and the outcomes are fingerprint-identical to the dedup-off run.
+        let circuit = library::qec3_encoder();
+        let env = topologies::grid(2, 3, topologies::Delays::default());
+        let config =
+            PlacerConfig::with_threshold(env.connectivity_threshold().expect("grid connects"));
+        let requests: Vec<BatchRequest> = (0..32)
+            .map(|i| {
+                BatchRequest::new(
+                    format!("rep-{i}"),
+                    circuit.clone(),
+                    env.clone(),
+                    config.clone(),
+                )
+            })
+            .collect();
+        let deduped = BatchPlacer::new(requests.clone()).jobs(4).run();
+        assert_eq!(deduped.deduped, 31);
+        assert_eq!(deduped.succeeded(), 32);
+        let plain = BatchPlacer::new(requests).jobs(4).dedup(false).run();
+        assert_eq!(plain.deduped, 0);
+        assert_eq!(plain.outcome_fingerprint(), deduped.outcome_fingerprint());
+        let text = deduped.to_string();
+        assert!(text.contains("deduped: 31 of 32 request(s)"), "{text}");
+        assert!(!plain.to_string().contains("deduped:"));
+    }
+
+    #[test]
+    fn dedup_remaps_isomorphic_relabelled_requests() {
+        let circuit = library::qec3_encoder();
+        let n = circuit.qubit_count();
+        let relabelled = circuit.map_qubits(n, |q| qcp_circuit::Qubit::new(n - 1 - q.index()));
+        let env = molecules::acetyl_chloride();
+        let config = PlacerConfig::with_threshold(Threshold::new(100.0));
+        let requests = vec![
+            BatchRequest::new("orig", circuit, env.clone(), config.clone()),
+            BatchRequest::new("relabelled", relabelled.clone(), env, config),
+        ];
+        let report = BatchPlacer::new(requests).run();
+        assert_eq!(report.deduped, 1);
+        assert_eq!(report.succeeded(), 2);
+        let a = report.results[0].outcome.as_ref().expect("orig ok");
+        let b = report.results[1].outcome.as_ref().expect("relabelled ok");
+        // Same physical answer, each on its own circuit's labels.
+        assert_eq!(a.runtime, b.runtime);
+        assert_eq!(
+            b.stages[0].subcircuit.interaction_graph().edge_count(),
+            relabelled.interaction_graph().edge_count()
+        );
+    }
+
+    #[test]
+    fn distinct_requests_are_not_deduped() {
+        let (circuits, envs) = zoo();
+        let report = BatchPlacer::cross_auto(&circuits, &envs, &PlacerConfig::default()).run();
+        assert_eq!(report.deduped, 0);
+        assert_eq!(report.failed(), 0);
     }
 
     #[test]

@@ -62,6 +62,14 @@ pub enum PlaceError {
         /// The stringified panic payload (or invariant-breach report).
         message: String,
     },
+    /// The placement completed but an attached independent certifier
+    /// ([`crate::request::Certifier`]) rejected it. Carries every
+    /// violation's rendered text so delivery surfaces can report them
+    /// verbatim.
+    VerificationFailed {
+        /// Rendered violation lines, in certifier order.
+        violations: Vec<String>,
+    },
 }
 
 /// The coarse failure taxonomy shared by every delivery surface (CLI exit
@@ -80,6 +88,9 @@ pub enum FailureClass {
     Budget,
     /// An invariant breach or contained panic — a bug, not a bad request.
     Internal,
+    /// A completed placement failed independent certification
+    /// (`qcp_verify`); the result exists but must not be trusted.
+    Verification,
 }
 
 impl FailureClass {
@@ -90,16 +101,18 @@ impl FailureClass {
             FailureClass::Input => "input",
             FailureClass::Budget => "budget-exhausted",
             FailureClass::Internal => "internal",
+            FailureClass::Verification => "verify-reject",
         }
     }
 
     /// The process exit code the CLI taxonomy assigns this class
-    /// (2 input, 3 budget, 5 internal; 0 and 4 are not failure classes of
-    /// the placement pipeline itself).
+    /// (2 input, 3 budget, 4 verification, 5 internal; 0 is success and
+    /// 1 is reserved for usage errors outside the pipeline).
     pub fn exit_code(self) -> u8 {
         match self {
             FailureClass::Input => 2,
             FailureClass::Budget => 3,
+            FailureClass::Verification => 4,
             FailureClass::Internal => 5,
         }
     }
@@ -118,6 +131,7 @@ impl PlaceError {
             PlaceError::InvalidPlacement { .. }
             | PlaceError::UnplacedQubit(_)
             | PlaceError::Internal { .. } => FailureClass::Internal,
+            PlaceError::VerificationFailed { .. } => FailureClass::Verification,
         }
     }
 
@@ -172,6 +186,13 @@ impl fmt::Display for PlaceError {
             }
             PlaceError::Internal { message } => {
                 write!(f, "internal placement failure: {message}")
+            }
+            PlaceError::VerificationFailed { violations } => {
+                write!(
+                    f,
+                    "placement failed verification with {} violation(s)",
+                    violations.len()
+                )
             }
         }
     }

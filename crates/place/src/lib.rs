@@ -56,6 +56,7 @@
 
 pub mod baselines;
 pub mod batch;
+pub mod cache;
 pub mod cost;
 pub mod embed;
 mod error;
@@ -64,16 +65,21 @@ pub mod finetune;
 mod placement;
 pub mod placer;
 pub mod reduction;
+pub mod request;
 pub mod router;
 pub mod strategy;
 pub mod timeline;
 pub mod workspace;
 
 pub use batch::{BatchPlacer, BatchReport, BatchRequest, BatchResult};
+pub use cache::{CacheKey, CanonicalCircuit, PlacementCache};
 pub use cost::{CostModel, ExecutionModel, PlacedGate, Schedule};
 pub use error::{FailureClass, PlaceError};
 pub use placement::Placement;
 pub use placer::{PlacementOutcome, Placer, PlacerConfig, Stage};
+pub use request::{
+    execute, execute_with, CacheDisposition, CachePolicy, Certifier, PlaceReport, PlaceRequest,
+};
 pub use router::{RouterConfig, SwapSchedule};
 pub use strategy::{
     AnnealConfig, ExactVf2, GreedyAnneal, Hybrid, PlacementStrategy, Resolution, SearchBudget,

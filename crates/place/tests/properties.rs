@@ -13,7 +13,10 @@ use qcp_place::baselines::{exhaustive_placement, random_placement};
 use qcp_place::batch::BatchPlacer;
 use qcp_place::cost::{placed_runtime, CostModel};
 use qcp_place::router::{route_permutation, route_sequential, verify_schedule, RouterConfig};
-use qcp_place::{PlaceError, Placement, Placer, PlacerConfig, Resolution, SearchBudget, Strategy};
+use qcp_place::{
+    execute_with, CacheDisposition, CanonicalCircuit, PlaceError, PlaceRequest, Placement,
+    PlacementCache, Placer, PlacerConfig, Resolution, SearchBudget, Strategy,
+};
 
 /// A random circuit in the NMR basis on `n` qubits.
 fn random_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
@@ -396,5 +399,97 @@ fn hybrid_with_unlimited_budget_is_bit_identical_to_exact_on_the_zoo() {
             (Err(x), Err(y)) => assert_eq!(x, y),
             (x, y) => panic!("ok/err mismatch on {}: {x:?} vs {y:?}", a.label),
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Cache-keying soundness on whole circuits (not just interaction
+    // graphs): relabelling the qubits of a random NMR-basis circuit by any
+    // permutation never changes its exact canonical fingerprint, and the
+    // canonical witness order is always a permutation of the qubits.
+    #[test]
+    fn canonical_circuit_fingerprint_is_relabeling_invariant(
+        seed in any::<u64>(),
+        n in 2usize..8,
+        gates in 1usize..24,
+    ) {
+        let circuit = random_circuit(n, gates, seed);
+        let base = CanonicalCircuit::of(&circuit);
+        prop_assert_eq!(base.order.len(), n);
+        let mut sorted: Vec<usize> = base.order.iter().map(|q| q.index()).collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<usize>>());
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        for _ in 0..3 {
+            let perm = generate::random_permutation(n, &mut rng);
+            let relabelled = circuit.map_qubits(n, |q| Qubit::new(perm[q.index()]));
+            let other = CanonicalCircuit::of(&relabelled);
+            prop_assert_eq!(other.fingerprint, base.fingerprint);
+            prop_assert_eq!(other.graph_fingerprint, base.graph_fingerprint);
+        }
+    }
+
+    // Discrimination: appending one extra interaction (a near-miss, not a
+    // relabelling) must move the circuit fingerprint.
+    #[test]
+    fn canonical_circuit_fingerprint_separates_appended_gates(
+        seed in any::<u64>(),
+        n in 2usize..8,
+        gates in 1usize..16,
+    ) {
+        let circuit = random_circuit(n, gates, seed);
+        let base = CanonicalCircuit::of(&circuit).fingerprint;
+        let mut b = Circuit::builder(n);
+        for gate in circuit.gates() {
+            b.gate(gate.clone());
+        }
+        b.gate(Gate::zz(Qubit::new(0), Qubit::new(n - 1), 45.0));
+        let extended = b.build();
+        prop_assert_ne!(CanonicalCircuit::of(&extended).fingerprint, base);
+    }
+
+    // The unified executor agrees with itself across relabellings: an
+    // isomorphic repeat is a remapped cache hit whose outcome matches the
+    // cold placement gate-for-gate after the witness remap.
+    #[test]
+    fn cache_hits_reproduce_cold_outcomes_under_relabeling(
+        seed in any::<u64>(),
+        n in 3usize..6,
+        gates in 2usize..12,
+    ) {
+        let circuit = random_circuit(n, gates, seed);
+        let env = random_env(n + 2, seed ^ 1);
+        let Some(threshold) = env.connectivity_threshold() else {
+            return Ok(());
+        };
+        let config = PlacerConfig::with_threshold(threshold);
+        let cache = PlacementCache::new(4);
+
+        let cold = execute_with(
+            &PlaceRequest::new(&circuit, &env).config(config.clone()),
+            Some(&cache),
+            None,
+        );
+        let Ok(cold) = cold else {
+            return Ok(()); // some random circuits are legitimately unplaceable
+        };
+        prop_assert_eq!(cold.cache, CacheDisposition::Miss);
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+        let perm = generate::random_permutation(n, &mut rng);
+        let relabelled = circuit.map_qubits(n, |q| Qubit::new(perm[q.index()]));
+        let warm = execute_with(
+            &PlaceRequest::new(&relabelled, &env).config(config),
+            Some(&cache),
+            None,
+        );
+        let warm = warm.expect("isomorphic repeat of a placeable circuit places");
+        prop_assert!(matches!(warm.cache, CacheDisposition::Hit { .. }), "{:?}", warm.cache);
+        prop_assert_eq!(warm.outcome.runtime, cold.outcome.runtime);
+        prop_assert_eq!(warm.outcome.stages.len(), cold.outcome.stages.len());
+        prop_assert_eq!(warm.outcome.swap_count(), cold.outcome.swap_count());
     }
 }

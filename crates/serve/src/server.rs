@@ -29,7 +29,10 @@ use std::time::{Duration, Instant};
 use qcp_circuit::Circuit;
 use qcp_env::topologies::{Delays, TopologySpec};
 use qcp_env::{molecules, Environment, Threshold};
-use qcp_place::{Placer, PlacerConfig, Resolution, SearchBudget, Strategy};
+use qcp_place::{
+    execute_with, CachePolicy, PlaceRequest, PlacementCache, PlacerConfig, Resolution,
+    SearchBudget, Strategy,
+};
 
 use crate::http::{self, Limits, Request, RequestError};
 use crate::json::{array_usize, Obj};
@@ -63,6 +66,10 @@ pub struct ServeConfig {
     pub chaos: bool,
     /// Expose `POST /admin/drain`.
     pub admin: bool,
+    /// Capacity of the canonicalization-keyed placement result cache
+    /// (entries; `0` disables caching and every request reports
+    /// `"cache":"bypass"`).
+    pub cache_entries: usize,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +86,7 @@ impl Default for ServeConfig {
             max_budget_ms: 30_000,
             chaos: false,
             admin: true,
+            cache_entries: 256,
         }
     }
 }
@@ -147,6 +155,13 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the placement result-cache capacity (`0` disables it).
+    #[must_use]
+    pub fn cache_entries(mut self, n: usize) -> Self {
+        self.cache_entries = n;
+        self
+    }
+
     fn resolved_workers(&self) -> usize {
         match self.workers {
             0 => std::thread::available_parallelism()
@@ -207,24 +222,13 @@ pub struct StatsSnapshot {
     pub resolved_fallback: u64,
     /// Successful placements that degraded after budget exhaustion.
     pub resolved_degraded: u64,
-}
-
-impl Stats {
-    fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            served_ok: self.served_ok.load(Ordering::Relaxed),
-            client_errors: self.client_errors.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            oversize: self.oversize.load(Ordering::Relaxed),
-            slow_clients: self.slow_clients.load(Ordering::Relaxed),
-            panics: self.panics.load(Ordering::Relaxed),
-            budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
-            resolved_exact: self.resolved_exact.load(Ordering::Relaxed),
-            resolved_fallback: self.resolved_fallback.load(Ordering::Relaxed),
-            resolved_degraded: self.resolved_degraded.load(Ordering::Relaxed),
-        }
-    }
+    /// `/place` requests served from the placement result cache.
+    pub cache_hits: u64,
+    /// `/place` requests that consulted the cache and placed fresh.
+    pub cache_misses: u64,
+    /// Cache hits that needed a witness remap onto the requester's
+    /// qubit labels (an isomorphic, not identical, repeat).
+    pub cache_remapped: u64,
 }
 
 struct Shared {
@@ -234,9 +238,28 @@ struct Shared {
     available: Condvar,
     active: AtomicUsize,
     stats: Stats,
+    cache: PlacementCache,
 }
 
 impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.stats.accepted.load(Ordering::Relaxed),
+            served_ok: self.stats.served_ok.load(Ordering::Relaxed),
+            client_errors: self.stats.client_errors.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            oversize: self.stats.oversize.load(Ordering::Relaxed),
+            slow_clients: self.stats.slow_clients.load(Ordering::Relaxed),
+            panics: self.stats.panics.load(Ordering::Relaxed),
+            budget_exhausted: self.stats.budget_exhausted.load(Ordering::Relaxed),
+            resolved_exact: self.stats.resolved_exact.load(Ordering::Relaxed),
+            resolved_fallback: self.stats.resolved_fallback.load(Ordering::Relaxed),
+            resolved_degraded: self.stats.resolved_degraded.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_remapped: self.cache.remapped(),
+        }
+    }
     /// Locks the queue, recovering from poison (cannot actually happen —
     /// no placement code runs under the lock — but the recovery keeps the
     /// no-unwrap contract honest).
@@ -283,6 +306,7 @@ impl Server {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let workers = config.resolved_workers();
+        let cache = PlacementCache::new(config.cache_entries);
         let shared = Arc::new(Shared {
             config,
             draining: AtomicBool::new(false),
@@ -290,6 +314,7 @@ impl Server {
             available: Condvar::new(),
             active: AtomicUsize::new(0),
             stats: Stats::default(),
+            cache,
         });
         let mut threads = Vec::with_capacity(workers + 1);
         {
@@ -339,7 +364,7 @@ impl Server {
 
     /// A snapshot of the service counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot()
+        self.shared.snapshot()
     }
 
     /// Number of resolved worker threads (excludes the acceptor).
@@ -357,7 +382,7 @@ impl Server {
             // propagating the unwind into the caller.
             let _ = t.join();
         }
-        self.shared.stats.snapshot()
+        self.shared.snapshot()
     }
 }
 
@@ -566,7 +591,7 @@ fn route(shared: &Shared, request: &Request, stream: &mut TcpStream) {
 }
 
 fn healthz_body(shared: &Shared) -> String {
-    let s = shared.stats.snapshot();
+    let s = shared.snapshot();
     let mut stats = Obj::new();
     stats
         .u64("accepted", s.accepted)
@@ -579,7 +604,10 @@ fn healthz_body(shared: &Shared) -> String {
         .u64("budget_exhausted", s.budget_exhausted)
         .u64("resolved_exact", s.resolved_exact)
         .u64("resolved_fallback", s.resolved_fallback)
-        .u64("resolved_degraded", s.resolved_degraded);
+        .u64("resolved_degraded", s.resolved_degraded)
+        .u64("cache_hits", s.cache_hits)
+        .u64("cache_misses", s.cache_misses)
+        .u64("cache_remapped", s.cache_remapped);
     let mut o = Obj::new();
     o.bool("ok", true)
         .bool("draining", shared.is_draining())
@@ -600,6 +628,7 @@ struct PlaceParams {
     strategy: Strategy,
     budget_ms: Option<u64>,
     budget_nodes: Option<u64>,
+    cache: CachePolicy,
 }
 
 fn parse_params(request: &Request) -> Result<PlaceParams, String> {
@@ -611,6 +640,7 @@ fn parse_params(request: &Request) -> Result<PlaceParams, String> {
         strategy: Strategy::Hybrid,
         budget_ms: None,
         budget_nodes: None,
+        cache: CachePolicy::Use,
     };
     for (key, value) in request.query_params() {
         match key.as_str() {
@@ -649,10 +679,19 @@ fn parse_params(request: &Request) -> Result<PlaceParams, String> {
                         .map_err(|_| format!("bad budget_nodes `{value}`"))?,
                 );
             }
+            "cache" => {
+                p.cache = match value.as_str() {
+                    "on" => CachePolicy::Use,
+                    "off" => CachePolicy::Bypass,
+                    other => {
+                        return Err(format!("bad cache `{other}` (expected on or off)"));
+                    }
+                };
+            }
             other => {
                 return Err(format!(
                     "unknown parameter `{other}` (expected circuit, env, coupling, threshold, \
-                     strategy, budget_ms, budget_nodes)"
+                     strategy, budget_ms, budget_nodes, cache)"
                 ))
             }
         }
@@ -789,9 +828,17 @@ fn place_endpoint(shared: &Shared, request: &Request, stream: &mut TcpStream) {
         }
     }
 
+    // The unified request: the *degraded* deadline goes into the config
+    // before the cache key is derived, so keying stays a pure function
+    // of the request's fields (an idle server always produces the same
+    // key; under load the shrunken deadline keys separately — honest,
+    // since a tighter budget can change the answer).
     let config = PlacerConfig::with_threshold(threshold)
         .strategy(params.strategy)
         .budget(budget);
+    let place_request = PlaceRequest::new(&circuit, &env)
+        .config(config)
+        .cache_policy(params.cache);
     // The poisoned-job boundary: any panic below — chaos-injected or a
     // genuine placement bug — is contained here, answered as a structured
     // 500, and the worker keeps serving.
@@ -799,13 +846,12 @@ fn place_endpoint(shared: &Shared, request: &Request, stream: &mut TcpStream) {
         if chaos.as_deref() == Some("panic") {
             panic!("chaos: injected worker panic");
         }
-        let placer = Placer::new(&env, config.clone());
-        placer.place(&circuit)
+        execute_with(&place_request, Some(&shared.cache), None)
     }));
     let elapsed = t0.elapsed();
 
-    let outcome = match placed {
-        Ok(Ok(outcome)) => outcome,
+    let report = match placed {
+        Ok(Ok(report)) => report,
         Ok(Err(e)) => {
             let kind = ErrorKind::from_place_error(&e);
             match kind {
@@ -833,6 +879,7 @@ fn place_endpoint(shared: &Shared, request: &Request, stream: &mut TcpStream) {
         }
     };
 
+    let outcome = &report.outcome;
     match outcome.resolution {
         Resolution::Exact => shared.stats.resolved_exact.fetch_add(1, Ordering::Relaxed),
         Resolution::Fallback => shared
@@ -871,6 +918,7 @@ fn place_endpoint(shared: &Shared, request: &Request, stream: &mut TcpStream) {
         .str("environment", env.name())
         .str("strategy", params.strategy.name())
         .str("resolution", outcome.resolution.name())
+        .str("cache", report.cache.wire())
         .u64("deadline_ms", effective_ms)
         .f64("elapsed_ms", elapsed.as_secs_f64() * 1e3)
         .raw("circuit", &circuit_obj.finish())
@@ -952,6 +1000,7 @@ mod tests {
                 "/place?circuit=qec3&env=grid:2x3&strategy=vf3",
                 "unknown strategy",
             ),
+            ("/place?circuit=qec3&env=grid:2x3&cache=maybe", "bad cache"),
         ] {
             let reply = chaos::post(addr, query, &[], "").unwrap();
             assert_eq!(reply.status, 400, "{query}: {}", reply.body);
@@ -962,6 +1011,82 @@ mod tests {
         assert_eq!(reply.status, 400);
         server.drain();
         server.join();
+    }
+
+    #[test]
+    fn repeated_identical_posts_are_counted_cache_hits() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let query = "/place?circuit=qec3&env=grid:2x3";
+
+        let cold = chaos::post(addr, query, &[], "").unwrap();
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        assert!(cold.body.contains("\"cache\":\"miss\""), "{}", cold.body);
+
+        let warm = chaos::post(addr, query, &[], "").unwrap();
+        assert_eq!(warm.status, 200, "{}", warm.body);
+        assert!(warm.body.contains("\"cache\":\"hit\""), "{}", warm.body);
+
+        // The hit must return the same answer the cold request computed.
+        let pick = |body: &str| {
+            let start = body.find("\"runtime\"").unwrap();
+            body[start..start + 40].to_string()
+        };
+        assert_eq!(pick(&cold.body), pick(&warm.body));
+
+        let health = chaos::get(addr, "/healthz").unwrap();
+        assert!(health.body.contains("\"cache_hits\":1"), "{}", health.body);
+        assert!(
+            health.body.contains("\"cache_misses\":1"),
+            "{}",
+            health.body
+        );
+
+        server.drain();
+        let stats = server.join();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+    }
+
+    #[test]
+    fn cache_off_bypasses_and_cache_zero_capacity_disables() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let query = "/place?circuit=qec3&env=grid:2x3&cache=off";
+        for _ in 0..2 {
+            let reply = chaos::post(addr, query, &[], "").unwrap();
+            assert_eq!(reply.status, 200, "{}", reply.body);
+            assert!(
+                reply.body.contains("\"cache\":\"bypass\""),
+                "{}",
+                reply.body
+            );
+        }
+        server.drain();
+        assert_eq!(server.join().cache_hits, 0);
+
+        // A server started with --cache-entries 0 never caches at all.
+        let server = Server::start(
+            ServeConfig::default()
+                .addr("127.0.0.1:0")
+                .workers(1)
+                .cache_entries(0),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        for _ in 0..2 {
+            let reply = chaos::post(addr, "/place?circuit=qec3&env=grid:2x3", &[], "").unwrap();
+            assert_eq!(reply.status, 200, "{}", reply.body);
+            assert!(
+                reply.body.contains("\"cache\":\"bypass\""),
+                "{}",
+                reply.body
+            );
+        }
+        server.drain();
+        let stats = server.join();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 0);
     }
 
     #[test]

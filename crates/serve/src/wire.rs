@@ -124,6 +124,7 @@ impl ErrorKind {
             FailureClass::Input => ErrorKind::Input,
             FailureClass::Budget => ErrorKind::BudgetExhausted,
             FailureClass::Internal => ErrorKind::Internal,
+            FailureClass::Verification => ErrorKind::VerifyReject,
         }
     }
 }

@@ -55,8 +55,10 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod adapter;
 mod certify;
 pub mod lint;
 
+pub use adapter::PlacementCertifier;
 pub use certify::{certify, Certificate, VerifyOptions, Violation};
 pub use lint::{lint_circuit, lint_qasm, CircuitStats, LintFinding, LintReport};

@@ -17,6 +17,7 @@ use qcp_env::Environment;
 use qcp_place::cost::PlacedGate;
 use qcp_place::{PlacementOutcome, Placer, PlacerConfig, Strategy};
 use qcp_verify::{certify, VerifyOptions};
+use rand::SeedableRng;
 
 /// The reference topology zoo, parsed exactly as the CLI parses
 /// `--topology` arguments.
@@ -154,5 +155,51 @@ proptest! {
             .err()
             .unwrap_or_else(|| panic!("{stem}@{spec}: duplicated schedule gate must not certify"));
         prop_assert!(!violations.is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Cache hits are as trustworthy as cold placements: a relabelled
+    // corpus circuit served from the cache via a witness remap must
+    // certify from first principles against the *relabelled* circuit.
+    #[test]
+    fn remapped_cache_hits_certify_across_corpus(seed in any::<u64>()) {
+        use qcp_place::{execute_with, CacheDisposition, PlaceRequest, PlacementCache};
+        use qcp_verify::PlacementCertifier;
+
+        let cases = corpus();
+        let (stem, circuit) = &cases[(seed as usize) % cases.len()];
+        let spec = TOPOLOGIES[(seed as usize / 7) % TOPOLOGIES.len()];
+        let env = build_env(spec);
+        let config = config_for(&env, Strategy::Exact);
+        let cache = PlacementCache::new(4);
+
+        let cold = execute_with(
+            &PlaceRequest::new(circuit, &env).config(config.clone()).verify(true),
+            Some(&cache),
+            Some(&PlacementCertifier),
+        )
+        .unwrap_or_else(|e| panic!("{stem}@{spec} cold: {e}"));
+        prop_assert_eq!(cold.cache, CacheDisposition::Miss);
+        prop_assert!(cold.certificate.is_some());
+
+        // Random relabelling, then the warm request with verification on:
+        // the executor certifies the remapped outcome before returning it.
+        let n = circuit.qubit_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let perm = qcp_graph::generate::random_permutation(n, &mut rng);
+        let relabelled = circuit.map_qubits(n, |q| qcp_circuit::Qubit::new(perm[q.index()]));
+        let warm = execute_with(
+            &PlaceRequest::new(&relabelled, &env).config(config).verify(true),
+            Some(&cache),
+            Some(&PlacementCertifier),
+        )
+        .unwrap_or_else(|e| panic!("{stem}@{spec} warm: {e}"));
+        prop_assert!(matches!(warm.cache, CacheDisposition::Hit { .. }), "{:?}", warm.cache);
+        let summary = warm.certificate.expect("warm certificate");
+        prop_assert!(summary.starts_with("certified:"), "{summary}");
+        prop_assert_eq!(warm.outcome.runtime, cold.outcome.runtime);
     }
 }

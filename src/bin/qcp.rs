@@ -36,10 +36,12 @@ use std::process::ExitCode;
 
 use qcp::place::batch::BatchPlacer;
 use qcp::place::fidelity::ExposureReport;
+use qcp::place::request::Certifier;
 use qcp::place::timeline::Timeline;
+use qcp::place::PlaceError;
 use qcp::prelude::*;
 use qcp::serve::{ServeConfig, Server};
-use qcp::verify::{certify, lint_circuit, lint_qasm, LintReport, VerifyOptions};
+use qcp::verify::{lint_circuit, lint_qasm, LintReport, PlacementCertifier};
 use qcp_circuit::library;
 use qcp_env::molecules;
 use qcp_env::topologies::{Delays, TopologySpec};
@@ -166,6 +168,7 @@ fn run() -> ExitCode {
                  \x20 --k/--no-lookahead/--fine-tune/--commutation as for place\n\
                  \x20 --strategy/--budget-ms/--budget-nodes as for place\n\
                  \x20 --verify                certify every successful outcome\n\
+                 \x20 --no-dedup              disable cross-batch placement dedup\n\
                  lint options:\n\
                  \x20 qcp lint <input>... [--qasm-dir <dir>] [--deny]\n\
                  \x20 inputs are *.qasm files (span-aware), library names, or\n\
@@ -177,6 +180,7 @@ fn run() -> ExitCode {
                  \x20 --budget-ms <ms>        default placement deadline (default 2000)\n\
                  \x20 --max-budget-ms <ms>    ceiling on requested deadlines\n\
                  \x20 --max-body-kb <kb>      request body cap (413 beyond it)\n\
+                 \x20 --cache-entries <n>     result-cache capacity (default 256; 0 disables)\n\
                  \x20 --chaos                 honor x-qcp-chaos fault-injection headers\n\
                  \x20 --no-admin              disable POST /admin/drain\n\
                  exit codes: 0 ok, 2 parse/input, 3 budget exhausted,\n\
@@ -290,34 +294,30 @@ fn run_place(args: &[String]) -> Result<(), CliError> {
         .commutation_aware(commutation)
         .strategy(strategy)
         .budget(budget);
-    let placer = Placer::new(&env, config.clone());
-    let started = std::time::Instant::now();
-    let outcome = placer
-        .place(&circuit)
-        .map_err(|e| CliError::from_place(&e))?;
-    let elapsed = started.elapsed();
-
-    if verify {
-        match certify(
-            &circuit,
-            &env,
-            &VerifyOptions::from_config(&config),
-            &outcome,
-        ) {
-            Ok(cert) => println!(
-                "certified: {} stage(s), {} gate(s), {} swap(s); runtime recomputed {}",
-                cert.stages, cert.gates, cert.swaps, cert.recomputed_runtime
-            ),
-            Err(violations) => {
-                for v in &violations {
-                    eprintln!("verify: [{}] {v}", v.code());
-                }
-                return Err(CliError::verify(format!(
-                    "placement failed verification with {} violation(s)",
-                    violations.len()
-                )));
+    // The one-shot CLI runs through the same unified request executor as
+    // batch and the serve daemon (qcp_place::request), so keying,
+    // verification, and error taxonomy can never drift between surfaces.
+    let request = PlaceRequest::new(&circuit, &env)
+        .config(config)
+        .verify(verify);
+    let report = match execute_with(&request, None, Some(&PlacementCertifier)) {
+        Ok(report) => report,
+        Err(PlaceError::VerificationFailed { violations }) => {
+            for line in &violations {
+                eprintln!("verify: {line}");
             }
+            return Err(CliError::verify(format!(
+                "placement failed verification with {} violation(s)",
+                violations.len()
+            )));
         }
+        Err(e) => return Err(CliError::from_place(&e)),
+    };
+    let outcome = &report.outcome;
+    let elapsed = report.elapsed;
+
+    if let Some(summary) = &report.certificate {
+        println!("{summary}");
     }
 
     println!(
@@ -394,6 +394,7 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
     let mut strategy = Strategy::Exact;
     let mut budget = SearchBudget::unlimited();
     let mut verify = false;
+    let mut dedup = true;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -442,6 +443,7 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
                 );
             }
             "--verify" => verify = true,
+            "--no-dedup" => dedup = false,
             other => return Err(format!("unknown option `{other}`").into()),
         }
     }
@@ -487,7 +489,7 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
         }
         None => BatchPlacer::cross_named_auto(&circuits, &envs, &base),
     };
-    let batch = batch.jobs(jobs);
+    let batch = batch.jobs(jobs).dedup(dedup);
     let report = batch.run();
     print!("{report}");
     if verify {
@@ -498,13 +500,14 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
             let Ok(outcome) = &result.outcome else {
                 continue;
             };
-            let options = VerifyOptions::from_config(&request.config);
-            match certify(&request.circuit, &request.environment, &options, outcome) {
+            let place_request = PlaceRequest::new(&request.circuit, &request.environment)
+                .config(request.config.clone());
+            match PlacementCertifier.certify(&place_request, outcome) {
                 Ok(_) => certified += 1,
                 Err(violations) => {
                     bad += 1;
-                    for v in &violations {
-                        eprintln!("verify: {}: [{}] {v}", result.label, v.code());
+                    for line in &violations {
+                        eprintln!("verify: {}: {line}", result.label);
                     }
                 }
             }
@@ -643,6 +646,12 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
                     .map_err(|e| format!("bad body cap: {e}"))?;
                 config.max_body_bytes = kb.saturating_mul(1024);
             }
+            "--cache-entries" => {
+                let entries: usize = value("--cache-entries")?
+                    .parse()
+                    .map_err(|e| format!("bad cache capacity: {e}"))?;
+                config = config.cache_entries(entries);
+            }
             "--chaos" => config.chaos = true,
             "--no-admin" => config.admin = false,
             other => return Err(CliError::input(format!("unknown option `{other}`"))),
@@ -688,14 +697,18 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
     let stats = server.join();
     println!(
         "qcp serve: drained; ok={} client_errors={} shed={} oversize={} \
-         slow_clients={} panics={} budget_exhausted={}",
+         slow_clients={} panics={} budget_exhausted={} \
+         cache_hits={} cache_misses={} cache_remapped={}",
         stats.served_ok,
         stats.client_errors,
         stats.shed,
         stats.oversize,
         stats.slow_clients,
         stats.panics,
-        stats.budget_exhausted
+        stats.budget_exhausted,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_remapped
     );
     Ok(())
 }
