@@ -208,6 +208,12 @@ pub struct CanonicalForm {
     pub order: Vec<NodeId>,
     /// Number of refinement cells (orbits) before individualization.
     pub orbit_count: usize,
+    /// Whether the individualization search hit [`LEAF_BUDGET`] before
+    /// exhausting every branch. An exhausted certificate is still
+    /// deterministic for a *fixed* labelling, but may differ between
+    /// relabellings of the same graph — callers keying caches on the
+    /// fingerprint must treat it as unusable for sharing.
+    pub exhausted: bool,
 }
 
 /// Ceiling on discrete colourings examined per [`canonical_form`] call.
@@ -224,6 +230,8 @@ struct CanonicalSearch<'g> {
     /// Best (lexicographically smallest) certificate and its witness.
     best: Option<(Vec<u64>, Vec<NodeId>)>,
     leaves: usize,
+    /// Set when a branch was abandoned because the leaf budget ran out.
+    exhausted: bool,
 }
 
 impl CanonicalSearch<'_> {
@@ -234,6 +242,10 @@ impl CanonicalSearch<'_> {
     /// keeps the minimum certificate over all explored leaves.
     fn explore(&mut self, colors: Vec<u64>) {
         if self.leaves >= LEAF_BUDGET {
+            // Unexplored branch abandoned: the minimum over the leaves
+            // seen so far may not be the global minimum, so the
+            // certificate is potentially labelling-dependent.
+            self.exhausted = true;
             return;
         }
         let n = colors.len();
@@ -342,6 +354,7 @@ pub fn canonical_form(graph: &Graph) -> CanonicalForm {
         graph,
         best: None,
         leaves: 0,
+        exhausted: false,
     };
     search.explore(colors);
     let (words, order) = search.best.unwrap_or_else(|| (vec![0, 0], Vec::new()));
@@ -353,12 +366,269 @@ pub fn canonical_form(graph: &Graph) -> CanonicalForm {
         fingerprint: hasher.finish(),
         order,
         orbit_count,
+        exhausted: search.exhausted,
     }
 }
 
 /// The canonical fingerprint alone (see [`canonical_form`]).
 pub fn fingerprint(graph: &Graph) -> CanonicalFingerprint {
     canonical_form(graph).fingerprint
+}
+
+/// Explicit, verified automorphism generators and the orbit partition
+/// they span.
+///
+/// Unlike [`orbits`], which reports Weisfeiler–Leman refinement cells
+/// (an *upper bound* on the true orbits — WL can merge nodes no
+/// automorphism relates, e.g. same-degree nodes of two different-length
+/// rings), every orbit reported here is witnessed by explicit
+/// permutations that were checked edge-by-edge. The partition is
+/// therefore always a refinement of the true orbit partition and safe
+/// to use for symmetry pruning: two nodes in one orbit really are
+/// interchangeable.
+#[derive(Clone, Debug)]
+pub struct Automorphisms {
+    /// Verified generating permutations (`perm[old] = image`). Not
+    /// necessarily a minimal generating set.
+    pub generators: Vec<Vec<usize>>,
+    /// Dense orbit ids, one per node, contiguous from 0 in order of
+    /// first appearance by node index.
+    pub orbits: Vec<usize>,
+    /// Whether the generator search ran to completion. When `false`
+    /// (node-budget backstop tripped) the orbit partition may be finer
+    /// than the true one — still sound for pruning, just less
+    /// aggressive.
+    pub complete: bool,
+}
+
+/// Ceiling on backtracking steps across one [`automorphisms`] call.
+/// Device topologies (grids, rings, heavy-hex, tens of nodes) finish in
+/// a few thousand steps; the backstop guards adversarial inputs.
+const AUTOMORPHISM_STEP_BUDGET: usize = 200_000;
+
+/// Searches for one automorphism mapping `anchor` to `image`, extending
+/// node-by-node in `order` (a BFS order from `anchor` so each new node
+/// is anchored by mapped neighbours early). Candidates must share the
+/// WL colour and preserve the weighted adjacency relation against
+/// *every* already-mapped node — presence, absence, and weight alike —
+/// so any completed mapping is an automorphism by construction.
+struct AutomorphismSearch<'g> {
+    graph: &'g Graph,
+    colors: &'g [u64],
+    order: Vec<usize>,
+    steps: &'g mut usize,
+}
+
+enum AutomorphismOutcome {
+    Found(Vec<usize>),
+    NotFound,
+    Exhausted,
+}
+
+impl AutomorphismSearch<'_> {
+    fn run(&mut self, anchor: usize, image: usize) -> AutomorphismOutcome {
+        let n = self.graph.node_count();
+        let mut mapping = vec![usize::MAX; n];
+        let mut used = vec![false; n];
+        mapping[anchor] = image;
+        used[image] = true;
+        match self.extend(1, &mut mapping, &mut used) {
+            Some(true) => AutomorphismOutcome::Found(mapping),
+            Some(false) => AutomorphismOutcome::NotFound,
+            None => AutomorphismOutcome::Exhausted,
+        }
+    }
+
+    /// `Some(true)` = completed, `Some(false)` = no extension exists,
+    /// `None` = step budget exhausted.
+    fn extend(&mut self, depth: usize, mapping: &mut [usize], used: &mut [bool]) -> Option<bool> {
+        if depth == self.order.len() {
+            return Some(true);
+        }
+        if *self.steps >= AUTOMORPHISM_STEP_BUDGET {
+            return None;
+        }
+        *self.steps += 1;
+        let u = self.order[depth];
+        'candidates: for w in 0..mapping.len() {
+            if used[w] || self.colors[w] != self.colors[u] {
+                continue;
+            }
+            // The relation to every mapped node must carry over exactly:
+            // same edge/non-edge, same weight.
+            for &x in &self.order[..depth] {
+                let y = mapping[x];
+                let uv = NodeId::new(u);
+                let xv = NodeId::new(x);
+                let have = self.graph.weight(uv, xv).map(weight_bits);
+                let want = self
+                    .graph
+                    .weight(NodeId::new(w), NodeId::new(y))
+                    .map(weight_bits);
+                if have != want {
+                    continue 'candidates;
+                }
+            }
+            mapping[u] = w;
+            used[w] = true;
+            match self.extend(depth + 1, mapping, used) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => return None,
+            }
+            mapping[u] = usize::MAX;
+            used[w] = false;
+        }
+        Some(false)
+    }
+}
+
+/// Checks a claimed permutation really is a weighted-graph automorphism.
+fn is_automorphism(graph: &Graph, perm: &[usize]) -> bool {
+    if perm.len() != graph.node_count() {
+        return false;
+    }
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p >= perm.len() || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    graph.edges().all(|(a, b, w)| {
+        graph
+            .weight(NodeId::new(perm[a.index()]), NodeId::new(perm[b.index()]))
+            .map(weight_bits)
+            == Some(weight_bits(w))
+    })
+}
+
+/// A BFS order over all nodes starting from `anchor` (remaining
+/// components appended in index order), so the backtracking search maps
+/// each node with as many mapped neighbours as possible.
+fn anchored_order(graph: &Graph, anchor: usize) -> Vec<usize> {
+    let n = graph.node_count();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    if n > 0 {
+        seen[anchor] = true;
+        queue.push_back(anchor);
+    }
+    for fallback in 0..=n {
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let mut nbrs: Vec<usize> = graph.neighbors(NodeId::new(v)).map(NodeId::index).collect();
+            nbrs.sort_unstable();
+            for u in nbrs {
+                if !seen[u] {
+                    seen[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        if fallback < n && !seen[fallback] {
+            seen[fallback] = true;
+            queue.push_back(fallback);
+        }
+    }
+    order
+}
+
+/// Computes verified automorphism generators and their orbit partition.
+///
+/// Within each WL refinement cell, members are matched against the
+/// orbit representatives discovered so far: a backtracking search
+/// (candidates filtered by WL colour, extension checked against every
+/// mapped node, completed mappings re-verified edge-by-edge) either
+/// produces an explicit generator — merging the two orbits — or proves
+/// no automorphism relates them. Cross-cell pairs need no search: WL
+/// colours are automorphism-invariant, so differently-coloured nodes
+/// are never in one orbit.
+pub fn automorphisms(graph: &Graph) -> Automorphisms {
+    let n = graph.node_count();
+    let colors = refine(graph);
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut v: usize) -> usize {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        v
+    }
+    let mut generators = Vec::new();
+    let mut complete = true;
+    let mut steps = 0usize;
+
+    // Cells in colour order, members in index order: deterministic.
+    let mut cells: std::collections::BTreeMap<u64, Vec<usize>> = std::collections::BTreeMap::new();
+    for (v, &color) in colors.iter().enumerate() {
+        cells.entry(color).or_default().push(v);
+    }
+    'cells: for members in cells.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        // Orbit representatives discovered so far within this cell.
+        let mut reps: Vec<usize> = vec![members[0]];
+        for &v in &members[1..] {
+            if reps
+                .iter()
+                .any(|&r| find(&mut parent, r) == find(&mut parent, v))
+            {
+                continue;
+            }
+            let mut matched = false;
+            for &r in &reps {
+                let mut search = AutomorphismSearch {
+                    graph,
+                    colors: &colors,
+                    order: anchored_order(graph, r),
+                    steps: &mut steps,
+                };
+                match search.run(r, v) {
+                    AutomorphismOutcome::Found(perm) => {
+                        if is_automorphism(graph, &perm) {
+                            for (u, &img) in perm.iter().enumerate() {
+                                let (a, b) = (find(&mut parent, u), find(&mut parent, img));
+                                if a != b {
+                                    parent[a.max(b)] = a.min(b);
+                                }
+                            }
+                            generators.push(perm);
+                            matched = true;
+                            break;
+                        }
+                        // A verification failure would be a search bug;
+                        // treat the pair as unrelated rather than merge.
+                        debug_assert!(false, "unverified automorphism candidate");
+                    }
+                    AutomorphismOutcome::NotFound => {}
+                    AutomorphismOutcome::Exhausted => {
+                        complete = false;
+                        break 'cells;
+                    }
+                }
+            }
+            if !matched {
+                reps.push(v);
+            }
+        }
+    }
+
+    // Dense orbit ids in order of first appearance by node index.
+    let mut dense: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut orbit_ids = Vec::with_capacity(n);
+    for v in 0..n {
+        let root = find(&mut parent, v);
+        let next = dense.len();
+        orbit_ids.push(*dense.entry(root).or_insert(next));
+    }
+    Automorphisms {
+        generators,
+        orbits: orbit_ids,
+        complete,
+    }
 }
 
 fn distinct(colors: &[u64]) -> usize {
@@ -452,6 +722,115 @@ mod tests {
         assert_ne!(fingerprint(&empty), fingerprint(&one));
         assert_eq!(canonical_form(&empty).order.len(), 0);
         assert_eq!(canonical_form(&one).order.len(), 1);
+    }
+
+    /// Disjoint union of `k` rings of `len` nodes: every node is in one
+    /// WL cell, but individualization must fix each ring separately, so
+    /// the leaf count grows as a product over rings — the classic way
+    /// to blow [`LEAF_BUDGET`].
+    fn ring_union(k: usize, len: usize) -> Graph {
+        let mut edges = Vec::new();
+        for r in 0..k {
+            let base = r * len;
+            for i in 0..len {
+                edges.push((base + i, base + (i + 1) % len, 1.0));
+            }
+        }
+        Graph::from_weighted_edges(k * len, edges).expect("ring union")
+    }
+
+    #[test]
+    fn ordinary_graphs_do_not_exhaust_the_leaf_budget() {
+        for graph in [
+            generate::chain(9),
+            generate::ring(12),
+            generate::grid(4, 4),
+            generate::star(7),
+        ] {
+            assert!(!canonical_form(&graph).exhausted);
+        }
+    }
+
+    #[test]
+    fn ring_union_exhausts_the_leaf_budget() {
+        let graph = ring_union(3, 8);
+        let form = canonical_form(&graph);
+        assert!(
+            form.exhausted,
+            "3 disjoint rings of 8 should exceed {LEAF_BUDGET} leaves"
+        );
+        // The order is still a usable (if non-canonical) permutation.
+        assert_eq!(form.order.len(), 24);
+    }
+
+    #[test]
+    fn automorphisms_of_symmetric_graphs() {
+        // Rings are vertex-transitive: one orbit, witnessed.
+        let ring = generate::ring(6);
+        let auto = automorphisms(&ring);
+        assert!(auto.complete);
+        assert_eq!(auto.orbits, vec![0; 6]);
+        assert!(!auto.generators.is_empty());
+        for g in &auto.generators {
+            assert!(is_automorphism(&ring, g));
+        }
+        // Chain of 5: ends, inner pair, centre.
+        let auto = automorphisms(&generate::chain(5));
+        assert!(auto.complete);
+        assert_eq!(auto.orbits[0], auto.orbits[4]);
+        assert_eq!(auto.orbits[1], auto.orbits[3]);
+        let mut ids = auto.orbits.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+        // 3x3 grid: corners, edge-midpoints, centre.
+        let auto = automorphisms(&generate::grid(3, 3));
+        assert!(auto.complete);
+        let mut ids = auto.orbits.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn automorphism_orbits_are_finer_than_wl_cells() {
+        // ring(5) + ring(7): one WL cell (all degree-2, same weights),
+        // but no automorphism maps across components of different size.
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            edges.push((i, (i + 1) % 5, 1.0));
+        }
+        for i in 0..7 {
+            edges.push((5 + i, 5 + (i + 1) % 7, 1.0));
+        }
+        let graph = Graph::from_weighted_edges(12, edges).unwrap();
+        let wl = orbits(&graph);
+        assert!(wl.iter().all(|&o| o == wl[0]), "WL merges the two rings");
+        let auto = automorphisms(&graph);
+        assert!(auto.complete);
+        assert_eq!(auto.orbits[0], auto.orbits[4]);
+        assert_eq!(auto.orbits[5], auto.orbits[11]);
+        assert_ne!(
+            auto.orbits[0], auto.orbits[5],
+            "true orbits split by component"
+        );
+        for g in &auto.generators {
+            assert!(is_automorphism(&graph, g));
+        }
+    }
+
+    #[test]
+    fn automorphisms_respect_distinct_weights() {
+        // Distinct edge weights kill all symmetry: every orbit is a
+        // singleton and there are no generators.
+        let graph = Graph::from_weighted_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]).unwrap();
+        let auto = automorphisms(&graph);
+        assert!(auto.complete);
+        assert!(auto.generators.is_empty());
+        let mut ids = auto.orbits.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
     }
 
     #[test]

@@ -99,6 +99,27 @@ impl Budget {
         self.nodes
     }
 
+    /// Nodes left before the cap trips (`u64::MAX` when uncapped).
+    /// Parallel drivers use this to hand each worker the worst-case
+    /// remaining allowance and reconcile afterwards.
+    pub fn remaining_nodes(&self) -> u64 {
+        self.max_nodes.saturating_sub(self.nodes)
+    }
+
+    /// The wall-clock deadline, if any, shared verbatim with workers so
+    /// every thread polls the same instant.
+    pub fn deadline_instant(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Trips the meter without charging further nodes. Drivers that
+    /// meter work in schedule-independent bulk (charge first, then
+    /// execute) use this to report exhaustion at exactly the charged
+    /// count regardless of how the work was interleaved.
+    pub fn exhaust(&mut self) {
+        self.exhausted = true;
+    }
+
     /// Returns `true` once the budget has tripped; it never untrips.
     pub fn is_exhausted(&self) -> bool {
         self.exhausted
@@ -322,6 +343,288 @@ impl<'a> MonomorphismFinder<'a> {
         }
     }
 
+    /// Budget-aware solution collection over a root-decomposed search,
+    /// optionally pruned by target-node orbits and spread across worker
+    /// threads.
+    ///
+    /// The search tree is split at the root: one subtree per depth-0
+    /// candidate of the first pattern node (in increasing target index,
+    /// exactly the sequential candidate order). Subtrees are independent,
+    /// so workers claim them from an atomic cursor and run each under a
+    /// private meter; a deterministic *replay merge* then reconciles the
+    /// per-subtree results against the shared [`Budget`] in root order —
+    /// accepting each solution only if the sequential search would have
+    /// reached it before the cap — so the returned solutions, the charged
+    /// node count, and the outcome are bit-identical to `jobs = 1` for
+    /// any worker count (node budgets; wall-clock deadlines trade that
+    /// determinism for latency, as everywhere else). Only
+    /// [`BudgetedRun::best_partial`] may differ across worker counts.
+    ///
+    /// `root_orbits` (target-node orbit ids, e.g. from
+    /// `canonical::automorphisms`) keeps only the first root per orbit:
+    /// sound when the caller wants one representative per symmetry class
+    /// — existence checks and symmetric-candidate enumeration — not full
+    /// enumeration.
+    ///
+    /// The configured [`limit`](MonomorphismFinder::limit) caps the
+    /// collected solutions; enumeration stops at the limit exactly where
+    /// the sequential visitor would have broken.
+    pub fn collect_budgeted(
+        &self,
+        budget: &mut Budget,
+        opts: &ParallelOptions<'_>,
+    ) -> (Vec<Vec<NodeId>>, BudgetedRun) {
+        let exhausted_run = || BudgetedRun {
+            outcome: Outcome::BudgetExhausted,
+            nodes: 0,
+            best_partial: Vec::new(),
+        };
+        let complete_run = |nodes| BudgetedRun {
+            outcome: Outcome::Complete,
+            nodes,
+            best_partial: Vec::new(),
+        };
+        if !budget.consume(0) {
+            return (Vec::new(), exhausted_run());
+        }
+        let pn = self.pattern.node_count();
+        let tn = self.target.node_count();
+        if pn > tn {
+            return (Vec::new(), complete_run(0));
+        }
+        if pn == 0 {
+            // The empty map is the unique monomorphism; it costs no
+            // search nodes, mirroring `run`.
+            return (vec![Vec::new()], complete_run(0));
+        }
+        let order = self.variable_order();
+        let p0 = order[0];
+        let p0_deg = self.pattern.degree(p0);
+        // Depth-0 candidates: unused ∩ degree-mask, with the look-ahead
+        // cut degenerate to the same degree test (all targets unused).
+        let mut roots: Vec<usize> = (0..tn)
+            .filter(|&w| self.target.degree(NodeId::new(w)) >= p0_deg)
+            .collect();
+        if let Some(orbits) = opts.root_orbits {
+            debug_assert_eq!(orbits.len(), tn);
+            let mut seen = std::collections::HashSet::new();
+            roots.retain(|&w| seen.insert(orbits.get(w).copied().unwrap_or(w)));
+        }
+        let cap_left = budget.remaining_nodes();
+        if cap_left == 0 {
+            // The depth-0 entry visit itself trips the meter.
+            budget.exhausted = true;
+            return (Vec::new(), exhausted_run());
+        }
+        let deadline = budget.deadline;
+        let mut merge = Merge {
+            used: 1, // the depth-0 entry visit
+            cap_left,
+            limit: self.limit,
+            out: Vec::new(),
+            best_depth: 0,
+            best_partial: Vec::new(),
+            exhausted: false,
+            done: false,
+        };
+        let jobs = opts.jobs.max(1).min(roots.len().max(1));
+        if jobs <= 1 {
+            for &root in &roots {
+                if merge.done {
+                    break;
+                }
+                let remaining = merge.cap_left - merge.used;
+                if remaining == 0 {
+                    // The next subtree's entry visit would trip.
+                    merge.exhausted = true;
+                    break;
+                }
+                let local_limit = self.limit.map(|k| k.saturating_sub(merge.out.len()));
+                let result = self.run_root(&order, root, remaining, deadline, local_limit);
+                merge.absorb(result);
+            }
+        } else {
+            let subtree_cap = cap_left - 1;
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            let shared: Vec<std::sync::Mutex<Option<RootResult>>> =
+                roots.iter().map(|_| std::sync::Mutex::new(None)).collect();
+            let progress = std::sync::Mutex::new(PrefixProgress {
+                next: 0,
+                used: 1,
+                accepted: 0,
+                decided: false,
+            });
+            std::thread::scope(|scope| {
+                for _ in 0..jobs {
+                    scope.spawn(|| loop {
+                        if progress.lock().is_ok_and(|p| p.decided) {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= roots.len() {
+                            break;
+                        }
+                        let result =
+                            self.run_root(&order, roots[i], subtree_cap, deadline, self.limit);
+                        if let Ok(mut slot) = shared[i].lock() {
+                            *slot = Some(result);
+                        }
+                        // Advance the contiguous done-prefix and decide
+                        // (conservatively, with exactly the merge's math)
+                        // whether the outcome is already fixed, so idle
+                        // workers stop claiming doomed roots.
+                        if let Ok(mut p) = progress.lock() {
+                            while !p.decided && p.next < roots.len() {
+                                let Ok(guard) = shared[p.next].lock() else {
+                                    break;
+                                };
+                                let Some(r) = guard.as_ref() else { break };
+                                let remaining = cap_left - p.used;
+                                if remaining == 0 || r.cut || r.deadline_cut || r.nodes > remaining
+                                {
+                                    p.decided = true;
+                                    break;
+                                }
+                                p.accepted += r.solutions.len();
+                                p.used += r.nodes;
+                                p.next += 1;
+                                if self.limit.is_some_and(|k| p.accepted >= k) {
+                                    p.decided = true;
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            for slot in shared {
+                if merge.done {
+                    break;
+                }
+                if merge.cap_left - merge.used == 0 {
+                    merge.exhausted = true;
+                    break;
+                }
+                let Some(result) = slot.lock().ok().and_then(|mut s| s.take()) else {
+                    // Roots past the decided prefix were never claimed;
+                    // the merge must already have terminated by now.
+                    debug_assert!(merge.done || merge.exhausted);
+                    break;
+                };
+                merge.absorb(result);
+            }
+        }
+        budget.nodes = budget.nodes.saturating_add(merge.used);
+        if merge.exhausted {
+            budget.exhausted = true;
+        }
+        let run = BudgetedRun {
+            outcome: if merge.exhausted {
+                Outcome::BudgetExhausted
+            } else {
+                Outcome::Complete
+            },
+            nodes: merge.used,
+            best_partial: merge.best_partial,
+        };
+        (merge.out, run)
+    }
+
+    /// Runs the subtree rooted at `mapping[order[0]] = root` under a
+    /// private meter of `node_cap` nodes, recording each solution with
+    /// the local node count at its emission — the replay offset the
+    /// merge compares against the shared budget.
+    fn run_root(
+        &self,
+        order: &[NodeId],
+        root: usize,
+        node_cap: u64,
+        deadline: Option<Instant>,
+        solution_cap: Option<usize>,
+    ) -> RootResult {
+        use std::cell::Cell;
+        let pn = self.pattern.node_count();
+        let tn = self.target.node_count();
+        let twpr = self.target.words_per_row().max(1);
+        let mut unused = vec![u64::MAX; twpr];
+        for (k, word) in unused.iter_mut().enumerate() {
+            let lo = k * 64;
+            if lo + 64 > tn {
+                *word = if tn > lo { (1u64 << (tn - lo)) - 1 } else { 0 };
+            }
+        }
+        unused[root / 64] &= !(1u64 << (root % 64));
+        let mut distinct: Vec<usize> = order.iter().map(|&p| self.pattern.degree(p)).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut deg_masks = vec![0u64; distinct.len() * twpr];
+        for (di, &d) in distinct.iter().enumerate() {
+            let row = &mut deg_masks[di * twpr..(di + 1) * twpr];
+            for w in 0..tn {
+                if self.target.degree(NodeId::new(w)) >= d {
+                    row[w / 64] |= 1u64 << (w % 64);
+                }
+            }
+        }
+        let deg_mask_of: Vec<u32> = order
+            .iter()
+            .map(|&p| {
+                let pdeg = self.pattern.degree(p);
+                distinct.iter().position(|&d| d == pdeg).unwrap_or(0) as u32
+            })
+            .collect();
+        let nodes = Cell::new(0u64);
+        let deadline_cut = Cell::new(false);
+        let mut mapping = vec![INVALID; pn];
+        mapping[order[0].index()] = root as u32;
+        let small = twpr == 1 && self.target.words_per_row() == 1;
+        let all = unused[0];
+        let mut state = State {
+            pattern: self.pattern,
+            target: self.target,
+            order: order.to_vec(),
+            mapping,
+            unused,
+            deg_masks,
+            deg_mask_of,
+            cand_stack: vec![0; pn * twpr],
+            twpr,
+            image: vec![NodeId::new(0); pn],
+            probe: CellMeter {
+                nodes: &nodes,
+                cap: node_cap,
+                deadline,
+                deadline_cut: &deadline_cut,
+            },
+            budget_cut: false,
+            best_depth: 0,
+            best_partial: Vec::new(),
+        };
+        // Record the root assignment itself as the depth-1 partial, as
+        // the sequential kernel's depth-0 `note_depth` would have.
+        state.note_depth(0);
+        let mut solutions: Vec<(u64, Vec<NodeId>)> = Vec::new();
+        let mut visit = |m: &[NodeId]| {
+            solutions.push((nodes.get(), m.to_vec()));
+            match solution_cap {
+                Some(k) if solutions.len() >= k => ControlFlow::Break(()),
+                _ => ControlFlow::Continue(()),
+            }
+        };
+        if small {
+            let _ = state.extend_small(1, all, &mut visit);
+        } else {
+            let _ = state.extend(1, &mut visit);
+        }
+        RootResult {
+            nodes: nodes.get(),
+            cut: state.budget_cut && !deadline_cut.get(),
+            deadline_cut: deadline_cut.get(),
+            solutions,
+            best_depth: state.best_depth,
+            best_partial: state.best_partial,
+        }
+    }
+
     fn search(&self, visit: &mut dyn FnMut(&[NodeId]) -> ControlFlow<()>) {
         let _ = self.run(Unlimited, visit);
     }
@@ -446,6 +749,133 @@ impl<'a> MonomorphismFinder<'a> {
 }
 
 const INVALID: u32 = u32::MAX;
+
+/// Options for [`MonomorphismFinder::collect_budgeted`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelOptions<'o> {
+    /// Worker threads over the root candidate set; `0` and `1` both run
+    /// sequentially in the calling thread. Clamped to the root count.
+    pub jobs: usize,
+    /// Target-node orbit ids (one per target node): when set, only the
+    /// first root candidate of each orbit is explored. Callers must only
+    /// pass orbits witnessed by actual automorphisms
+    /// (`canonical::automorphisms`), and only when one representative
+    /// per symmetry class is acceptable.
+    pub root_orbits: Option<&'o [usize]>,
+}
+
+/// One root subtree's outcome, replay-merged against the shared budget.
+struct RootResult {
+    /// Nodes charged to the subtree's private meter.
+    nodes: u64,
+    /// Private node cap tripped (deadline trips recorded separately).
+    cut: bool,
+    /// Wall-clock deadline tripped inside this subtree.
+    deadline_cut: bool,
+    /// Solutions with the private node count at each emission — the
+    /// offset the merge compares against the shared budget's remainder.
+    solutions: Vec<(u64, Vec<NodeId>)>,
+    best_depth: usize,
+    best_partial: Vec<(NodeId, NodeId)>,
+}
+
+/// Deterministic replay merge: walks root results in root order and
+/// mirrors, arithmetically, what the sequential search would have done
+/// under the shared budget — which solutions it reaches, where it stops,
+/// and how many nodes it charges.
+struct Merge {
+    /// Nodes the sequential search would have charged so far (includes
+    /// the depth-0 entry visit).
+    used: u64,
+    /// Shared budget's allowance at entry.
+    cap_left: u64,
+    limit: Option<usize>,
+    out: Vec<Vec<NodeId>>,
+    best_depth: usize,
+    best_partial: Vec<(NodeId, NodeId)>,
+    exhausted: bool,
+    done: bool,
+}
+
+impl Merge {
+    fn absorb(&mut self, r: RootResult) {
+        if self.done {
+            return;
+        }
+        let remaining = self.cap_left - self.used;
+        if r.best_depth > self.best_depth {
+            self.best_depth = r.best_depth;
+            self.best_partial = r.best_partial;
+        }
+        // Sequentially, this subtree would have run under `remaining`
+        // nodes: a private cap trip, a deadline trip, or more nodes than
+        // remain all mean the shared meter trips inside this subtree.
+        let over = r.cut || r.deadline_cut || r.nodes > remaining;
+        for (off, sol) in r.solutions {
+            if off > remaining {
+                break;
+            }
+            self.out.push(sol);
+            if self.limit.is_some_and(|k| self.out.len() >= k) {
+                // The sequential visitor breaks at this emission.
+                self.used += off;
+                self.done = true;
+                return;
+            }
+        }
+        if over {
+            self.used += r.nodes.min(remaining);
+            self.exhausted = true;
+            self.done = true;
+            return;
+        }
+        self.used += r.nodes;
+    }
+}
+
+/// Contiguous-prefix bookkeeping for the parallel driver: once the done
+/// prefix of root results already decides the merge (budget trip or
+/// solution limit), remaining roots cannot affect the outcome and
+/// workers stop claiming them.
+struct PrefixProgress {
+    next: usize,
+    used: u64,
+    accepted: usize,
+    decided: bool,
+}
+
+/// A [`Probe`] over a thread-local [`Cell`](std::cell::Cell) counter,
+/// with the same charge-then-poll-per-stride semantics as
+/// [`Budget::visit`]. The cell is shared with the solution visitor so
+/// emissions can record their node offset.
+struct CellMeter<'c> {
+    nodes: &'c std::cell::Cell<u64>,
+    cap: u64,
+    deadline: Option<Instant>,
+    deadline_cut: &'c std::cell::Cell<bool>,
+}
+
+impl Probe for CellMeter<'_> {
+    const TRACK_PARTIAL: bool = true;
+    #[inline]
+    fn visit(&mut self) -> bool {
+        let n = self.nodes.get();
+        if n >= self.cap {
+            return false;
+        }
+        let n = n + 1;
+        self.nodes.set(n);
+        if n.is_multiple_of(DEADLINE_STRIDE) {
+            if let Some(at) = self.deadline {
+                if Instant::now() >= at {
+                    self.deadline_cut.set(true);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
 
 /// Internal report of one kernel run.
 struct RunInfo {
@@ -997,6 +1427,142 @@ mod tests {
 
         let mut past = Budget::deadline(Instant::now());
         assert!(!past.consume(0), "expired deadline trips on first poll");
+    }
+
+    #[test]
+    fn collect_budgeted_matches_sequential_enumeration() {
+        // Unlimited, no pruning: collect must equal find_all, and its
+        // node accounting must equal for_each_budgeted's.
+        let cases = [
+            (generate::chain(3), generate::grid(3, 3)),
+            (generate::ring(4), generate::grid(3, 3)),
+            (generate::chain(5), generate::ring(6)),
+            (generate::star(4), generate::complete(5)),
+        ];
+        for (p, t) in &cases {
+            let finder = MonomorphismFinder::new(p, t);
+            let all = finder.find_all();
+            let mut seq_budget = Budget::unlimited();
+            let seq = finder.for_each_budgeted(&mut seq_budget, &mut |_| ControlFlow::Continue(()));
+            for jobs in [1usize, 2, 4, 8] {
+                let mut budget = Budget::unlimited();
+                let opts = ParallelOptions {
+                    jobs,
+                    root_orbits: None,
+                };
+                let (sols, run) = finder.collect_budgeted(&mut budget, &opts);
+                assert_eq!(sols, all, "jobs {jobs} changed the solution set");
+                assert_eq!(run.outcome, Outcome::Complete);
+                assert_eq!(run.nodes, seq.nodes, "jobs {jobs} changed node accounting");
+            }
+        }
+    }
+
+    #[test]
+    fn collect_budgeted_is_jobs_invariant_under_caps() {
+        let p = generate::ring(4);
+        let t = generate::grid(4, 4);
+        let finder = MonomorphismFinder::new(&p, &t).limit(5);
+        for cap in [0u64, 1, 3, 17, 100, 1_000, 1_000_000] {
+            let mut reference: Option<(Vec<Vec<NodeId>>, Outcome, u64, u64)> = None;
+            for jobs in [1usize, 2, 4, 8] {
+                let mut budget = Budget::max_nodes(cap);
+                let opts = ParallelOptions {
+                    jobs,
+                    root_orbits: None,
+                };
+                let (sols, run) = finder.collect_budgeted(&mut budget, &opts);
+                let snapshot = (sols, run.outcome, run.nodes, budget.nodes_visited());
+                match &reference {
+                    None => reference = Some(snapshot),
+                    Some(r) => assert_eq!(*r, snapshot, "cap {cap} jobs {jobs} diverged"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collect_budgeted_limit_matches_sequential_break() {
+        // Capping at k must reproduce the sequential break: same prefix,
+        // same node charge at the k-th emission.
+        let p = generate::chain(3);
+        let t = generate::grid(3, 3);
+        for k in [1usize, 2, 5, 11] {
+            let finder = MonomorphismFinder::new(&p, &t).limit(k);
+            let all = MonomorphismFinder::new(&p, &t).find_all();
+            let mut seq_budget = Budget::unlimited();
+            let mut seen = 0usize;
+            MonomorphismFinder::new(&p, &t).for_each_budgeted(&mut seq_budget, &mut |_| {
+                seen += 1;
+                if seen >= k {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+            for jobs in [1usize, 4] {
+                let mut budget = Budget::unlimited();
+                let opts = ParallelOptions {
+                    jobs,
+                    root_orbits: None,
+                };
+                let (sols, run) = finder.collect_budgeted(&mut budget, &opts);
+                assert_eq!(sols, all[..k.min(all.len())]);
+                assert_eq!(run.outcome, Outcome::Complete);
+                assert_eq!(
+                    budget.nodes_visited(),
+                    seq_budget.nodes_visited(),
+                    "k {k} jobs {jobs} stopped at a different point"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn orbit_pruned_roots_cover_every_orbit_witness() {
+        use crate::canonical;
+        // Chain of 2 into ring of 6: unpruned has 12 solutions (6 edges
+        // × 2 orientations); the ring is vertex-transitive so orbit
+        // pruning keeps a single root.
+        let p = generate::chain(2);
+        let t = generate::ring(6);
+        let auto = canonical::automorphisms(&t);
+        assert!(auto.complete);
+        let finder = MonomorphismFinder::new(&p, &t);
+        let mut budget = Budget::unlimited();
+        let opts = ParallelOptions {
+            jobs: 1,
+            root_orbits: Some(&auto.orbits),
+        };
+        let (pruned, run) = finder.collect_budgeted(&mut budget, &opts);
+        assert_eq!(run.outcome, Outcome::Complete);
+        // One root (node 0), two orientations from it.
+        assert_eq!(pruned.len(), 2);
+        for m in &pruned {
+            assert!(is_monomorphism(&p, &t, m));
+        }
+        // Every unpruned solution is an automorphic image of a pruned
+        // one's root: existence is preserved.
+        assert!(!pruned.is_empty());
+        assert!(MonomorphismFinder::new(&p, &t).exists());
+    }
+
+    #[test]
+    fn orbit_pruning_with_trivial_orbits_is_a_no_op() {
+        use crate::canonical;
+        // Distinct weights: every orbit is a singleton, pruning keeps
+        // every root and the enumeration is unchanged.
+        let p = generate::chain(2);
+        let t = Graph::from_weighted_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]).unwrap();
+        let auto = canonical::automorphisms(&t);
+        let all = MonomorphismFinder::new(&p, &t).find_all();
+        let mut budget = Budget::unlimited();
+        let opts = ParallelOptions {
+            jobs: 2,
+            root_orbits: Some(&auto.orbits),
+        };
+        let (sols, _) = MonomorphismFinder::new(&p, &t).collect_budgeted(&mut budget, &opts);
+        assert_eq!(sols, all);
     }
 
     #[test]

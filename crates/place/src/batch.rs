@@ -290,6 +290,13 @@ impl BatchPlacer {
             let mut rep_for: HashMap<u128, usize> = HashMap::new();
             for (i, request) in self.requests.iter().enumerate() {
                 let canonical = CanonicalCircuit::of(&request.circuit);
+                // An exhausted canonicalization is not a sound sharing
+                // key (its witness may be labelling-dependent): place
+                // the request individually, never as a follower or a
+                // representative.
+                if canonical.exhausted {
+                    continue;
+                }
                 let key = cache_key(&canonical, &request.environment, &request.config);
                 canon[i] = Some(canonical);
                 match rep_for.entry(key.as_u128()) {
@@ -866,6 +873,74 @@ mod tests {
             b.stages[0].subcircuit.interaction_graph().edge_count(),
             relabelled.interaction_graph().edge_count()
         );
+    }
+
+    #[test]
+    fn reported_jobs_count_workers_actually_spawned_after_dedup() {
+        // 8 identical requests collapse to one representative under
+        // dedup, so only one worker can ever have work: the report must
+        // say 1, not echo the requested 8 (which would overstate
+        // parallelism in logs and scaling_check pairing).
+        let circuit = library::qec3_encoder();
+        let env = topologies::grid(2, 3, topologies::Delays::default());
+        let config =
+            PlacerConfig::with_threshold(env.connectivity_threshold().expect("grid connects"));
+        let requests: Vec<BatchRequest> = (0..8)
+            .map(|i| {
+                BatchRequest::new(
+                    format!("rep-{i}"),
+                    circuit.clone(),
+                    env.clone(),
+                    config.clone(),
+                )
+            })
+            .collect();
+        let deduped = BatchPlacer::new(requests.clone()).jobs(8).run();
+        assert_eq!(deduped.deduped, 7);
+        assert_eq!(deduped.jobs, 1, "jobs must count spawned workers");
+        // Dedup off: all 8 groups exist, the full worker ask is honored.
+        let plain = BatchPlacer::new(requests.clone())
+            .jobs(8)
+            .dedup(false)
+            .run();
+        assert_eq!(plain.jobs, 8);
+        // A worker ask smaller than the group count passes through.
+        let three = BatchPlacer::new(requests).jobs(3).dedup(false).run();
+        assert_eq!(three.jobs, 3);
+    }
+
+    #[test]
+    fn exhausted_canonicalizations_are_never_deduped() {
+        // Three disjoint rings of 8 blow the canonicalization leaf
+        // budget, so the fingerprint may be labelling-dependent: two
+        // relabellings of the same circuit must both be placed
+        // individually, never served from each other by witness remap.
+        let mut b = Circuit::builder(24);
+        for r in 0..3 {
+            let base = r * 8;
+            for i in 0..8 {
+                b.gate(qcp_circuit::Gate::zz(
+                    qcp_circuit::Qubit::new(base + i),
+                    qcp_circuit::Qubit::new(base + (i + 1) % 8),
+                    90.0,
+                ));
+            }
+        }
+        let circuit = b.build();
+        assert!(crate::CanonicalCircuit::of(&circuit).exhausted);
+        let relabelled = circuit.map_qubits(24, |q| qcp_circuit::Qubit::new(23 - q.index()));
+        let env = topologies::grid(5, 5, topologies::Delays::default());
+        let mut config =
+            PlacerConfig::with_threshold(env.connectivity_threshold().expect("grid connects"));
+        config.strategy = Strategy::Anneal;
+        config.anneal.iterations = 50;
+        let requests = vec![
+            BatchRequest::new("orig", circuit, env.clone(), config.clone()),
+            BatchRequest::new("relabelled", relabelled, env, config),
+        ];
+        let report = BatchPlacer::new(requests).run();
+        assert_eq!(report.deduped, 0, "exhausted certificates must not dedup");
+        assert_eq!(report.succeeded(), 2);
     }
 
     #[test]

@@ -99,6 +99,14 @@ pub struct CanonicalCircuit {
     pub graph_fingerprint: CanonicalFingerprint,
     /// `order[i]` is the original qubit occupying canonical position `i`.
     pub order: Vec<Qubit>,
+    /// Whether the interaction graph's canonicalization hit the
+    /// individualization leaf budget before exhausting every branch. An
+    /// exhausted form is deterministic for a *fixed* labelling but may
+    /// differ between relabellings of the same circuit, so the
+    /// fingerprint is not a sound sharing key: cache layers must treat
+    /// the request as uncacheable (see
+    /// [`execute_with`](crate::request::execute_with)).
+    pub exhausted: bool,
 }
 
 /// A qubit's participation in one gate: `(flat gate position, role,
@@ -207,6 +215,7 @@ impl CanonicalCircuit {
             fingerprint: h.finish(),
             graph_fingerprint: graph_form.fingerprint,
             order,
+            exhausted: graph_form.exhausted,
         }
     }
 }

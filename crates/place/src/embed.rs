@@ -57,6 +57,47 @@ pub fn candidate_placements_budgeted(
     k: usize,
     meter: &mut vf2::Budget,
 ) -> Result<Vec<Placement>> {
+    candidate_placements_searched(
+        interaction,
+        fast,
+        previous,
+        k,
+        meter,
+        &SearchOptions::default(),
+    )
+}
+
+/// Knobs for the monomorphism search behind candidate enumeration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchOptions<'o> {
+    /// Worker threads over the VF2 root candidates (`0`/`1` sequential).
+    /// Results are bit-identical to sequential for node budgets.
+    pub jobs: usize,
+    /// Fast-graph node orbits from verified automorphisms: when set,
+    /// only one VF2 root per orbit is explored. The caller is
+    /// responsible for only passing orbits when symmetric candidates
+    /// are genuinely interchangeable (first stage on a symmetric
+    /// device, no prior placement breaking the symmetry).
+    pub root_orbits: Option<&'o [usize]>,
+}
+
+/// [`candidate_placements_budgeted`] with explicit [`SearchOptions`]:
+/// the enumeration runs on the root-parallel, optionally orbit-pruned
+/// VF2 kernel. With default options this is exactly
+/// [`candidate_placements_budgeted`] — same candidates, same budget
+/// accounting.
+///
+/// # Errors
+///
+/// As [`candidate_placements_budgeted`].
+pub fn candidate_placements_searched(
+    interaction: &Graph,
+    fast: &Graph,
+    previous: Option<&Placement>,
+    k: usize,
+    meter: &mut vf2::Budget,
+    options: &SearchOptions<'_>,
+) -> Result<Vec<Placement>> {
     let n = interaction.node_count();
     let m = fast.node_count();
 
@@ -87,33 +128,30 @@ pub fn candidate_placements_budgeted(
         );
     }
 
-    // Stream monomorphisms straight out of the search, completing each
-    // into a placement through reusable scratch buffers (no intermediate
-    // `Vec<Vec<NodeId>>` of raw maps).
-    let mut scratch = CompletionScratch::new(n, m);
-    let mut out = Vec::new();
-    let mut failure: Option<crate::PlaceError> = None;
-    let run = MonomorphismFinder::new(&pattern, fast).for_each_budgeted(meter, &mut |map| {
-        match scratch.complete(&constrained, map, fast, previous) {
-            Ok(placement) => out.push(placement),
-            Err(e) => {
-                failure = Some(e);
-                return std::ops::ControlFlow::Break(());
-            }
-        }
-        if out.len() >= k {
-            std::ops::ControlFlow::Break(())
-        } else {
-            std::ops::ControlFlow::Continue(())
-        }
-    });
-    match failure {
-        Some(e) => Err(e),
-        None if run.outcome == vf2::Outcome::BudgetExhausted => Err(PlaceError::BudgetExhausted {
+    // Enumerate monomorphisms on the root-decomposed kernel (parallel
+    // across roots when `options.jobs > 1`, pruned to one root per
+    // orbit when orbits are supplied), then complete each into a total
+    // placement through reusable scratch buffers. The kernel's replay
+    // merge guarantees the solution list and budget accounting match
+    // the sequential search bit for bit.
+    let parallel = vf2::ParallelOptions {
+        jobs: options.jobs,
+        root_orbits: options.root_orbits,
+    };
+    let (maps, run) = MonomorphismFinder::new(&pattern, fast)
+        .limit(k)
+        .collect_budgeted(meter, &parallel);
+    if run.outcome == vf2::Outcome::BudgetExhausted {
+        return Err(PlaceError::BudgetExhausted {
             nodes: meter.nodes_visited(),
-        }),
-        None => Ok(out),
+        });
     }
+    let mut scratch = CompletionScratch::new(n, m);
+    let mut out = Vec::with_capacity(maps.len());
+    for map in &maps {
+        out.push(scratch.complete(&constrained, map, fast, previous)?);
+    }
+    Ok(out)
 }
 
 /// Reusable buffers for completing partial assignments into placements.

@@ -8,12 +8,16 @@ use qcp_graph::traversal::connected_components;
 use qcp_graph::{vf2, Graph};
 
 use crate::cost::{CostEngine, CostModel, Schedule};
-use crate::embed::candidate_placements_budgeted;
+use crate::embed::{candidate_placements_searched, SearchOptions};
 use crate::finetune::fine_tune;
 use crate::router::{route_permutation, RouterConfig, SwapSchedule};
 use crate::strategy::{strategy_for, AnnealConfig, Resolution, SearchBudget, Strategy};
 use crate::workspace::{extract_workspaces_budgeted, ExtractionOptions, Workspace};
 use crate::{PlaceError, Placement, Result};
+
+/// Lookahead context for candidate scoring: the next stage's candidate
+/// placements, their workspace, and the per-continuation gate floors.
+type Lookahead<'a> = (&'a [Placement], &'a Workspace, &'a [Vec<f64>]);
 
 /// Placer configuration. The defaults mirror the paper's implementation:
 /// `k = 100` candidate monomorphisms, depth-2 lookahead, fine tuning on,
@@ -43,6 +47,11 @@ pub struct PlacerConfig {
     pub budget: SearchBudget,
     /// Annealing knobs for the heuristic strategies.
     pub anneal: AnnealConfig,
+    /// Worker threads for the exact search (VF2 root subtrees and
+    /// candidate scoring). `1` (the default) runs sequentially; `0`
+    /// uses the machine's available parallelism. Results are
+    /// bit-identical across worker counts for node-budgeted searches.
+    pub search_jobs: usize,
 }
 
 impl Default for PlacerConfig {
@@ -58,6 +67,7 @@ impl Default for PlacerConfig {
             strategy: Strategy::default(),
             budget: SearchBudget::unlimited(),
             anneal: AnnealConfig::default(),
+            search_jobs: 1,
         }
     }
 }
@@ -117,6 +127,14 @@ impl PlacerConfig {
     #[must_use]
     pub fn budget(mut self, budget: SearchBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Sets the exact-search worker count (`0` auto-detects the
+    /// machine's available parallelism, `1` runs sequentially).
+    #[must_use]
+    pub fn search_jobs(mut self, jobs: usize) -> Self {
+        self.search_jobs = jobs;
         self
     }
 }
@@ -212,6 +230,16 @@ pub struct Placer<'e> {
     config: PlacerConfig,
     fast: Graph,
     routing: Graph,
+    /// Fast-graph node orbits under verified device automorphisms, kept
+    /// only when symmetric first-stage placements are genuinely
+    /// cost-equivalent (see [`device_symmetry`]).
+    symmetry: Option<Vec<usize>>,
+    /// All-pairs hop distances on the routing graph, row-major `m × m`
+    /// (`u32::MAX` when unreachable). Feeds the stage lower bound.
+    dist: Vec<u32>,
+    /// Cheapest possible cost of one mid-chain SWAP hop (see
+    /// [`Placer::stage_lower_bound`]).
+    min_swap_units: f64,
 }
 
 impl<'e> Placer<'e> {
@@ -225,11 +253,41 @@ impl<'e> Placer<'e> {
     pub fn new(env: &'e Environment, config: PlacerConfig) -> Self {
         let fast = env.fast_graph(config.threshold);
         let routing = bridge_components(env, &fast);
+        let symmetry = device_symmetry(env, &fast);
+        let m = routing.node_count();
+        let mut dist = vec![u32::MAX; m * m];
+        for v in 0..m {
+            let row = qcp_graph::traversal::bfs_distances(&routing, qcp_graph::NodeId::new(v));
+            for (u, d) in row.into_iter().enumerate() {
+                if let Some(d) = d {
+                    dist[v * m + u] = d;
+                }
+            }
+        }
+        // A fresh-run SWAP costs `3 · W` capped at the reuse cap; mid-chain
+        // hops always start fresh runs (the previous hop rewrote both
+        // nuclei's last-pair records), so this is a true per-hop floor.
+        let stride = match config.cost_model.reuse_cap {
+            None => 3.0,
+            Some(cap) => 3.0_f64.min(cap.max(0.0)),
+        };
+        let min_w = routing
+            .edges()
+            .map(|(_, _, w)| w)
+            .fold(f64::INFINITY, f64::min);
+        let min_swap_units = if min_w.is_finite() {
+            stride * min_w
+        } else {
+            0.0
+        };
         Placer {
             env,
             config,
             fast,
             routing,
+            symmetry,
+            dist,
+            min_swap_units,
         }
     }
 
@@ -303,11 +361,11 @@ impl<'e> Placer<'e> {
             extract_workspaces_budgeted(circuit, &self.fast, self.config.extraction, meter)?;
 
         let mut engine = CostEngine::new(self.env, self.config.cost_model);
-        // Fork arena: two scratch engines reset per scoring call instead
-        // of cloning a fresh CostEngine (times/last-pair/runs buffers) for
-        // every candidate and every lookahead continuation.
+        // Fork arena: a scratch engine reset per scoring call instead of
+        // cloning a fresh CostEngine (times/last-pair/runs buffers) for
+        // every fine-tuning probe and commit (candidate selection keeps
+        // its own forks — per worker, under `search_jobs`).
         let mut fork = CostEngine::new(self.env, self.config.cost_model);
-        let mut fork2 = CostEngine::new(self.env, self.config.cost_model);
         let mut schedule = Schedule::new();
         let mut stages: Vec<Stage> = Vec::new();
         let mut previous: Option<Placement> = None;
@@ -319,13 +377,29 @@ impl<'e> Placer<'e> {
         // qubits relative to the previous placement, which changes when
         // workspace i commits — so the sets cannot be reused verbatim.
         // Each enumeration charges the budget meter for the work it does.
+        let jobs = effective_jobs(self.config.search_jobs);
         for (wi, ws) in workspaces.iter().enumerate() {
-            let candidates = candidate_placements_budgeted(
+            // Orbit pruning applies to the first stage only: with no
+            // previous placement, candidates related by a device
+            // automorphism are cost-equivalent, so one VF2 root per orbit
+            // suffices. Later stages (and the lookahead set, whose members
+            // are scored relative to a *fixed* current candidate) have the
+            // symmetry broken by the incumbent placement.
+            let search = SearchOptions {
+                jobs,
+                root_orbits: if previous.is_none() {
+                    self.symmetry.as_deref()
+                } else {
+                    None
+                },
+            };
+            let candidates = candidate_placements_searched(
                 &ws.interaction,
                 &self.fast,
                 previous.as_ref(),
                 self.config.max_candidates,
                 meter,
+                &search,
             )?;
             if candidates.is_empty() {
                 // extract_workspaces guarantees embeddability.
@@ -337,12 +411,16 @@ impl<'e> Placer<'e> {
             // Lookahead: raw candidates for the next workspace.
             let lookahead_set = if self.config.lookahead {
                 workspaces.get(wi + 1).map(|next| {
-                    candidate_placements_budgeted(
+                    candidate_placements_searched(
                         &next.interaction,
                         &self.fast,
                         previous.as_ref(),
                         self.config.max_candidates,
                         meter,
+                        &SearchOptions {
+                            jobs,
+                            root_orbits: None,
+                        },
                     )
                 })
             } else {
@@ -354,50 +432,36 @@ impl<'e> Placer<'e> {
                 None => None,
             };
 
-            // Score every candidate. Each scored continuation charges the
-            // budget meter — scoring is the other half of the exact
-            // pipeline's cost besides the VF2 search itself.
-            let mut best: Option<(usize, f64, SwapSchedule)> = None;
-            for (ci, cand) in candidates.iter().enumerate() {
-                if !meter.consume(1) {
-                    return Err(budget_error(meter));
-                }
-                let Ok((cost, swaps)) =
-                    self.score_into(&engine, previous.as_ref(), cand, ws, &mut fork)
-                else {
-                    continue; // unroutable candidate
-                };
-                let cost = match &lookahead_set {
-                    None => cost,
-                    Some(next_cands) => {
-                        // min over next-stage continuations (§5.3's C_{i,j});
-                        // `fork` holds the post-candidate state.
-                        let next_ws = &workspaces[wi + 1];
-                        let mut best_next = f64::INFINITY;
-                        for next_cand in next_cands {
-                            if !meter.consume(1) {
-                                return Err(budget_error(meter));
-                            }
-                            if let Ok((c2, _)) =
-                                self.score_into(&fork, Some(cand), next_cand, next_ws, &mut fork2)
-                            {
-                                best_next = best_next.min(c2);
-                            }
-                        }
-                        if best_next.is_finite() {
-                            best_next
-                        } else {
-                            cost
-                        }
-                    }
-                };
-                if best.as_ref().is_none_or(|(_, bc, _)| cost < *bc) {
-                    best = Some((ci, cost, swaps));
-                }
+            // Charge the scoring phase up front — one unit per candidate
+            // plus one per lookahead continuation, exactly what the
+            // un-pruned sweep below would cost — so budget exhaustion is
+            // deterministic regardless of how the bound-and-prune
+            // evaluation actually unfolds (and of the worker count).
+            let la_len = lookahead_set.as_ref().map_or(0, Vec::len) as u64;
+            let per_candidate = 1 + la_len;
+            let full_charge = per_candidate.saturating_mul(candidates.len() as u64);
+            if meter.remaining_nodes() < full_charge {
+                let affordable = (meter.remaining_nodes() / per_candidate) * per_candidate;
+                let _ = meter.consume(affordable);
+                meter.exhaust();
+                return Err(budget_error(meter));
             }
-            let (best_idx, _, _) = best.ok_or(PlaceError::RoutingImpossible {
-                stuck: qcp_env::PhysicalQubit::new(0),
-            })?;
+            if !meter.consume(full_charge) {
+                return Err(budget_error(meter));
+            }
+
+            let lookahead = lookahead_set
+                .as_deref()
+                .map(|cands| (cands, &workspaces[wi + 1]));
+            let best_idx = self.select_candidate(
+                &engine,
+                previous.as_ref(),
+                &candidates,
+                ws,
+                lookahead,
+                jobs,
+                meter,
+            )?;
             let mut chosen = candidates[best_idx].clone();
 
             // Fine tuning (§5.1) on the active qubits of this workspace.
@@ -484,6 +548,431 @@ impl<'e> Placer<'e> {
         fork.apply_placed_circuit(&ws.circuit, cand);
         Ok((fork.makespan().units(), swaps))
     }
+
+    /// Picks the stage winner: the candidate minimizing the (lookahead)
+    /// metric, ties broken by enumeration index — exactly the candidate
+    /// the plain left-to-right sweep would pick, but found via a
+    /// best-first branch-and-bound and, with `jobs > 1`, scored across
+    /// worker threads. The bound-and-prune rules only ever skip
+    /// candidates that provably cannot win (strict inequality against an
+    /// incumbent metric that is itself exact), so the winner is
+    /// bit-identical across worker counts and pruning order.
+    ///
+    /// The budget for this sweep was charged up front by the caller; the
+    /// meter is only polled here for its wall-clock deadline.
+    #[allow(clippy::too_many_arguments)]
+    fn select_candidate(
+        &self,
+        engine: &CostEngine<'e>,
+        previous: Option<&Placement>,
+        candidates: &[Placement],
+        ws: &Workspace,
+        lookahead: Option<(&[Placement], &Workspace)>,
+        jobs: usize,
+        meter: &mut vf2::Budget,
+    ) -> Result<usize> {
+        // Per-continuation gate floors: what the next workspace's gates
+        // must cost under each next candidate, regardless of the current
+        // one. Computed once per stage.
+        let floors =
+            lookahead.map(|(next_cands, next_ws)| self.continuation_floors(next_cands, next_ws));
+        let la = lookahead
+            .zip(floors.as_ref())
+            .map(|((nc, nw), fl)| (nc, nw, fl.as_slice()));
+
+        // Phase 1: every candidate's own makespan, without lookahead, and
+        // — with lookahead — a per-candidate bound on its metric. Both
+        // are sound bounds for phase 2: applying the next stage's swaps
+        // and gates on top never shortens a schedule, so a candidate's
+        // lookahead metric never undercuts its own cost, and the
+        // continuation bound is admissible by construction. Unroutable
+        // candidates drop out here.
+        let mut order: Vec<(f64, usize)> = Vec::with_capacity(candidates.len());
+        {
+            let mut fork = CostEngine::new(self.env, self.config.cost_model);
+            let mut bounds: Vec<(f64, usize)> = candidates
+                .iter()
+                .enumerate()
+                .map(|(ci, cand)| (self.stage_lower_bound(engine.times(), previous, cand), ci))
+                .collect();
+            bounds.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let mut best_cost = f64::INFINITY;
+            for &(lb, ci) in &bounds {
+                if !meter.consume(0) {
+                    return Err(budget_error(meter));
+                }
+                // Without lookahead the winner is simply the cheapest
+                // cost, so a bound above the best cost seen settles the
+                // candidate. With lookahead a high-cost candidate can
+                // still win (the winner minimizes the *continuation*
+                // makespan), so every candidate gets its phase-1 score
+                // and pruning waits for phase 2's exact incumbent.
+                if la.is_none() && lb.total_cmp(&best_cost).is_gt() {
+                    break; // sorted by bound: nothing later can be cheaper
+                }
+                let Ok((cost, _)) =
+                    self.score_into(engine, previous, &candidates[ci], ws, &mut fork)
+                else {
+                    continue;
+                };
+                best_cost = best_cost.min(cost);
+                let bound = match la {
+                    None => cost,
+                    Some((next_cands, _, floors)) => {
+                        // The metric is the min over continuations (or the
+                        // cost itself when none is routable), so the min
+                        // over continuation bounds — combined with the
+                        // cost — bounds it from below either way.
+                        let mut pre = f64::INFINITY;
+                        for (ni, nc) in next_cands.iter().enumerate() {
+                            pre = pre.min(self.continuation_lower_bound(
+                                fork.times(),
+                                &candidates[ci],
+                                nc,
+                                &floors[ni],
+                            ));
+                            if pre.total_cmp(&cost).is_le() {
+                                break; // bound already saturated at cost
+                            }
+                        }
+                        if pre.is_finite() {
+                            cost.max(pre)
+                        } else {
+                            cost
+                        }
+                    }
+                };
+                order.push((bound, ci));
+            }
+        }
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let stuck_err = || PlaceError::RoutingImpossible {
+            stuck: qcp_env::PhysicalQubit::new(0),
+        };
+        if la.is_none() {
+            // No lookahead: the metric IS the cost; phase 1 decided.
+            return order.first().map(|&(_, ci)| ci).ok_or_else(stuck_err);
+        }
+
+        // Phase 2: lookahead metrics, smallest phase-1 bound first. Once
+        // bounds exceed the incumbent metric the rest of the (sorted)
+        // order can be dropped wholesale.
+        let mut best: Option<(f64, usize)> = None;
+        if jobs <= 1 || order.len() <= 1 {
+            let mut fork = CostEngine::new(self.env, self.config.cost_model);
+            let mut fork2 = CostEngine::new(self.env, self.config.cost_model);
+            for &(bound, ci) in &order {
+                if !meter.consume(0) {
+                    return Err(budget_error(meter));
+                }
+                if best
+                    .as_ref()
+                    .is_some_and(|&(bm, _)| bound.total_cmp(&bm).is_gt())
+                {
+                    break; // sorted by bound: nothing later can win
+                }
+                let Some(metric) = self.candidate_metric(
+                    engine,
+                    previous,
+                    &candidates[ci],
+                    ws,
+                    la,
+                    best.map(|(bm, _)| bm),
+                    &mut fork,
+                    &mut fork2,
+                ) else {
+                    continue;
+                };
+                if best.is_none_or(|(bm, bi)| metric.total_cmp(&bm).then(ci.cmp(&bi)).is_lt()) {
+                    best = Some((metric, ci));
+                }
+            }
+        } else {
+            use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+            let cursor = AtomicUsize::new(0);
+            // Shared incumbent as raw bits: for non-negative floats the
+            // IEEE-754 bit patterns order like the values, so `fetch_min`
+            // on the bits is `fetch_min` on the metrics.
+            let shared = AtomicU64::new(f64::INFINITY.to_bits());
+            let results: Vec<std::sync::Mutex<Option<f64>>> = (0..order.len())
+                .map(|_| std::sync::Mutex::new(None))
+                .collect();
+            let deadline = meter.deadline_instant();
+            let order_ref = &order;
+            let results_ref = &results;
+            std::thread::scope(|scope| {
+                for _ in 0..jobs.min(order.len()) {
+                    scope.spawn(|| {
+                        let mut fork = CostEngine::new(self.env, self.config.cost_model);
+                        let mut fork2 = CostEngine::new(self.env, self.config.cost_model);
+                        loop {
+                            let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                            if slot >= order_ref.len() {
+                                break;
+                            }
+                            if deadline.is_some_and(|at| std::time::Instant::now() >= at) {
+                                break;
+                            }
+                            let (bound, ci) = order_ref[slot];
+                            // A stale incumbent is only ever too *large*,
+                            // which makes this skip conservative: anything
+                            // skipped loses against the final best too.
+                            let bm = f64::from_bits(shared.load(Ordering::Relaxed));
+                            if bound.total_cmp(&bm).is_gt() {
+                                continue;
+                            }
+                            if let Some(metric) = self.candidate_metric(
+                                engine,
+                                previous,
+                                &candidates[ci],
+                                ws,
+                                la,
+                                bm.is_finite().then_some(bm),
+                                &mut fork,
+                                &mut fork2,
+                            ) {
+                                shared.fetch_min(metric.to_bits(), Ordering::Relaxed);
+                                if let Ok(mut slot_result) = results_ref[slot].lock() {
+                                    *slot_result = Some(metric);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            if !meter.consume(0) {
+                return Err(budget_error(meter));
+            }
+            for (slot, &(_, ci)) in order.iter().enumerate() {
+                let metric = results[slot].lock().ok().and_then(|r| *r);
+                let Some(metric) = metric else { continue };
+                if best.is_none_or(|(bm, bi)| metric.total_cmp(&bm).then(ci.cmp(&bi)).is_lt()) {
+                    best = Some((metric, ci));
+                }
+            }
+        }
+        best.map(|(_, ci)| ci).ok_or_else(stuck_err)
+    }
+
+    /// Scores one candidate: its own makespan or, with lookahead, the
+    /// best continuation makespan (§5.3's `C_{i,j}`, the min over next-
+    /// stage candidates). Returns `None` for unroutable candidates.
+    ///
+    /// The inner sweep's skips are value-preserving below `cutoff` (a
+    /// continuation with `lb ≥` the incumbent min cannot lower the min),
+    /// so any returned metric `≤ cutoff` — in particular the eventual
+    /// winner's — is exact. Continuations bounded strictly above
+    /// `cutoff` are abandoned early: that can only inflate the metric of
+    /// a candidate already proven to lose, never deflate one.
+    #[allow(clippy::too_many_arguments)]
+    fn candidate_metric(
+        &self,
+        engine: &CostEngine<'e>,
+        previous: Option<&Placement>,
+        cand: &Placement,
+        ws: &Workspace,
+        lookahead: Option<Lookahead<'_>>,
+        cutoff: Option<f64>,
+        fork: &mut CostEngine<'e>,
+        fork2: &mut CostEngine<'e>,
+    ) -> Option<f64> {
+        let (cost, _) = self.score_into(engine, previous, cand, ws, fork).ok()?;
+        let Some((next_cands, next_ws, floors)) = lookahead else {
+            return Some(cost);
+        };
+        // `fork` holds the post-candidate state; bound the continuations
+        // against it and sweep best-first so the break fires early.
+        let mut inner: Vec<(f64, usize)> = next_cands
+            .iter()
+            .enumerate()
+            .map(|(ni, nc)| {
+                (
+                    self.continuation_lower_bound(fork.times(), cand, nc, &floors[ni]),
+                    ni,
+                )
+            })
+            .collect();
+        inner.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut best_next = f64::INFINITY;
+        for &(lb, ni) in &inner {
+            if lb.total_cmp(&best_next).is_ge()
+                || cutoff.is_some_and(|bm| lb.total_cmp(&bm).is_gt())
+            {
+                break; // sorted: the min cannot improve below the bound
+            }
+            if let Ok((c2, _)) = self.score_into(fork, Some(cand), &next_cands[ni], next_ws, fork2)
+            {
+                best_next = best_next.min(c2);
+            }
+        }
+        Some(if best_next.is_finite() {
+            best_next
+        } else {
+            cost
+        })
+    }
+
+    /// An admissible lower bound on [`Placer::score_into`]'s makespan for
+    /// `cand`: the busiest nucleus so far, and each moved value's release
+    /// time plus the cheapest conceivable cost of its remaining swap
+    /// hops. The first hop is discounted entirely — under the reuse cap a
+    /// swap on a freshly-coupled pair can cost zero — but every later hop
+    /// starts a fresh run (the previous hop rewrote both nuclei's
+    /// last-pair records) and pays at least one full stride.
+    fn stage_lower_bound(
+        &self,
+        times: &[f64],
+        previous: Option<&Placement>,
+        cand: &Placement,
+    ) -> f64 {
+        let mut lb = times.iter().copied().fold(0.0, f64::max);
+        let Some(prev) = previous else {
+            return lb;
+        };
+        let m = self.env.qubit_count();
+        for q in 0..cand.logical_count() {
+            let src = prev.physical(Qubit::new(q)).index();
+            let dst = cand.physical(Qubit::new(q)).index();
+            if src == dst {
+                continue;
+            }
+            let hops = self.dist[src * m + dst];
+            if hops == u32::MAX {
+                return f64::INFINITY;
+            }
+            let chain = times[src] + f64::from(hops.saturating_sub(1)) * self.min_swap_units;
+            lb = lb.max(chain);
+        }
+        lb
+    }
+
+    /// Per-qubit admissible floors on the next workspace's gate cost
+    /// under each next-stage candidate, independent of the current
+    /// candidate. A qubit's nucleus serializes its gates, each coupling
+    /// pair's cheapest conceivable total is its summed weight capped by
+    /// the reuse rule, and at most one pair per qubit can continue a
+    /// run carried across the stage boundary (a nucleus has a single
+    /// last partner) — that one pair's gates may be free, so the
+    /// largest pair total is forgiven. Costed single-qubit pulses
+    /// always pay full.
+    fn continuation_floors(&self, next_cands: &[Placement], next_ws: &Workspace) -> Vec<Vec<f64>> {
+        let n = next_ws.circuit.qubit_count();
+        let mut pair_gate: std::collections::HashMap<(usize, usize), f64> =
+            std::collections::HashMap::new();
+        let mut single = vec![0.0f64; n];
+        for level in next_ws.circuit.levels() {
+            for g in level.gates() {
+                let (a, b) = g.qubits();
+                match b {
+                    Some(b) => {
+                        let key = (a.index().min(b.index()), a.index().max(b.index()));
+                        *pair_gate.entry(key).or_insert(0.0) += g.time_weight();
+                    }
+                    None => single[a.index()] += g.time_weight(),
+                }
+            }
+        }
+        let pairs: Vec<((usize, usize), f64)> =
+            pair_gate.into_iter().filter(|&(_, g)| g > 0.0).collect();
+        let cap = self.config.cost_model.reuse_cap;
+        let capped = |g: f64| cap.map_or(g, |c| g.min(c));
+        next_cands
+            .iter()
+            .map(|to| {
+                let mut sum = vec![0.0f64; n];
+                let mut forgiven = vec![0.0f64; n];
+                for &((a, b), g) in &pairs {
+                    let w = self
+                        .env
+                        .weight_units(to.physical(Qubit::new(a)), to.physical(Qubit::new(b)));
+                    let c = capped(g) * w;
+                    sum[a] += c;
+                    sum[b] += c;
+                    forgiven[a] = forgiven[a].max(c);
+                    forgiven[b] = forgiven[b].max(c);
+                }
+                (0..n)
+                    .map(|q| {
+                        let v = to.physical(Qubit::new(q));
+                        sum[q] - forgiven[q] + single[q] * self.env.weight_units(v, v)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// An admissible lower bound on one continuation's makespan: each
+    /// qubit's release time, plus its remaining swap-chain floor (as in
+    /// [`Placer::stage_lower_bound`]), plus its gate floor for the next
+    /// workspace — the gates run on the qubit's destination nucleus
+    /// strictly after its swap chain delivers it there.
+    fn continuation_lower_bound(
+        &self,
+        times: &[f64],
+        from: &Placement,
+        to: &Placement,
+        floor: &[f64],
+    ) -> f64 {
+        let m = self.env.qubit_count();
+        let mut lb = times.iter().copied().fold(0.0, f64::max);
+        for (q, &gate_floor) in floor[..to.logical_count()].iter().enumerate() {
+            let src = from.physical(Qubit::new(q)).index();
+            let dst = to.physical(Qubit::new(q)).index();
+            let chain = if src == dst {
+                times[src]
+            } else {
+                let hops = self.dist[src * m + dst];
+                if hops == u32::MAX {
+                    return f64::INFINITY;
+                }
+                times[src] + f64::from(hops.saturating_sub(1)) * self.min_swap_units
+            };
+            lb = lb.max(chain + gate_floor);
+        }
+        lb
+    }
+}
+
+/// Resolves the configured exact-search worker count (`0` = the
+/// machine's available parallelism).
+fn effective_jobs(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        configured
+    }
+}
+
+/// Fast-graph node orbits under verified device automorphisms, or `None`
+/// whenever orbit pruning would be unsound or useless. Symmetric
+/// first-stage placements are cost-equivalent only when every nucleus has
+/// the same single-qubit delay (automorphisms preserve coupling weights,
+/// not the diagonal) and the fast graph is connected (otherwise routing
+/// adds bridge couplings whose selection tie-breaks on nucleus labels,
+/// which an automorphism need not preserve). All-singleton orbit
+/// partitions are dropped — pruning would be a no-op.
+fn device_symmetry(env: &Environment, fast: &Graph) -> Option<Vec<usize>> {
+    let m = fast.node_count();
+    if m == 0 || connected_components(fast).len() > 1 {
+        return None;
+    }
+    let delay = |q: usize| {
+        env.weight_units(
+            qcp_env::PhysicalQubit::new(q),
+            qcp_env::PhysicalQubit::new(q),
+        )
+    };
+    let d0 = delay(0);
+    if (1..m).any(|q| delay(q).total_cmp(&d0).is_ne()) {
+        return None;
+    }
+    let orbits = qcp_graph::canonical::automorphisms(fast).orbits;
+    let mut sizes = vec![0usize; m];
+    for &o in &orbits {
+        sizes[o] += 1;
+    }
+    sizes.iter().any(|&c| c > 1).then_some(orbits)
 }
 
 /// The strict exact failure once a budget meter has tripped.

@@ -58,8 +58,10 @@ pub enum CacheDisposition {
     /// The cache was consulted but had no entry; the result was placed
     /// fresh (and stored).
     Miss,
-    /// The cache was not consulted — no cache attached, or the request's
-    /// [`CachePolicy::Bypass`].
+    /// The cache was not consulted — no cache attached, the request's
+    /// [`CachePolicy::Bypass`], or the request was uncacheable because
+    /// its canonicalization was
+    /// [exhausted](crate::CanonicalCircuit::exhausted).
     Bypass,
 }
 
@@ -182,8 +184,24 @@ impl<'a> PlaceRequest<'a> {
     /// request's own fields (canonical circuit × environment tables ×
     /// placer configuration). Every layer — CLI, batch, serve — keys the
     /// cache through this method, so they cannot disagree.
+    ///
+    /// A key is only *usable* when the canonicalization behind it is not
+    /// [exhausted](CanonicalCircuit::exhausted) — check [`cacheable`]
+    /// (as [`execute_with`] and batch dedup do) before sharing results
+    /// under it.
+    ///
+    /// [`cacheable`]: PlaceRequest::cacheable
     pub fn cache_key(&self) -> CacheKey {
         cache_key(&self.canonical(), self.environment, &self.config)
+    }
+
+    /// Whether this request's canonical form is a sound sharing key.
+    /// False when the interaction graph blew the canonicalization leaf
+    /// budget: the certificate may then be labelling-dependent, so
+    /// executing the request reports [`CacheDisposition::Bypass`] even
+    /// with a cache attached.
+    pub fn cacheable(&self) -> bool {
+        !self.canonical().exhausted
     }
 }
 
@@ -234,7 +252,15 @@ pub fn execute_with(
         (CachePolicy::Use, Some(cache)) if cache.capacity() > 0 => Some(cache),
         _ => None,
     };
-    let canonical = cache.map(|_| request.canonical());
+    // An exhausted canonicalization (the individualization search hit
+    // its leaf budget) can be labelling-dependent: relabellings of the
+    // same circuit may fingerprint apart, or — worse — collide under a
+    // witness that does not actually relate them. Such requests are
+    // uncacheable: neither looked up nor stored, reported as `Bypass`.
+    let canonical = cache
+        .map(|_| request.canonical())
+        .filter(|canon| !canon.exhausted);
+    let cache = cache.filter(|_| canonical.is_some());
     let key = canonical
         .as_ref()
         .map(|canon| cache_key(canon, request.environment, &request.config));
@@ -357,6 +383,50 @@ mod tests {
             qec_request(&relabelled, &env).cache_key(),
             request.cache_key()
         );
+    }
+
+    /// A circuit whose interaction graph is `rings` disjoint rings of
+    /// `len` qubits — WL-hard enough to blow the canonicalization leaf
+    /// budget (see `qcp_graph::canonical`).
+    fn ring_union_circuit(rings: usize, len: usize) -> Circuit {
+        let mut b = Circuit::builder(rings * len);
+        for r in 0..rings {
+            let base = r * len;
+            for i in 0..len {
+                b.gate(qcp_circuit::Gate::zz(
+                    Qubit::new(base + i),
+                    Qubit::new(base + (i + 1) % len),
+                    90.0,
+                ));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn exhausted_canonicalization_bypasses_the_cache() {
+        use qcp_env::topologies::{self, Delays};
+        let circuit = ring_union_circuit(3, 8);
+        let env = topologies::grid(5, 5, Delays::default());
+        let mut config =
+            PlacerConfig::with_threshold(env.connectivity_threshold().expect("connected"));
+        config.strategy = Strategy::Anneal;
+        config.anneal.iterations = 50;
+        let request = PlaceRequest::new(&circuit, &env).config(config);
+
+        // The certificate is exhausted, hence not a sound sharing key.
+        assert!(request.canonical().exhausted);
+        assert!(!request.cacheable());
+
+        // Even with a cache attached and CachePolicy::Use, the request
+        // must neither consult nor populate the cache.
+        let cache = PlacementCache::new(16);
+        let first = execute_with(&request, Some(&cache), None).expect("place");
+        assert_eq!(first.cache, CacheDisposition::Bypass);
+        let second = execute_with(&request, Some(&cache), None).expect("place");
+        assert_eq!(second.cache, CacheDisposition::Bypass);
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits() + cache.misses(), 0);
     }
 
     #[test]

@@ -62,6 +62,15 @@ pub struct ServeConfig {
     pub default_budget_ms: u64,
     /// Hard ceiling on any requested placement deadline, in ms.
     pub max_budget_ms: u64,
+    /// Floor on the *effective* (queue-degraded) placement deadline, in
+    /// ms. The search kernel only polls its deadline once per
+    /// 1024-node stride, so a deadline shorter than a stride's wall
+    /// clock burns a worker slot to visit zero nodes and answer `504`.
+    /// The occupancy shrink never goes below this floor; a request
+    /// whose own budget ceiling is below it is shed with `429` instead
+    /// of admitted. The default (25 ms) covers a stride with a wide
+    /// margin.
+    pub min_budget_ms: u64,
     /// Honor `x-qcp-chaos` fault-injection headers (tests only).
     pub chaos: bool,
     /// Expose `POST /admin/drain`.
@@ -84,6 +93,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(2),
             default_budget_ms: 2_000,
             max_budget_ms: 30_000,
+            min_budget_ms: 25,
             chaos: false,
             admin: true,
             cache_entries: 256,
@@ -138,6 +148,14 @@ impl ServeConfig {
     #[must_use]
     pub fn max_budget_ms(mut self, ms: u64) -> Self {
         self.max_budget_ms = ms;
+        self
+    }
+
+    /// Sets the floor on effective placement deadlines in milliseconds
+    /// (see [`ServeConfig::min_budget_ms`]). Clamped to at least 1.
+    #[must_use]
+    pub fn min_budget_ms(mut self, ms: u64) -> Self {
+        self.min_budget_ms = ms.max(1);
         self
     }
 
@@ -750,6 +768,15 @@ fn resolve_circuit(
     }
 }
 
+/// The queue-degraded placement deadline: `base_ms` scaled down by up to
+/// half at full occupancy, but never below `floor_ms` (nor above
+/// `base_ms` — callers shed sub-floor bases before getting here, so the
+/// clamp range is always non-empty).
+fn effective_deadline_ms(base_ms: u64, floor_ms: u64, occupancy: f64) -> u64 {
+    let shrunk = ((base_ms as f64) * (1.0 - 0.5 * occupancy.clamp(0.0, 1.0))).round() as u64;
+    shrunk.clamp(floor_ms.min(base_ms), base_ms.max(floor_ms))
+}
+
 fn place_endpoint(shared: &Shared, request: &Request, stream: &mut TcpStream) {
     let t0 = Instant::now();
     let params = match parse_params(request) {
@@ -803,14 +830,32 @@ fn place_endpoint(shared: &Shared, request: &Request, stream: &mut TcpStream) {
     // to half the base deadline at full occupancy. Overload thus shows up
     // as faster, heuristic answers (resolution: fallback/degraded) well
     // before the queue overflows into 429s.
+    //
+    // The shrink is clamped to `min_budget_ms`: the search kernel polls
+    // its deadline once per 1024-node stride, so a deadline below one
+    // stride's wall clock would burn this worker slot to visit zero
+    // nodes and answer 504. When even the floor cannot be granted —
+    // the request's own budget ceiling is below it — shed with 429 up
+    // front instead of admitting a job that cannot do useful work.
     let base_ms = params
         .budget_ms
         .unwrap_or(shared.config.default_budget_ms)
         .min(shared.config.max_budget_ms);
+    let floor_ms = shared.config.min_budget_ms.max(1);
+    if base_ms < floor_ms {
+        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        respond_error(
+            stream,
+            ErrorKind::Overload,
+            &format!(
+                "budget_ms {base_ms} is below the server's {floor_ms} ms deadline floor; \
+                 request at least {floor_ms} ms (or a node budget)"
+            ),
+        );
+        return;
+    }
     let occupancy = shared.queue().len() as f64 / shared.config.queue_depth.max(1) as f64;
-    let effective_ms = ((base_ms as f64) * (1.0 - 0.5 * occupancy.clamp(0.0, 1.0)))
-        .round()
-        .max(1.0) as u64;
+    let effective_ms = effective_deadline_ms(base_ms, floor_ms, occupancy);
     let mut budget = SearchBudget::unlimited().with_deadline(Duration::from_millis(effective_ms));
     if let Some(nodes) = params.budget_nodes {
         budget = budget.with_nodes(nodes);
@@ -1087,6 +1132,70 @@ mod tests {
         let stats = server.join();
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn deadline_shrink_never_goes_below_the_floor() {
+        // Idle: full deadline.
+        assert_eq!(effective_deadline_ms(2_000, 25, 0.0), 2_000);
+        // Half occupancy: 25% off.
+        assert_eq!(effective_deadline_ms(2_000, 25, 0.5), 1_500);
+        // Full occupancy: half, still far above the floor.
+        assert_eq!(effective_deadline_ms(2_000, 25, 1.0), 1_000);
+        // A small budget that full occupancy would shrink below the
+        // floor is clamped *to* the floor instead of below it.
+        assert_eq!(effective_deadline_ms(40, 25, 1.0), 25);
+        assert_eq!(effective_deadline_ms(30, 25, 0.9), 25);
+        // The clamp never *raises* the deadline above the base budget.
+        assert_eq!(effective_deadline_ms(40, 25, 0.0), 40);
+        // Occupancy beyond [0,1] is clamped, not amplified.
+        assert_eq!(effective_deadline_ms(100, 25, 7.0), 50);
+        assert_eq!(effective_deadline_ms(100, 25, -1.0), 100);
+    }
+
+    #[test]
+    fn sub_floor_budgets_are_shed_with_429() {
+        let server = Server::start(
+            ServeConfig::default()
+                .addr("127.0.0.1:0")
+                .workers(1)
+                .min_budget_ms(50),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        // Below the floor: shed before the job is admitted.
+        let reply = chaos::post(
+            addr,
+            "/place?circuit=qec3&env=grid:2x3&budget_ms=10",
+            &[],
+            "",
+        )
+        .unwrap();
+        assert_eq!(reply.status, 429, "{}", reply.body);
+        assert!(
+            reply.body.contains("\"kind\":\"overload\""),
+            "{}",
+            reply.body
+        );
+        assert!(reply.body.contains("deadline floor"), "{}", reply.body);
+
+        // At the floor: admitted, and at zero occupancy the full budget
+        // survives the degrade policy.
+        let reply = chaos::post(
+            addr,
+            "/place?circuit=qec3&env=grid:2x3&budget_ms=50",
+            &[],
+            "",
+        )
+        .unwrap();
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert!(reply.body.contains("\"deadline_ms\":50"), "{}", reply.body);
+
+        server.drain();
+        let stats = server.join();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.served_ok, 1);
     }
 
     #[test]

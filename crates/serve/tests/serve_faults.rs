@@ -216,6 +216,42 @@ fn deadline_exhaustion_degrades_hybrid_and_faults_exact() {
 }
 
 #[test]
+fn sub_stride_deadlines_are_shed_not_burned() {
+    // A budget below the server's deadline floor cannot execute even one
+    // deadline-poll stride (the kernel polls every 1024 nodes): admitting
+    // it would burn a worker slot to answer 504 having visited zero
+    // nodes. It must be shed with 429 up front — and the worker it never
+    // occupied must serve the next honest request.
+    let server = chaos_server(ServeConfig::default().workers(1).min_budget_ms(25));
+    let addr = server.local_addr();
+
+    let reply = chaos::post(
+        addr,
+        "/place?circuit=qft6&env=grid:8x8&strategy=exact&budget_ms=1",
+        &[],
+        "",
+    )
+    .expect("post");
+    assert_eq!(reply.status, 429, "{}", reply.body);
+    assert!(
+        reply.body.contains("\"kind\":\"overload\""),
+        "{}",
+        reply.body
+    );
+    assert!(reply.body.contains("deadline floor"), "{}", reply.body);
+    assert_recovered(&server);
+
+    server.drain();
+    let stats = server.join();
+    assert_eq!(
+        stats.budget_exhausted, 0,
+        "a sub-floor request burned a worker slot: {stats:?}"
+    );
+    assert!(stats.shed >= 1, "{stats:?}");
+    assert_eq!(stats.served_ok, 1);
+}
+
+#[test]
 fn queue_overflow_sheds_with_429_and_recovers() {
     let server = chaos_server(ServeConfig::default().workers(1).queue_depth(1));
     let addr = server.local_addr();
@@ -340,6 +376,17 @@ fn full_gauntlet_one_process_survives_every_fault_class() {
     )
     .expect("post");
     assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_recovered(&server);
+
+    // 7. Sub-floor deadline, shed before admission (default floor 25 ms).
+    let reply = chaos::post(
+        addr,
+        "/place?circuit=qec3&env=grid:2x3&budget_ms=1",
+        &[],
+        "",
+    )
+    .expect("post");
+    assert_eq!(reply.status, 429, "{}", reply.body);
     assert_recovered(&server);
 
     let health = chaos::get(addr, "/healthz").expect("healthz");

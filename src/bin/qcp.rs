@@ -155,6 +155,9 @@ fn run() -> ExitCode {
                  \x20 --strategy <s>          exact | anneal | hybrid (default exact)\n\
                  \x20 --budget-ms <ms>        wall-clock search budget per request\n\
                  \x20 --budget-nodes <n>      deterministic search-node budget\n\
+                 \x20 --search-jobs <n>       parallel exact-search workers (default 1;\n\
+                 \x20                         0 = all cores; results are worker-count\n\
+                 \x20                         independent)\n\
                  \x20 --gantt                 print the timed pulse chart\n\
                  \x20 --exposure              print idle/coupling exposure\n\
                  \x20 --verify                independently certify the outcome\n\
@@ -166,7 +169,7 @@ fn run() -> ExitCode {
                  \x20 --threshold <units>     fixed threshold (default: per-env auto)\n\
                  \x20 --coupling <units>      coupling delay for topology specs\n\
                  \x20 --k/--no-lookahead/--fine-tune/--commutation as for place\n\
-                 \x20 --strategy/--budget-ms/--budget-nodes as for place\n\
+                 \x20 --strategy/--budget-ms/--budget-nodes/--search-jobs as for place\n\
                  \x20 --verify                certify every successful outcome\n\
                  \x20 --no-dedup              disable cross-batch placement dedup\n\
                  lint options:\n\
@@ -179,6 +182,7 @@ fn run() -> ExitCode {
                  \x20 --queue-depth <n>       bounded accept queue; overflow gets 429\n\
                  \x20 --budget-ms <ms>        default placement deadline (default 2000)\n\
                  \x20 --max-budget-ms <ms>    ceiling on requested deadlines\n\
+                 \x20 --min-budget-ms <ms>    deadline floor; sub-floor budgets get 429\n\
                  \x20 --max-body-kb <kb>      request body cap (413 beyond it)\n\
                  \x20 --cache-entries <n>     result-cache capacity (default 256; 0 disables)\n\
                  \x20 --chaos                 honor x-qcp-chaos fault-injection headers\n\
@@ -214,6 +218,7 @@ fn run_place(args: &[String]) -> Result<(), CliError> {
     let mut commutation = false;
     let mut strategy = Strategy::Exact;
     let mut budget = SearchBudget::unlimited();
+    let mut search_jobs = 1usize;
     let mut gantt = false;
     let mut exposure = false;
     let mut verify = false;
@@ -258,6 +263,11 @@ fn run_place(args: &[String]) -> Result<(), CliError> {
                         .map_err(|e| format!("bad node budget: {e}"))?,
                 );
             }
+            "--search-jobs" => {
+                search_jobs = value("--search-jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad search-jobs count: {e}"))?;
+            }
             "--gantt" => gantt = true,
             "--exposure" => exposure = true,
             "--verify" => verify = true,
@@ -293,7 +303,8 @@ fn run_place(args: &[String]) -> Result<(), CliError> {
         .fine_tuning(fine_tune)
         .commutation_aware(commutation)
         .strategy(strategy)
-        .budget(budget);
+        .budget(budget)
+        .search_jobs(search_jobs);
     // The one-shot CLI runs through the same unified request executor as
     // batch and the serve daemon (qcp_place::request), so keying,
     // verification, and error taxonomy can never drift between surfaces.
@@ -393,6 +404,7 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
     let mut commutation = false;
     let mut strategy = Strategy::Exact;
     let mut budget = SearchBudget::unlimited();
+    let mut search_jobs = 1usize;
     let mut verify = false;
     let mut dedup = true;
 
@@ -442,6 +454,11 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
                         .map_err(|e| format!("bad node budget: {e}"))?,
                 );
             }
+            "--search-jobs" => {
+                search_jobs = value("--search-jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad search-jobs count: {e}"))?;
+            }
             "--verify" => verify = true,
             "--no-dedup" => dedup = false,
             other => return Err(format!("unknown option `{other}`").into()),
@@ -478,7 +495,8 @@ fn run_batch(args: &[String]) -> Result<(), CliError> {
         .fine_tuning(fine_tune)
         .commutation_aware(commutation)
         .strategy(strategy)
-        .budget(budget);
+        .budget(budget)
+        .search_jobs(search_jobs);
     let batch = match threshold {
         Some(t) => {
             let config = PlacerConfig {
@@ -639,6 +657,12 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
                 config.max_budget_ms = value("--max-budget-ms")?
                     .parse()
                     .map_err(|e| format!("bad budget ceiling: {e}"))?;
+            }
+            "--min-budget-ms" => {
+                let ms: u64 = value("--min-budget-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad budget floor: {e}"))?;
+                config = config.min_budget_ms(ms);
             }
             "--max-body-kb" => {
                 let kb: usize = value("--max-body-kb")?

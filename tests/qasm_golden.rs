@@ -47,7 +47,7 @@ const GOLDEN: [(&str, [u64; 3]); 10] = [
     ),
     (
         "ising6",
-        [0x6145160ad3d5ae55, 0xd494f63e71ed756d, 0xd7766bd2d152b8f9],
+        [0x6145160ad3d5ae55, 0xd494f63e71ed756d, 0x257ceec95329b2d5],
     ),
     (
         "qec3",
@@ -59,7 +59,7 @@ const GOLDEN: [(&str, [u64; 3]); 10] = [
     ),
     (
         "random_cnot12",
-        [0xff9ab0ea53687949, 0x4c04c256f1f784ba, 0x51572760778b1284],
+        [0xdc146c31f83e2a02, 0x4c04c256f1f784ba, 0x5ce6fa3ff6e7bc68],
     ),
     (
         "teleport3",
